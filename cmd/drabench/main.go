@@ -1,0 +1,216 @@
+// drabench regenerates the paper's evaluation: Table 1 (basic operational
+// model) and Table 2 (advanced operational model) on the Figure 9
+// workflows, plus the ablation and comparison experiments indexed in
+// DESIGN.md. It prints the same rows/series the paper reports; absolute
+// times differ from the 2012 testbed (JDK 6, Core 2 Quad), the shape is
+// what reproduces.
+//
+// Usage:
+//
+//	drabench [-experiment all|table1|table2|cascade|elementwise|
+//	          multirecipient|tfc|scalability|dos|engine|poolscale|pool]
+//	         [-bits 2048] [-reps 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dra4wfms/internal/bench"
+	"dra4wfms/internal/cloudsim"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	bits := flag.Int("bits", 2048, "RSA modulus size")
+	reps := flag.Int("reps", 5, "repetitions to average over (tables)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		switch *experiment {
+		case "all", name:
+			fmt.Printf("\n================ %s ================\n", name)
+			if err := fn(); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Printf("Table 1 — basic operational model, Figure 9A (RSA-%d, %d reps)\n", *bits, *reps)
+		rows, err := bench.RunTable1(*bits, *reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable1(rows))
+		fmt.Println("expected shape: alpha grows ~linearly with #sigs; beta ~constant; Sigma linear.")
+		return nil
+	})
+
+	run("table2", func() error {
+		fmt.Printf("Table 2 — advanced operational model via TFC, Figure 9B (RSA-%d, %d reps)\n", *bits, *reps)
+		rows, err := bench.RunTable2(*bits, *reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(rows))
+		fmt.Println("expected shape: alpha grows with #CERs on both AEA and TFC sides; beta, gamma ~constant;")
+		fmt.Println("documents larger than Table 1 (intermediate CERs + timestamps).")
+		return nil
+	})
+
+	run("cascade", func() error {
+		fmt.Println("Ablation — signature-cascade depth (VerifyAll and Algorithm 1 vs chain length)")
+		rows, err := bench.RunCascadeDepth(*bits, []int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6s %14s %10s %14s %8s\n", "CERs", "verify", "bytes", "scope(Alg.1)", "|scope|")
+		for _, r := range rows {
+			fmt.Printf("%6d %14v %10d %14v %8d\n", r.CERs, r.VerifyTime.Round(time.Microsecond),
+				r.DocBytes, r.ScopeTime.Round(time.Microsecond), r.ScopeSize)
+		}
+		return nil
+	})
+
+	run("elementwise", func() error {
+		fmt.Println("Ablation — element-wise vs whole-document encryption (2 readers)")
+		rows, err := bench.RunElementwiseVsWhole(*bits, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%7s %12s %12s %14s %12s %10s %10s\n",
+			"fields", "ew-enc", "whole-enc", "ew-dec-one", "whole-dec", "ew-bytes", "wh-bytes")
+		for _, r := range rows {
+			fmt.Printf("%7d %12v %12v %14v %12v %10d %10d\n",
+				r.Fields, r.ElementwiseEncrypt.Round(time.Microsecond), r.WholeEncrypt.Round(time.Microsecond),
+				r.ElementwiseDecryptOne.Round(time.Microsecond), r.WholeDecrypt.Round(time.Microsecond),
+				r.ElementwiseBytes, r.WholeBytes)
+		}
+		fmt.Println("element-wise pays more bytes/encrypt time but supports per-field readers and")
+		fmt.Println("single-field decryption — the design choice of Section 2 of the paper.")
+		return nil
+	})
+
+	run("multirecipient", func() error {
+		fmt.Println("Ablation — one element encrypted to k readers (k RSA-OAEP key wraps)")
+		rows, err := bench.RunMultiRecipient(*bits, []int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10s %14s %10s\n", "recipients", "encrypt", "bytes")
+		for _, r := range rows {
+			fmt.Printf("%10d %14v %10d\n", r.Recipients, r.EncryptTime.Round(time.Microsecond), r.Bytes)
+		}
+		return nil
+	})
+
+	run("tfc", func() error {
+		fmt.Println("Claim — the TFC server is not the bottleneck (Section 4.1)")
+		res, err := bench.RunTFCThroughput(*bits, 50)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("AEA path (Open+CompleteToTFC): %v/doc\n", res.AEAMeanPerDoc.Round(time.Microsecond))
+		fmt.Printf("TFC path (Process):            %v/doc  (%.0f docs/s single-threaded)\n",
+			res.TFCMeanPerDoc.Round(time.Microsecond), res.TFCDocsPerSecond)
+		fmt.Println("the TFC holds no interactive session, so its capacity scales with servers.")
+		return nil
+	})
+
+	run("scalability", func() error {
+		fmt.Println("Comparison — centralized engine vs engine-less DRA4WfMS (discrete-event sim,")
+		fmt.Println("service times calibrated from measured per-document costs)")
+		// Calibrate the shared tiers from the measured TFC path: per
+		// activity step both deployments handle one document at the shared
+		// tier (the engine additionally owns the participant's interactive
+		// session and the instance store; treating it as equal is
+		// charitable to the baseline). The heavy AEA crypto runs on the
+		// participants' own machines under DRA4WfMS — in parallel across
+		// instances — and is the per-step latency offset.
+		cal, err := bench.RunTFCThroughput(*bits, 20)
+		if err != nil {
+			return err
+		}
+		engineSvc := cal.TFCMeanPerDoc
+		tfcSvc := cal.TFCMeanPerDoc
+		aeaSvc := cal.AEAMeanPerDoc
+		fmt.Printf("calibrated: shared-tier step %v (engine and TFC), AEA edge step %v\n\n",
+			engineSvc.Round(time.Microsecond), aeaSvc.Round(time.Microsecond))
+		loads := []int{10, 50, 100, 500, 1000}
+		rows := bench.RunScalability(loads, engineSvc, aeaSvc, tfcSvc, 2)
+		rows = append(rows, bench.RunScalabilityDistributed(loads, engineSvc, 5*time.Millisecond)...)
+		for _, r := range rows {
+			fmt.Println(cloudsim.FormatLoadLine(r.Label, r.Instances, r.MeanLatency, r.P99Latency, r.Makespan))
+		}
+		fmt.Println("\nexpected shape: centralized latency grows ~linearly with load (every step")
+		fmt.Println("serializes through the one engine); DRA4WfMS degrades ~half as fast with two")
+		fmt.Println("TFC servers, and the TFC tier is stateless so capacity scales with servers.")
+		return nil
+	})
+
+	run("dos", func() error {
+		fmt.Println("Comparison — denial-of-service on the fixed address (Section 1, difficulty 2)")
+		rows := bench.RunDoS([]int{0, 100, 500, 1000, 5000}, 2*time.Millisecond, 4)
+		fmt.Printf("%-22s %10s %14s %14s\n", "deployment", "atk/s", "legit mean", "legit p99")
+		for _, r := range rows {
+			fmt.Printf("%-22s %10d %14v %14v\n", r.Label, r.AttackRate,
+				r.LegitMean.Round(time.Microsecond), r.LegitP99.Round(time.Microsecond))
+		}
+		return nil
+	})
+
+	run("engine", func() error {
+		fmt.Println("Comparison — wall-clock cost and tamper detectability, engine vs DRA4WfMS")
+		res, err := bench.RunEngineVsDRA(*bits, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine (plaintext store): %v/instance — superuser tamper detected: %v\n",
+			res.EngineMeanPerInst.Round(time.Microsecond), res.EngineTamperCaught)
+		fmt.Printf("DRA4WfMS (basic model):   %v/instance — tamper detected: %v\n",
+			res.DRAMeanPerInst.Round(time.Microsecond), res.DRATamperCaught)
+		fmt.Println("DRA4WfMS pays crypto per step and buys verifiable nonrepudiation.")
+		return nil
+	})
+
+	run("poolscale", func() error {
+		fmt.Println("Paper's stated future work — pool scale-out: querying, storing, monitoring")
+		fmt.Println("and statistical analyses as documents and region servers grow")
+		rows, err := bench.RunPoolScale(*bits, []int{1, 3, 9}, []int{1000, 10000})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8s %10s %8s %12s %12s %12s %12s\n",
+			"servers", "docs", "regions", "store/doc", "query/doc", "monitor", "stats(MR)")
+		for _, r := range rows {
+			fmt.Printf("%8d %10d %8d %10.1fus %10.1fus %10.1fus %10.2fms\n",
+				r.Servers, r.Documents, r.Regions, r.StoreMicrosPerDoc, r.QueryMicrosPerDoc,
+				r.MonitorMicros, r.StatsMillis)
+		}
+		fmt.Println("expected shape: store/query ~flat with pool size (region routing);")
+		fmt.Println("statistics linear in documents but parallelized by the MR layer.")
+		return nil
+	})
+
+	run("pool", func() error {
+		fmt.Println("Substrate — document-pool primitives (region-sharded column store)")
+		for _, n := range []int{1000, 10000} {
+			res, err := bench.RunPool(n, 4096, 1<<20)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("rows=%6d  puts/s=%9.0f  gets/s=%9.0f  full-scan=%8.2fms  regions=%d\n",
+				res.Rows, res.PutsPerSecond, res.GetsPerSecond, res.ScanMillis, res.Regions)
+		}
+		return nil
+	})
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+}

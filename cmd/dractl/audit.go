@@ -1,0 +1,47 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dra4wfms/internal/audit"
+	"dra4wfms/internal/pki"
+)
+
+// cmdAudit performs offline third-party verification of a DRA4WfMS
+// document file against a deployment's trust bundle — the dispute-
+// settlement flow: no server or database is consulted.
+func cmdAudit(args []string) {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	trust := fs.String("trust", "deploy/trust.json", "trust bundle path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+
+	trustData, err := os.ReadFile(*trust)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := pki.ParseBundle(trustData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	registry, err := bundle.BuildRegistry(time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc := loadDoc(fs.Arg(0))
+	report, err := audit.Audit(doc, registry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Render())
+	if !report.Verified {
+		os.Exit(1)
+	}
+}

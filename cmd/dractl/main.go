@@ -1,0 +1,291 @@
+// dractl is the DRA4WfMS command-line tool: it runs demo process
+// instances, writes the routed documents to disk, and inspects DRA4WfMS
+// document files (structure, signatures, nonrepudiation scopes).
+//
+// Usage:
+//
+//	dractl demo    [-workflow fig9a|fig9b|fig4] [-out DIR] [-bits N]
+//	dractl inspect FILE.xml
+//	dractl scope   FILE.xml CER-ID
+//	dractl cers    FILE.xml
+//	dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b] [-out FILE]
+//	dractl audit   -trust trust.json FILE.xml
+//	dractl dot     fig9a|fig9b|fig4|FILE.xml
+//	dractl export-def fig9a|fig9b|fig4
+//	dractl validate DEFINITION.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dra4wfms/internal/aea"
+	"dra4wfms/internal/core"
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/dsig"
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmltree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dractl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "demo":
+		cmdDemo(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "scope":
+		cmdScope(os.Args[2:])
+	case "cers":
+		cmdCERs(os.Args[2:])
+	case "remote":
+		cmdRemote(os.Args[2:])
+	case "audit":
+		cmdAudit(os.Args[2:])
+	case "dot":
+		cmdDot(os.Args[2:])
+	case "export-def":
+		cmdExportDef(os.Args[2:])
+	case "validate":
+		cmdValidate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dractl demo    [-workflow fig9a|fig9b|fig4] [-out DIR] [-bits N]
+  dractl inspect FILE.xml
+  dractl scope   FILE.xml CER-ID
+  dractl cers    FILE.xml
+  dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b]
+  dractl audit   -trust trust.json FILE.xml
+  dractl dot     fig9a|fig9b|fig4|FILE.xml
+  dractl export-def fig9a|fig9b|fig4
+  dractl validate DEFINITION.xml`)
+	os.Exit(2)
+}
+
+func cmdDemo(args []string) {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	workflow := fs.String("workflow", "fig9a", "fig9a, fig9b or fig4")
+	out := fs.String("out", "", "directory to write the final document to")
+	bits := fs.Int("bits", 2048, "RSA modulus size")
+	fs.Parse(args)
+
+	var (
+		def      *wfdef.Definition
+		designer string
+	)
+	switch *workflow {
+	case "fig9a":
+		def, designer = wfdef.Fig9A(), "designer@acme"
+	case "fig9b":
+		def, designer = wfdef.Fig9B(), "designer@acme"
+	case "fig4":
+		def, designer = wfdef.Fig4(), "designer@p0"
+	default:
+		log.Fatalf("unknown workflow %q", *workflow)
+	}
+
+	sys, err := core.NewSystem(core.Config{KeyBits: *bits})
+	if err != nil {
+		log.Fatal(err)
+	}
+	designerKeys, err := sys.Enroll(designer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range def.Activities {
+		if _, err := sys.Enroll(a.Participant); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if def.Policy.TFC != "" {
+		if _, err := sys.EnrollTFC(def.Policy.TFC); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	doc, _, err := sys.StartProcess(def, designerKeys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := sys.NewRunner()
+	switch *workflow {
+	case "fig9a", "fig9b":
+		first := true
+		runner.RespondValues("A", aea.Inputs{"request": "purchase 10 servers", "attachment": "quote.pdf"}).
+			RespondValues("B1", aea.Inputs{"techReview": "adequate"}).
+			RespondValues("B2", aea.Inputs{"budgetReview": "within budget"}).
+			RespondValues("C", aea.Inputs{"summary": "both positive"}).
+			Respond("D", func(*aea.Session) (aea.Inputs, error) {
+				if first {
+					first = false
+					return aea.Inputs{"accept": "false"}, nil
+				}
+				return aea.Inputs{"accept": "true"}, nil
+			})
+	case "fig4":
+		runner.RespondValues("A1", aea.Inputs{"X": "1500"}).
+			RespondValues("A2", aea.Inputs{"Y": "dossier"}).
+			RespondValues("A3", aea.Inputs{"reviewed": "true"}).
+			RespondValues("A4", aea.Inputs{"highResult": "approved"}).
+			RespondValues("A5", aea.Inputs{"lowResult": "approved"})
+	}
+	final, err := runner.Run(doc.ProcessID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := final.VerifyAll(sys.Registry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(final.Summary())
+	fmt.Printf("all %d signatures verify\n", n)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*out, final.ProcessID()+".xml")
+		if err := os.WriteFile(path, final.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("final document written to %s (%d bytes)\n", path, final.Size())
+	}
+}
+
+func loadDoc(path string) *document.Document {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := document.Parse(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return doc
+}
+
+func cmdInspect(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	doc := loadDoc(args[0])
+	fmt.Println(doc.Summary())
+	def, err := doc.Definition()
+	if err != nil {
+		log.Fatalf("embedded definition: %v", err)
+	}
+	fmt.Println("\nembedded workflow definition:")
+	fmt.Print(def)
+	fmt.Println("\nnote: signature verification needs the principals' registry; see 'dractl demo'.")
+}
+
+func cmdCERs(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	doc := loadDoc(args[0])
+	fmt.Printf("%-16s %-14s %-5s %-16s %s\n", "CER", "activity#iter", "kind", "signer", "signed references")
+	for _, c := range doc.CERs() {
+		refs := "-"
+		if sig := c.Signature(); sig != nil {
+			refs = strings.Join(dsig.References(sig), " ")
+		}
+		fmt.Printf("%-16s %-14s %-5s %-16s %s\n",
+			c.ID(), fmt.Sprintf("%s#%d", c.ActivityID(), c.Iteration()),
+			c.Kind()[:4], c.Signer(), refs)
+	}
+}
+
+func cmdScope(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	doc := loadDoc(args[0])
+	scope, err := doc.NonrepudiationScope(args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nonrepudiation scope of %s (%d CERs):\n", args[1], len(scope))
+	for _, id := range scope {
+		fmt.Println("  " + id)
+	}
+}
+
+// cmdDot prints the Graphviz rendering of a fixture workflow or of the
+// definition embedded in a document file.
+func cmdDot(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	switch args[0] {
+	case "fig9a":
+		fmt.Print(wfdef.Fig9A().DOT())
+	case "fig9b":
+		fmt.Print(wfdef.Fig9B().DOT())
+	case "fig4":
+		fmt.Print(wfdef.Fig4().DOT())
+	default:
+		doc := loadDoc(args[0])
+		def, err := doc.Definition()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(def.DOT())
+	}
+}
+
+// cmdExportDef writes a fixture workflow definition as XML (for editing
+// and re-validation with `dractl validate`).
+func cmdExportDef(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	var def *wfdef.Definition
+	switch args[0] {
+	case "fig9a":
+		def = wfdef.Fig9A()
+	case "fig9b":
+		def = wfdef.Fig9B()
+	case "fig4":
+		def = wfdef.Fig4()
+	default:
+		log.Fatalf("unknown fixture %q (fig9a|fig9b|fig4)", args[0])
+	}
+	fmt.Println(def.ToXML().Indent())
+}
+
+// cmdValidate parses and validates a WorkflowDefinition XML file.
+func cmdValidate(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	el, err := xmltree.ParseBytes(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	def, err := wfdef.FromXML(el)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := def.Validate(); err != nil {
+		log.Fatalf("INVALID: %v", err)
+	}
+	fmt.Printf("VALID: %s\n", def.Summary())
+}

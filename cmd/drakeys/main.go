@@ -1,0 +1,119 @@
+// drakeys provisions the trust fabric of a DRA4WfMS deployment: it creates
+// a certification authority, generates and certifies a key pair for every
+// named principal, and writes
+//
+//	<out>/trust.json      — the public trust bundle (issuer key + certs)
+//	<out>/keys/<id>.pem   — each principal's private key (incl. the CA's)
+//
+// draportal and dratfc load trust.json; each participant tool and TFC
+// server additionally loads its own PEM key.
+//
+// Usage:
+//
+//	drakeys -out ./deploy -principals alice@acme,bob@acme,tfc@cloud [-bits 2048]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dra4wfms/internal/pki"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drakeys: ")
+	out := flag.String("out", "deploy", "output directory")
+	principals := flag.String("principals", "", "comma-separated principal IDs")
+	bits := flag.Int("bits", 2048, "RSA modulus size")
+	validity := flag.Duration("validity", 365*24*time.Hour, "certificate validity")
+	flag.Parse()
+
+	ids := splitNonEmpty(*principals)
+	if len(ids) == 0 {
+		log.Fatal("no principals given (-principals a@x,b@y,...)")
+	}
+	keysDir := filepath.Join(*out, "keys")
+	if err := os.MkdirAll(keysDir, 0o700); err != nil {
+		log.Fatal(err)
+	}
+
+	ca, err := pki.NewCA("ca@dra4wfms", *bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := pki.NewRegistry(ca)
+	now := time.Now()
+
+	writeKey := func(kp *pki.KeyPair) {
+		pemBytes, err := pki.EncodePrivateKeyPEM(kp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(keysDir, sanitize(kp.Owner)+".pem")
+		if err := os.WriteFile(path, pemBytes, 0o600); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("key     %s\n", path)
+	}
+	writeKey(ca.Keys)
+
+	for _, id := range ids {
+		kp, err := pki.GenerateKeyPair(id, *bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		org := ""
+		if at := strings.IndexByte(id, '@'); at >= 0 {
+			org = id[at+1:]
+		}
+		cert, err := ca.Issue(pki.Identity{ID: id, DisplayName: id, Org: org}, kp.Public(), now, *validity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.Register(cert, now); err != nil {
+			log.Fatal(err)
+		}
+		writeKey(kp)
+	}
+
+	bundle, err := pki.ExportBundle(ca, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := bundle.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	trustPath := filepath.Join(*out, "trust.json")
+	if err := os.WriteFile(trustPath, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bundle  %s (%d certificates)\n", trustPath, len(bundle.Certificates))
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sanitize maps a principal ID to a safe file name.
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '@', r == '_':
+			return r
+		}
+		return '_'
+	}, id)
+}

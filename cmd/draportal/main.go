@@ -1,0 +1,81 @@
+// draportal runs a DRA4WfMS portal server over HTTP (Figure 7 of the
+// paper): it hosts a document pool, the portal logic, and the monitoring
+// endpoints, authenticating every request against the deployment's trust
+// bundle (see drakeys).
+//
+// Usage:
+//
+//	draportal -listen :8080 -trust deploy/trust.json [-servers 3]
+//
+// Note: each draportal process hosts its own in-memory pool. Pointing
+// several portals at one shared pool service would require the pool to be
+// a networked service of its own — internal/pool models the store, the
+// cross-process protocol is out of scope for this binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dra4wfms/internal/httpapi"
+	"dra4wfms/internal/monitor"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/pool"
+	"dra4wfms/internal/portal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("draportal: ")
+	listen := flag.String("listen", ":8080", "listen address")
+	trust := flag.String("trust", "deploy/trust.json", "trust bundle path")
+	servers := flag.Int("servers", 3, "pool region servers")
+	keyPath := flag.String("key", "", "portal private-key PEM; enables signed webhook notifications")
+	flag.Parse()
+
+	data, err := os.ReadFile(*trust)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := pki.ParseBundle(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg, err := bundle.BuildRegistry(time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ids := make([]string, *servers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("rs-%d", i+1)
+	}
+	cluster, err := pool.NewCluster(ids, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := portal.CreateTable(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := portal.New("portal", reg, table, time.Now)
+	srv := httpapi.NewPortalServer(p, monitor.New(table), httpapi.NewAuthenticator(reg, time.Now))
+	if *keyPath != "" {
+		keyPEM, err := os.ReadFile(*keyPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys, err := pki.DecodePrivateKeyPEM(keyPEM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.EnableWebhooks(keys)
+		log.Printf("webhook notifications enabled, signing as %s", keys.Owner)
+	}
+	log.Printf("serving %d principals on %s", len(reg.Principals()), *listen)
+	log.Fatal(httpapi.ListenAndServe(*listen, srv.Handler()))
+}

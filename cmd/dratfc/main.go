@@ -1,0 +1,57 @@
+// dratfc runs a DRA4WfMS timestamp-and-flow-control server over HTTP (the
+// advanced operational model's notary, Section 2.2 of the paper). It loads
+// the deployment trust bundle plus its own private key (see drakeys).
+//
+// Usage:
+//
+//	dratfc -listen :8081 -trust deploy/trust.json -key deploy/keys/tfc@cloud.pem
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"dra4wfms/internal/httpapi"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/tfc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dratfc: ")
+	listen := flag.String("listen", ":8081", "listen address")
+	trust := flag.String("trust", "deploy/trust.json", "trust bundle path")
+	keyPath := flag.String("key", "", "this server's private-key PEM")
+	flag.Parse()
+
+	if *keyPath == "" {
+		log.Fatal("missing -key (the TFC's private key PEM)")
+	}
+	keyPEM, err := os.ReadFile(*keyPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys, err := pki.DecodePrivateKeyPEM(keyPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(*trust)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := pki.ParseBundle(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg, err := bundle.BuildRegistry(time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server := tfc.New(keys, reg, time.Now)
+	srv := httpapi.NewTFCServer(server, httpapi.NewAuthenticator(reg, time.Now))
+	log.Printf("TFC %s serving on %s", keys.Owner, *listen)
+	log.Fatal(httpapi.ListenAndServe(*listen, srv.Handler()))
+}

@@ -1,0 +1,128 @@
+// Expense flow: a cross-enterprise expense-approval workflow showing the
+// operational features around the core protocol —
+//
+//   - the designer publishes a SIGNED WORKFLOW TEMPLATE to the portal
+//     catalog; any participant can fetch and verify it before trusting
+//     the process shape;
+//   - the approval activity is ROLE-BASED: any certified "approver" may
+//     claim it from the role worklist (two managers hold the role);
+//   - the receipt travels as a BINARY ATTACHMENT inside an encrypted
+//     field;
+//   - when the finance department later disputes the payout, an OFFLINE
+//     AUDIT over the final document settles it: the approver cannot deny
+//     the approval, and the amount cannot have been altered.
+//
+// Run: go run ./examples/expenseflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dra4wfms/internal/aea"
+	"dra4wfms/internal/audit"
+	"dra4wfms/internal/core"
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/wfdef"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	designer, err := sys.Enroll("designer@corp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Enroll("emma@eng"); err != nil {
+		log.Fatal(err)
+	}
+	// Two approvers hold the role; finance just reads.
+	for _, mgr := range []string{"mgr-north@corp", "mgr-south@corp"} {
+		if _, err := sys.Enroll(mgr, "approver"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sys.Enroll("finance@corp"); err != nil {
+		log.Fatal(err)
+	}
+
+	def := wfdef.NewBuilder("expense-approval", "designer@corp").
+		Activity("file", "File expense", "emma@eng").
+		Response("amount", "number", true).
+		Response("receipt", "file", true).Done().
+		Activity("approve", "Approve expense", "").Role("approver").
+		Request("amount").Request("receipt").
+		Response("approved", "bool", true).Done().
+		Activity("payout", "Record payout", "finance@corp").
+		Request("amount").Request("approved").
+		Response("paid", "bool", true).Done().
+		Start("file").Edge("file", "approve").Edge("approve", "payout").End("payout").
+		DefaultReaders("emma@eng", "mgr-north@corp", "mgr-south@corp", "finance@corp").
+		MustBuild()
+
+	// --- 1. the designer publishes the signed template --------------------
+	tpl, err := document.SignTemplate(def, designer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name, err := sys.Portal(0).StoreTemplate(tpl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("template %q published: catalog = %v\n", name, sys.Portal(0).Templates())
+
+	// A participant fetches and verifies it before agreeing to take part.
+	fetched, _, err := sys.Portal(1).Template("emma@eng", name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emma verified the template: %s\n", fetched.Summary())
+
+	// --- 2. run an instance ------------------------------------------------
+	doc, _, err := sys.StartProcess(def, designer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	receipt := document.EncodeAttachment("dinner.jpg", "image/jpeg", []byte{0xFF, 0xD8, 0xFF, 0xE0, 'j', 'p', 'g'})
+	runner := sys.NewRunner()
+	runner.RespondValues("file", aea.Inputs{"amount": "86.50", "receipt": receipt}).
+		Respond("approve", func(s *aea.Session) (aea.Inputs, error) {
+			reqs := s.Requests()
+			fname, mediaType, data, _ := document.DecodeAttachment(reqs["receipt"])
+			fmt.Printf("approver %s sees amount=%s receipt=%s (%s, %d bytes)\n",
+				s.Definition().Activity("approve").Role, reqs["amount"], fname, mediaType, len(data))
+			return aea.Inputs{"approved": "true"}, nil
+		}).
+		RespondValues("payout", aea.Inputs{"paid": "true"}).
+		ActAs("approver", "mgr-south@corp") // the south manager claims it
+
+	// The role worklist offers the item to both managers before claiming.
+	final, err := runner.Run(doc.ProcessID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cer, _ := final.FindCER("final", "approve", 0)
+	fmt.Printf("approval executed and signed by %s (role-based claim)\n", cer.Signer())
+
+	// --- 3. the dispute ----------------------------------------------------
+	fmt.Println("\nfinance disputes the payout: 'nobody approved 86.50!'")
+	report, err := audit.Audit(final, sys.Registry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Render())
+	if report.Verified {
+		scope, _ := final.NonrepudiationScope("cer-approve-0")
+		fmt.Printf("\nthe audit binds %s to the approval; its nonrepudiation scope %v\n", cer.Signer(), scope)
+		fmt.Println("includes emma's filed amount — neither party can repudiate.")
+	}
+
+	// And if finance had doctored the amount in its copy:
+	forged := final.Clone()
+	forged.Root.FindByID("res-file-0").SetText("forged amount")
+	badReport, _ := audit.Audit(forged, sys.Registry)
+	fmt.Printf("\nforged copy audit verdict: verified=%v (finding: %s)\n",
+		badReport.Verified, badReport.Findings[0].Message)
+}

@@ -1,0 +1,112 @@
+// Loan approval: the paper's Figure 4 scenario — flow-information
+// concealment forces the ADVANCED operational model with a TFC server.
+//
+// Peter enters the loan amount X, which only the reviewer Amy (and the
+// TFC) may read. Tony attaches the customer dossier Y, confidential to the
+// eventual handler. After Amy's review, a conditional branch on X routes
+// to John (large loans) or Mary (small loans) — but Tony and Amy cannot
+// evaluate that branch or know the next reader, so their AEAs hand the
+// encrypted results to the TFC server, which decrypts, applies the
+// per-variable policy encryption, stamps the finish time, signs (keeping
+// the cascade intact) and forwards.
+//
+// The example then demonstrates the failure the paper describes: under the
+// basic model Tony simply cannot proceed.
+//
+// Run: go run ./examples/loanapproval
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"dra4wfms/internal/aea"
+	"dra4wfms/internal/core"
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmlenc"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := wfdef.Fig4Participants
+	designer, err := sys.Enroll("designer@p0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range []string{p.Peter, p.Tony, p.Amy, p.John, p.Mary} {
+		if _, err := sys.Enroll(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sys.EnrollTFC("tfc@cloud"); err != nil {
+		log.Fatal(err)
+	}
+
+	def := wfdef.Fig4()
+	fmt.Println("=== concealed-flow workflow (paper, Figure 4) ===")
+	fmt.Print(def)
+	fmt.Println("\npolicy: X readable by Amy+TFC only; Y by John/Mary/TFC; flow concealed")
+
+	// --- the basic model fails, as the paper argues ----------------------
+	doc, _, err := sys.StartProcess(def, designer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peterAEA, _ := sys.NewAEA(p.Peter)
+	session, err := peterAEA.Open(doc, "A1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := session.Complete(aea.Inputs{"X": "1500"}, sys.Now()); errors.Is(err, aea.ErrAdvancedRequired) {
+		fmt.Printf("\nbasic model refused (as expected): %v\n", err)
+	} else {
+		log.Fatalf("BUG: basic completion did not fail correctly: %v", err)
+	}
+
+	// --- the advanced model succeeds --------------------------------------
+	run := func(amount string) {
+		doc, _, err := sys.StartProcess(def, designer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner := sys.NewRunner()
+		runner.RespondValues("A1", aea.Inputs{"X": amount}).
+			RespondValues("A2", aea.Inputs{"Y": "dossier: salary slips, contracts"}).
+			RespondValues("A3", aea.Inputs{"reviewed": "true"}).
+			RespondValues("A4", aea.Inputs{"highResult": "senior banker approved"}).
+			RespondValues("A5", aea.Inputs{"lowResult": "teller approved"})
+		final, err := runner.Run(doc.ProcessID())
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler := "A4 (John, large loans)"
+		if _, ok := final.FindCER("final", "A5", 0); ok {
+			handler = "A5 (Mary, small loans)"
+		}
+		fmt.Printf("\nX=%s: routed by the TFC to %s\n", amount, handler)
+
+		// Who can read what in the final document?
+		for _, id := range []string{p.Tony, p.Amy, p.John, p.Mary} {
+			kp, _ := sys.Keys(id)
+			view := final.Clone()
+			if _, err := xmlenc.DecryptVisible(view.Root, kp); err != nil {
+				log.Fatal(err)
+			}
+			vals := view.Values()
+			_, seesX := vals["X"]
+			_, seesY := vals["Y"]
+			fmt.Printf("  %-10s sees X:%-5v Y:%-5v\n", id, seesX, seesY)
+		}
+
+		// Every final CER carries the TFC's timestamp (the notary role).
+		srv, _ := sys.TFC("tfc@cloud")
+		fmt.Printf("  TFC forwarded %d documents for this instance\n",
+			len(srv.RecordsFor(final.ProcessID())))
+	}
+	run("1500") // Func(X)=True  -> John
+	run("800")  // Func(X)=False -> Mary
+}

@@ -1,0 +1,3 @@
+module dra4wfms
+
+go 1.22

@@ -1,0 +1,387 @@
+// Package aea implements the Activity Execution Agent: the software agent
+// running on a participant's own machine that executes workflow activities
+// in the engine-less DRA4WfMS architecture (Section 2.1 of the paper).
+//
+// Receiving a DRA4WfMS document, the AEA:
+//
+//  1. parses the document and verifies every embedded digital signature —
+//     the workflow definition is legal and no stored execution result was
+//     altered (the paper's α phase);
+//  2. checks that its principal is the assigned executor of the activity
+//     and that the activity is actually enabled by the control-flow state;
+//  3. decrypts the elements its principal may read and presents the
+//     activity's requests to the participant;
+//  4. appends the participant's element-wise encrypted execution result;
+//  5. embeds a digital signature covering the result and the signatures of
+//     all predecessor activities (the β phase, the nonrepudiation cascade);
+//  6. forwards the document to the next participant(s) per the control
+//     flow — or, under the advanced operational model, encrypts the raw
+//     result to the TFC server and sends the intermediate document there.
+//
+// The two phases are exposed separately (Open, then Complete /
+// CompleteToTFC) so callers — interactive UIs and the Table 1/2 benchmark
+// harness alike — can observe them independently.
+package aea
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/expr"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/secpol"
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmlenc"
+	"dra4wfms/internal/xmltree"
+)
+
+// Typed failures an AEA can report.
+var (
+	// ErrNotParticipant: this principal is not the activity's executor.
+	ErrNotParticipant = errors.New("aea: principal is not the participant of this activity")
+	// ErrNotEnabled: the control-flow state does not enable the activity.
+	ErrNotEnabled = errors.New("aea: activity is not enabled")
+	// ErrReplay: this agent already executed this (process, activity,
+	// iteration) — a duplicate or replayed document.
+	ErrReplay = errors.New("aea: duplicate execution (replay)")
+	// ErrAdvancedRequired: the definition conceals flow information, so a
+	// basic-model completion is impossible; route via the TFC instead.
+	ErrAdvancedRequired = errors.New("aea: definition conceals flow information; advanced model (TFC) required")
+	// ErrConcealed: a branch condition references a variable this
+	// principal cannot read (the Figure 4 situation).
+	ErrConcealed = errors.New("aea: branch condition references a concealed variable")
+	// ErrNoBranch: an XOR-split evaluated with no branch taken.
+	ErrNoBranch = errors.New("aea: no XOR branch condition holds and there is no default branch")
+	// ErrMissingInput: a required response was not provided.
+	ErrMissingInput = errors.New("aea: missing required input")
+	// ErrUnknownInput: an input names a variable the activity does not
+	// declare as a response.
+	ErrUnknownInput = errors.New("aea: input for undeclared response variable")
+)
+
+// Inputs carries the participant's responses, variable → value.
+type Inputs map[string]string
+
+// AEA is one participant's activity execution agent. It is safe for
+// concurrent use; the replay guard is shared across goroutines.
+type AEA struct {
+	// Keys is the participant's key pair; Keys.Owner is the principal ID.
+	Keys *pki.KeyPair
+	// Registry resolves and trusts other principals' public keys.
+	Registry *pki.Registry
+
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// New creates an AEA for the given principal.
+func New(keys *pki.KeyPair, reg *pki.Registry) *AEA {
+	return &AEA{Keys: keys, Registry: reg, seen: make(map[string]bool)}
+}
+
+// Session is an opened activity: the document has been verified and the
+// participant's view decrypted (phase α); Complete or CompleteToTFC
+// performs phase β.
+type Session struct {
+	aea  *AEA
+	work *document.Document // verified clone, still encrypted
+	view *document.Document // decrypted view for this participant
+	def  *wfdef.Definition
+	act  *wfdef.Activity
+	iter int
+
+	// VerifiedSignatures is the number of signatures checked during Open —
+	// the count behind the paper's "number of signatures to verify".
+	VerifiedSignatures int
+	// DecryptedElements is the number of elements decrypted for the view.
+	DecryptedElements int
+}
+
+// Open verifies the received document and prepares the participant's view
+// (the paper's α phase: decrypt cipher data and verify digital signatures).
+func (a *AEA) Open(doc *document.Document, activityID string) (*Session, error) {
+	work := doc.Clone()
+	nsigs, err := work.VerifyAll(a.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("aea: document verification failed: %w", err)
+	}
+	def, err := work.Definition()
+	if err != nil {
+		return nil, err
+	}
+	if err := def.Validate(); err != nil {
+		return nil, fmt.Errorf("aea: embedded definition invalid: %w", err)
+	}
+	act := def.Activity(activityID)
+	if act == nil {
+		return nil, fmt.Errorf("aea: unknown activity %q", activityID)
+	}
+	if act.Participant != "" && act.Participant != a.Keys.Owner {
+		return nil, fmt.Errorf("%w: %s is assigned to %s", ErrNotParticipant, activityID, act.Participant)
+	}
+	if act.Role != "" {
+		id, err := a.Registry.Identity(a.Keys.Owner)
+		if err != nil {
+			return nil, err
+		}
+		if !id.HasRole(act.Role) {
+			return nil, fmt.Errorf("%w: role %q required", ErrNotParticipant, act.Role)
+		}
+	}
+	enabled, completed, err := document.Enabled(def, work)
+	if err != nil {
+		return nil, err
+	}
+	if completed {
+		return nil, fmt.Errorf("%w: process already completed", ErrNotEnabled)
+	}
+	if !contains(enabled, activityID) {
+		return nil, fmt.Errorf("%w: %s (enabled: %v)", ErrNotEnabled, activityID, enabled)
+	}
+	iter := work.LatestIteration(activityID) + 1
+	if a.alreadySeen(replayKey(work.ProcessID(), activityID, iter)) {
+		return nil, fmt.Errorf("%w: %s#%d of process %s", ErrReplay, activityID, iter, work.ProcessID())
+	}
+
+	view := work.Clone()
+	ndec, err := xmlenc.DecryptVisible(view.Root, a.Keys)
+	if err != nil {
+		return nil, fmt.Errorf("aea: decrypting view: %w", err)
+	}
+	return &Session{
+		aea: a, work: work, view: view, def: def, act: act, iter: iter,
+		VerifiedSignatures: nsigs, DecryptedElements: ndec,
+	}, nil
+}
+
+// Activity returns the activity being executed.
+func (s *Session) Activity() *wfdef.Activity { return s.act }
+
+// Iteration returns the loop iteration of this execution.
+func (s *Session) Iteration() int { return s.iter }
+
+// Definition returns the embedded workflow definition.
+func (s *Session) Definition() *wfdef.Definition { return s.def }
+
+// View returns the participant-visible document (encrypted elements this
+// principal may read have been decrypted in place).
+func (s *Session) View() *document.Document { return s.view }
+
+// Requests returns the values of the activity's requested variables as
+// visible to this participant; variables the participant cannot read are
+// absent.
+func (s *Session) Requests() map[string]string {
+	vals := s.view.Values()
+	out := map[string]string{}
+	for _, r := range s.act.Requests {
+		if v, ok := vals[r.Variable]; ok {
+			out[r.Variable] = v
+		}
+	}
+	return out
+}
+
+// Outcome is the result of completing an activity under the basic model.
+type Outcome struct {
+	// Doc is the document including this activity's new CER.
+	Doc *document.Document
+	// CER is the appended characteristic execution result.
+	CER document.CER
+	// Next lists the routed targets (activity IDs, or wfdef.EndID).
+	Next []string
+	// Completed reports whether the process instance reached the end.
+	Completed bool
+	// Routed holds one independent document clone per next activity, ready
+	// to forward (AND-splits fork the document).
+	Routed map[string]*document.Document
+}
+
+// Complete executes phase β of the basic operational model: validate the
+// inputs, element-wise encrypt them per the security policy, decide the
+// routing, and append the cascade-signed CER.
+func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
+	if s.def.Policy.ConcealFlow {
+		return nil, ErrAdvancedRequired
+	}
+	if err := s.validateInputs(inputs); err != nil {
+		return nil, err
+	}
+	next, err := s.route(inputs)
+	if err != nil {
+		return nil, err
+	}
+	fields, err := secpol.EncryptFields(s.def, s.aea.Registry, s.act.ID, s.iter, inputs)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := document.PredecessorSignatures(s.def, s.work, s.act.ID)
+	if err != nil {
+		return nil, err
+	}
+	cer, err := s.work.AppendCER(document.AppendSpec{
+		ActivityID:     s.act.ID,
+		Iteration:      s.iter,
+		Kind:           document.KindFinal,
+		Participant:    s.aea.Keys.Owner,
+		ResultChildren: fields,
+		Next:           next,
+		PredSigIDs:     preds,
+		Signer:         s.aea.Keys,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.aea.markSeen(replayKey(s.work.ProcessID(), s.act.ID, s.iter))
+
+	out := &Outcome{Doc: s.work, CER: cer, Next: next, Routed: map[string]*document.Document{}}
+	for _, to := range next {
+		if to == wfdef.EndID {
+			out.Completed = true
+			continue
+		}
+		out.Routed[to] = s.work.Clone()
+	}
+	return out, nil
+}
+
+// CompleteToTFC executes phase β of the advanced operational model: the
+// raw result is encrypted as a whole to the TFC server, an intermediate
+// CER (the paper's CERit) is appended and participant-signed, and the
+// returned document must be sent to the TFC for policy encryption,
+// timestamping and forwarding.
+func (s *Session) CompleteToTFC(inputs Inputs) (*document.Document, error) {
+	tfcID := s.def.TFCFor(s.act.ID)
+	if tfcID == "" {
+		return nil, errors.New("aea: definition names no TFC server")
+	}
+	if err := s.validateInputs(inputs); err != nil {
+		return nil, err
+	}
+	tfcKey, err := s.aea.Registry.PublicKey(tfcID)
+	if err != nil {
+		return nil, fmt.Errorf("aea: resolving TFC key: %w", err)
+	}
+	plain := xmltree.NewElement("PlainResult")
+	vars := make([]string, 0, len(inputs))
+	for v := range inputs {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		plain.AppendChild(document.Field(v, inputs[v]))
+	}
+	encID := fmt.Sprintf("encit-%s-%d", s.act.ID, s.iter)
+	enc, err := xmlenc.Encrypt(plain, encID, xmlenc.Recipient{ID: tfcID, Key: tfcKey})
+	if err != nil {
+		return nil, err
+	}
+	preds, err := document.PredecessorSignatures(s.def, s.work, s.act.ID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.work.AppendCER(document.AppendSpec{
+		ActivityID:     s.act.ID,
+		Iteration:      s.iter,
+		Kind:           document.KindIntermediate,
+		Participant:    s.aea.Keys.Owner,
+		ResultChildren: []*xmltree.Node{enc},
+		PredSigIDs:     preds,
+		Signer:         s.aea.Keys,
+	}); err != nil {
+		return nil, err
+	}
+	s.aea.markSeen(replayKey(s.work.ProcessID(), s.act.ID, s.iter))
+	return s.work, nil
+}
+
+// Execute is the one-shot convenience: Open followed by Complete.
+func (a *AEA) Execute(doc *document.Document, activityID string, inputs Inputs, now time.Time) (*Outcome, error) {
+	s, err := a.Open(doc, activityID)
+	if err != nil {
+		return nil, err
+	}
+	return s.Complete(inputs, now)
+}
+
+// ExecuteToTFC is the one-shot convenience for the advanced model.
+func (a *AEA) ExecuteToTFC(doc *document.Document, activityID string, inputs Inputs) (*document.Document, error) {
+	s, err := a.Open(doc, activityID)
+	if err != nil {
+		return nil, err
+	}
+	return s.CompleteToTFC(inputs)
+}
+
+func (s *Session) validateInputs(inputs Inputs) error {
+	declared := map[string]wfdef.Response{}
+	for _, r := range s.act.Responses {
+		declared[r.Variable] = r
+	}
+	for v := range inputs {
+		if _, ok := declared[v]; !ok {
+			return fmt.Errorf("%w: %q (activity %s)", ErrUnknownInput, v, s.act.ID)
+		}
+	}
+	for _, r := range s.act.Responses {
+		if r.Required {
+			if v, ok := inputs[r.Variable]; !ok || v == "" {
+				return fmt.Errorf("%w: %q (activity %s)", ErrMissingInput, r.Variable, s.act.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// route evaluates the activity's outgoing transitions under the basic
+// model, using every variable visible to this participant plus the fresh
+// inputs.
+func (s *Session) route(inputs Inputs) ([]string, error) {
+	next, err := secpol.Route(s.def, s.act, s.env(inputs))
+	if err != nil {
+		switch {
+		case errors.Is(err, secpol.ErrUnreadableCondition):
+			return nil, fmt.Errorf("%w: %v", ErrConcealed, err)
+		case errors.Is(err, secpol.ErrNoBranch):
+			return nil, fmt.Errorf("%w: %v", ErrNoBranch, err)
+		}
+		return nil, err
+	}
+	return next, nil
+}
+
+func (s *Session) env(inputs Inputs) expr.MapEnv {
+	vals := s.view.Values()
+	for k, v := range inputs {
+		vals[k] = v
+	}
+	return secpol.Env(vals)
+}
+
+func (a *AEA) alreadySeen(key string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seen[key]
+}
+
+func (a *AEA) markSeen(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seen[key] = true
+}
+
+func replayKey(processID, activity string, iter int) string {
+	return fmt.Sprintf("%s|%s|%d", processID, activity, iter)
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,271 @@
+// Package audit performs offline, after-the-fact verification of DRA4WfMS
+// documents — the arbiter's role in the paper's nonrepudiation story. A
+// dispute ("I never approved that", "the form I was shown said something
+// else") is settled by handing the document and the deployment's trust
+// bundle to any third party: no server, no database, and no cooperation
+// from the accused is needed, because the document carries all the
+// evidence.
+//
+// The auditor checks more than signature validity: it reconstructs the
+// cascade, confirms that every CER's signature chain reaches the workflow
+// designer's signature (an orphaned CER would indicate a spliced-in
+// result), that recorded participants match the embedded definition's
+// assignments, that the control flow recorded in the signed Next elements
+// is a legal execution of the definition, and that advanced-model
+// timestamps are monotone.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/dsig"
+	"dra4wfms/internal/pki"
+)
+
+// Severity grades a finding.
+type Severity string
+
+const (
+	// Fatal findings mean the document is not trustworthy.
+	Fatal Severity = "FATAL"
+	// Warn findings are irregularities that do not break integrity.
+	Warn Severity = "WARN"
+	// Info findings are notable observations.
+	Info Severity = "INFO"
+)
+
+// Finding is one audit observation.
+type Finding struct {
+	Severity Severity
+	// Subject is the CER id or document region concerned.
+	Subject string
+	// Message describes the observation.
+	Message string
+}
+
+// Report is the outcome of auditing one document.
+type Report struct {
+	ProcessID  string
+	Definition string
+	// Verified is true when no Fatal finding was raised.
+	Verified bool
+	// Signatures is the number of valid signatures checked.
+	Signatures int
+	// Steps lists the final CERs in document order with their signers.
+	Steps []StepRecord
+	// Findings lists all observations, worst first.
+	Findings []Finding
+	// Completed reports whether the recorded flow reached the end.
+	Completed bool
+}
+
+// StepRecord summarizes one audited execution step.
+type StepRecord struct {
+	CER         string
+	Activity    string
+	Iteration   int
+	Participant string
+	Signer      string
+	Timestamp   time.Time
+	Next        []string
+	// ScopeSize is the size of the step's nonrepudiation scope.
+	ScopeSize int
+}
+
+// Audit verifies the document against the resolver (a registry or a trust
+// bundle's registry) and returns a full report. It never returns an error
+// for content problems — those become findings; errors indicate the
+// document is not even parseable as a DRA4WfMS document.
+func Audit(doc *document.Document, resolver dsig.KeyResolver) (*Report, error) {
+	rep := &Report{
+		ProcessID:  doc.ProcessID(),
+		Definition: doc.DefinitionName(),
+	}
+	add := func(sev Severity, subject, format string, args ...interface{}) {
+		rep.Findings = append(rep.Findings, Finding{Severity: sev, Subject: subject, Message: fmt.Sprintf(format, args...)})
+	}
+
+	// 1. Cryptographic verification of every signature + binding checks.
+	nsigs, err := doc.VerifyAll(resolver)
+	if err != nil {
+		add(Fatal, "document", "signature verification failed: %v", err)
+	} else {
+		rep.Signatures = nsigs
+	}
+
+	// 2. The embedded definition must parse and validate.
+	def, err := doc.Definition()
+	if err != nil {
+		add(Fatal, "definition", "embedded definition unreadable: %v", err)
+		rep.finish()
+		return rep, nil
+	}
+	if err := def.Validate(); err != nil {
+		add(Fatal, "definition", "embedded definition invalid: %v", err)
+	}
+
+	// 3. Cascade reachability: every CER's scope must include CER(A0).
+	for _, c := range doc.CERs() {
+		scope, err := doc.NonrepudiationScope(c.ID())
+		if err != nil {
+			add(Fatal, c.ID(), "scope derivation failed: %v", err)
+			continue
+		}
+		rooted := false
+		for _, id := range scope {
+			if id == "cer-A0" {
+				rooted = true
+			}
+		}
+		if !rooted {
+			add(Fatal, c.ID(), "signature cascade does not reach the designer (possible splice)")
+		}
+		if c.Kind() == document.KindFinal {
+			ts, hasTS := c.Timestamp()
+			rep.Steps = append(rep.Steps, StepRecord{
+				CER:         c.ID(),
+				Activity:    c.ActivityID(),
+				Iteration:   c.Iteration(),
+				Participant: c.Participant(),
+				Signer:      c.Signer(),
+				Timestamp:   ts,
+				Next:        c.Next(),
+				ScopeSize:   len(scope),
+			})
+			_ = hasTS
+		}
+	}
+
+	// 4. Participant assignment: the recorded executor must match the
+	// definition; the signer must be the participant (basic model) or the
+	// declared TFC (advanced model). Role-based assignments need an
+	// identity resolver to verify membership; without one they are noted.
+	type identityResolver interface {
+		Identity(id string) (*pki.Identity, error)
+	}
+	idRes, hasIDRes := resolver.(identityResolver)
+	for _, c := range doc.CERs() {
+		act := def.Activity(c.ActivityID())
+		if act == nil {
+			add(Fatal, c.ID(), "names activity %q absent from the definition", c.ActivityID())
+			continue
+		}
+		if act.Participant != "" && act.Participant != c.Participant() {
+			add(Fatal, c.ID(), "recorded participant %q but definition assigns %q", c.Participant(), act.Participant)
+		}
+		if act.Role != "" {
+			if hasIDRes {
+				id, err := idRes.Identity(c.Participant())
+				if err != nil {
+					add(Fatal, c.ID(), "executor %q unknown to the registry: %v", c.Participant(), err)
+				} else if !id.HasRole(act.Role) {
+					add(Fatal, c.ID(), "executor %q lacks required role %q", c.Participant(), act.Role)
+				}
+			} else {
+				add(Info, c.ID(), "role %q membership of %q not checkable with this resolver", act.Role, c.Participant())
+			}
+		}
+		switch c.Kind() {
+		case document.KindIntermediate:
+			if c.Signer() != c.Participant() {
+				add(Fatal, c.ID(), "intermediate CER signed by %q, not its participant %q", c.Signer(), c.Participant())
+			}
+		case document.KindFinal:
+			responsibleTFC := def.TFCFor(c.ActivityID())
+			signerOK := c.Signer() == c.Participant() || (responsibleTFC != "" && c.Signer() == responsibleTFC)
+			if !signerOK {
+				add(Fatal, c.ID(), "final CER signed by %q (neither participant %q nor TFC %q)",
+					c.Signer(), c.Participant(), responsibleTFC)
+			}
+		}
+	}
+
+	// 5. Control-flow replay: the signed Next decisions must be a legal
+	// token-game execution.
+	if enabled, completed, err := document.Enabled(def, doc); err != nil {
+		add(Fatal, "flow", "recorded flow is not replayable: %v", err)
+	} else {
+		rep.Completed = completed
+		if !completed && len(enabled) == 0 && len(doc.FinalCERs()) > 0 {
+			add(Warn, "flow", "instance is stuck: nothing enabled and not completed")
+		}
+		// Each recorded Next target must be a declared outgoing edge.
+		for _, c := range doc.FinalCERs() {
+			outs := map[string]bool{}
+			for _, tr := range def.Outgoing(c.ActivityID()) {
+				outs[tr.To] = true
+			}
+			for _, to := range c.Next() {
+				if !outs[to] {
+					add(Fatal, c.ID(), "routes to %q which is not an outgoing edge of %s", to, c.ActivityID())
+				}
+			}
+		}
+	}
+
+	// 6. Timestamps (advanced model): monotone in document order.
+	var prev time.Time
+	var prevID string
+	for _, c := range doc.FinalCERs() {
+		ts, ok := c.Timestamp()
+		if !ok {
+			continue
+		}
+		if !prev.IsZero() && ts.Before(prev) {
+			add(Warn, c.ID(), "timestamp %v precedes predecessor %s (%v)", ts, prevID, prev)
+		}
+		prev, prevID = ts, c.ID()
+	}
+
+	rep.finish()
+	return rep, nil
+}
+
+func (r *Report) finish() {
+	r.Verified = true
+	for _, f := range r.Findings {
+		if f.Severity == Fatal {
+			r.Verified = false
+		}
+	}
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		rank := map[Severity]int{Fatal: 0, Warn: 1, Info: 2}
+		return rank[r.Findings[i].Severity] < rank[r.Findings[j].Severity]
+	})
+}
+
+// Render formats the report for humans.
+func (r *Report) Render() string {
+	var b strings.Builder
+	verdict := "VERIFIED"
+	if !r.Verified {
+		verdict = "NOT TRUSTWORTHY"
+	}
+	fmt.Fprintf(&b, "audit of process %s (%s): %s\n", r.ProcessID, r.Definition, verdict)
+	fmt.Fprintf(&b, "signatures checked: %d, completed: %v\n", r.Signatures, r.Completed)
+	if len(r.Steps) > 0 {
+		b.WriteString("steps:\n")
+		for _, s := range r.Steps {
+			fmt.Fprintf(&b, "  %-14s %s#%d by %-14s signed %-14s scope %d",
+				s.CER, s.Activity, s.Iteration, s.Participant, s.Signer, s.ScopeSize)
+			if !s.Timestamp.IsZero() {
+				fmt.Fprintf(&b, " at %s", s.Timestamp.Format(time.RFC3339))
+			}
+			if len(s.Next) > 0 {
+				fmt.Fprintf(&b, " -> %s", strings.Join(s.Next, ","))
+			}
+			b.WriteString("\n")
+		}
+	}
+	if len(r.Findings) > 0 {
+		b.WriteString("findings:\n")
+		for _, f := range r.Findings {
+			fmt.Fprintf(&b, "  [%s] %s: %s\n", f.Severity, f.Subject, f.Message)
+		}
+	}
+	return b.String()
+}

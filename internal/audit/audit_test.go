@@ -1,0 +1,308 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dra4wfms/internal/aea"
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/testenv"
+	"dra4wfms/internal/tfc"
+	"dra4wfms/internal/wfdef"
+)
+
+var now = time.Date(2026, 7, 6, 18, 0, 0, 0, time.UTC)
+
+// runBasic executes Figure 9A once (accepting) and returns the final doc.
+func runBasic(t *testing.T, env *testenv.Env) *document.Document {
+	t.Helper()
+	def := wfdef.Fig9A()
+	doc, err := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := map[string]*aea.AEA{}
+	for act, p := range wfdef.Fig9Participants {
+		agents[act] = aea.New(env.KeyOf(p), env.Registry)
+	}
+	steps := []struct {
+		act    string
+		inputs aea.Inputs
+	}{
+		{"A", aea.Inputs{"request": "r"}},
+		{"B1", aea.Inputs{"techReview": "ok"}},
+		{"B2", aea.Inputs{"budgetReview": "ok"}},
+		{"C", aea.Inputs{"summary": "s"}},
+		{"D", aea.Inputs{"accept": "true"}},
+	}
+	cur := doc
+	for _, s := range steps {
+		out, err := agents[s.act].Execute(cur, s.act, s.inputs, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = out.Doc
+	}
+	return cur
+}
+
+func runAdvanced(t *testing.T, env *testenv.Env) *document.Document {
+	t.Helper()
+	def := wfdef.Fig9B()
+	doc, err := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := now
+	server := tfc.New(env.KeyOf("tfc@cloud"), env.Registry, func() time.Time {
+		tick = tick.Add(time.Minute)
+		return tick
+	})
+	agents := map[string]*aea.AEA{}
+	for act, p := range wfdef.Fig9Participants {
+		agents[act] = aea.New(env.KeyOf(p), env.Registry)
+	}
+	steps := []struct {
+		act    string
+		inputs aea.Inputs
+	}{
+		{"A", aea.Inputs{"request": "r"}},
+		{"B1", aea.Inputs{"techReview": "ok"}},
+		{"B2", aea.Inputs{"budgetReview": "ok"}},
+		{"C", aea.Inputs{"summary": "s"}},
+		{"D", aea.Inputs{"accept": "true"}},
+	}
+	cur := doc
+	for _, s := range steps {
+		interm, err := agents[s.act].ExecuteToTFC(cur, s.act, s.inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := server.Process(interm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = out.Doc
+	}
+	return cur
+}
+
+func TestAuditCleanBasicRun(t *testing.T) {
+	env := testenv.Fig9(0)
+	doc := runBasic(t, env)
+	rep, err := Audit(doc, env.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatalf("clean run not verified:\n%s", rep.Render())
+	}
+	if !rep.Completed || rep.Signatures != 6 || len(rep.Steps) != 5 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("unexpected findings: %v", rep.Findings)
+	}
+	// Scopes grow along the chain.
+	if rep.Steps[0].ScopeSize >= rep.Steps[4].ScopeSize {
+		t.Fatalf("scopes not growing: %v", rep.Steps)
+	}
+	out := rep.Render()
+	for _, want := range []string{"VERIFIED", "cer-D-0", "signatures checked: 6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditCleanAdvancedRun(t *testing.T) {
+	env := testenv.Fig9(0)
+	doc := runAdvanced(t, env)
+	rep, err := Audit(doc, env.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified || len(rep.Findings) != 0 {
+		t.Fatalf("advanced run findings: %v", rep.Findings)
+	}
+	if rep.Signatures != 11 {
+		t.Fatalf("signatures = %d", rep.Signatures)
+	}
+	for _, s := range rep.Steps {
+		if s.Signer != "tfc@cloud" || s.Timestamp.IsZero() {
+			t.Fatalf("step %+v", s)
+		}
+	}
+}
+
+func TestAuditDetectsTamper(t *testing.T) {
+	env := testenv.Fig9(0)
+	doc := runBasic(t, env)
+	forged := doc.Clone()
+	forged.Root.FindByID("res-C-0").SetText("forged summary")
+	rep, err := Audit(forged, env.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified {
+		t.Fatal("tampered document verified")
+	}
+	if !strings.Contains(rep.Render(), "NOT TRUSTWORTHY") {
+		t.Fatalf("render:\n%s", rep.Render())
+	}
+}
+
+func TestAuditDetectsSplicedCER(t *testing.T) {
+	// A CER whose cascade chains only to itself (self-contained signature
+	// island) must be flagged even though its own signature verifies.
+	env := testenv.Fig9(0)
+	doc := runBasic(t, env)
+
+	// Build a rogue CER signed by a legitimate key but referencing only
+	// its own result — no predecessor in refs is impossible (AppendCER
+	// enforces preds), so splice by copying an existing CER from ANOTHER
+	// instance: its signature verifies in isolation but its predecessor
+	// references resolve to... actually they resolve to same-named sig IDs
+	// of THIS doc and fail digest checks. So simulate the subtle case:
+	// remove the designer reference chain by deleting the middle CERs and
+	// re-inserting a CER whose preds were those deleted ones.
+	cerD, _ := doc.FindCER(document.KindFinal, "D", 0)
+	spliced := document.Document{Root: doc.Root.Clone()}
+	results := spliced.Root.Child("ActivityResults")
+	// Remove every CER except D's.
+	for _, c := range spliced.CERs() {
+		if c.ID() != cerD.ID() {
+			results.RemoveChild(c.El)
+		}
+	}
+	rep, err := Audit(&spliced, env.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified {
+		t.Fatal("spliced document verified")
+	}
+}
+
+func TestAuditDetectsIllegalRouting(t *testing.T) {
+	// A document claiming a Next target that the definition does not
+	// declare must be flagged — construct it directly via AppendCER.
+	env := testenv.Fig9(0)
+	def := wfdef.Fig9A()
+	doc, err := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.AppendCER(document.AppendSpec{
+		ActivityID:  "A",
+		Kind:        document.KindFinal,
+		Participant: wfdef.Fig9Participants["A"],
+		Next:        []string{"D"}, // A has no edge to D
+		PredSigIDs:  []string{document.DesignerSig},
+		Signer:      env.KeyOf(wfdef.Fig9Participants["A"]),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(doc, env.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified {
+		t.Fatal("illegal routing verified")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Message, "not an outgoing edge") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing routing finding: %v", rep.Findings)
+	}
+}
+
+func TestAuditDetectsWrongParticipant(t *testing.T) {
+	env := testenv.Fig9(0)
+	def := wfdef.Fig9A()
+	doc, _ := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), now)
+	// bob executes and signs A although alice is assigned.
+	if _, err := doc.AppendCER(document.AppendSpec{
+		ActivityID:  "A",
+		Kind:        document.KindFinal,
+		Participant: wfdef.Fig9Participants["B1"], // recorded bob
+		Next:        []string{"B1", "B2"},
+		PredSigIDs:  []string{document.DesignerSig},
+		Signer:      env.KeyOf(wfdef.Fig9Participants["B1"]),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := Audit(doc, env.Registry)
+	if rep.Verified {
+		t.Fatal("wrong-participant CER verified")
+	}
+}
+
+func TestAuditWarnsNonMonotoneTimestamps(t *testing.T) {
+	env := testenv.Fig9(0)
+	def := wfdef.Fig9B()
+	doc, _ := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), now)
+	tick := now.Add(time.Hour)
+	server := tfc.New(env.KeyOf("tfc@cloud"), env.Registry, func() time.Time {
+		tick = tick.Add(-time.Minute) // clock running backwards
+		return tick
+	})
+	agents := map[string]*aea.AEA{}
+	for act, p := range wfdef.Fig9Participants {
+		agents[act] = aea.New(env.KeyOf(p), env.Registry)
+	}
+	cur := doc
+	for _, s := range []struct {
+		act    string
+		inputs aea.Inputs
+	}{
+		{"A", aea.Inputs{"request": "r"}},
+		{"B1", aea.Inputs{"techReview": "ok"}},
+	} {
+		interm, err := agents[s.act].ExecuteToTFC(cur, s.act, s.inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := server.Process(interm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = out.Doc
+	}
+	rep, _ := Audit(cur, env.Registry)
+	warned := false
+	for _, f := range rep.Findings {
+		if f.Severity == Warn && strings.Contains(f.Message, "precedes") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no timestamp warning: %v", rep.Findings)
+	}
+	// Warnings alone do not break verification.
+	if !rep.Verified {
+		t.Fatal("warn-only report marked untrustworthy")
+	}
+}
+
+func TestAuditUnreadableDefinition(t *testing.T) {
+	env := testenv.Fig9(0)
+	doc := runBasic(t, env)
+	broken := doc.Clone()
+	// Replace the WorkflowDefinition with a husk (also breaks signatures).
+	wf := broken.WorkflowElement()
+	wf.Children = nil
+	wf.Name = "Mangled"
+	rep, err := Audit(broken, env.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified {
+		t.Fatal("mangled definition verified")
+	}
+}

@@ -1,0 +1,780 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dra4wfms/internal/aea"
+	"dra4wfms/internal/cloudsim"
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/engine"
+	"dra4wfms/internal/monitor"
+	"dra4wfms/internal/pool"
+	"dra4wfms/internal/testenv"
+	"dra4wfms/internal/tfc"
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmlenc"
+	"dra4wfms/internal/xmltree"
+)
+
+// --- ablation: signature-cascade depth -----------------------------------------
+
+// CascadeRow measures verification cost against chain length — the linear
+// α term Tables 1 and 2 exhibit, isolated.
+type CascadeRow struct {
+	CERs       int
+	VerifyTime time.Duration
+	DocBytes   int
+	ScopeTime  time.Duration // Algorithm 1 over the last CER
+	ScopeSize  int
+}
+
+// linearChain builds a document with a chain of n cascade-signed CERs.
+func linearChain(env *testenv.Env, n int) (*document.Document, error) {
+	b := wfdef.NewBuilder("chain", "designer@acme")
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("S%03d", i)
+		b = b.Activity(ids[i], "", "alice@acme").Response("v", "string", false).Join(wfdef.JoinNone).Done()
+	}
+	b = b.Start(ids[0])
+	for i := 1; i < n; i++ {
+		b = b.Edge(ids[i-1], ids[i])
+	}
+	def, err := b.End(ids[n-1]).DefaultReaders("alice@acme").Build()
+	if err != nil {
+		return nil, err
+	}
+	// Chains reuse duplicate response variable names across activities;
+	// that is fine (each CER stores its own field).
+	doc, err := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), time.Now())
+	if err != nil {
+		return nil, err
+	}
+	agent := aea.New(env.KeyOf("alice@acme"), env.Registry)
+	cur := doc
+	for i := 0; i < n; i++ {
+		out, err := agent.Execute(cur, ids[i], aea.Inputs{"v": fmt.Sprintf("result %d", i)}, time.Now())
+		if err != nil {
+			return nil, err
+		}
+		if out.Completed {
+			cur = out.Doc
+			break
+		}
+		cur = out.Routed[ids[i+1]]
+	}
+	return cur, nil
+}
+
+// RunCascadeDepth measures VerifyAll and Algorithm 1 cost for chains of
+// the given lengths.
+func RunCascadeDepth(bits int, depths []int) ([]CascadeRow, error) {
+	env := testenv.New(bits)
+	env.MustRegister("designer@acme", "alice@acme")
+	var rows []CascadeRow
+	for _, n := range depths {
+		doc, err := linearChain(env, n)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := doc.VerifyAll(env.Registry); err != nil {
+			return nil, err
+		}
+		verify := time.Since(t0)
+
+		lastID := fmt.Sprintf("cer-S%03d-0", n-1)
+		t1 := time.Now()
+		scope, err := doc.NonrepudiationScope(lastID)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CascadeRow{
+			CERs:       n,
+			VerifyTime: verify,
+			DocBytes:   doc.Size(),
+			ScopeTime:  time.Since(t1),
+			ScopeSize:  len(scope),
+		})
+	}
+	return rows, nil
+}
+
+// --- ablation: element-wise vs whole-document encryption ------------------------
+
+// ElementwiseRow compares the paper's element-wise encryption design
+// against encrypting the whole result as one blob.
+type ElementwiseRow struct {
+	Fields int
+	// ElementwiseEncrypt encrypts each field separately (possibly for
+	// different readers).
+	ElementwiseEncrypt time.Duration
+	// WholeEncrypt encrypts the whole result once for ALL readers.
+	WholeEncrypt time.Duration
+	// ElementwiseDecryptOne decrypts a single needed field.
+	ElementwiseDecryptOne time.Duration
+	// WholeDecrypt must decrypt everything to read anything.
+	WholeDecrypt time.Duration
+	// ElementwiseBytes / WholeBytes compare ciphertext sizes.
+	ElementwiseBytes int
+	WholeBytes       int
+}
+
+// RunElementwiseVsWhole measures both designs for growing field counts.
+func RunElementwiseVsWhole(bits int, fieldCounts []int) ([]ElementwiseRow, error) {
+	env := testenv.New(bits)
+	env.MustRegister("amy@x", "bob@x")
+	amy := env.KeyOf("amy@x")
+	recipA := xmlenc.Recipient{ID: "amy@x", Key: env.KeyOf("amy@x").Public()}
+	recipB := xmlenc.Recipient{ID: "bob@x", Key: env.KeyOf("bob@x").Public()}
+
+	var rows []ElementwiseRow
+	for _, n := range fieldCounts {
+		fields := make([]*xmltree.Node, n)
+		whole := xmltree.NewElement("Result")
+		for i := 0; i < n; i++ {
+			fields[i] = document.Field(fmt.Sprintf("v%d", i), fmt.Sprintf("value number %d with some payload text", i))
+			whole.AppendChild(fields[i].Clone())
+		}
+
+		t0 := time.Now()
+		encs := make([]*xmltree.Node, n)
+		for i, f := range fields {
+			e, err := xmlenc.Encrypt(f, fmt.Sprintf("e%d", i), recipA, recipB)
+			if err != nil {
+				return nil, err
+			}
+			encs[i] = e
+		}
+		ewEnc := time.Since(t0)
+
+		t1 := time.Now()
+		wholeEnc, err := xmlenc.Encrypt(whole, "ew", recipA, recipB)
+		if err != nil {
+			return nil, err
+		}
+		wEnc := time.Since(t1)
+
+		t2 := time.Now()
+		if _, err := xmlenc.Decrypt(encs[n/2], amy); err != nil {
+			return nil, err
+		}
+		ewDecOne := time.Since(t2)
+
+		t3 := time.Now()
+		if _, err := xmlenc.Decrypt(wholeEnc, amy); err != nil {
+			return nil, err
+		}
+		wDec := time.Since(t3)
+
+		ewBytes := 0
+		for _, e := range encs {
+			ewBytes += len(e.Canonical())
+		}
+		rows = append(rows, ElementwiseRow{
+			Fields:                n,
+			ElementwiseEncrypt:    ewEnc,
+			WholeEncrypt:          wEnc,
+			ElementwiseDecryptOne: ewDecOne,
+			WholeDecrypt:          wDec,
+			ElementwiseBytes:      ewBytes,
+			WholeBytes:            len(wholeEnc.Canonical()),
+		})
+	}
+	return rows, nil
+}
+
+// --- ablation: multi-recipient key wrapping --------------------------------------
+
+// MultiRecipientRow measures the cost of granting k readers access to one
+// element (one RSA-OAEP wrap per reader).
+type MultiRecipientRow struct {
+	Recipients  int
+	EncryptTime time.Duration
+	Bytes       int
+}
+
+// RunMultiRecipient measures element encryption for growing reader sets.
+func RunMultiRecipient(bits int, counts []int) ([]MultiRecipientRow, error) {
+	env := testenv.New(bits)
+	var rows []MultiRecipientRow
+	for _, k := range counts {
+		recips := make([]xmlenc.Recipient, k)
+		for i := 0; i < k; i++ {
+			id := fmt.Sprintf("reader%03d@x", i)
+			recips[i] = xmlenc.Recipient{ID: id, Key: env.KeyOf(id).Public()}
+		}
+		field := document.Field("v", "the confidential execution result")
+		t0 := time.Now()
+		enc, err := xmlenc.Encrypt(field, "e", recips...)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MultiRecipientRow{
+			Recipients:  k,
+			EncryptTime: time.Since(t0),
+			Bytes:       len(enc.Canonical()),
+		})
+	}
+	return rows, nil
+}
+
+// --- claim: the TFC is not the bottleneck ----------------------------------------
+
+// TFCThroughputResult compares the TFC's per-document processing time with
+// the AEA's interactive path, supporting the paper's Section 4.1 claim.
+type TFCThroughputResult struct {
+	Documents        int
+	AEAMeanPerDoc    time.Duration // Open + CompleteToTFC
+	TFCMeanPerDoc    time.Duration // Process
+	TFCDocsPerSecond float64
+}
+
+// RunTFCThroughput runs n independent single-activity instances through
+// one TFC server and reports mean per-document times on both sides.
+func RunTFCThroughput(bits, n int) (*TFCThroughputResult, error) {
+	env := testenv.New(bits)
+	env.MustRegister("designer@acme", "alice@acme", "tfc@cloud")
+	def, err := wfdef.NewBuilder("single", "designer@acme").
+		Activity("A", "", "alice@acme").Response("v", "string", true).Done().
+		Start("A").End("A").
+		DefaultReaders("alice@acme").
+		TFC("tfc@cloud").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	server := tfc.New(env.KeyOf("tfc@cloud"), env.Registry, time.Now)
+	agent := aea.New(env.KeyOf("alice@acme"), env.Registry)
+
+	var aeaTotal, tfcTotal time.Duration
+	for i := 0; i < n; i++ {
+		doc, err := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), time.Now())
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		interm, err := agent.ExecuteToTFC(doc, "A", aea.Inputs{"v": fmt.Sprintf("result %d", i)})
+		if err != nil {
+			return nil, err
+		}
+		aeaTotal += time.Since(t0)
+		t1 := time.Now()
+		if _, err := server.Process(interm); err != nil {
+			return nil, err
+		}
+		tfcTotal += time.Since(t1)
+	}
+	res := &TFCThroughputResult{
+		Documents:     n,
+		AEAMeanPerDoc: aeaTotal / time.Duration(n),
+		TFCMeanPerDoc: tfcTotal / time.Duration(n),
+	}
+	if res.TFCMeanPerDoc > 0 {
+		res.TFCDocsPerSecond = float64(time.Second) / float64(res.TFCMeanPerDoc)
+	}
+	return res, nil
+}
+
+// --- scalability: centralized engine vs engine-less DRA4WfMS ---------------------
+
+// ScalabilityRow is one load point of the simulated deployment comparison.
+type ScalabilityRow struct {
+	Label        string
+	Instances    int
+	MeanLatency  time.Duration
+	P99Latency   time.Duration
+	Makespan     time.Duration
+	ServerMeanWt time.Duration // queueing delay at the shared server tier
+}
+
+// RunScalabilityDistributed adds the Figure 1B baseline to the comparison:
+// the five activities are spread over three engines (A,B1 → e1; B2,C → e2;
+// D → e3) and the process instance migrates whenever consecutive steps
+// live on different engines, paying migrationLat per transfer on top of
+// the engine service time. Within one pass the path A→B1 (e1), B1→B2
+// (migrate), B2→C (e2), C→D (migrate) costs two migrations.
+func RunScalabilityDistributed(loads []int, engineSvc, migrationLat time.Duration) []ScalabilityRow {
+	const activities = 5
+	// engine index per step of the pass.
+	stepEngine := []int{0, 0, 1, 1, 2}
+	var rows []ScalabilityRow
+	for _, n := range loads {
+		sim := cloudsim.NewSim()
+		engines := []*cloudsim.Station{
+			cloudsim.NewStation(sim, "e1"),
+			cloudsim.NewStation(sim, "e2"),
+			cloudsim.NewStation(sim, "e3"),
+		}
+		latencies := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			start := time.Duration(i) * time.Millisecond
+			sim.Schedule(start, func() {
+				begin := sim.Now()
+				var stepDone func(step int)
+				stepDone = func(step int) {
+					if step == activities {
+						latencies = append(latencies, sim.Now()-begin)
+						return
+					}
+					run := func() {
+						engines[stepEngine[step]].Submit(engineSvc, func(time.Duration) { stepDone(step + 1) })
+					}
+					if step > 0 && stepEngine[step] != stepEngine[step-1] {
+						// Instance migration over the network first.
+						sim.Schedule(migrationLat, run)
+					} else {
+						run()
+					}
+				}
+				stepDone(0)
+			})
+		}
+		makespan := sim.Run()
+		var meanWait time.Duration
+		for _, e := range engines {
+			meanWait += e.MeanWait()
+		}
+		meanWait /= time.Duration(len(engines))
+		rows = append(rows, ScalabilityRow{
+			Label: "engine-distributed", Instances: n,
+			MeanLatency: cloudsim.Mean(latencies), P99Latency: cloudsim.Percentile(latencies, 99),
+			Makespan: makespan, ServerMeanWt: meanWait,
+		})
+	}
+	return rows
+}
+
+// RunScalability compares, in the discrete-event simulator, a centralized
+// engine-based WfMS (every one of the five activity executions of a
+// Figure 9 pass is served by ONE engine) against the engine-less DRA4WfMS
+// advanced model (activity execution happens on the participants' own
+// machines; only the lightweight TFC stamp-and-forward is shared, spread
+// across tfcServers instances). Service times are taken from real
+// measurements: pass the per-activity engine time and the AEA/TFC times
+// from RunTable1/RunTable2 (or use calibration defaults).
+func RunScalability(loads []int, engineSvc, aeaSvc, tfcSvc time.Duration, tfcServers int) []ScalabilityRow {
+	if tfcServers <= 0 {
+		tfcServers = 1
+	}
+	var rows []ScalabilityRow
+	const activities = 5
+
+	for _, n := range loads {
+		// Centralized: all steps of all instances share one engine.
+		{
+			sim := cloudsim.NewSim()
+			eng := cloudsim.NewStation(sim, "engine")
+			latencies := make([]time.Duration, 0, n)
+			for i := 0; i < n; i++ {
+				start := time.Duration(i) * time.Millisecond // staggered arrivals
+				sim.Schedule(start, func() {
+					begin := sim.Now()
+					var stepDone func(step int)
+					stepDone = func(step int) {
+						if step == activities {
+							latencies = append(latencies, sim.Now()-begin)
+							return
+						}
+						eng.Submit(engineSvc, func(time.Duration) { stepDone(step + 1) })
+					}
+					stepDone(0)
+				})
+			}
+			makespan := sim.Run()
+			rows = append(rows, ScalabilityRow{
+				Label: "engine-centralized", Instances: n,
+				MeanLatency: cloudsim.Mean(latencies), P99Latency: cloudsim.Percentile(latencies, 99),
+				Makespan: makespan, ServerMeanWt: eng.MeanWait(),
+			})
+		}
+		// DRA4WfMS advanced: each instance's AEA work runs on its own
+		// participant machines (one station per instance, no sharing);
+		// only the TFC tier is shared.
+		{
+			sim := cloudsim.NewSim()
+			tfcs := make([]*cloudsim.Station, tfcServers)
+			for i := range tfcs {
+				tfcs[i] = cloudsim.NewStation(sim, fmt.Sprintf("tfc-%d", i))
+			}
+			latencies := make([]time.Duration, 0, n)
+			for i := 0; i < n; i++ {
+				i := i
+				participant := cloudsim.NewStation(sim, fmt.Sprintf("participant-%d", i))
+				start := time.Duration(i) * time.Millisecond
+				sim.Schedule(start, func() {
+					begin := sim.Now()
+					var stepDone func(step int)
+					stepDone = func(step int) {
+						if step == activities {
+							latencies = append(latencies, sim.Now()-begin)
+							return
+						}
+						participant.Submit(aeaSvc, func(time.Duration) {
+							tfcs[i%tfcServers].Submit(tfcSvc, func(time.Duration) { stepDone(step + 1) })
+						})
+					}
+					stepDone(0)
+				})
+			}
+			makespan := sim.Run()
+			var meanWait time.Duration
+			for _, st := range tfcs {
+				meanWait += st.MeanWait()
+			}
+			meanWait /= time.Duration(len(tfcs))
+			rows = append(rows, ScalabilityRow{
+				Label: fmt.Sprintf("dra4wfms-%dtfc", tfcServers), Instances: n,
+				MeanLatency: cloudsim.Mean(latencies), P99Latency: cloudsim.Percentile(latencies, 99),
+				Makespan: makespan, ServerMeanWt: meanWait,
+			})
+		}
+	}
+	return rows
+}
+
+// --- denial of service -------------------------------------------------------------
+
+// DoSRow compares legitimate-request latency under a flood aimed at the
+// system's fixed address: the engine IS that address; in DRA4WfMS the
+// flooded portal is one of many equivalent portals.
+type DoSRow struct {
+	Label       string
+	AttackRate  int // attack requests per second
+	LegitMean   time.Duration
+	LegitP99    time.Duration
+	LegitServed int
+}
+
+// RunDoS floods one server with attackRate junk requests/second for a
+// second while 100 legitimate requests arrive; the engine deployment has
+// one server, the DRA deployment has `portals` equivalent servers and
+// legitimate clients spread across them (the attacker, knowing only the
+// fixed published address, hits one).
+func RunDoS(attackRates []int, svc time.Duration, portals int) []DoSRow {
+	const legit = 100
+	var rows []DoSRow
+	for _, rate := range attackRates {
+		// Centralized engine.
+		{
+			sim := cloudsim.NewSim()
+			eng := cloudsim.NewStation(sim, "engine")
+			var lat []time.Duration
+			for i := 0; i < rate; i++ {
+				sim.Schedule(time.Duration(i)*time.Second/time.Duration(rate+1), func() {
+					eng.Submit(svc, nil) // junk work still consumes service
+				})
+			}
+			for i := 0; i < legit; i++ {
+				sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+					begin := sim.Now()
+					eng.Submit(svc, func(time.Duration) { lat = append(lat, sim.Now()-begin) })
+				})
+			}
+			sim.Run()
+			rows = append(rows, DoSRow{
+				Label: "engine-centralized", AttackRate: rate,
+				LegitMean: cloudsim.Mean(lat), LegitP99: cloudsim.Percentile(lat, 99),
+				LegitServed: len(lat),
+			})
+		}
+		// DRA4WfMS portals.
+		{
+			sim := cloudsim.NewSim()
+			ps := make([]*cloudsim.Station, portals)
+			for i := range ps {
+				ps[i] = cloudsim.NewStation(sim, fmt.Sprintf("portal-%d", i))
+			}
+			var lat []time.Duration
+			for i := 0; i < rate; i++ {
+				sim.Schedule(time.Duration(i)*time.Second/time.Duration(rate+1), func() {
+					ps[0].Submit(svc, nil) // attacker hits the one address it knows
+				})
+			}
+			for i := 0; i < legit; i++ {
+				i := i
+				sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+					begin := sim.Now()
+					ps[i%portals].Submit(svc, func(time.Duration) { lat = append(lat, sim.Now()-begin) })
+				})
+			}
+			sim.Run()
+			rows = append(rows, DoSRow{
+				Label: fmt.Sprintf("dra4wfms-%dportals", portals), AttackRate: rate,
+				LegitMean: cloudsim.Mean(lat), LegitP99: cloudsim.Percentile(lat, 99),
+				LegitServed: len(lat),
+			})
+		}
+	}
+	return rows
+}
+
+// --- wall-clock engine vs DRA comparison -------------------------------------------
+
+// EngineVsDRAResult reports real (not simulated) per-instance costs and
+// the tamper-detection property difference.
+type EngineVsDRAResult struct {
+	Instances          int
+	EngineMeanPerInst  time.Duration
+	DRAMeanPerInst     time.Duration
+	EngineTamperCaught bool // always false: nothing to catch it with
+	DRATamperCaught    bool // always true: signature verification fails
+}
+
+// RunEngineVsDRA runs n Figure 9A instances (single pass, accepting) on
+// the plaintext engine baseline and on the full-crypto DRA4WfMS basic
+// model, then applies the same tamper to both and reports detection.
+func RunEngineVsDRA(bits, n int) (*EngineVsDRAResult, error) {
+	env := testenv.Fig9(bits)
+	def := wfdef.Fig9A()
+	steps := fig9Steps()[5:] // single accepting pass
+
+	// Engine baseline.
+	eng := engine.New("engine-1", nil)
+	if err := eng.Deploy(def); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	var lastInstance string
+	for i := 0; i < n; i++ {
+		id, err := eng.CreateInstance(def.Name)
+		if err != nil {
+			return nil, err
+		}
+		lastInstance = id
+		for _, s := range steps {
+			if _, err := eng.Execute(id, s.act, wfdef.Fig9Participants[s.act], s.inputs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	engineTotal := time.Since(t0)
+
+	// DRA4WfMS basic model.
+	t1 := time.Now()
+	var lastDoc *document.Document
+	for i := 0; i < n; i++ {
+		agents := map[string]*aea.AEA{}
+		for act, p := range wfdef.Fig9Participants {
+			agents[act] = aea.New(env.KeyOf(p), env.Registry)
+		}
+		doc, err := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), time.Now())
+		if err != nil {
+			return nil, err
+		}
+		inbox := map[string]*document.Document{"A": doc}
+		for _, s := range steps {
+			out, err := agents[s.act].Execute(inbox[s.act], s.act, s.inputs, time.Now())
+			if err != nil {
+				return nil, err
+			}
+			for to, d := range out.Routed {
+				if existing := inbox[to]; existing != nil && hasNewCERs(existing, d) {
+					if inbox[to], err = document.Merge(existing, d); err != nil {
+						return nil, err
+					}
+				} else {
+					inbox[to] = d
+				}
+			}
+			delete(inbox, s.act)
+			lastDoc = out.Doc
+		}
+	}
+	draTotal := time.Since(t1)
+
+	// The same tamper against both systems.
+	res := &EngineVsDRAResult{
+		Instances:         n,
+		EngineMeanPerInst: engineTotal / time.Duration(n),
+		DRAMeanPerInst:    draTotal / time.Duration(n),
+	}
+	su := eng.Superuser()
+	if err := su.TamperResult(lastInstance, "A", 0, "request", "forged"); err != nil {
+		return nil, err
+	}
+	res.EngineTamperCaught = eng.VerifyInstance(lastInstance) != nil
+
+	forged := lastDoc.Clone()
+	forged.Root.FindByID("res-A-0").SetText("forged")
+	_, err := forged.VerifyAll(env.Registry)
+	res.DRATamperCaught = err != nil
+	return res, nil
+}
+
+// --- pool primitives ----------------------------------------------------------------
+
+// PoolResult reports throughput of the document-pool primitives.
+type PoolResult struct {
+	Rows          int
+	PutsPerSecond float64
+	GetsPerSecond float64
+	ScanMillis    float64
+	Regions       int
+}
+
+// RunPool loads n synthetic documents into a small cluster and measures
+// primitive throughput.
+func RunPool(n int, valueBytes int, splitThreshold int) (*PoolResult, error) {
+	c, err := pool.NewCluster([]string{"rs1", "rs2", "rs3"}, splitThreshold)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := c.CreateTable("docs", pool.FamilySpec{Name: "doc"}, pool.FamilySpec{Name: "meta"})
+	if err != nil {
+		return nil, err
+	}
+	val := make([]byte, valueBytes)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		row := fmt.Sprintf("proc-%08d", i)
+		if err := tbl.Put(row, "doc", "content", val); err != nil {
+			return nil, err
+		}
+		tbl.Put(row, "meta", "state", []byte("running"))
+	}
+	putDur := time.Since(t0)
+
+	t1 := time.Now()
+	for i := 0; i < n; i++ {
+		row := fmt.Sprintf("proc-%08d", i)
+		if _, ok := tbl.Get(row, "doc", "content"); !ok {
+			return nil, fmt.Errorf("bench: row %s lost", row)
+		}
+	}
+	getDur := time.Since(t1)
+
+	t2 := time.Now()
+	kvs := tbl.Scan(pool.ScanOptions{Family: "meta"})
+	scanDur := time.Since(t2)
+	if len(kvs) != n {
+		return nil, fmt.Errorf("bench: scan saw %d rows, want %d", len(kvs), n)
+	}
+	return &PoolResult{
+		Rows:          n,
+		PutsPerSecond: float64(2*n) / putDur.Seconds(),
+		GetsPerSecond: float64(n) / getDur.Seconds(),
+		ScanMillis:    float64(scanDur.Microseconds()) / 1000,
+		Regions:       len(tbl.Regions()),
+	}, nil
+}
+
+// --- the paper's stated future work: pool scale-out ------------------------------
+
+// PoolScaleRow measures the document-pool operations the paper lists in
+// its conclusion as future work — "measuring the performance of querying,
+// storing, monitoring, and statistical analyses when the pool of DRA4WfMS
+// documents contains a huge number of documents" — across pool sizes and
+// region-server counts.
+type PoolScaleRow struct {
+	Servers   int
+	Documents int
+	Regions   int
+	// StoreMicrosPerDoc is the mean per-document store cost.
+	StoreMicrosPerDoc float64
+	// QueryMicrosPerDoc is the mean random-retrieve cost.
+	QueryMicrosPerDoc float64
+	// MonitorMicros is the cost of one instance-status query.
+	MonitorMicros float64
+	// StatsMillis is the cost of a full map-reduce statistics pass.
+	StatsMillis float64
+}
+
+// RunPoolScale loads synthetic DRA4WfMS-sized documents through a real
+// portal into pools of varying size and server count, then measures
+// retrieval, monitoring and statistics. One real Figure 9A document is
+// built with actual crypto and replicated with distinct process ids so
+// document parsing/verification costs in the monitor stay realistic.
+func RunPoolScale(bits int, servers []int, docCounts []int) ([]PoolScaleRow, error) {
+	env := testenv.Fig9(bits)
+	def := wfdef.Fig9A()
+
+	// One genuinely executed document as the payload prototype.
+	agents := map[string]*aea.AEA{}
+	for act, p := range wfdef.Fig9Participants {
+		agents[act] = aea.New(env.KeyOf(p), env.Registry)
+	}
+	proto, err := document.New(def, env.KeyOf("designer@acme"), testenv.ProcessID(), time.Now())
+	if err != nil {
+		return nil, err
+	}
+	cur := proto
+	for _, s := range fig9Steps()[5:] { // one accepting pass
+		out, err := agents[s.act].Execute(cur, s.act, s.inputs, time.Now())
+		if err != nil {
+			return nil, err
+		}
+		cur = out.Doc
+	}
+	payload := cur.Bytes()
+
+	var rows []PoolScaleRow
+	for _, ns := range servers {
+		ids := make([]string, ns)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("rs-%02d", i+1)
+		}
+		for _, n := range docCounts {
+			cluster, err := pool.NewCluster(ids, 1<<20)
+			if err != nil {
+				return nil, err
+			}
+			tbl, err := cluster.CreateTable("dra4wfms_documents",
+				pool.FamilySpec{Name: "doc", MaxVersions: 3},
+				pool.FamilySpec{Name: "meta", MaxVersions: 1},
+				pool.FamilySpec{Name: "idx", MaxVersions: 1})
+			if err != nil {
+				return nil, err
+			}
+
+			t0 := time.Now()
+			for i := 0; i < n; i++ {
+				row := fmt.Sprintf("proc-%08d", i)
+				if err := tbl.Put(row, "doc", "content", payload); err != nil {
+					return nil, err
+				}
+				tbl.Put(row, "meta", "definition", []byte(def.Name))
+				tbl.Put(row, "meta", "state", []byte("completed"))
+				tbl.Put(row, "meta", "cers", []byte("5"))
+			}
+			storePer := float64(time.Since(t0).Microseconds()) / float64(n)
+
+			t1 := time.Now()
+			const queries = 2000
+			for i := 0; i < queries; i++ {
+				row := fmt.Sprintf("proc-%08d", (i*7919)%n)
+				if _, ok := tbl.Get(row, "doc", "content"); !ok {
+					return nil, fmt.Errorf("bench: row %s lost", row)
+				}
+			}
+			queryPer := float64(time.Since(t1).Microseconds()) / float64(queries)
+
+			mon := monitor.New(tbl)
+			t2 := time.Now()
+			if _, err := mon.InstanceStatus(fmt.Sprintf("proc-%08d", n/2)); err != nil {
+				return nil, err
+			}
+			monMicros := float64(time.Since(t2).Microseconds())
+
+			t3 := time.Now()
+			stats, err := mon.Statistics()
+			if err != nil {
+				return nil, err
+			}
+			if stats.InstancesByState["completed"] != n {
+				return nil, fmt.Errorf("bench: statistics saw %d docs, want %d", stats.InstancesByState["completed"], n)
+			}
+			rows = append(rows, PoolScaleRow{
+				Servers:           ns,
+				Documents:         n,
+				Regions:           len(tbl.Regions()),
+				StoreMicrosPerDoc: storePer,
+				QueryMicrosPerDoc: queryPer,
+				MonitorMicros:     monMicros,
+				StatsMillis:       float64(time.Since(t3).Microseconds()) / 1000,
+			})
+		}
+	}
+	return rows, nil
+}

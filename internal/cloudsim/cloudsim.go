@@ -1,0 +1,259 @@
+// Package cloudsim is a discrete-event simulator for the cloud deployment
+// experiments: it models network latency, message transfer, and
+// single-server FIFO processing stations in virtual time, so scalability
+// and denial-of-service scenarios run in microseconds of wall-clock time
+// with deterministic results.
+//
+// The paper argues (Section 1) that engine-based WfMSs scale poorly — the
+// engine is a shared bottleneck with a fixed address an attacker can
+// flood — while the engine-less DRA4WfMS distributes activity execution
+// across the participants' own machines with only the stateless TFC/portal
+// tier in common. The comparative benchmarks encode both deployments on
+// this simulator with per-operation service times measured from the real
+// crypto code.
+package cloudsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq int64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation clock and event queue. It is not safe
+// for concurrent use: all model code runs inside event callbacks on one
+// goroutine, as is conventional for DES.
+type Sim struct {
+	now    time.Duration
+	seq    int64
+	events eventHeap
+}
+
+// NewSim creates a simulation starting at virtual time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Schedule runs fn after delay of virtual time (negative delays clamp to
+// "now"). Events scheduled for the same instant run in scheduling order.
+func (s *Sim) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run processes events until the queue drains and returns the final time.
+func (s *Sim) Run() time.Duration {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil processes events up to and including virtual time t, leaving
+// later events queued, and advances the clock to t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+// --- stations -----------------------------------------------------------------
+
+// Station is a single-server FIFO processing queue (one CPU of a workflow
+// engine, TFC server, portal, or participant machine). Jobs submitted
+// while the server is busy wait in order.
+type Station struct {
+	// ID names the station in results.
+	ID string
+
+	sim       *Sim
+	busyUntil time.Duration
+
+	completed    int
+	totalWait    time.Duration
+	totalService time.Duration
+	maxQueueTime time.Duration
+}
+
+// NewStation attaches a station to a simulation.
+func NewStation(sim *Sim, id string) *Station {
+	return &Station{ID: id, sim: sim}
+}
+
+// Submit enqueues a job requiring the given service time; done (optional)
+// runs at completion with the finish instant.
+func (st *Station) Submit(service time.Duration, done func(finish time.Duration)) {
+	if service < 0 {
+		service = 0
+	}
+	now := st.sim.Now()
+	start := now
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	finish := start + service
+	st.busyUntil = finish
+	wait := start - now
+	st.totalWait += wait
+	st.totalService += service
+	if wait > st.maxQueueTime {
+		st.maxQueueTime = wait
+	}
+	st.completed++
+	if done != nil {
+		st.sim.Schedule(finish-now, func() { done(finish) })
+	}
+}
+
+// Completed returns how many jobs the station accepted.
+func (st *Station) Completed() int { return st.completed }
+
+// MeanWait returns the average queueing delay across accepted jobs.
+func (st *Station) MeanWait() time.Duration {
+	if st.completed == 0 {
+		return 0
+	}
+	return st.totalWait / time.Duration(st.completed)
+}
+
+// MaxWait returns the worst queueing delay seen.
+func (st *Station) MaxWait() time.Duration { return st.maxQueueTime }
+
+// Utilization returns the busy fraction of the station over [0, horizon].
+func (st *Station) Utilization(horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	busy := st.totalService
+	if busy > horizon {
+		busy = horizon
+	}
+	return float64(busy) / float64(horizon)
+}
+
+// BusyUntil returns the instant the station drains its current queue.
+func (st *Station) BusyUntil() time.Duration { return st.busyUntil }
+
+// --- network ------------------------------------------------------------------
+
+// Network models point-to-point message delivery with per-pair latency and
+// a shared per-link bandwidth.
+type Network struct {
+	sim *Sim
+	// Latency returns the propagation delay between two nodes; nil means
+	// a uniform DefaultLatency.
+	Latency func(from, to string) time.Duration
+	// DefaultLatency applies when Latency is nil.
+	DefaultLatency time.Duration
+	// BytesPerSecond is the link bandwidth (0 = infinite).
+	BytesPerSecond int64
+
+	messages int
+	volume   int64
+}
+
+// NewNetwork attaches a network to a simulation with a uniform latency.
+func NewNetwork(sim *Sim, latency time.Duration, bytesPerSecond int64) *Network {
+	return &Network{sim: sim, DefaultLatency: latency, BytesPerSecond: bytesPerSecond}
+}
+
+// Send schedules delivery of size bytes from one node to another; deliver
+// runs at the arrival instant.
+func (n *Network) Send(from, to string, size int, deliver func()) {
+	lat := n.DefaultLatency
+	if n.Latency != nil {
+		lat = n.Latency(from, to)
+	}
+	transfer := time.Duration(0)
+	if n.BytesPerSecond > 0 {
+		transfer = time.Duration(int64(size) * int64(time.Second) / n.BytesPerSecond)
+	}
+	n.messages++
+	n.volume += int64(size)
+	n.sim.Schedule(lat+transfer, deliver)
+}
+
+// Messages returns the number of messages sent.
+func (n *Network) Messages() int { return n.messages }
+
+// Volume returns the total bytes sent.
+func (n *Network) Volume() int64 { return n.volume }
+
+// --- result helpers -------------------------------------------------------------
+
+// Percentile returns the p-th percentile (0..100) of the samples.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Mean returns the arithmetic mean of the samples.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / time.Duration(len(samples))
+}
+
+// FormatLoadLine renders one load-sweep result row for harness output.
+func FormatLoadLine(label string, load int, mean, p99, makespan time.Duration) string {
+	return fmt.Sprintf("%-22s load=%5d  mean=%12v  p99=%12v  makespan=%12v",
+		label, load, mean.Round(time.Microsecond), p99.Round(time.Microsecond), makespan.Round(time.Microsecond))
+}

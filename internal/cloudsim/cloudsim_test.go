@@ -1,0 +1,227 @@
+package cloudsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3*time.Second, func() { order = append(order, 3) })
+	s.Schedule(1*time.Second, func() { order = append(order, 1) })
+	s.Schedule(2*time.Second, func() {
+		order = append(order, 2)
+		// Nested scheduling.
+		s.Schedule(500*time.Millisecond, func() { order = append(order, 25) })
+	})
+	end := s.Run()
+	want := []int{1, 2, 25, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != 3*time.Second {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("simultaneous events out of order: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	s := NewSim()
+	ran := false
+	s.Schedule(-5*time.Second, func() { ran = true })
+	if end := s.Run(); end != 0 || !ran {
+		t.Fatalf("end = %v ran = %v", end, ran)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 || s.Now() != 2*time.Second || s.Pending() != 1 {
+		t.Fatalf("fired=%v now=%v pending=%d", fired, s.Now(), s.Pending())
+	}
+	s.RunUntil(10 * time.Second)
+	if len(fired) != 3 || s.Now() != 10*time.Second {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestStationFIFOQueueing(t *testing.T) {
+	// Three jobs arriving at t=0 with 2s service: waits 0, 2, 4; finishes
+	// at 2, 4, 6.
+	s := NewSim()
+	st := NewStation(s, "engine")
+	var finishes []time.Duration
+	for i := 0; i < 3; i++ {
+		st.Submit(2*time.Second, func(f time.Duration) { finishes = append(finishes, f) })
+	}
+	s.Run()
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second}
+	for i := range want {
+		if finishes[i] != want[i] {
+			t.Fatalf("finishes = %v", finishes)
+		}
+	}
+	if st.Completed() != 3 {
+		t.Fatalf("completed = %d", st.Completed())
+	}
+	if st.MeanWait() != 2*time.Second { // (0+2+4)/3
+		t.Fatalf("mean wait = %v", st.MeanWait())
+	}
+	if st.MaxWait() != 4*time.Second {
+		t.Fatalf("max wait = %v", st.MaxWait())
+	}
+	if u := st.Utilization(6 * time.Second); u != 1.0 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if u := st.Utilization(12 * time.Second); u != 0.5 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestStationIdleGaps(t *testing.T) {
+	// Job at t=0 (1s) and job at t=5 (1s): no queueing for the second.
+	s := NewSim()
+	st := NewStation(s, "x")
+	st.Submit(time.Second, nil)
+	s.Schedule(5*time.Second, func() {
+		st.Submit(time.Second, func(f time.Duration) {
+			if f != 6*time.Second {
+				t.Errorf("finish = %v, want 6s", f)
+			}
+		})
+	})
+	s.Run()
+	if st.MeanWait() != 0 {
+		t.Fatalf("mean wait = %v", st.MeanWait())
+	}
+}
+
+func TestStationSaturationGrowsLinearly(t *testing.T) {
+	// The bottleneck behaviour the DoS/scalability benches rely on: with
+	// arrivals faster than service, the k-th job's wait grows linearly.
+	s := NewSim()
+	st := NewStation(s, "engine")
+	var waits []time.Duration
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {
+			submitted := s.Now()
+			st.Submit(10*time.Millisecond, func(f time.Duration) {
+				waits = append(waits, f-submitted-10*time.Millisecond)
+			})
+		})
+	}
+	s.Run()
+	if len(waits) != 100 {
+		t.Fatalf("waits = %d", len(waits))
+	}
+	// Wait of job k ≈ k * 9ms.
+	if waits[0] != 0 {
+		t.Fatalf("first wait = %v", waits[0])
+	}
+	if waits[99] != 99*9*time.Millisecond {
+		t.Fatalf("last wait = %v, want %v", waits[99], 99*9*time.Millisecond)
+	}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s, 10*time.Millisecond, 1000) // 1000 B/s
+	var at time.Duration
+	n.Send("a", "b", 500, func() { at = s.Now() })
+	s.Run()
+	// 10ms latency + 500B/1000Bps = 510ms.
+	if at != 510*time.Millisecond {
+		t.Fatalf("delivery at %v", at)
+	}
+	if n.Messages() != 1 || n.Volume() != 500 {
+		t.Fatalf("messages=%d volume=%d", n.Messages(), n.Volume())
+	}
+}
+
+func TestNetworkCustomLatency(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s, 0, 0)
+	n.Latency = func(from, to string) time.Duration {
+		if from == "tw" && to == "us" {
+			return 150 * time.Millisecond
+		}
+		return time.Millisecond
+	}
+	var far, near time.Duration
+	n.Send("tw", "us", 1, func() { far = s.Now() })
+	n.Send("tw", "tw2", 1, func() { near = s.Now() })
+	s.Run()
+	if far != 150*time.Millisecond || near != time.Millisecond {
+		t.Fatalf("far=%v near=%v", far, near)
+	}
+}
+
+func TestPercentileAndMean(t *testing.T) {
+	samples := []time.Duration{5, 1, 3, 2, 4} // ns
+	if got := Percentile(samples, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(samples, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(samples, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Mean(samples); got != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+	if Percentile(nil, 50) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty samples not handled")
+	}
+	// Percentile must not mutate its input.
+	if samples[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestFormatLoadLine(t *testing.T) {
+	line := FormatLoadLine("centralized", 100, time.Millisecond, 2*time.Millisecond, time.Second)
+	for _, want := range []string{"centralized", "load=  100", "mean=", "p99=", "makespan="} {
+		if !contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,44 @@
+package document
+
+import (
+	"encoding/base64"
+	"strings"
+)
+
+// Binary attachments — the paper's Figure 9 workflow loops on
+// "attachment is insufficient" — travel inside ordinary field values using
+// a self-describing encoding, so they flow through element-wise
+// encryption, TFC processing, and auditing without any special casing:
+//
+//	dra-att:v1:<filename>:<media-type>:<base64 data>
+//
+// Filenames and media types are percent-free tokens; embedded ':' in the
+// filename is escaped as "%3A".
+
+const attPrefix = "dra-att:v1:"
+
+// EncodeAttachment packs a binary attachment into a field value.
+func EncodeAttachment(filename, mediaType string, data []byte) string {
+	esc := strings.ReplaceAll(filename, ":", "%3A")
+	return attPrefix + esc + ":" + mediaType + ":" + base64.StdEncoding.EncodeToString(data)
+}
+
+// IsAttachment reports whether a field value carries an attachment.
+func IsAttachment(value string) bool { return strings.HasPrefix(value, attPrefix) }
+
+// DecodeAttachment unpacks an attachment field value.
+func DecodeAttachment(value string) (filename, mediaType string, data []byte, ok bool) {
+	if !IsAttachment(value) {
+		return "", "", nil, false
+	}
+	rest := strings.TrimPrefix(value, attPrefix)
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", "", nil, false
+	}
+	raw, err := base64.StdEncoding.DecodeString(parts[2])
+	if err != nil {
+		return "", "", nil, false
+	}
+	return strings.ReplaceAll(parts[0], "%3A", ":"), parts[1], raw, true
+}

@@ -1,0 +1,116 @@
+package document
+
+import (
+	"fmt"
+	"sort"
+
+	"dra4wfms/internal/wfdef"
+)
+
+// This file implements the control-flow state of a process instance as a
+// token game over the document's final CERs. Every final CER records the
+// routing decision its router (AEA or TFC) made in a signed Next element,
+// so any party — portals in particular — can compute which activities are
+// enabled WITHOUT decrypting any process data or evaluating any (possibly
+// concealed) branch condition.
+//
+// Semantics: the start places one token on each initial activity.
+// Executing an activity consumes its required tokens (all incoming edges
+// for an AND-join, one otherwise) and places one token on each target in
+// its Next. An activity is enabled when it holds at least its required
+// token count. A Next entry of wfdef.EndID completes the process.
+
+func requiredTokens(def *wfdef.Definition, activity string) int {
+	a := def.Activity(activity)
+	if a == nil {
+		return 1
+	}
+	if a.Join == wfdef.JoinAND {
+		return len(def.Incoming(activity))
+	}
+	return 1
+}
+
+// Enabled returns the activities currently able to execute, and whether
+// the process instance has completed. Branch documents of an AND-split
+// each see a partial token state; merge sibling documents first (Merge) to
+// obtain the instance-wide view.
+func Enabled(def *wfdef.Definition, d *Document) (enabled []string, completed bool, err error) {
+	tokens := map[string]int{}
+	for _, id := range def.InitialActivities() {
+		tokens[id]++
+	}
+	for _, c := range d.FinalCERs() {
+		act := c.ActivityID()
+		if def.Activity(act) == nil {
+			return nil, false, fmt.Errorf("document: CER %s names unknown activity %q", c.ID(), act)
+		}
+		tokens[act] -= requiredTokens(def, act)
+		for _, to := range c.Next() {
+			if to == wfdef.EndID {
+				completed = true
+				continue
+			}
+			if def.Activity(to) == nil {
+				return nil, false, fmt.Errorf("document: CER %s routes to unknown activity %q", c.ID(), to)
+			}
+			tokens[to]++
+		}
+	}
+	for act, n := range tokens {
+		if n >= requiredTokens(def, act) {
+			enabled = append(enabled, act)
+		}
+	}
+	sort.Strings(enabled)
+	return enabled, completed, nil
+}
+
+// PredecessorSignatures returns the signature-element Ids that the CER of
+// the next execution of activity must reference to maintain the
+// nonrepudiation cascade:
+//
+//   - for an AND-join, the latest final CER of every incoming activity
+//     (all must exist);
+//   - otherwise, the latest final CER among incoming activities whose Next
+//     routes to this activity;
+//   - for an initial execution with no predecessor CER, the designer's
+//     signature (CER(A0)).
+func PredecessorSignatures(def *wfdef.Definition, d *Document, activity string) ([]string, error) {
+	a := def.Activity(activity)
+	if a == nil {
+		return nil, fmt.Errorf("document: unknown activity %q", activity)
+	}
+	incoming := def.Incoming(activity)
+
+	if a.Join == wfdef.JoinAND {
+		var sigs []string
+		for _, t := range incoming {
+			cer, ok := d.LatestFinalCER(t.From)
+			if !ok {
+				return nil, fmt.Errorf("document: AND-join at %s awaits predecessor %s", activity, t.From)
+			}
+			sigs = append(sigs, cer.SignatureID())
+		}
+		return sigs, nil
+	}
+
+	// Single predecessor (or XOR-join): the most recent final CER that
+	// routed here. Scan in reverse document order.
+	final := d.FinalCERs()
+	for i := len(final) - 1; i >= 0; i-- {
+		c := final[i]
+		for _, to := range c.Next() {
+			if to == activity {
+				return []string{c.SignatureID()}, nil
+			}
+		}
+	}
+	// No routing predecessor: this must be an initial activity.
+	for _, t := range incoming {
+		if t.From == wfdef.StartID {
+			return []string{DesignerSig}, nil
+		}
+	}
+	return nil, fmt.Errorf("document: no predecessor CER routes to %s and it is not an initial activity", activity)
+}

@@ -1,0 +1,83 @@
+package document
+
+import (
+	"errors"
+	"fmt"
+
+	"dra4wfms/internal/dsig"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmltree"
+)
+
+// Workflow templates: the paper's cloud system lets "secured initial
+// DRA4WfMS documents … be prepared by the system or uploaded to the system
+// by the user" and provides "interfaces for users to search and manage"
+// them (Section 3). Instance creation always needs the designer's private
+// key (the designer signs CER(A0)), so what the cloud distributes is the
+// designer-signed workflow *template*: a definition plus a signature that
+// any participant can verify before trusting the process shape.
+//
+//	<WorkflowTemplate>
+//	  <WorkflowDefinition Id="tpl-def" …/>
+//	  <Signature Id="tpl-sig">…</Signature>
+//	</WorkflowTemplate>
+
+// Template element names/ids.
+const (
+	templateElem  = "WorkflowTemplate"
+	templateDefID = "tpl-def"
+	templateSigID = "tpl-sig"
+)
+
+// SignTemplate wraps the definition in a designer-signed template element.
+func SignTemplate(def *wfdef.Definition, designer *pki.KeyPair) (*xmltree.Node, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if def.Designer != designer.Owner {
+		return nil, fmt.Errorf("document: definition names designer %q but signing key belongs to %q",
+			def.Designer, designer.Owner)
+	}
+	root := xmltree.NewElement(templateElem)
+	wf := def.ToXML()
+	wf.SetAttr("Id", templateDefID)
+	root.AppendChild(wf)
+	sig, err := dsig.Sign(root, []string{templateDefID}, designer, templateSigID)
+	if err != nil {
+		return nil, err
+	}
+	root.AppendChild(sig)
+	return root, nil
+}
+
+// VerifyTemplate checks a template's designer signature and returns the
+// embedded, validated definition.
+func VerifyTemplate(root *xmltree.Node, resolver dsig.KeyResolver) (*wfdef.Definition, error) {
+	if root == nil || root.Name != templateElem {
+		return nil, errors.New("document: not a WorkflowTemplate element")
+	}
+	sig := root.Child(dsig.SignatureElem)
+	if sig == nil {
+		return nil, errors.New("document: template has no signature")
+	}
+	if err := dsig.Verify(root, sig, resolver); err != nil {
+		return nil, fmt.Errorf("document: template signature: %w", err)
+	}
+	wf := root.Child("WorkflowDefinition")
+	if wf == nil {
+		return nil, errors.New("document: template has no definition")
+	}
+	def, err := wfdef.FromXML(wf)
+	if err != nil {
+		return nil, err
+	}
+	if err := def.Validate(); err != nil {
+		return nil, fmt.Errorf("document: template definition invalid: %w", err)
+	}
+	if dsig.SignerOf(sig) != def.Designer {
+		return nil, fmt.Errorf("document: template signed by %q but definition names designer %q",
+			dsig.SignerOf(sig), def.Designer)
+	}
+	return def, nil
+}

@@ -1,0 +1,251 @@
+// Package dsig implements XML digital signatures over xmltree documents,
+// mirroring the W3C XML-Signature structure the paper's prototype used via
+// the Java XML Digital Signature API and Apache Santuario.
+//
+// A signature is itself an XML element:
+//
+//	<Signature Id="sig-A1">
+//	  <SignedInfo>
+//	    <CanonicalizationMethod Algorithm="dra-c14n"></CanonicalizationMethod>
+//	    <SignatureMethod Algorithm="rsa-sha256"></SignatureMethod>
+//	    <Reference URI="#res-A1">
+//	      <DigestMethod Algorithm="sha256"></DigestMethod>
+//	      <DigestValue>…base64…</DigestValue>
+//	    </Reference>
+//	    <Reference URI="#sig-A0">…</Reference>
+//	  </SignedInfo>
+//	  <SignatureValue>…base64…</SignatureValue>
+//	  <KeyInfo><KeyName>peter@acme</KeyName></KeyInfo>
+//	</Signature>
+//
+// Each Reference digests the canonical bytes of the element carrying the
+// matching Id attribute anywhere in the enclosing document. The private key
+// signs the canonical bytes of SignedInfo, so the signature covers every
+// referenced subtree. DRA4WfMS's nonrepudiation cascade falls out naturally:
+// the signature embedded after activity Ai references both Ai's encrypted
+// execution result and the Signature elements of all predecessor
+// activities, each of which is an Id-carrying element.
+package dsig
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strings"
+
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/xmltree"
+)
+
+// Algorithm identifiers recorded inside signatures. Verification rejects
+// anything else, preventing silent algorithm downgrades.
+const (
+	CanonicalizationAlg = "dra-c14n"
+	SignatureAlg        = "rsa-sha256"
+	DigestAlg           = "sha256"
+)
+
+// Element names of the signature structure.
+const (
+	SignatureElem       = "Signature"
+	signedInfoElem      = "SignedInfo"
+	referenceElem       = "Reference"
+	digestValueElem     = "DigestValue"
+	digestMethodElem    = "DigestMethod"
+	signatureValueElem  = "SignatureValue"
+	keyInfoElem         = "KeyInfo"
+	keyNameElem         = "KeyName"
+	c14nMethodElem      = "CanonicalizationMethod"
+	signatureMethodElem = "SignatureMethod"
+)
+
+// KeyResolver resolves a signer ID (the KeyName) to a trusted public key.
+// *pki.Registry satisfies it.
+type KeyResolver interface {
+	PublicKey(id string) (*rsa.PublicKey, error)
+}
+
+// ErrMissingReference is returned when a Reference URI does not resolve to
+// an element in the document.
+var ErrMissingReference = errors.New("dsig: reference target not found")
+
+// ErrDigestMismatch is returned when a referenced subtree's digest no longer
+// matches the signed DigestValue — the subtree was altered after signing.
+var ErrDigestMismatch = errors.New("dsig: digest mismatch (referenced element was altered)")
+
+// ErrBadSignature is returned when the RSA signature over SignedInfo fails.
+var ErrBadSignature = errors.New("dsig: signature value invalid")
+
+// digestByID locates the element with the given Id in root and returns the
+// SHA-256 of its canonical bytes.
+func digestByID(root *xmltree.Node, id string) ([]byte, error) {
+	target := root.FindByID(id)
+	if target == nil {
+		return nil, fmt.Errorf("%w: #%s", ErrMissingReference, id)
+	}
+	sum := sha256.Sum256(target.Canonical())
+	return sum[:], nil
+}
+
+// Sign creates a Signature element covering the elements of root whose Id
+// attributes appear in refIDs (order preserved). The signature is labeled
+// sigID via its own Id attribute so later signatures can reference it, and
+// names key.Owner in KeyInfo/KeyName. The returned element is NOT attached
+// to root; callers append it where their format requires.
+func Sign(root *xmltree.Node, refIDs []string, key *pki.KeyPair, sigID string) (*xmltree.Node, error) {
+	if len(refIDs) == 0 {
+		return nil, errors.New("dsig: no references to sign")
+	}
+	signedInfo := xmltree.NewElement(signedInfoElem)
+	signedInfo.Elem(c14nMethodElem, "").SetAttr("Algorithm", CanonicalizationAlg)
+	signedInfo.Elem(signatureMethodElem, "").SetAttr("Algorithm", SignatureAlg)
+	for _, id := range refIDs {
+		digest, err := digestByID(root, id)
+		if err != nil {
+			return nil, err
+		}
+		ref := xmltree.NewElement(referenceElem)
+		ref.SetAttr("URI", "#"+id)
+		ref.Elem(digestMethodElem, "").SetAttr("Algorithm", DigestAlg)
+		ref.Elem(digestValueElem, base64.StdEncoding.EncodeToString(digest))
+		signedInfo.AppendChild(ref)
+	}
+
+	sigValue, err := key.Sign(signedInfo.Canonical())
+	if err != nil {
+		return nil, err
+	}
+
+	sig := xmltree.NewElement(SignatureElem)
+	if sigID != "" {
+		sig.SetAttr("Id", sigID)
+	}
+	sig.AppendChild(signedInfo)
+	sig.Elem(signatureValueElem, base64.StdEncoding.EncodeToString(sigValue))
+	keyInfo := xmltree.NewElement(keyInfoElem)
+	keyInfo.Elem(keyNameElem, key.Owner)
+	sig.AppendChild(keyInfo)
+	return sig, nil
+}
+
+// SignerOf returns the KeyName recorded in a Signature element, or "".
+func SignerOf(sig *xmltree.Node) string {
+	if ki := sig.Child(keyInfoElem); ki != nil {
+		return ki.ChildText(keyNameElem)
+	}
+	return ""
+}
+
+// References returns the Ids (without the leading '#') referenced by a
+// Signature element, in signature order.
+func References(sig *xmltree.Node) []string {
+	si := sig.Child(signedInfoElem)
+	if si == nil {
+		return nil
+	}
+	var ids []string
+	for _, ref := range si.ChildElements() {
+		if ref.Name != referenceElem {
+			continue
+		}
+		uri, _ := ref.Attr("URI")
+		ids = append(ids, strings.TrimPrefix(uri, "#"))
+	}
+	return ids
+}
+
+// Verify checks a Signature element against the current state of root:
+// every Reference digest must match the present canonical bytes of its
+// target, and the RSA signature over SignedInfo must verify under the
+// public key the resolver returns for the recorded KeyName.
+func Verify(root, sig *xmltree.Node, resolver KeyResolver) error {
+	si := sig.Child(signedInfoElem)
+	if si == nil {
+		return errors.New("dsig: Signature has no SignedInfo")
+	}
+	if alg := algorithmOf(si, c14nMethodElem); alg != CanonicalizationAlg {
+		return fmt.Errorf("dsig: unsupported canonicalization %q", alg)
+	}
+	if alg := algorithmOf(si, signatureMethodElem); alg != SignatureAlg {
+		return fmt.Errorf("dsig: unsupported signature method %q", alg)
+	}
+
+	nRefs := 0
+	for _, ref := range si.ChildElements() {
+		if ref.Name != referenceElem {
+			continue
+		}
+		nRefs++
+		if alg := algorithmOf(ref, digestMethodElem); alg != DigestAlg {
+			return fmt.Errorf("dsig: unsupported digest method %q", alg)
+		}
+		uri, _ := ref.Attr("URI")
+		if !strings.HasPrefix(uri, "#") {
+			return fmt.Errorf("dsig: unsupported reference URI %q", uri)
+		}
+		want, err := base64.StdEncoding.DecodeString(ref.ChildText(digestValueElem))
+		if err != nil {
+			return fmt.Errorf("dsig: corrupt DigestValue in %s: %w", uri, err)
+		}
+		got, err := digestByID(root, strings.TrimPrefix(uri, "#"))
+		if err != nil {
+			return err
+		}
+		if !equalBytes(want, got) {
+			return fmt.Errorf("%w: %s", ErrDigestMismatch, uri)
+		}
+	}
+	if nRefs == 0 {
+		return errors.New("dsig: signature covers no references")
+	}
+
+	signer := SignerOf(sig)
+	if signer == "" {
+		return errors.New("dsig: signature has no KeyName")
+	}
+	pub, err := resolver.PublicKey(signer)
+	if err != nil {
+		return fmt.Errorf("dsig: resolving signer %q: %w", signer, err)
+	}
+	sigValue, err := base64.StdEncoding.DecodeString(sig.ChildText(signatureValueElem))
+	if err != nil {
+		return fmt.Errorf("dsig: corrupt SignatureValue: %w", err)
+	}
+	if err := pki.Verify(pub, si.Canonical(), sigValue); err != nil {
+		return fmt.Errorf("%w (signer %s)", ErrBadSignature, signer)
+	}
+	return nil
+}
+
+// VerifyAll verifies every Signature element found in the subtree rooted at
+// container against the document root, returning the first failure. It
+// reports the number of signatures verified.
+func VerifyAll(root, container *xmltree.Node, resolver KeyResolver) (int, error) {
+	sigs := container.FindAll(SignatureElem)
+	for _, s := range sigs {
+		if err := Verify(root, s, resolver); err != nil {
+			return 0, err
+		}
+	}
+	return len(sigs), nil
+}
+
+func algorithmOf(parent *xmltree.Node, elem string) string {
+	if c := parent.Child(elem); c != nil {
+		return c.AttrDefault("Algorithm", "")
+	}
+	return ""
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var diff byte
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}

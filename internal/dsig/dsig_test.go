@@ -1,0 +1,291 @@
+package dsig
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/xmltree"
+)
+
+var cache = pki.NewKeyCache(1024)
+
+type mapResolver map[string]*rsa.PublicKey
+
+func (m mapResolver) PublicKey(id string) (*rsa.PublicKey, error) {
+	if k, ok := m[id]; ok {
+		return k, nil
+	}
+	return nil, fmt.Errorf("no key for %s", id)
+}
+
+func resolverFor(owners ...string) mapResolver {
+	m := mapResolver{}
+	for _, o := range owners {
+		m[o] = cache.MustGet(o).Public()
+	}
+	return m
+}
+
+// buildDoc returns a document with two signable payloads.
+func buildDoc() *xmltree.Node {
+	root := xmltree.NewElement("Doc")
+	root.Elem("Payload", "hello world").SetAttr("Id", "p1")
+	root.Elem("Payload", "second part").SetAttr("Id", "p2")
+	return root
+}
+
+func TestSignAndVerify(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, err := Sign(root, []string{"p1", "p2"}, alice, "sig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.AppendChild(sig)
+
+	if err := Verify(root, sig, resolverFor("alice")); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if got := SignerOf(sig); got != "alice" {
+		t.Fatalf("SignerOf = %q", got)
+	}
+	refs := References(sig)
+	if len(refs) != 2 || refs[0] != "p1" || refs[1] != "p2" {
+		t.Fatalf("References = %v", refs)
+	}
+}
+
+func TestVerifyDetectsContentTamper(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, _ := Sign(root, []string{"p1"}, alice, "sig1")
+	root.AppendChild(sig)
+
+	root.FindByID("p1").SetText("altered by superuser")
+	err := Verify(root, sig, resolverFor("alice"))
+	if err == nil {
+		t.Fatal("tampered content verified")
+	}
+	if !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyDetectsAttrTamper(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, _ := Sign(root, []string{"p1"}, alice, "sig1")
+	root.AppendChild(sig)
+
+	root.FindByID("p1").SetAttr("Injected", "true")
+	if err := Verify(root, sig, resolverFor("alice")); err == nil {
+		t.Fatal("attribute tamper verified")
+	}
+}
+
+func TestVerifyDetectsRemovedTarget(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, _ := Sign(root, []string{"p1"}, alice, "sig1")
+	root.AppendChild(sig)
+
+	root.RemoveChild(root.FindByID("p1"))
+	if err := Verify(root, sig, resolverFor("alice")); err == nil {
+		t.Fatal("signature verified after its target was deleted")
+	}
+}
+
+func TestVerifyDetectsDigestSwap(t *testing.T) {
+	// An attacker who alters content and re-computes the DigestValue still
+	// fails: SignedInfo (containing digests) is what the RSA key signed.
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, _ := Sign(root, []string{"p1"}, alice, "sig1")
+	root.AppendChild(sig)
+
+	root.FindByID("p1").SetText("altered")
+	// Recompute and overwrite the digest like a malicious intermediary.
+	fresh, _ := Sign(root, []string{"p1"}, alice, "tmp") // digests current state
+	freshDigest := fresh.Find("DigestValue").TextContent()
+	sig.Find("DigestValue").SetText(freshDigest)
+
+	err := Verify(root, sig, resolverFor("alice"))
+	if err == nil {
+		t.Fatal("digest-swap attack succeeded")
+	}
+	if !strings.Contains(err.Error(), "signature value invalid") {
+		t.Fatalf("want signature-value failure, got: %v", err)
+	}
+}
+
+func TestVerifyWrongSignerClaim(t *testing.T) {
+	// Attacker replaces KeyName to pin the signature on someone else.
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, _ := Sign(root, []string{"p1"}, alice, "sig1")
+	root.AppendChild(sig)
+	sig.Find("KeyName").SetText("bob")
+
+	if err := Verify(root, sig, resolverFor("alice", "bob")); err == nil {
+		t.Fatal("signature accepted under reassigned KeyName")
+	}
+}
+
+func TestVerifyUnknownSigner(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, _ := Sign(root, []string{"p1"}, alice, "sig1")
+	root.AppendChild(sig)
+	if err := Verify(root, sig, resolverFor("bob")); err == nil {
+		t.Fatal("signature from unregistered signer accepted")
+	}
+}
+
+func TestAlgorithmDowngradeRejected(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, _ := Sign(root, []string{"p1"}, alice, "sig1")
+	root.AppendChild(sig)
+
+	for _, elem := range []string{"CanonicalizationMethod", "SignatureMethod", "DigestMethod"} {
+		s := sig.Clone()
+		s.Find(elem).SetAttr("Algorithm", "md5-home-rolled")
+		if err := Verify(root, s, resolverFor("alice")); err == nil {
+			t.Fatalf("downgraded %s accepted", elem)
+		}
+	}
+}
+
+func TestSignMissingReference(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	if _, err := Sign(root, []string{"no-such-id"}, alice, "s"); err == nil {
+		t.Fatal("Sign with dangling reference succeeded")
+	}
+	if _, err := Sign(root, nil, alice, "s"); err == nil {
+		t.Fatal("Sign with zero references succeeded")
+	}
+}
+
+func TestCascadeSignatures(t *testing.T) {
+	// The DRA4WfMS cascade: sig2 references payload p2 AND sig1 itself.
+	// Any tamper with p1 breaks sig1; any tamper with sig1 breaks sig2.
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	bob := cache.MustGet("bob")
+	resolver := resolverFor("alice", "bob")
+
+	sig1, _ := Sign(root, []string{"p1"}, alice, "sig1")
+	root.AppendChild(sig1)
+	sig2, err := Sign(root, []string{"p2", "sig1"}, bob, "sig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.AppendChild(sig2)
+
+	if n, err := VerifyAll(root, root, resolver); err != nil || n != 2 {
+		t.Fatalf("VerifyAll = %d, %v", n, err)
+	}
+
+	// Tampering with sig1 (e.g. stripping a reference) breaks sig2.
+	si := sig1.Child("SignedInfo")
+	si.SetAttr("X", "1")
+	if _, err := VerifyAll(root, root, resolver); err == nil {
+		t.Fatal("cascade did not detect predecessor-signature tamper")
+	}
+}
+
+func TestCascadeDeepChain(t *testing.T) {
+	// Chain of 8 participants, each signing its payload and the previous
+	// signature; altering the FIRST payload must break verification, and it
+	// must be detectable even if the first signature is "fixed up" because
+	// signature k+1 signed signature k.
+	root := xmltree.NewElement("Doc")
+	resolver := mapResolver{}
+	prevSig := ""
+	for i := 0; i < 8; i++ {
+		owner := fmt.Sprintf("user%d", i)
+		resolver[owner] = cache.MustGet(owner).Public()
+		p := root.Elem("Payload", fmt.Sprintf("result %d", i))
+		pid := fmt.Sprintf("p%d", i)
+		p.SetAttr("Id", pid)
+		refs := []string{pid}
+		if prevSig != "" {
+			refs = append(refs, prevSig)
+		}
+		sigID := fmt.Sprintf("sig%d", i)
+		sig, err := Sign(root, refs, cache.MustGet(owner), sigID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.AppendChild(sig)
+		prevSig = sigID
+	}
+	if n, err := VerifyAll(root, root, resolver); err != nil || n != 8 {
+		t.Fatalf("VerifyAll = %d, %v", n, err)
+	}
+
+	root.FindByID("p0").SetText("repudiated!")
+	if _, err := VerifyAll(root, root, resolver); err == nil {
+		t.Fatal("deep cascade did not detect root tamper")
+	}
+}
+
+func TestVerifyAllEmpty(t *testing.T) {
+	root := buildDoc()
+	if n, err := VerifyAll(root, root, resolverFor()); err != nil || n != 0 {
+		t.Fatalf("VerifyAll on unsigned doc = %d, %v", n, err)
+	}
+}
+
+func TestSignatureSurvivesSerializationRoundTrip(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	sig, _ := Sign(root, []string{"p1", "p2"}, alice, "sig1")
+	root.AppendChild(sig)
+
+	back, err := xmltree.ParseBytes(root.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigBack := back.Find("Signature")
+	if sigBack == nil {
+		t.Fatal("signature lost in round trip")
+	}
+	if err := Verify(back, sigBack, resolverFor("alice")); err != nil {
+		t.Fatalf("signature invalid after serialization round trip: %v", err)
+	}
+}
+
+func TestCorruptSignatureFields(t *testing.T) {
+	root := buildDoc()
+	alice := cache.MustGet("alice")
+	resolver := resolverFor("alice")
+
+	cases := []struct {
+		name   string
+		mutate func(sig *xmltree.Node)
+	}{
+		{"garbage DigestValue", func(s *xmltree.Node) { s.Find("DigestValue").SetText("!!!") }},
+		{"garbage SignatureValue", func(s *xmltree.Node) { s.Find("SignatureValue").SetText("!!!") }},
+		{"no SignedInfo", func(s *xmltree.Node) { s.RemoveChild(s.Child("SignedInfo")) }},
+		{"no KeyInfo", func(s *xmltree.Node) { s.RemoveChild(s.Child("KeyInfo")) }},
+		{"external URI", func(s *xmltree.Node) { s.Find("Reference").SetAttr("URI", "http://evil") }},
+		{"no references", func(s *xmltree.Node) {
+			si := s.Child("SignedInfo")
+			for _, r := range si.FindAll("Reference") {
+				si.RemoveChild(r)
+			}
+		}},
+	}
+	for _, c := range cases {
+		sig, _ := Sign(root, []string{"p1"}, alice, "sig1")
+		c.mutate(sig)
+		if err := Verify(root, sig, resolver); err == nil {
+			t.Errorf("%s: corrupted signature verified", c.name)
+		}
+	}
+}

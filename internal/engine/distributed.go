@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dra4wfms/internal/wfdef"
+)
+
+// Cluster is the distributed engine-based WfMS of Figure 1B: several
+// engines at different sites, each responsible for a subset of the
+// activities. A process instance lives on exactly one engine at a time
+// (single-owner coherence); when control flow reaches an activity assigned
+// to another engine, the whole instance state migrates there over the
+// network. Migration count and per-engine execution counts are the
+// observable costs the paper's scalability argument rests on.
+type Cluster struct {
+	mu sync.Mutex
+	// engines by ID.
+	engines map[string]*Engine
+	// assignment maps each activity ID to the engine responsible for it.
+	assignment map[string]string
+	// owner maps instance ID to the engine currently holding it.
+	owner map[string]string
+	// migrations counts instance transfers between engines.
+	migrations int
+	// executions counts activities run per engine.
+	executions map[string]int
+	// migratedBytes estimates the state volume shipped between sites.
+	migratedBytes int
+}
+
+// NewCluster builds a distributed WfMS from engines and an activity →
+// engine-ID assignment. Every engine must have the definitions deployed
+// before instances are created.
+func NewCluster(engines []*Engine, assignment map[string]string) (*Cluster, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("engine: cluster needs at least one engine")
+	}
+	c := &Cluster{
+		engines:    map[string]*Engine{},
+		assignment: assignment,
+		owner:      map[string]string{},
+		executions: map[string]int{},
+	}
+	for _, e := range engines {
+		c.engines[e.ID] = e
+	}
+	for act, eid := range assignment {
+		if _, ok := c.engines[eid]; !ok {
+			return nil, fmt.Errorf("engine: activity %s assigned to unknown engine %s", act, eid)
+		}
+	}
+	return c, nil
+}
+
+// Deploy registers the definition with every engine in the cluster.
+func (c *Cluster) Deploy(def *wfdef.Definition) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.engines {
+		if err := e.Deploy(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateInstance starts an instance on the engine owning the first initial
+// activity.
+func (c *Cluster) CreateInstance(defName string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Find the home engine via the definition's initial activities.
+	var home *Engine
+	for _, e := range c.engines {
+		if def, ok := e.defs[defName]; ok {
+			init := def.InitialActivities()
+			if len(init) == 0 {
+				return "", fmt.Errorf("engine: definition %s has no initial activity", defName)
+			}
+			home = c.engines[c.assignment[init[0]]]
+			break
+		}
+	}
+	if home == nil {
+		return "", fmt.Errorf("%w: %s", ErrUnknownDefinition, defName)
+	}
+	id, err := home.CreateInstance(defName)
+	if err != nil {
+		return "", err
+	}
+	c.owner[id] = home.ID
+	return id, nil
+}
+
+// Execute runs an activity, migrating the instance to the responsible
+// engine first when necessary.
+func (c *Cluster) Execute(instanceID, activity, participant string, inputs map[string]string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ownerID, ok := c.owner[instanceID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, instanceID)
+	}
+	targetID, ok := c.assignment[activity]
+	if !ok {
+		return nil, fmt.Errorf("engine: activity %s not assigned to any engine", activity)
+	}
+	if targetID != ownerID {
+		if err := c.migrateLocked(instanceID, ownerID, targetID); err != nil {
+			return nil, err
+		}
+	}
+	next, err := c.engines[targetID].Execute(instanceID, activity, participant, inputs)
+	if err != nil {
+		return nil, err
+	}
+	c.executions[targetID]++
+	return next, nil
+}
+
+// migrateLocked moves the instance state between engines. Caller holds c.mu.
+func (c *Cluster) migrateLocked(instanceID, fromID, toID string) error {
+	from, to := c.engines[fromID], c.engines[toID]
+	from.mu.Lock()
+	in, ok := from.instances[instanceID]
+	if !ok {
+		from.mu.Unlock()
+		return fmt.Errorf("%w: %s (owner %s lost it)", ErrUnknownInstance, instanceID, fromID)
+	}
+	delete(from.instances, instanceID)
+	from.mu.Unlock()
+
+	// Estimate the shipped state size (values + history).
+	size := 0
+	for k, v := range in.Values {
+		size += len(k) + len(v)
+	}
+	for _, s := range in.History {
+		size += len(s.Activity) + len(s.Participant) + 16
+		for k, v := range s.Values {
+			size += len(k) + len(v)
+		}
+	}
+
+	to.mu.Lock()
+	to.instances[instanceID] = in
+	to.mu.Unlock()
+
+	c.owner[instanceID] = toID
+	c.migrations++
+	c.migratedBytes += size
+	return nil
+}
+
+// Owner returns the engine currently holding the instance.
+func (c *Cluster) Owner(instanceID string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.owner[instanceID]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownInstance, instanceID)
+	}
+	return o, nil
+}
+
+// Migrations returns the number of instance transfers performed.
+func (c *Cluster) Migrations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migrations
+}
+
+// MigratedBytes returns the estimated state volume shipped between sites.
+func (c *Cluster) MigratedBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migratedBytes
+}
+
+// Executions returns activity-execution counts per engine ID.
+func (c *Cluster) Executions() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int{}
+	for k, v := range c.executions {
+		out[k] = v
+	}
+	return out
+}
+
+// Instance fetches the instance snapshot from its current owner.
+func (c *Cluster) Instance(instanceID string) (*Instance, error) {
+	c.mu.Lock()
+	ownerID, ok := c.owner[instanceID]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, instanceID)
+	}
+	return c.engines[ownerID].Instance(instanceID)
+}
+
+// EngineIDs lists the cluster's engines, sorted.
+func (c *Cluster) EngineIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.engines))
+	for id := range c.engines {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

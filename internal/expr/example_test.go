@@ -1,0 +1,38 @@
+package expr_test
+
+import (
+	"fmt"
+
+	"dra4wfms/internal/expr"
+)
+
+// A transition condition is parsed once and evaluated against the process
+// variables visible to whoever routes the document.
+func ExampleParse() {
+	cond, err := expr.Parse(`amount > 10000 && status == "approved"`)
+	if err != nil {
+		panic(err)
+	}
+	env := expr.MapEnv{
+		"amount": expr.Number(15000),
+		"status": expr.String("approved"),
+	}
+	ok, err := cond.EvalBool(env)
+	fmt.Println(ok, err)
+	fmt.Println(cond.Variables())
+	// Output:
+	// true <nil>
+	// [amount status]
+}
+
+// Stored workflow variables are plain XML text; FromText recovers their
+// natural type for evaluation.
+func ExampleFromText() {
+	fmt.Println(expr.FromText("true").Kind)
+	fmt.Println(expr.FromText("3.25").Kind)
+	fmt.Println(expr.FromText("hello").Kind)
+	// Output:
+	// bool
+	// number
+	// string
+}

@@ -1,0 +1,856 @@
+// Package expr implements the small boolean expression language used in
+// workflow definitions for OR-split (conditional branch) and loop
+// conditions — the paper's `Func(X)=True` predicates and the
+// "Attachment is insufficient" loop guard of Figure 9.
+//
+// The language has three value types (string, number, bool), comparison and
+// logical operators, parentheses, variable references resolving against the
+// workflow process instance, and a handful of built-in functions:
+//
+//	amount > 10000 && status == "approved"
+//	!contains(comment, "reject") || retries >= 3
+//	len(attachment) == 0
+//
+// Expressions are parsed once at definition-validation time and evaluated
+// by whoever is entitled to see the condition variables: the participant's
+// AEA in the basic operational model, or the TFC server in the advanced
+// model when flow information is concealed from participants.
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind enumerates the value types of the language.
+type Kind int
+
+const (
+	// StringKind is a UTF-8 string value.
+	StringKind Kind = iota
+	// NumberKind is a float64 value.
+	NumberKind
+	// BoolKind is a boolean value.
+	BoolKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StringKind:
+		return "string"
+	case NumberKind:
+		return "number"
+	case BoolKind:
+		return "bool"
+	}
+	return "invalid"
+}
+
+// Value is a tagged union of the three language types.
+type Value struct {
+	Kind Kind
+	Str  string
+	Num  float64
+	Bool bool
+}
+
+// String builds a string value.
+func String(s string) Value { return Value{Kind: StringKind, Str: s} }
+
+// Number builds a numeric value.
+func Number(f float64) Value { return Value{Kind: NumberKind, Num: f} }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return Value{Kind: BoolKind, Bool: b} }
+
+// Text renders the value as a string for storage in workflow variables
+// (all process-instance data is carried as XML text).
+func (v Value) Text() string {
+	switch v.Kind {
+	case StringKind:
+		return v.Str
+	case NumberKind:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case BoolKind:
+		return strconv.FormatBool(v.Bool)
+	}
+	return ""
+}
+
+// FromText parses a stored variable back into a Value: "true"/"false"
+// become bools, parseable numbers become numbers, everything else is a
+// string. This mirrors how workflow variables are stored as XML text.
+func FromText(s string) Value {
+	switch s {
+	case "true":
+		return Bool(true)
+	case "false":
+		return Bool(false)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Number(f)
+	}
+	return String(s)
+}
+
+// Env resolves variable names during evaluation.
+type Env interface {
+	// Lookup returns the value bound to name and whether it exists.
+	Lookup(name string) (Value, bool)
+}
+
+// MapEnv is the simplest Env: a map of variable bindings.
+type MapEnv map[string]Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// ErrUndefinedVariable is wrapped by evaluation errors caused by a variable
+// that the environment cannot resolve — in the advanced operational model
+// this is the signal that a participant lacks the clearance to evaluate a
+// concealed flow condition.
+var ErrUndefinedVariable = errors.New("expr: undefined variable")
+
+// Node is a parsed expression tree node.
+type Node interface {
+	eval(env Env) (Value, error)
+	writeTo(b *strings.Builder)
+}
+
+// Expr is a parsed, reusable expression.
+type Expr struct {
+	root Node
+	src  string
+}
+
+// Source returns the original source text of the expression.
+func (e *Expr) Source() string { return e.src }
+
+// String returns a canonical rendering of the parsed expression (fully
+// parenthesized where grouping matters).
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.root.writeTo(&b)
+	return b.String()
+}
+
+// Eval evaluates the expression in env.
+func (e *Expr) Eval(env Env) (Value, error) { return e.root.eval(env) }
+
+// EvalBool evaluates the expression and requires a boolean result.
+func (e *Expr) EvalBool(env Env) (bool, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != BoolKind {
+		return false, fmt.Errorf("expr: condition %q evaluated to %s, want bool", e.src, v.Kind)
+	}
+	return v.Bool, nil
+}
+
+// Variables returns the set of variable names the expression references, in
+// first-occurrence order. The TFC server uses this to decide which process
+// variables it must decrypt before evaluating a concealed condition.
+func (e *Expr) Variables() []string {
+	var out []string
+	seen := map[string]bool{}
+	var rec func(n Node)
+	rec = func(n Node) {
+		switch t := n.(type) {
+		case *varNode:
+			if !seen[t.name] {
+				seen[t.name] = true
+				out = append(out, t.name)
+			}
+		case *binaryNode:
+			rec(t.lhs)
+			rec(t.rhs)
+		case *unaryNode:
+			rec(t.operand)
+		case *callNode:
+			for _, a := range t.args {
+				rec(a)
+			}
+		}
+	}
+	rec(e.root)
+	return out
+}
+
+// --- AST nodes -------------------------------------------------------------
+
+type litNode struct{ v Value }
+
+func (n *litNode) eval(Env) (Value, error) { return n.v, nil }
+func (n *litNode) writeTo(b *strings.Builder) {
+	if n.v.Kind == StringKind {
+		b.WriteString(strconv.Quote(n.v.Str))
+		return
+	}
+	b.WriteString(n.v.Text())
+}
+
+type varNode struct{ name string }
+
+func (n *varNode) eval(env Env) (Value, error) {
+	v, ok := env.Lookup(n.name)
+	if !ok {
+		return Value{}, fmt.Errorf("%w: %s", ErrUndefinedVariable, n.name)
+	}
+	return v, nil
+}
+func (n *varNode) writeTo(b *strings.Builder) { b.WriteString(n.name) }
+
+type unaryNode struct {
+	op      string // "!"
+	operand Node
+}
+
+func (n *unaryNode) eval(env Env) (Value, error) {
+	v, err := n.operand.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Kind != BoolKind {
+		return Value{}, fmt.Errorf("expr: operator ! requires bool, got %s", v.Kind)
+	}
+	return Bool(!v.Bool), nil
+}
+func (n *unaryNode) writeTo(b *strings.Builder) {
+	b.WriteString("!")
+	n.operand.writeTo(b)
+}
+
+type binaryNode struct {
+	op       string
+	lhs, rhs Node
+}
+
+func (n *binaryNode) eval(env Env) (Value, error) {
+	l, err := n.lhs.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit logical operators.
+	switch n.op {
+	case "&&", "||":
+		if l.Kind != BoolKind {
+			return Value{}, fmt.Errorf("expr: operator %s requires bool operands, got %s", n.op, l.Kind)
+		}
+		if n.op == "&&" && !l.Bool {
+			return Bool(false), nil
+		}
+		if n.op == "||" && l.Bool {
+			return Bool(true), nil
+		}
+		r, err := n.rhs.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != BoolKind {
+			return Value{}, fmt.Errorf("expr: operator %s requires bool operands, got %s", n.op, r.Kind)
+		}
+		return r, nil
+	}
+	r, err := n.rhs.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.op {
+	case "==", "!=":
+		eq, err := equalValues(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		if n.op == "!=" {
+			eq = !eq
+		}
+		return Bool(eq), nil
+	case "<", "<=", ">", ">=":
+		cmp, err := compareValues(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.op {
+		case "<":
+			return Bool(cmp < 0), nil
+		case "<=":
+			return Bool(cmp <= 0), nil
+		case ">":
+			return Bool(cmp > 0), nil
+		default:
+			return Bool(cmp >= 0), nil
+		}
+	case "+":
+		if l.Kind == StringKind && r.Kind == StringKind {
+			return String(l.Str + r.Str), nil
+		}
+		if l.Kind == NumberKind && r.Kind == NumberKind {
+			return Number(l.Num + r.Num), nil
+		}
+		return Value{}, fmt.Errorf("expr: operator + requires two numbers or two strings")
+	case "-", "*", "/":
+		if l.Kind != NumberKind || r.Kind != NumberKind {
+			return Value{}, fmt.Errorf("expr: operator %s requires numbers", n.op)
+		}
+		switch n.op {
+		case "-":
+			return Number(l.Num - r.Num), nil
+		case "*":
+			return Number(l.Num * r.Num), nil
+		default:
+			if r.Num == 0 {
+				return Value{}, errors.New("expr: division by zero")
+			}
+			return Number(l.Num / r.Num), nil
+		}
+	}
+	return Value{}, fmt.Errorf("expr: unknown operator %s", n.op)
+}
+
+func (n *binaryNode) writeTo(b *strings.Builder) {
+	b.WriteString("(")
+	n.lhs.writeTo(b)
+	b.WriteString(" ")
+	b.WriteString(n.op)
+	b.WriteString(" ")
+	n.rhs.writeTo(b)
+	b.WriteString(")")
+}
+
+type callNode struct {
+	fn   string
+	args []Node
+}
+
+func (n *callNode) eval(env Env) (Value, error) {
+	f, ok := builtins[n.fn]
+	if !ok {
+		return Value{}, fmt.Errorf("expr: unknown function %s", n.fn)
+	}
+	args := make([]Value, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	return f(args)
+}
+
+func (n *callNode) writeTo(b *strings.Builder) {
+	b.WriteString(n.fn)
+	b.WriteString("(")
+	for i, a := range n.args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.writeTo(b)
+	}
+	b.WriteString(")")
+}
+
+func equalValues(l, r Value) (bool, error) {
+	if l.Kind != r.Kind {
+		return false, fmt.Errorf("expr: cannot compare %s with %s", l.Kind, r.Kind)
+	}
+	switch l.Kind {
+	case StringKind:
+		return l.Str == r.Str, nil
+	case NumberKind:
+		return l.Num == r.Num, nil
+	default:
+		return l.Bool == r.Bool, nil
+	}
+}
+
+func compareValues(l, r Value) (int, error) {
+	if l.Kind != r.Kind || l.Kind == BoolKind {
+		return 0, fmt.Errorf("expr: cannot order %s against %s", l.Kind, r.Kind)
+	}
+	switch l.Kind {
+	case StringKind:
+		return strings.Compare(l.Str, r.Str), nil
+	default:
+		switch {
+		case l.Num < r.Num:
+			return -1, nil
+		case l.Num > r.Num:
+			return 1, nil
+		}
+		return 0, nil
+	}
+}
+
+// builtins are the callable functions of the language.
+var builtins = map[string]func([]Value) (Value, error){
+	"len": func(args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != StringKind {
+			return Value{}, errors.New("expr: len(string) takes one string")
+		}
+		return Number(float64(len(args[0].Str))), nil
+	},
+	"contains": func(args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != StringKind || args[1].Kind != StringKind {
+			return Value{}, errors.New("expr: contains(string, string) takes two strings")
+		}
+		return Bool(strings.Contains(args[0].Str, args[1].Str)), nil
+	},
+	"startswith": func(args []Value) (Value, error) {
+		if len(args) != 2 || args[0].Kind != StringKind || args[1].Kind != StringKind {
+			return Value{}, errors.New("expr: startswith(string, string) takes two strings")
+		}
+		return Bool(strings.HasPrefix(args[0].Str, args[1].Str)), nil
+	},
+	"defined": func(args []Value) (Value, error) {
+		// defined(x) can never see an undefined variable (evaluation of the
+		// argument fails first); it exists for symmetry and returns true.
+		if len(args) != 1 {
+			return Value{}, errors.New("expr: defined(x) takes one argument")
+		}
+		return Bool(true), nil
+	},
+	"min": func(args []Value) (Value, error) {
+		return foldNumeric("min", args, func(a, b float64) float64 {
+			if b < a {
+				return b
+			}
+			return a
+		})
+	},
+	"max": func(args []Value) (Value, error) {
+		return foldNumeric("max", args, func(a, b float64) float64 {
+			if b > a {
+				return b
+			}
+			return a
+		})
+	},
+	"abs": func(args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != NumberKind {
+			return Value{}, errors.New("expr: abs(number) takes one number")
+		}
+		n := args[0].Num
+		if n < 0 {
+			n = -n
+		}
+		return Number(n), nil
+	},
+	"upper": func(args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != StringKind {
+			return Value{}, errors.New("expr: upper(string) takes one string")
+		}
+		return String(strings.ToUpper(args[0].Str)), nil
+	},
+	"lower": func(args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != StringKind {
+			return Value{}, errors.New("expr: lower(string) takes one string")
+		}
+		return String(strings.ToLower(args[0].Str)), nil
+	},
+	"trim": func(args []Value) (Value, error) {
+		if len(args) != 1 || args[0].Kind != StringKind {
+			return Value{}, errors.New("expr: trim(string) takes one string")
+		}
+		return String(strings.TrimSpace(args[0].Str)), nil
+	},
+	"num": func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Value{}, errors.New("expr: num(x) takes one argument")
+		}
+		switch args[0].Kind {
+		case NumberKind:
+			return args[0], nil
+		case StringKind:
+			f, err := strconv.ParseFloat(strings.TrimSpace(args[0].Str), 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("expr: num(%q): not a number", args[0].Str)
+			}
+			return Number(f), nil
+		default:
+			return Value{}, errors.New("expr: num(bool) is not defined")
+		}
+	},
+}
+
+// foldNumeric reduces 1+ numeric arguments with f.
+func foldNumeric(name string, args []Value, f func(a, b float64) float64) (Value, error) {
+	if len(args) == 0 {
+		return Value{}, fmt.Errorf("expr: %s needs at least one argument", name)
+	}
+	for _, a := range args {
+		if a.Kind != NumberKind {
+			return Value{}, fmt.Errorf("expr: %s takes numbers only", name)
+		}
+	}
+	acc := args[0].Num
+	for _, a := range args[1:] {
+		acc = f(acc, a.Num)
+	}
+	return Number(acc), nil
+}
+
+// --- lexer ------------------------------------------------------------------
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+	l.pos += len(text)
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			switch next {
+			case '"', '\\':
+				b.WriteByte(next)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return fmt.Errorf("expr: bad escape \\%c at %d", next, l.pos)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == '"' {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("expr: unterminated string at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	f, _ := strconv.ParseFloat(text, 64)
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: f, pos: start})
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if !isIdentStart(r) && !(r >= '0' && r <= '9') && r != '.' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexOp() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "&&", "||", "==", "!=", "<=", ">=":
+		l.emit(tokOp, two)
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '!', '<', '>', '+', '-', '*', '/', '=':
+		// A single '=' is accepted as equality for convenience with the
+		// paper's notation Func(X)=True.
+		text := string(c)
+		l.toks = append(l.toks, token{kind: tokOp, text: text, pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("expr: unexpected character %q at %d", l.src[l.pos], l.pos)
+}
+
+// --- parser -----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse compiles source text into a reusable expression.
+func Parse(src string) (*Expr, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, errors.New("expr: empty expression")
+	}
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %q at %d", p.peek().text, p.peek().pos)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// MustParse is Parse for static expressions in tests and fixtures; it
+// panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Node, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, "||") {
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryNode{op: "||", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	lhs, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, "&&") {
+		rhs, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryNode{op: "&&", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	lhs, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=", "=":
+			p.pos++
+			op := t.text
+			if op == "=" {
+				op = "=="
+			}
+			rhs, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &binaryNode{op: op, lhs: lhs, rhs: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	lhs, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-") {
+			p.pos++
+			rhs, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &binaryNode{op: t.text, lhs: lhs, rhs: rhs}
+			continue
+		}
+		return lhs, nil
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "*" || t.text == "/") {
+			p.pos++
+			rhs, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &binaryNode{op: t.text, lhs: lhs, rhs: rhs}
+			continue
+		}
+		return lhs, nil
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.accept(tokOp, "!") {
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{op: "!", operand: operand}, nil
+	}
+	if p.accept(tokOp, "-") {
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &binaryNode{op: "-", lhs: &litNode{v: Number(0)}, rhs: operand}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		return &litNode{v: Number(t.num)}, nil
+	case tokString:
+		return &litNode{v: String(t.text)}, nil
+	case tokIdent:
+		switch t.text {
+		case "true", "True":
+			return &litNode{v: Bool(true)}, nil
+		case "false", "False":
+			return &litNode{v: Bool(false)}, nil
+		}
+		if p.accept(tokLParen, "") {
+			var args []Node
+			if !p.accept(tokRParen, "") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(tokComma, "") {
+						continue
+					}
+					if p.accept(tokRParen, "") {
+						break
+					}
+					return nil, fmt.Errorf("expr: expected , or ) at %d", p.peek().pos)
+				}
+			}
+			fn := strings.ToLower(t.text)
+			if _, ok := builtins[fn]; !ok {
+				return nil, fmt.Errorf("expr: unknown function %q", t.text)
+			}
+			return &callNode{fn: fn, args: args}, nil
+		}
+		return &varNode{name: t.text}, nil
+	case tokLParen:
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen, "") {
+			return nil, fmt.Errorf("expr: missing ) at %d", p.peek().pos)
+		}
+		return inner, nil
+	}
+	return nil, fmt.Errorf("expr: unexpected %q at %d", t.text, t.pos)
+}

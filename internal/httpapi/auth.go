@@ -1,0 +1,156 @@
+// Package httpapi exposes the DRA4WfMS cloud services over HTTP: portal
+// servers (store/retrieve documents, worklists, monitoring) and TFC
+// servers (process intermediate documents), plus the matching client used
+// by AEAs. This is the network substrate the paper's Figure 7 deployment
+// implies — participants connect to portals over a public network.
+//
+// Every request is authenticated with a detached signature: the client
+// signs (method, path, date, nonce, SHA-256(body)) with its registered
+// private key; servers verify against the shared pki registry and reject
+// stale dates and replayed nonces. Confidentiality of the payloads does
+// not depend on the transport — DRA4WfMS documents protect themselves —
+// but authentication keeps worklists and monitoring data scoped to known
+// principals.
+package httpapi
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dra4wfms/internal/pki"
+)
+
+// Authentication headers.
+const (
+	HeaderPrincipal = "X-DRA-Principal"
+	HeaderDate      = "X-DRA-Date"
+	HeaderNonce     = "X-DRA-Nonce"
+	HeaderSignature = "X-DRA-Signature"
+)
+
+// MaxClockSkew bounds how stale a signed request may be.
+const MaxClockSkew = 5 * time.Minute
+
+// stringToSign canonicalizes the signed request surface. The empty path
+// (a bare host URL) normalizes to "/" so clients and servers agree.
+func stringToSign(method, path, date, nonce string, body []byte) []byte {
+	if path == "" {
+		path = "/"
+	}
+	sum := sha256.Sum256(body)
+	return []byte(strings.Join([]string{
+		method, path, date, nonce, hex.EncodeToString(sum[:]),
+	}, "\n"))
+}
+
+// SignRequest attaches the authentication headers to req (whose body bytes
+// must be passed explicitly, since http.Request bodies are streams).
+func SignRequest(req *http.Request, body []byte, keys *pki.KeyPair, now time.Time) error {
+	date := now.UTC().Format(time.RFC3339Nano)
+	var nb [16]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		return err
+	}
+	nonce := base64.RawURLEncoding.EncodeToString(nb[:])
+	sig, err := keys.Sign(stringToSign(req.Method, req.URL.Path, date, nonce, body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(HeaderPrincipal, keys.Owner)
+	req.Header.Set(HeaderDate, date)
+	req.Header.Set(HeaderNonce, nonce)
+	req.Header.Set(HeaderSignature, base64.StdEncoding.EncodeToString(sig))
+	return nil
+}
+
+// nonceCache remembers recently seen nonces to block replays within the
+// clock-skew window.
+type nonceCache struct {
+	mu   sync.Mutex
+	seen map[string]time.Time
+}
+
+func newNonceCache() *nonceCache {
+	return &nonceCache{seen: map[string]time.Time{}}
+}
+
+// remember records the nonce; it reports false if already present.
+func (c *nonceCache) remember(nonce string, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Opportunistic expiry to bound memory.
+	if len(c.seen) > 4096 {
+		for n, t := range c.seen {
+			if now.Sub(t) > 2*MaxClockSkew {
+				delete(c.seen, n)
+			}
+		}
+	}
+	if _, dup := c.seen[nonce]; dup {
+		return false
+	}
+	c.seen[nonce] = now
+	return true
+}
+
+// Authenticator verifies signed requests against a registry.
+type Authenticator struct {
+	Registry *pki.Registry
+	Clock    func() time.Time
+
+	nonces *nonceCache
+}
+
+// NewAuthenticator creates an Authenticator; clock may be nil.
+func NewAuthenticator(reg *pki.Registry, clock func() time.Time) *Authenticator {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Authenticator{Registry: reg, Clock: clock, nonces: newNonceCache()}
+}
+
+// Verify checks the request's authentication headers over the given body
+// bytes and returns the authenticated principal ID.
+func (a *Authenticator) Verify(req *http.Request, body []byte) (string, error) {
+	principal := req.Header.Get(HeaderPrincipal)
+	date := req.Header.Get(HeaderDate)
+	nonce := req.Header.Get(HeaderNonce)
+	sigB64 := req.Header.Get(HeaderSignature)
+	if principal == "" || date == "" || nonce == "" || sigB64 == "" {
+		return "", fmt.Errorf("httpapi: missing authentication headers")
+	}
+	at, err := time.Parse(time.RFC3339Nano, date)
+	if err != nil {
+		return "", fmt.Errorf("httpapi: bad date: %w", err)
+	}
+	now := a.Clock()
+	skew := now.Sub(at)
+	if skew < 0 {
+		skew = -skew
+	}
+	if skew > MaxClockSkew {
+		return "", fmt.Errorf("httpapi: request date outside the ±%v window", MaxClockSkew)
+	}
+	pub, err := a.Registry.PublicKey(principal)
+	if err != nil {
+		return "", fmt.Errorf("httpapi: unknown principal %q: %w", principal, err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(sigB64)
+	if err != nil {
+		return "", fmt.Errorf("httpapi: bad signature encoding: %w", err)
+	}
+	if err := pki.Verify(pub, stringToSign(req.Method, req.URL.Path, date, nonce, body), sig); err != nil {
+		return "", fmt.Errorf("httpapi: request signature invalid: %w", err)
+	}
+	if !a.nonces.remember(principal+"|"+nonce, now) {
+		return "", fmt.Errorf("httpapi: replayed nonce")
+	}
+	return principal, nil
+}

@@ -1,0 +1,240 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/dsig"
+	"dra4wfms/internal/monitor"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/portal"
+	"dra4wfms/internal/tfc"
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmltree"
+)
+
+// Client talks to portal and TFC HTTP services with signed requests. One
+// client represents one principal (its AEA's network side).
+type Client struct {
+	// BaseURL is the service root, e.g. "http://portal-1.example:8080".
+	BaseURL string
+	// Keys signs the requests; Keys.Owner is the authenticated principal.
+	Keys *pki.KeyPair
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// Clock supplies request dates (default time.Now).
+	Clock func() time.Time
+}
+
+// NewClient builds a client for the given principal.
+func NewClient(baseURL string, keys *pki.KeyPair) *Client {
+	return &Client{BaseURL: baseURL, Keys: keys, HTTP: http.DefaultClient, Clock: time.Now}
+}
+
+func (c *Client) do(method, path string, body []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(method, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", ContentXML)
+	}
+	clock := c.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	if err := SignRequest(req, body, c.Keys, clock()); err != nil {
+		return nil, nil, err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return resp, respBody, fmt.Errorf("httpapi: %s %s: %s: %s",
+			method, path, resp.Status, bytes.TrimSpace(respBody))
+	}
+	return resp, respBody, nil
+}
+
+// StoreInitial posts a secured initial document to the portal.
+func (c *Client) StoreInitial(doc *document.Document) ([]portal.Notification, error) {
+	_, body, err := c.do(http.MethodPost, "/v1/documents/initial", doc.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var notes []portal.Notification
+	if err := json.Unmarshal(body, &notes); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding notifications: %w", err)
+	}
+	return notes, nil
+}
+
+// Store posts a produced document to the portal.
+func (c *Client) Store(doc *document.Document) ([]portal.Notification, error) {
+	_, body, err := c.do(http.MethodPost, "/v1/documents", doc.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var notes []portal.Notification
+	if err := json.Unmarshal(body, &notes); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding notifications: %w", err)
+	}
+	return notes, nil
+}
+
+// Retrieve fetches the stored document of a process instance.
+func (c *Client) Retrieve(processID string) (*document.Document, error) {
+	_, body, err := c.do(http.MethodGet, "/v1/documents/"+url.PathEscape(processID), nil)
+	if err != nil {
+		return nil, err
+	}
+	return document.Parse(body)
+}
+
+// Worklist fetches the caller's TO-DO list.
+func (c *Client) Worklist() ([]portal.WorkItem, error) {
+	_, body, err := c.do(http.MethodGet, "/v1/worklist", nil)
+	if err != nil {
+		return nil, err
+	}
+	var items []portal.WorkItem
+	if err := json.Unmarshal(body, &items); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding worklist: %w", err)
+	}
+	return items, nil
+}
+
+// Processes lists process ids, optionally filtered by state.
+func (c *Client) Processes(state string) ([]string, error) {
+	path := "/v1/processes"
+	if state != "" {
+		path += "?state=" + url.QueryEscape(state)
+	}
+	_, body, err := c.do(http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	if err := json.Unmarshal(body, &ids); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding ids: %w", err)
+	}
+	return ids, nil
+}
+
+// Status fetches the monitoring status of one instance.
+func (c *Client) Status(processID string) (*monitor.Status, error) {
+	_, body, err := c.do(http.MethodGet, "/v1/status/"+url.PathEscape(processID), nil)
+	if err != nil {
+		return nil, err
+	}
+	var st monitor.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding status: %w", err)
+	}
+	return &st, nil
+}
+
+// Statistics fetches the pool-wide statistics.
+func (c *Client) Statistics() (*monitor.Statistics, error) {
+	_, body, err := c.do(http.MethodGet, "/v1/statistics", nil)
+	if err != nil {
+		return nil, err
+	}
+	var stats monitor.Statistics
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding statistics: %w", err)
+	}
+	return &stats, nil
+}
+
+// StoreTemplate uploads a designer-signed workflow template to the
+// portal's catalog and returns the cataloged name.
+func (c *Client) StoreTemplate(tpl *xmltree.Node) (string, error) {
+	_, body, err := c.do(http.MethodPut, "/v1/templates", tpl.Canonical())
+	if err != nil {
+		return "", err
+	}
+	var res map[string]string
+	if err := json.Unmarshal(body, &res); err != nil {
+		return "", fmt.Errorf("httpapi: decoding template response: %w", err)
+	}
+	return res["name"], nil
+}
+
+// Templates lists the portal's template catalog (name → designer).
+func (c *Client) Templates() (map[string]string, error) {
+	_, body, err := c.do(http.MethodGet, "/v1/templates", nil)
+	if err != nil {
+		return nil, err
+	}
+	var res map[string]string
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding templates: %w", err)
+	}
+	return res, nil
+}
+
+// Template fetches and locally re-verifies a cataloged template; the
+// caller supplies the resolver (typically the deployment registry).
+func (c *Client) Template(name string, resolver dsig.KeyResolver) (*wfdef.Definition, error) {
+	_, body, err := c.do(http.MethodGet, "/v1/templates/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	tpl, err := xmltree.ParseBytes(body)
+	if err != nil {
+		return nil, err
+	}
+	return document.VerifyTemplate(tpl, resolver)
+}
+
+// ProcessViaTFC submits an intermediate document to a TFC service and
+// returns the routed outcome (pointing the client's BaseURL at the TFC).
+func (c *Client) ProcessViaTFC(doc *document.Document) (*ProcessResponse, *document.Document, error) {
+	_, body, err := c.do(http.MethodPost, "/v1/process", doc.Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	var pr ProcessResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return nil, nil, fmt.Errorf("httpapi: decoding process response: %w", err)
+	}
+	out, err := document.Parse([]byte(pr.Document))
+	if err != nil {
+		return nil, nil, fmt.Errorf("httpapi: parsing returned document: %w", err)
+	}
+	return &pr, out, nil
+}
+
+// TFCRecords fetches the TFC forwarding log (optionally for one process).
+func (c *Client) TFCRecords(processID string) ([]tfc.ForwardRecord, error) {
+	path := "/v1/records"
+	if processID != "" {
+		path += "?process=" + url.QueryEscape(processID)
+	}
+	_, body, err := c.do(http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	var recs []tfc.ForwardRecord
+	if err := json.Unmarshal(body, &recs); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding records: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,306 @@
+package httpapi
+
+import (
+	"encoding/json"
+
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/monitor"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/portal"
+	"dra4wfms/internal/tfc"
+	"dra4wfms/internal/xmltree"
+)
+
+// Wire content types.
+const (
+	ContentXML  = "application/xml"
+	ContentJSON = "application/json"
+)
+
+// maxBody bounds accepted request bodies (documents grow linearly with
+// executed activities; 64 MiB is generous).
+const maxBody = 64 << 20
+
+// PortalServer serves one portal over HTTP.
+//
+//	POST /v1/documents/initial      body: DRA4WfMS XML  → notifications JSON
+//	POST /v1/documents              body: DRA4WfMS XML  → notifications JSON
+//	GET  /v1/documents/{processID}                      → DRA4WfMS XML
+//	GET  /v1/worklist                                   → work items JSON (caller's)
+//	GET  /v1/processes?state=running|completed          → ids JSON
+//	GET  /v1/status/{processID}                         → monitor status JSON
+//	GET  /v1/statistics                                 → pool statistics JSON
+type PortalServer struct {
+	Portal  *portal.Portal
+	Monitor *monitor.Monitor
+	Auth    *Authenticator
+	// Webhooks, when non-nil, enables PUT /v1/webhook registration and
+	// should also be wired as the portal's OnNotify.
+	Webhooks *WebhookDispatcher
+}
+
+// NewPortalServer assembles the HTTP facade of a portal.
+func NewPortalServer(p *portal.Portal, m *monitor.Monitor, auth *Authenticator) *PortalServer {
+	return &PortalServer{Portal: p, Monitor: m, Auth: auth}
+}
+
+// EnableWebhooks attaches a dispatcher signing as keys.Owner and wires it
+// into the portal's notification hook.
+func (s *PortalServer) EnableWebhooks(keys *pki.KeyPair) *WebhookDispatcher {
+	s.Webhooks = NewWebhookDispatcher(keys)
+	s.Portal.OnNotify = s.Webhooks.Notify
+	return s.Webhooks
+}
+
+// Handler returns the routed http.Handler.
+func (s *PortalServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/documents/initial", s.auth(s.handleStoreInitial))
+	mux.HandleFunc("POST /v1/documents", s.auth(s.handleStore))
+	mux.HandleFunc("GET /v1/documents/{pid}", s.auth(s.handleRetrieve))
+	mux.HandleFunc("GET /v1/worklist", s.auth(s.handleWorklist))
+	mux.HandleFunc("GET /v1/processes", s.auth(s.handleProcesses))
+	mux.HandleFunc("GET /v1/status/{pid}", s.auth(s.handleStatus))
+	mux.HandleFunc("GET /v1/statistics", s.auth(s.handleStatistics))
+	mux.HandleFunc("PUT /v1/templates", s.auth(s.handleStoreTemplate))
+	mux.HandleFunc("GET /v1/templates", s.auth(s.handleListTemplates))
+	mux.HandleFunc("GET /v1/templates/{name}", s.auth(s.handleGetTemplate))
+	mux.HandleFunc("PUT /v1/webhook", s.auth(s.handleWebhook))
+	return mux
+}
+
+// handlerFunc is an authenticated handler: principal is the verified
+// caller, body the fully read request body.
+type handlerFunc func(w http.ResponseWriter, r *http.Request, principal string, body []byte)
+
+func (s *PortalServer) auth(h handlerFunc) http.HandlerFunc {
+	return authWrap(s.Auth, h)
+}
+
+func authWrap(a *Authenticator, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+		if err != nil {
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxBody {
+			http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		principal, err := a.Verify(r, body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnauthorized)
+			return
+		}
+		h(w, r, principal, body)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", ContentJSON)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *PortalServer) handleStoreInitial(w http.ResponseWriter, r *http.Request, principal string, body []byte) {
+	doc, err := document.Parse(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	notes, err := s.Portal.StoreInitial(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, notes)
+}
+
+func (s *PortalServer) handleStore(w http.ResponseWriter, r *http.Request, principal string, body []byte) {
+	doc, err := document.Parse(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	notes, err := s.Portal.Store(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, notes)
+}
+
+func (s *PortalServer) handleRetrieve(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
+	doc, err := s.Portal.Retrieve(principal, r.PathValue("pid"))
+	if err != nil {
+		httpStatusError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentXML)
+	_, _ = w.Write(doc.Bytes())
+}
+
+func (s *PortalServer) handleWorklist(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
+	items, err := s.Portal.Worklist(principal)
+	if err != nil {
+		httpStatusError(w, err)
+		return
+	}
+	writeJSON(w, items)
+}
+
+func (s *PortalServer) handleProcesses(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
+	state := r.URL.Query().Get("state")
+	if state != "" && state != "running" && state != "completed" {
+		http.Error(w, "state must be running or completed", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.Portal.ProcessIDs(state))
+}
+
+func (s *PortalServer) handleStatus(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
+	st, err := s.Monitor.InstanceStatus(r.PathValue("pid"))
+	if err != nil {
+		httpStatusError(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *PortalServer) handleStatistics(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
+	stats, err := s.Monitor.Statistics()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, stats)
+}
+
+func (s *PortalServer) handleStoreTemplate(w http.ResponseWriter, r *http.Request, principal string, body []byte) {
+	tpl, err := xmltree.ParseBytes(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	name, err := s.Portal.StoreTemplate(tpl)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]string{"name": name})
+}
+
+func (s *PortalServer) handleListTemplates(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
+	writeJSON(w, s.Portal.Templates())
+}
+
+func (s *PortalServer) handleGetTemplate(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
+	_, tpl, err := s.Portal.Template(principal, r.PathValue("name"))
+	if err != nil {
+		status := http.StatusNotFound
+		if strings.Contains(err.Error(), "unknown principal") {
+			status = http.StatusUnauthorized
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", ContentXML)
+	_, _ = w.Write(tpl.Canonical())
+}
+
+func httpStatusError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unknown process"):
+		status = http.StatusNotFound
+	case strings.Contains(msg, "unknown principal"):
+		status = http.StatusUnauthorized
+	}
+	http.Error(w, msg, status)
+}
+
+// --- TFC server ------------------------------------------------------------------
+
+// TFCServer serves one TFC server over HTTP.
+//
+//	POST /v1/process   body: intermediate DRA4WfMS XML → ProcessResponse
+//	GET  /v1/records?process=ID                        → forwarding log JSON
+type TFCServer struct {
+	Server *tfc.Server
+	Auth   *Authenticator
+}
+
+// NewTFCServer assembles the HTTP facade of a TFC server.
+func NewTFCServer(srv *tfc.Server, auth *Authenticator) *TFCServer {
+	return &TFCServer{Server: srv, Auth: auth}
+}
+
+// ProcessResponse is the JSON envelope returned by POST /v1/process; the
+// processed document travels base64-free as a nested XML string.
+type ProcessResponse struct {
+	// Next lists the routed targets.
+	Next []string `json:"next"`
+	// Completed reports process completion.
+	Completed bool `json:"completed"`
+	// Timestamp is the notarized finish time.
+	Timestamp time.Time `json:"timestamp"`
+	// Document is the canonical XML of the final document.
+	Document string `json:"document"`
+}
+
+// Handler returns the routed http.Handler.
+func (s *TFCServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/process", authWrap(s.Auth, s.handleProcess))
+	mux.HandleFunc("GET /v1/records", authWrap(s.Auth, s.handleRecords))
+	return mux
+}
+
+func (s *TFCServer) handleProcess(w http.ResponseWriter, r *http.Request, principal string, body []byte) {
+	doc, err := document.Parse(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, err := s.Server.Process(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, ProcessResponse{
+		Next:      out.Next,
+		Completed: out.Completed,
+		Timestamp: out.Timestamp,
+		Document:  string(out.Doc.Bytes()),
+	})
+}
+
+func (s *TFCServer) handleRecords(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
+	pid := r.URL.Query().Get("process")
+	var recs []tfc.ForwardRecord
+	if pid == "" {
+		recs = s.Server.Records()
+	} else {
+		recs = s.Server.RecordsFor(pid)
+	}
+	writeJSON(w, recs)
+}
+
+// ListenAndServe runs handler on addr until the context is never canceled;
+// it exists for the cmd binaries (tests use httptest).
+func ListenAndServe(addr string, handler http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

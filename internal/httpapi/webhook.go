@@ -1,0 +1,195 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/portal"
+)
+
+// Webhook notification delivery — the paper's "after a resulting DRA4WfMS
+// document is stored, the portal server should inform the participants of
+// the next activities". A participant (or a role's shared inbox) registers
+// a callback URL over the authenticated API; the portal POSTs a
+// portal-signed JSON notification to it whenever one of the participant's
+// activities becomes enabled. Receivers verify the same signed-request
+// headers clients use, so notifications cannot be forged.
+
+// WebhookDispatcher keeps the URL registry and delivers notifications.
+type WebhookDispatcher struct {
+	// Keys signs outgoing deliveries under the portal's identity.
+	Keys *pki.KeyPair
+	// HTTP performs the deliveries (default http.DefaultClient).
+	HTTP *http.Client
+	// Clock supplies delivery timestamps (default time.Now).
+	Clock func() time.Time
+	// Timeout bounds one delivery attempt (default 5s).
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	urls map[string]string // principal (or "role:<r>") → callback URL
+	// failures counts deliveries that could not be completed.
+	failures int
+	// delivered counts successful deliveries.
+	delivered int
+	wg        sync.WaitGroup
+}
+
+// NewWebhookDispatcher creates a dispatcher signing as keys.Owner.
+func NewWebhookDispatcher(keys *pki.KeyPair) *WebhookDispatcher {
+	return &WebhookDispatcher{Keys: keys, urls: map[string]string{}}
+}
+
+// Register binds the principal (or role key) to a callback URL; an empty
+// URL unregisters.
+func (d *WebhookDispatcher) Register(principal, callbackURL string) error {
+	if callbackURL != "" {
+		u, err := url.Parse(callbackURL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("httpapi: invalid callback URL %q", callbackURL)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if callbackURL == "" {
+		delete(d.urls, principal)
+	} else {
+		d.urls[principal] = callbackURL
+	}
+	return nil
+}
+
+// URL returns the registered callback for a principal.
+func (d *WebhookDispatcher) URL(principal string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	u, ok := d.urls[principal]
+	return u, ok
+}
+
+// Stats returns (delivered, failed) counters.
+func (d *WebhookDispatcher) Stats() (delivered, failed int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.delivered, d.failures
+}
+
+// Notify implements the portal.OnNotify contract: it delivers the
+// notification asynchronously to the participant's registered URL (if
+// any). Delivery failures are counted, not retried — the worklist remains
+// the source of truth; webhooks are a latency optimization.
+func (d *WebhookDispatcher) Notify(n portal.Notification) {
+	target, ok := d.URL(n.Participant)
+	if !ok {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		if err := d.deliver(target, n); err != nil {
+			d.mu.Lock()
+			d.failures++
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Lock()
+		d.delivered++
+		d.mu.Unlock()
+	}()
+}
+
+// Wait blocks until all in-flight deliveries finish (tests, shutdown).
+func (d *WebhookDispatcher) Wait() { d.wg.Wait() }
+
+func (d *WebhookDispatcher) deliver(target string, n portal.Notification) error {
+	body, err := json.Marshal(n)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ContentJSON)
+	clock := d.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	if err := SignRequest(req, body, d.Keys, clock()); err != nil {
+		return err
+	}
+	httpc := d.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Timeout: d.timeout()}
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("httpapi: webhook %s: %s", target, resp.Status)
+	}
+	return nil
+}
+
+func (d *WebhookDispatcher) timeout() time.Duration {
+	if d.Timeout > 0 {
+		return d.Timeout
+	}
+	return 5 * time.Second
+}
+
+// --- server-side registration endpoint -------------------------------------------
+
+// webhookRequest is the PUT /v1/webhook body.
+type webhookRequest struct {
+	// URL is the callback; empty unregisters.
+	URL string `json:"url"`
+	// Role optionally registers for a role inbox ("role:<r>" key) instead
+	// of the caller's own principal; the caller must hold the role.
+	Role string `json:"role,omitempty"`
+}
+
+// handleWebhook registers the authenticated caller's callback URL.
+func (s *PortalServer) handleWebhook(w http.ResponseWriter, r *http.Request, principal string, body []byte) {
+	if s.Webhooks == nil {
+		http.Error(w, "webhooks not enabled on this portal", http.StatusNotImplemented)
+		return
+	}
+	var req webhookRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := principal
+	if req.Role != "" {
+		id, err := s.Portal.Registry.Identity(principal)
+		if err != nil || !id.HasRole(req.Role) {
+			http.Error(w, "caller does not hold the requested role", http.StatusForbidden)
+			return
+		}
+		key = "role:" + req.Role
+	}
+	if err := s.Webhooks.Register(key, req.URL); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]string{"registered": key, "url": req.URL})
+}
+
+// RegisterWebhook is the client call for PUT /v1/webhook; role may be "".
+func (c *Client) RegisterWebhook(callbackURL, role string) error {
+	body, err := json.Marshal(webhookRequest{URL: callbackURL, Role: role})
+	if err != nil {
+		return err
+	}
+	_, _, err = c.do(http.MethodPut, "/v1/webhook", body)
+	return err
+}

@@ -1,0 +1,202 @@
+// Package mapreduce runs parallel map-reduce jobs over scans of the
+// document pool, standing in for the Hadoop MapReduce layer the paper uses
+// for "statistical analyses to workflow processes or instances stored in
+// the DRA4WfMS cloud system" (Section 4.2).
+//
+// A Job scans a pool table, fans the cells out to M mapper goroutines,
+// shuffles emitted pairs to R reducer goroutines by key hash, and returns
+// the reduced result. Values reaching a reducer for one key preserve no
+// particular order (as in Hadoop without secondary sort).
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dra4wfms/internal/pool"
+)
+
+// MapFunc processes one cell and may emit any number of key/value pairs.
+type MapFunc func(kv pool.KeyValue, emit func(key, value string))
+
+// ReduceFunc folds all values emitted under one key into a single value.
+type ReduceFunc func(key string, values []string) string
+
+// Job describes one map-reduce run.
+type Job struct {
+	// Table is the input table.
+	Table *pool.Table
+	// Scan selects the input cells.
+	Scan pool.ScanOptions
+	// Map is the mapper (required).
+	Map MapFunc
+	// Reduce is the reducer (required).
+	Reduce ReduceFunc
+	// Mappers is the mapper goroutine count (default GOMAXPROCS).
+	Mappers int
+	// Reducers is the reducer goroutine count (default 4).
+	Reducers int
+}
+
+// Run executes the job and returns key → reduced value.
+func (j *Job) Run() (map[string]string, error) {
+	if j.Table == nil {
+		return nil, errors.New("mapreduce: no input table")
+	}
+	if j.Map == nil || j.Reduce == nil {
+		return nil, errors.New("mapreduce: Map and Reduce are required")
+	}
+	mappers := j.Mappers
+	if mappers <= 0 {
+		mappers = runtime.GOMAXPROCS(0)
+	}
+	reducers := j.Reducers
+	if reducers <= 0 {
+		reducers = 4
+	}
+
+	input := j.Table.Scan(j.Scan)
+	if len(input) == 0 {
+		return map[string]string{}, nil
+	}
+	if mappers > len(input) {
+		mappers = len(input)
+	}
+
+	// Map phase: each mapper owns a chunk and a private set of per-reducer
+	// buckets, so no locking is needed until the merge.
+	type buckets []map[string][]string
+	perMapper := make([]buckets, mappers)
+	var wg sync.WaitGroup
+	chunk := (len(input) + mappers - 1) / mappers
+	var panicked error
+	var panicMu sync.Mutex
+	for m := 0; m < mappers; m++ {
+		lo := m * chunk
+		hi := lo + chunk
+		if hi > len(input) {
+			hi = len(input)
+		}
+		b := make(buckets, reducers)
+		for i := range b {
+			b[i] = map[string][]string{}
+		}
+		perMapper[m] = b
+		wg.Add(1)
+		go func(cells []pool.KeyValue, b buckets) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = fmt.Errorf("mapreduce: mapper panic: %v", r)
+					}
+					panicMu.Unlock()
+				}
+			}()
+			emit := func(key, value string) {
+				idx := shard(key, reducers)
+				b[idx][key] = append(b[idx][key], value)
+			}
+			for _, kv := range cells {
+				j.Map(kv, emit)
+			}
+		}(input[lo:hi], b)
+	}
+	wg.Wait()
+	if panicked != nil {
+		return nil, panicked
+	}
+
+	// Shuffle: merge per-mapper buckets into per-reducer groups.
+	groups := make([]map[string][]string, reducers)
+	for i := range groups {
+		groups[i] = map[string][]string{}
+	}
+	for _, b := range perMapper {
+		for r, bucket := range b {
+			for k, vs := range bucket {
+				groups[r][k] = append(groups[r][k], vs...)
+			}
+		}
+	}
+
+	// Reduce phase.
+	results := make([]map[string]string, reducers)
+	for r := 0; r < reducers; r++ {
+		results[r] = map[string]string{}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = fmt.Errorf("mapreduce: reducer panic: %v", rec)
+					}
+					panicMu.Unlock()
+				}
+			}()
+			// Deterministic key order within the reducer.
+			keys := make([]string, 0, len(groups[r]))
+			for k := range groups[r] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				results[r][k] = j.Reduce(k, groups[r][k])
+			}
+		}(r)
+	}
+	wg.Wait()
+	if panicked != nil {
+		return nil, panicked
+	}
+
+	out := map[string]string{}
+	for _, m := range results {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+func shard(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Count is a convenience job: it maps every selected cell through keyOf
+// (skipping cells mapped to "") and returns how many cells produced each
+// key — the workhorse of workflow monitoring statistics.
+func Count(t *pool.Table, scan pool.ScanOptions, keyOf func(pool.KeyValue) string) (map[string]int, error) {
+	j := &Job{
+		Table: t,
+		Scan:  scan,
+		Map: func(kv pool.KeyValue, emit func(string, string)) {
+			if k := keyOf(kv); k != "" {
+				emit(k, "1")
+			}
+		},
+		Reduce: func(key string, values []string) string {
+			return fmt.Sprintf("%d", len(values))
+		},
+	}
+	res, err := j.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(res))
+	for k, v := range res {
+		var n int
+		fmt.Sscanf(v, "%d", &n)
+		out[k] = n
+	}
+	return out, nil
+}

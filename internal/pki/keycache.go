@@ -1,0 +1,48 @@
+package pki
+
+import "sync"
+
+// KeyCache lazily generates and memoizes key pairs by owner ID. RSA key
+// generation is by far the most expensive primitive in the system, so tests
+// and benchmarks share a cache instead of regenerating keys per case. The
+// cache is safe for concurrent use.
+type KeyCache struct {
+	// Bits is the RSA modulus size for generated keys; <= 0 selects
+	// DefaultKeyBits.
+	Bits int
+
+	mu   sync.Mutex
+	keys map[string]*KeyPair
+}
+
+// NewKeyCache returns a cache producing keys of the given size.
+func NewKeyCache(bits int) *KeyCache {
+	return &KeyCache{Bits: bits, keys: make(map[string]*KeyPair)}
+}
+
+// Get returns the cached key pair for owner, generating it on first use.
+func (c *KeyCache) Get(owner string) (*KeyPair, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.keys == nil {
+		c.keys = make(map[string]*KeyPair)
+	}
+	if kp, ok := c.keys[owner]; ok {
+		return kp, nil
+	}
+	kp, err := GenerateKeyPair(owner, c.Bits)
+	if err != nil {
+		return nil, err
+	}
+	c.keys[owner] = kp
+	return kp, nil
+}
+
+// MustGet is Get for test code: it panics on key-generation failure.
+func (c *KeyCache) MustGet(owner string) *KeyPair {
+	kp, err := c.Get(owner)
+	if err != nil {
+		panic(err)
+	}
+	return kp
+}

@@ -1,0 +1,122 @@
+package pki
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file provides the on-disk forms of the trust fabric, so separate
+// processes (portal servers, TFC servers, participant tools) can share one
+// deployment: PEM-encoded private keys and a JSON trust bundle holding the
+// issuer's public key plus all issued certificates.
+
+// pemType is the PEM block type for private keys.
+const pemType = "PRIVATE KEY"
+
+// EncodePrivateKeyPEM serializes a key pair to PKCS#8 PEM. The owner ID
+// travels in a PEM header.
+func EncodePrivateKeyPEM(kp *KeyPair) ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(kp.Private)
+	if err != nil {
+		return nil, fmt.Errorf("pki: encoding private key: %w", err)
+	}
+	block := &pem.Block{
+		Type:    pemType,
+		Headers: map[string]string{"Owner": kp.Owner},
+		Bytes:   der,
+	}
+	return pem.EncodeToMemory(block), nil
+}
+
+// DecodePrivateKeyPEM reverses EncodePrivateKeyPEM.
+func DecodePrivateKeyPEM(data []byte) (*KeyPair, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != pemType {
+		return nil, errors.New("pki: no private-key PEM block")
+	}
+	key, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parsing private key: %w", err)
+	}
+	rsaKey, ok := key.(*rsa.PrivateKey)
+	if !ok {
+		return nil, errors.New("pki: not an RSA private key")
+	}
+	owner := block.Headers["Owner"]
+	if owner == "" {
+		return nil, errors.New("pki: private-key PEM lacks an Owner header")
+	}
+	return &KeyPair{Owner: owner, Private: rsaKey}, nil
+}
+
+// TrustBundle is the portable trust configuration of a deployment: who the
+// issuer is and which certificates it has issued. It contains no private
+// material.
+type TrustBundle struct {
+	// IssuerID is the certification authority's principal ID.
+	IssuerID string `json:"issuerId"`
+	// IssuerPublicKey is the CA's base64 PKIX public key.
+	IssuerPublicKey string `json:"issuerPublicKey"`
+	// Certificates are all issued participant certificates.
+	Certificates []*Certificate `json:"certificates"`
+}
+
+// ExportBundle collects the registry's current certificates under the
+// given CA into a bundle.
+func ExportBundle(ca *CA, reg *Registry) (*TrustBundle, error) {
+	pub, err := EncodePublicKey(ca.Keys.Public())
+	if err != nil {
+		return nil, err
+	}
+	b := &TrustBundle{IssuerID: ca.Identity.ID, IssuerPublicKey: pub}
+	for _, id := range reg.Principals() {
+		cert, err := reg.Certificate(id)
+		if err != nil {
+			return nil, err
+		}
+		if cert.Issuer == ca.Identity.ID {
+			b.Certificates = append(b.Certificates, cert)
+		}
+	}
+	return b, nil
+}
+
+// Marshal renders the bundle as indented JSON.
+func (b *TrustBundle) Marshal() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// ParseBundle reads a bundle from JSON.
+func ParseBundle(data []byte) (*TrustBundle, error) {
+	var b TrustBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("pki: parsing trust bundle: %w", err)
+	}
+	if b.IssuerID == "" || b.IssuerPublicKey == "" {
+		return nil, errors.New("pki: trust bundle lacks an issuer")
+	}
+	return &b, nil
+}
+
+// BuildRegistry verifies every certificate in the bundle against the
+// embedded issuer key and returns a populated registry. Certificates that
+// fail verification abort the load — a bundle is all-or-nothing.
+func (b *TrustBundle) BuildRegistry(at time.Time) (*Registry, error) {
+	issuerPub, err := DecodePublicKey(b.IssuerPublicKey)
+	if err != nil {
+		return nil, err
+	}
+	reg := NewRegistry()
+	reg.AddIssuer(b.IssuerID, issuerPub)
+	for _, cert := range b.Certificates {
+		if err := reg.Register(cert, at); err != nil {
+			return nil, fmt.Errorf("pki: bundle certificate for %q: %w", cert.Subject.ID, err)
+		}
+	}
+	return reg, nil
+}

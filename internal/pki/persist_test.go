@@ -1,0 +1,128 @@
+package pki
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrivateKeyPEMRoundTrip(t *testing.T) {
+	kp := cache.MustGet("alice")
+	pemBytes, err := EncodePrivateKeyPEM(kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(pemBytes), "PRIVATE KEY") || !strings.Contains(string(pemBytes), "Owner: alice") {
+		t.Fatalf("pem = %s", pemBytes)
+	}
+	back, err := DecodePrivateKeyPEM(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Owner != "alice" || back.Private.N.Cmp(kp.Private.N) != 0 {
+		t.Fatal("round trip changed the key")
+	}
+	// Signatures made with the decoded key verify under the original pub.
+	sig, err := back.Sign([]byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(kp.Public(), []byte("msg"), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePrivateKeyPEMErrors(t *testing.T) {
+	if _, err := DecodePrivateKeyPEM([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	kp := cache.MustGet("alice")
+	pemBytes, _ := EncodePrivateKeyPEM(kp)
+	// Strip the Owner header.
+	broken := strings.Replace(string(pemBytes), "Owner: alice\n", "", 1)
+	if _, err := DecodePrivateKeyPEM([]byte(broken)); err == nil {
+		t.Fatal("owner-less PEM accepted")
+	}
+}
+
+func TestTrustBundleRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	reg := NewRegistry(ca)
+	now := time.Now()
+	for _, id := range []string{"alice", "bob", "tfc@cloud"} {
+		kp := cache.MustGet(id)
+		cert, err := ca.Issue(Identity{ID: id, Org: "acme"}, kp.Public(), now, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(cert, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bundle, err := ExportBundle(ca, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := bundle.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.IssuerID != "ca@root" || len(parsed.Certificates) != 3 {
+		t.Fatalf("bundle = %+v", parsed)
+	}
+	// A fresh process builds a working registry from the bundle alone —
+	// without the CA's private key.
+	loaded, err := parsed.BuildRegistry(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := loaded.PublicKey("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(cache.MustGet("alice").Public().N) != 0 {
+		t.Fatal("loaded registry has wrong key")
+	}
+	// The loaded registry can even register further certificates issued by
+	// the same CA (public-key-only issuer trust).
+	carol := cache.MustGet("carol")
+	cert, _ := ca.Issue(Identity{ID: "carol"}, carol.Public(), now, time.Hour)
+	if err := loaded.Register(cert, now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrustBundleTamperRejected(t *testing.T) {
+	ca := newTestCA(t)
+	reg := NewRegistry(ca)
+	now := time.Now()
+	alice := cache.MustGet("alice")
+	cert, _ := ca.Issue(Identity{ID: "alice"}, alice.Public(), now, time.Hour)
+	reg.Register(cert, now)
+	bundle, _ := ExportBundle(ca, reg)
+
+	// Swap in an attacker-controlled subject.
+	bundle.Certificates[0].Subject.ID = "mallory"
+	if _, err := bundle.BuildRegistry(now); err == nil {
+		t.Fatal("tampered bundle loaded")
+	}
+}
+
+func TestParseBundleErrors(t *testing.T) {
+	if _, err := ParseBundle([]byte("{")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	if _, err := ParseBundle([]byte("{}")); err == nil {
+		t.Fatal("issuer-less bundle accepted")
+	}
+	b := &TrustBundle{IssuerID: "x", IssuerPublicKey: "!!!"}
+	if _, err := b.BuildRegistry(time.Now()); err == nil {
+		t.Fatal("bad issuer key accepted")
+	}
+}

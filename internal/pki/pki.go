@@ -1,0 +1,379 @@
+// Package pki provides the key and identity infrastructure that DRA4WfMS
+// participants rely on: RSA key pairs, lightweight certificates issued by a
+// certification authority, and a thread-safe registry mapping participant
+// identifiers to verified public keys.
+//
+// The paper assumes each workflow participant, the workflow designer, and
+// every TFC server owns an asymmetric key pair whose public half is known
+// (and trusted) by all other parties. This package supplies that trust
+// fabric. Certificates here are deliberately simpler than X.509 — a signed
+// statement binding a participant ID and organization to a public key with
+// a validity window — because the reproduction needs the *trust semantics*,
+// not ASN.1.
+package pki
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultKeyBits is the RSA modulus size used when none is specified. The
+// paper's prototype (Java XML DSig defaults of the era) used RSA keys of
+// this size class.
+const DefaultKeyBits = 2048
+
+// KeyPair couples a participant's RSA private key with its identifier.
+type KeyPair struct {
+	// Owner is the participant identifier this key belongs to.
+	Owner string
+	// Private is the RSA private key; its Public() half is published.
+	Private *rsa.PrivateKey
+}
+
+// GenerateKeyPair creates a fresh RSA key pair of the given size for owner.
+// bits <= 0 selects DefaultKeyBits.
+func GenerateKeyPair(owner string, bits int) (*KeyPair, error) {
+	if bits <= 0 {
+		bits = DefaultKeyBits
+	}
+	priv, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generating key for %s: %w", owner, err)
+	}
+	return &KeyPair{Owner: owner, Private: priv}, nil
+}
+
+// Public returns the public half of the key pair.
+func (k *KeyPair) Public() *rsa.PublicKey { return &k.Private.PublicKey }
+
+// Sign produces an RSASSA-PKCS1-v1_5 signature over the SHA-256 digest of
+// msg. It is the primitive beneath the XML signatures in package dsig.
+func (k *KeyPair) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := rsa.SignPKCS1v15(rand.Reader, k.Private, crypto.SHA256, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("pki: signing as %s: %w", k.Owner, err)
+	}
+	return sig, nil
+}
+
+// Verify checks an RSASSA-PKCS1-v1_5/SHA-256 signature over msg against pub.
+func Verify(pub *rsa.PublicKey, msg, sig []byte) error {
+	digest := sha256.Sum256(msg)
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], sig); err != nil {
+		return fmt.Errorf("pki: signature verification failed: %w", err)
+	}
+	return nil
+}
+
+// EncodePublicKey serializes an RSA public key to a base64 PKIX form
+// suitable for embedding in XML documents and certificates.
+func EncodePublicKey(pub *rsa.PublicKey) (string, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return "", fmt.Errorf("pki: encoding public key: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(der), nil
+}
+
+// DecodePublicKey reverses EncodePublicKey.
+func DecodePublicKey(s string) (*rsa.PublicKey, error) {
+	der, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("pki: decoding public key: %w", err)
+	}
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parsing public key: %w", err)
+	}
+	pub, ok := k.(*rsa.PublicKey)
+	if !ok {
+		return nil, errors.New("pki: not an RSA public key")
+	}
+	return pub, nil
+}
+
+// Identity describes one principal in the system: a human participant, the
+// workflow designer, a TFC server, or a portal.
+type Identity struct {
+	// ID is the unique participant identifier used throughout documents
+	// (e.g. "peter@acme"). Signatures and encryption recipients name IDs.
+	ID string
+	// DisplayName is a human-readable name for UIs and logs.
+	DisplayName string
+	// Org is the enterprise or organization the principal belongs to;
+	// cross-enterprise workflows span several orgs.
+	Org string
+	// Roles lists workflow roles the principal may fill (e.g. "manager").
+	Roles []string
+}
+
+// HasRole reports whether the identity carries the given role.
+func (id *Identity) HasRole(role string) bool {
+	for _, r := range id.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// Certificate binds an identity to a public key for a validity window,
+// signed by a CA. The To-Be-Signed portion is the deterministic JSON of
+// tbsCertificate.
+type Certificate struct {
+	Subject   Identity
+	PublicKey string // base64 PKIX
+	Issuer    string // CA identifier
+	NotBefore time.Time
+	NotAfter  time.Time
+	Serial    uint64
+	Signature []byte
+}
+
+type tbsCertificate struct {
+	Subject   Identity
+	PublicKey string
+	Issuer    string
+	NotBefore time.Time
+	NotAfter  time.Time
+	Serial    uint64
+}
+
+func (c *Certificate) tbsBytes() ([]byte, error) {
+	tbs := tbsCertificate{
+		Subject:   c.Subject,
+		PublicKey: c.PublicKey,
+		Issuer:    c.Issuer,
+		NotBefore: c.NotBefore.UTC(),
+		NotAfter:  c.NotAfter.UTC(),
+		Serial:    c.Serial,
+	}
+	// Roles order must not affect the signature.
+	sort.Strings(tbs.Subject.Roles)
+	b, err := json.Marshal(tbs)
+	if err != nil {
+		return nil, fmt.Errorf("pki: marshaling certificate: %w", err)
+	}
+	return b, nil
+}
+
+// RSAPublicKey decodes the certificate's embedded public key.
+func (c *Certificate) RSAPublicKey() (*rsa.PublicKey, error) {
+	return DecodePublicKey(c.PublicKey)
+}
+
+// ValidAt reports whether t falls inside the certificate validity window.
+func (c *Certificate) ValidAt(t time.Time) bool {
+	return !t.Before(c.NotBefore) && !t.After(c.NotAfter)
+}
+
+// CA is a certification authority: an identity plus key pair that can issue
+// and verify participant certificates. A single CA models the trust anchor
+// shared by the enterprises in a cross-enterprise workflow; the registry
+// supports multiple CAs if enterprises bring their own.
+type CA struct {
+	Identity Identity
+	Keys     *KeyPair
+
+	mu     sync.Mutex
+	serial uint64
+}
+
+// NewCA creates a certification authority with a fresh key pair.
+func NewCA(id string, bits int) (*CA, error) {
+	kp, err := GenerateKeyPair(id, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Identity: Identity{ID: id, DisplayName: id}, Keys: kp}, nil
+}
+
+// Issue signs a certificate for subject's public key valid for the given
+// duration starting at now.
+func (ca *CA) Issue(subject Identity, pub *rsa.PublicKey, now time.Time, validity time.Duration) (*Certificate, error) {
+	enc, err := EncodePublicKey(pub)
+	if err != nil {
+		return nil, err
+	}
+	ca.mu.Lock()
+	ca.serial++
+	serial := ca.serial
+	ca.mu.Unlock()
+	cert := &Certificate{
+		Subject:   subject,
+		PublicKey: enc,
+		Issuer:    ca.Identity.ID,
+		NotBefore: now,
+		NotAfter:  now.Add(validity),
+		Serial:    serial,
+	}
+	tbs, err := cert.tbsBytes()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := ca.Keys.Sign(tbs)
+	if err != nil {
+		return nil, err
+	}
+	cert.Signature = sig
+	return cert, nil
+}
+
+// VerifyCertificate checks that cert was signed by this CA and is valid at
+// the given instant.
+func (ca *CA) VerifyCertificate(cert *Certificate, at time.Time) error {
+	if cert.Issuer != ca.Identity.ID {
+		return fmt.Errorf("pki: certificate issuer %q is not %q", cert.Issuer, ca.Identity.ID)
+	}
+	return verifyCertificateWith(ca.Keys.Public(), cert, at)
+}
+
+// verifyCertificateWith checks validity and signature under an issuer's
+// public key (used both by live CAs and by trust-bundle loading).
+func verifyCertificateWith(issuerPub *rsa.PublicKey, cert *Certificate, at time.Time) error {
+	if !cert.ValidAt(at) {
+		return fmt.Errorf("pki: certificate for %q not valid at %v", cert.Subject.ID, at)
+	}
+	tbs, err := cert.tbsBytes()
+	if err != nil {
+		return err
+	}
+	if err := Verify(issuerPub, tbs, cert.Signature); err != nil {
+		return fmt.Errorf("pki: certificate for %q: %w", cert.Subject.ID, err)
+	}
+	return nil
+}
+
+// Registry is the thread-safe directory of trusted principals. AEAs, TFC
+// servers and portals consult it to resolve a participant ID to a verified
+// public key before checking signatures or encrypting to a recipient.
+type Registry struct {
+	mu      sync.RWMutex
+	cas     map[string]*CA
+	issuers map[string]*rsa.PublicKey
+	entries map[string]*Certificate
+	revoked map[string]bool
+}
+
+// NewRegistry creates an empty registry trusting the given CAs.
+func NewRegistry(cas ...*CA) *Registry {
+	r := &Registry{
+		cas:     make(map[string]*CA),
+		issuers: make(map[string]*rsa.PublicKey),
+		entries: make(map[string]*Certificate),
+		revoked: make(map[string]bool),
+	}
+	for _, ca := range cas {
+		r.cas[ca.Identity.ID] = ca
+	}
+	return r
+}
+
+// AddCA registers an additional trusted certification authority.
+func (r *Registry) AddCA(ca *CA) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cas[ca.Identity.ID] = ca
+}
+
+// AddIssuer trusts an issuer known only by its public key — the form a
+// trust bundle carries across processes (no private CA material leaves the
+// issuing machine).
+func (r *Registry) AddIssuer(id string, pub *rsa.PublicKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.issuers[id] = pub
+}
+
+// ErrUnknownPrincipal is returned when a lookup names an unregistered or
+// revoked participant.
+var ErrUnknownPrincipal = errors.New("pki: unknown or revoked principal")
+
+// Register verifies cert against its issuing CA and, on success, records it
+// under the subject's ID. Registration replaces any previous certificate
+// for the same subject.
+func (r *Registry) Register(cert *Certificate, at time.Time) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ca, ok := r.cas[cert.Issuer]; ok {
+		if err := ca.VerifyCertificate(cert, at); err != nil {
+			return err
+		}
+	} else if pub, ok := r.issuers[cert.Issuer]; ok {
+		if err := verifyCertificateWith(pub, cert, at); err != nil {
+			return err
+		}
+	} else {
+		return fmt.Errorf("pki: untrusted issuer %q", cert.Issuer)
+	}
+	r.entries[cert.Subject.ID] = cert
+	delete(r.revoked, cert.Subject.ID)
+	return nil
+}
+
+// Revoke marks the principal's certificate as revoked; subsequent lookups
+// fail with ErrUnknownPrincipal until a new certificate is registered.
+func (r *Registry) Revoke(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.revoked[id] = true
+}
+
+// Certificate returns the registered certificate for id.
+func (r *Registry) Certificate(id string) (*Certificate, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.revoked[id] {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPrincipal, id)
+	}
+	cert, ok := r.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPrincipal, id)
+	}
+	return cert, nil
+}
+
+// PublicKey resolves a participant ID to its verified RSA public key.
+func (r *Registry) PublicKey(id string) (*rsa.PublicKey, error) {
+	cert, err := r.Certificate(id)
+	if err != nil {
+		return nil, err
+	}
+	return cert.RSAPublicKey()
+}
+
+// Identity returns the registered identity metadata for id.
+func (r *Registry) Identity(id string) (*Identity, error) {
+	cert, err := r.Certificate(id)
+	if err != nil {
+		return nil, err
+	}
+	sub := cert.Subject
+	return &sub, nil
+}
+
+// Principals returns the IDs of all registered, unrevoked principals in
+// lexicographic order.
+func (r *Registry) Principals() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		if !r.revoked[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

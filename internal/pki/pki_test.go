@@ -1,0 +1,259 @@
+package pki
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// testBits keeps RSA generation fast in tests; the trust logic under test is
+// independent of modulus size.
+const testBits = 1024
+
+var cache = NewKeyCache(testBits)
+
+func TestSignVerify(t *testing.T) {
+	kp := cache.MustGet("alice")
+	msg := []byte("the execution result of activity A1")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(kp.Public(), msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if err := Verify(kp.Public(), append(msg, 'x'), sig); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	other := cache.MustGet("bob")
+	if err := Verify(other.Public(), msg, sig); err == nil {
+		t.Fatal("signature accepted under wrong key")
+	}
+}
+
+func TestSignatureNotMalleableByBitFlip(t *testing.T) {
+	kp := cache.MustGet("alice")
+	msg := []byte("payload")
+	sig, _ := kp.Sign(msg)
+	for i := 0; i < len(sig); i += 17 {
+		bad := make([]byte, len(sig))
+		copy(bad, sig)
+		bad[i] ^= 0x01
+		if err := Verify(kp.Public(), msg, bad); err == nil {
+			t.Fatalf("bit-flipped signature at byte %d accepted", i)
+		}
+	}
+}
+
+func TestPublicKeyEncodeDecode(t *testing.T) {
+	kp := cache.MustGet("alice")
+	enc, err := EncodePublicKey(kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodePublicKey(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.N.Cmp(kp.Public().N) != 0 || dec.E != kp.Public().E {
+		t.Fatal("decoded key differs from original")
+	}
+	if _, err := DecodePublicKey("!!!not base64!!!"); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+	if _, err := DecodePublicKey("aGVsbG8="); err == nil {
+		t.Fatal("non-PKIX input accepted")
+	}
+}
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca := &CA{Identity: Identity{ID: "ca@root", DisplayName: "Root CA"}, Keys: cache.MustGet("ca@root")}
+	return ca
+}
+
+func TestCertificateIssueVerify(t *testing.T) {
+	ca := newTestCA(t)
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	alice := cache.MustGet("alice")
+	cert, err := ca.Issue(Identity{ID: "alice", Org: "acme", Roles: []string{"clerk"}}, alice.Public(), now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.VerifyCertificate(cert, now.Add(30*time.Minute)); err != nil {
+		t.Fatalf("valid cert rejected: %v", err)
+	}
+	if err := ca.VerifyCertificate(cert, now.Add(2*time.Hour)); err == nil {
+		t.Fatal("expired cert accepted")
+	}
+	if err := ca.VerifyCertificate(cert, now.Add(-time.Minute)); err == nil {
+		t.Fatal("not-yet-valid cert accepted")
+	}
+
+	cert.Subject.Org = "evil-corp"
+	if err := ca.VerifyCertificate(cert, now); err == nil {
+		t.Fatal("tampered cert accepted")
+	}
+}
+
+func TestCertificateRolesOrderIndependent(t *testing.T) {
+	ca := newTestCA(t)
+	now := time.Now()
+	alice := cache.MustGet("alice")
+	cert, err := ca.Issue(Identity{ID: "alice", Roles: []string{"b", "a"}}, alice.Public(), now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reordering roles must not invalidate the signature: tbs sorts them.
+	cert.Subject.Roles = []string{"a", "b"}
+	if err := ca.VerifyCertificate(cert, now); err != nil {
+		t.Fatalf("role reordering invalidated cert: %v", err)
+	}
+}
+
+func TestCertificateSerialMonotonic(t *testing.T) {
+	ca := newTestCA(t)
+	now := time.Now()
+	alice := cache.MustGet("alice")
+	c1, _ := ca.Issue(Identity{ID: "a"}, alice.Public(), now, time.Hour)
+	c2, _ := ca.Issue(Identity{ID: "b"}, alice.Public(), now, time.Hour)
+	if c2.Serial <= c1.Serial {
+		t.Fatalf("serials not monotonic: %d then %d", c1.Serial, c2.Serial)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	ca := newTestCA(t)
+	reg := NewRegistry(ca)
+	now := time.Now()
+
+	alice := cache.MustGet("alice")
+	cert, _ := ca.Issue(Identity{ID: "alice", Org: "acme", Roles: []string{"clerk"}}, alice.Public(), now, time.Hour)
+	if err := reg.Register(cert, now); err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := reg.PublicKey("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(alice.Public().N) != 0 {
+		t.Fatal("registry returned wrong key")
+	}
+	id, err := reg.Identity("alice")
+	if err != nil || id.Org != "acme" || !id.HasRole("clerk") {
+		t.Fatalf("Identity = %+v, err %v", id, err)
+	}
+	if id.HasRole("admin") {
+		t.Fatal("HasRole(admin) = true")
+	}
+
+	if _, err := reg.PublicKey("mallory"); err == nil {
+		t.Fatal("unknown principal resolved")
+	}
+
+	reg.Revoke("alice")
+	if _, err := reg.PublicKey("alice"); err == nil {
+		t.Fatal("revoked principal resolved")
+	}
+	// Re-registration clears revocation.
+	if err := reg.Register(cert, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.PublicKey("alice"); err != nil {
+		t.Fatalf("re-registered principal not resolved: %v", err)
+	}
+}
+
+func TestRegistryRejectsUntrustedIssuerAndTamper(t *testing.T) {
+	ca := newTestCA(t)
+	rogue := &CA{Identity: Identity{ID: "ca@rogue"}, Keys: cache.MustGet("ca@rogue")}
+	reg := NewRegistry(ca)
+	now := time.Now()
+
+	alice := cache.MustGet("alice")
+	badCert, _ := rogue.Issue(Identity{ID: "alice"}, alice.Public(), now, time.Hour)
+	if err := reg.Register(badCert, now); err == nil {
+		t.Fatal("certificate from untrusted CA registered")
+	}
+
+	cert, _ := ca.Issue(Identity{ID: "alice"}, alice.Public(), now, time.Hour)
+	cert.Subject.ID = "mallory" // rebind to another subject
+	if err := reg.Register(cert, now); err == nil {
+		t.Fatal("tampered certificate registered")
+	}
+}
+
+func TestRegistryPrincipalsSorted(t *testing.T) {
+	ca := newTestCA(t)
+	reg := NewRegistry(ca)
+	now := time.Now()
+	for _, id := range []string{"zed", "alice", "mid"} {
+		kp := cache.MustGet(id)
+		cert, _ := ca.Issue(Identity{ID: id}, kp.Public(), now, time.Hour)
+		if err := reg.Register(cert, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := reg.Principals()
+	want := []string{"alice", "mid", "zed"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Principals = %v, want %v", got, want)
+	}
+	reg.Revoke("mid")
+	if got := reg.Principals(); len(got) != 2 {
+		t.Fatalf("Principals after revoke = %v", got)
+	}
+}
+
+func TestKeyCacheConcurrent(t *testing.T) {
+	c := NewKeyCache(testBits)
+	var wg sync.WaitGroup
+	results := make([]*KeyPair, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.MustGet("shared")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("KeyCache returned distinct keys for same owner")
+		}
+	}
+	if c.MustGet("other") == results[0] {
+		t.Fatal("distinct owners shared a key")
+	}
+}
+
+func TestZeroValueKeyCacheUsable(t *testing.T) {
+	var c KeyCache
+	c.Bits = testBits
+	if c.MustGet("x") == nil {
+		t.Fatal("zero-value KeyCache unusable")
+	}
+}
+
+// TestPropSignVerifyRandomMessages: any message signs and verifies; any
+// single-byte prefix change breaks verification.
+func TestPropSignVerifyRandomMessages(t *testing.T) {
+	kp := cache.MustGet("alice")
+	f := func(msg []byte) bool {
+		sig, err := kp.Sign(msg)
+		if err != nil {
+			return false
+		}
+		if Verify(kp.Public(), msg, sig) != nil {
+			return false
+		}
+		tampered := append([]byte{0xFF}, msg...)
+		return Verify(kp.Public(), tampered, sig) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

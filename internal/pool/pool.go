@@ -1,0 +1,839 @@
+// Package pool implements the pool of DRA4WfMS documents: a distributed,
+// column-oriented key-value store modeled on HBase, which the paper's
+// prototype used on top of Hadoop (Section 4.2). A DRA4WfMS document is
+// stored as a cell in a row of a table; portals perform random reads and
+// writes by row key and prefix scans for worklists, and the mapreduce
+// package runs statistics over scans.
+//
+// The store reproduces the HBase mechanics that matter for those access
+// patterns:
+//
+//   - tables with declared column families and bounded cell versions;
+//   - range-sharded regions, each with a write-ahead log, an in-memory
+//     memstore, and immutable flushed segments (HFiles);
+//   - region flush, compaction, and splitting when a region grows past a
+//     threshold;
+//   - a cluster of region servers with master-directed region assignment
+//     and client-side routing by key range;
+//   - ordered scans with family/prefix/limit filtering, merging memstore
+//     and segments with latest-version-wins and delete tombstones.
+//
+// Everything is in-memory and protected by per-region locks; Crash and
+// Recover simulate a region server failure with WAL replay.
+package pool
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Cell is one versioned value.
+type Cell struct {
+	// Value is the stored bytes; nil marks a delete tombstone.
+	Value []byte
+	// Version is the cell's logical timestamp; higher is newer.
+	Version int64
+}
+
+// IsTombstone reports whether the cell marks a deletion.
+func (c Cell) IsTombstone() bool { return c.Value == nil }
+
+// KeyValue is one cell with its full coordinates, the unit scans return.
+type KeyValue struct {
+	Row       string
+	Family    string
+	Qualifier string
+	Cell
+}
+
+func (kv KeyValue) coordLess(other KeyValue) bool {
+	if kv.Row != other.Row {
+		return kv.Row < other.Row
+	}
+	if kv.Family != other.Family {
+		return kv.Family < other.Family
+	}
+	return kv.Qualifier < other.Qualifier
+}
+
+// FamilySpec configures one column family.
+type FamilySpec struct {
+	// Name is the family name, e.g. "doc".
+	Name string
+	// MaxVersions bounds retained versions per cell (default 1).
+	MaxVersions int
+}
+
+// Errors.
+var (
+	// ErrNoTable is returned for operations on undeclared tables.
+	ErrNoTable = errors.New("pool: no such table")
+	// ErrNoFamily is returned for writes to undeclared column families.
+	ErrNoFamily = errors.New("pool: no such column family")
+	// ErrEmptyRow is returned for operations with an empty row key.
+	ErrEmptyRow = errors.New("pool: empty row key")
+)
+
+// --- region ------------------------------------------------------------------
+
+type walEntry struct {
+	kv KeyValue
+}
+
+// versions is a cell's version list, newest first.
+type versions []Cell
+
+func (v versions) insert(c Cell, max int) versions {
+	i := sort.Search(len(v), func(i int) bool { return v[i].Version <= c.Version })
+	if i < len(v) && v[i].Version == c.Version {
+		v[i] = c
+		return v
+	}
+	v = append(v, Cell{})
+	copy(v[i+1:], v[i:])
+	v[i] = c
+	if len(v) > max {
+		v = v[:max]
+	}
+	return v
+}
+
+type memstore map[string]map[string]map[string]versions // row -> family -> qualifier
+
+// segment is an immutable flushed snapshot, sorted by coordinates with the
+// newest version per coordinate.
+type segment struct {
+	kvs []KeyValue
+}
+
+func (s *segment) get(row, family, qualifier string) (Cell, bool) {
+	i := sort.Search(len(s.kvs), func(i int) bool {
+		kv := s.kvs[i]
+		target := KeyValue{Row: row, Family: family, Qualifier: qualifier}
+		return !kv.coordLess(target)
+	})
+	if i < len(s.kvs) {
+		kv := s.kvs[i]
+		if kv.Row == row && kv.Family == family && kv.Qualifier == qualifier {
+			return kv.Cell, true
+		}
+	}
+	return Cell{}, false
+}
+
+// Region is one contiguous key range [Start, End) of a table. End == ""
+// means unbounded.
+type Region struct {
+	mu       sync.RWMutex
+	table    *Table
+	start    string
+	end      string
+	mem      memstore
+	memBytes int
+	segments []*segment
+	wal      []walEntry
+	server   string // owning region server ID
+	offline  bool   // set while the region is being split; writes must retry
+}
+
+// Start returns the inclusive start key of the region's range.
+func (r *Region) Start() string { return r.start }
+
+// End returns the exclusive end key ("" = unbounded).
+func (r *Region) End() string { return r.end }
+
+// Server returns the ID of the region server hosting this region.
+func (r *Region) Server() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.server
+}
+
+func (r *Region) contains(row string) bool {
+	return row >= r.start && (r.end == "" || row < r.end)
+}
+
+// put stores kv in the region. It reports false when the region has been
+// taken offline by a split — the caller must re-route and retry, mirroring
+// HBase's NotServingRegionException.
+func (r *Region) put(kv KeyValue, logWAL bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.offline {
+		return false
+	}
+	if logWAL {
+		r.wal = append(r.wal, walEntry{kv: kv})
+	}
+	fam, ok := r.mem[kv.Row]
+	if !ok {
+		fam = map[string]map[string]versions{}
+		r.mem[kv.Row] = fam
+	}
+	quals, ok := fam[kv.Family]
+	if !ok {
+		quals = map[string]versions{}
+		fam[kv.Family] = quals
+	}
+	max := r.table.maxVersions(kv.Family)
+	quals[kv.Qualifier] = quals[kv.Qualifier].insert(kv.Cell, max)
+	r.memBytes += len(kv.Row) + len(kv.Family) + len(kv.Qualifier) + len(kv.Value) + 16
+	return true
+}
+
+// get returns the newest live cell for the coordinate.
+func (r *Region) get(row, family, qualifier string) (Cell, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if fam, ok := r.mem[row]; ok {
+		if quals, ok := fam[family]; ok {
+			if vs, ok := quals[qualifier]; ok && len(vs) > 0 {
+				c := vs[0]
+				if c.IsTombstone() {
+					return Cell{}, false
+				}
+				return c, true
+			}
+		}
+	}
+	// Newest segment first.
+	for i := len(r.segments) - 1; i >= 0; i-- {
+		if c, ok := r.segments[i].get(row, family, qualifier); ok {
+			if c.IsTombstone() {
+				return Cell{}, false
+			}
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// snapshot returns the merged latest live cells of the region, sorted.
+func (r *Region) snapshot() []KeyValue {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.snapshotLocked()
+}
+
+func (r *Region) snapshotLocked() []KeyValue {
+	latest := map[[3]string]Cell{}
+	// Oldest segments first, then memstore, so newer layers override.
+	for _, seg := range r.segments {
+		for _, kv := range seg.kvs {
+			key := [3]string{kv.Row, kv.Family, kv.Qualifier}
+			if cur, ok := latest[key]; !ok || kv.Version > cur.Version {
+				latest[key] = kv.Cell
+			}
+		}
+	}
+	for row, fams := range r.mem {
+		for family, quals := range fams {
+			for qual, vs := range quals {
+				if len(vs) == 0 {
+					continue
+				}
+				key := [3]string{row, family, qual}
+				if cur, ok := latest[key]; !ok || vs[0].Version > cur.Version {
+					latest[key] = vs[0]
+				}
+			}
+		}
+	}
+	out := make([]KeyValue, 0, len(latest))
+	for key, c := range latest {
+		if c.IsTombstone() {
+			continue
+		}
+		out = append(out, KeyValue{Row: key[0], Family: key[1], Qualifier: key[2], Cell: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].coordLess(out[j]) })
+	return out
+}
+
+// Flush writes the memstore into a new immutable segment and truncates the
+// WAL (the data is now durable in the segment).
+func (r *Region) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.mem) == 0 {
+		return
+	}
+	// Build a segment holding the newest version per coordinate (including
+	// tombstones, which must mask older segment data).
+	var kvs []KeyValue
+	for row, fams := range r.mem {
+		for family, quals := range fams {
+			for qual, vs := range quals {
+				if len(vs) == 0 {
+					continue
+				}
+				kvs = append(kvs, KeyValue{Row: row, Family: family, Qualifier: qual, Cell: vs[0]})
+			}
+		}
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].coordLess(kvs[j]) })
+	r.segments = append(r.segments, &segment{kvs: kvs})
+	r.mem = memstore{}
+	r.memBytes = 0
+	r.wal = nil
+}
+
+// Compact merges all segments into one, dropping masked versions and
+// purging tombstones.
+func (r *Region) Compact() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.segments) <= 1 {
+		// A single segment may still hold tombstones worth purging.
+		if len(r.segments) == 1 {
+			r.segments = []*segment{compactSegments(r.segments)}
+			if len(r.segments[0].kvs) == 0 {
+				r.segments = nil
+			}
+		}
+		return
+	}
+	merged := compactSegments(r.segments)
+	if len(merged.kvs) == 0 {
+		r.segments = nil
+	} else {
+		r.segments = []*segment{merged}
+	}
+}
+
+func compactSegments(segs []*segment) *segment {
+	latest := map[[3]string]Cell{}
+	for _, seg := range segs {
+		for _, kv := range seg.kvs {
+			key := [3]string{kv.Row, kv.Family, kv.Qualifier}
+			if cur, ok := latest[key]; !ok || kv.Version > cur.Version {
+				latest[key] = kv.Cell
+			}
+		}
+	}
+	var kvs []KeyValue
+	for key, c := range latest {
+		if c.IsTombstone() {
+			continue
+		}
+		kvs = append(kvs, KeyValue{Row: key[0], Family: key[1], Qualifier: key[2], Cell: c})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].coordLess(kvs[j]) })
+	return &segment{kvs: kvs}
+}
+
+// Crash simulates a region server failure: the memstore is lost; the WAL
+// and flushed segments survive.
+func (r *Region) Crash() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mem = memstore{}
+	r.memBytes = 0
+}
+
+// Recover replays the WAL into the memstore after a Crash.
+func (r *Region) Recover() {
+	r.mu.Lock()
+	wal := r.wal
+	r.wal = nil
+	r.mu.Unlock()
+	for _, e := range wal {
+		r.put(e.kv, true)
+	}
+}
+
+// SizeBytes returns the approximate in-memory size of the region.
+func (r *Region) SizeBytes() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	size := r.memBytes
+	for _, seg := range r.segments {
+		for _, kv := range seg.kvs {
+			size += len(kv.Row) + len(kv.Family) + len(kv.Qualifier) + len(kv.Value) + 16
+		}
+	}
+	return size
+}
+
+// --- table -------------------------------------------------------------------
+
+// Table is a named table with declared families and its region map.
+type Table struct {
+	name     string
+	families map[string]FamilySpec
+
+	mu      sync.RWMutex
+	regions []*Region // sorted by start key, covering ["", "")
+	cluster *Cluster
+	seq     int64 // logical version clock
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+func (t *Table) maxVersions(family string) int {
+	if f, ok := t.families[family]; ok && f.MaxVersions > 0 {
+		return f.MaxVersions
+	}
+	return 1
+}
+
+func (t *Table) nextVersion() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	return t.seq
+}
+
+// regionFor routes a row key to its region (client-side meta lookup).
+func (t *Table) regionFor(row string) *Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i := sort.Search(len(t.regions), func(i int) bool {
+		r := t.regions[i]
+		return r.end == "" || row < r.end
+	})
+	return t.regions[i]
+}
+
+// Regions returns the current regions in key order.
+func (t *Table) Regions() []*Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Region, len(t.regions))
+	copy(out, t.regions)
+	return out
+}
+
+// Put stores value at (row, family, qualifier) with a fresh version.
+func (t *Table) Put(row, family, qualifier string, value []byte) error {
+	if row == "" {
+		return ErrEmptyRow
+	}
+	if _, ok := t.families[family]; !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoFamily, t.name, family)
+	}
+	if value == nil {
+		value = []byte{}
+	}
+	kv := KeyValue{Row: row, Family: family, Qualifier: qualifier,
+		Cell: Cell{Value: value, Version: t.nextVersion()}}
+	region := t.putKV(kv)
+	t.maybeSplit(region)
+	return nil
+}
+
+// putKV routes and stores kv, retrying when the target region goes offline
+// mid-flight because of a concurrent split.
+func (t *Table) putKV(kv KeyValue) *Region {
+	for {
+		region := t.regionFor(kv.Row)
+		if region.put(kv, true) {
+			return region
+		}
+		runtime.Gosched()
+	}
+}
+
+// Delete writes a tombstone for (row, family, qualifier).
+func (t *Table) Delete(row, family, qualifier string) error {
+	if row == "" {
+		return ErrEmptyRow
+	}
+	if _, ok := t.families[family]; !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoFamily, t.name, family)
+	}
+	kv := KeyValue{Row: row, Family: family, Qualifier: qualifier,
+		Cell: Cell{Value: nil, Version: t.nextVersion()}}
+	t.putKV(kv)
+	return nil
+}
+
+// Get returns the newest live value at (row, family, qualifier).
+func (t *Table) Get(row, family, qualifier string) ([]byte, bool) {
+	if row == "" {
+		return nil, false
+	}
+	c, ok := t.regionFor(row).get(row, family, qualifier)
+	if !ok {
+		return nil, false
+	}
+	return c.Value, true
+}
+
+// GetVersions returns up to the family's retained versions of a cell,
+// newest first, including only live (non-tombstone) values. It merges
+// memstore and segment versions; segments keep one version per flush, so
+// history depth depends on flush cadence, as in HBase.
+func (t *Table) GetVersions(row, family, qualifier string) []Cell {
+	if row == "" {
+		return nil
+	}
+	r := t.regionFor(row)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Cell
+	if fam, ok := r.mem[row]; ok {
+		if quals, ok := fam[family]; ok {
+			out = append(out, quals[qualifier]...)
+		}
+	}
+	for i := len(r.segments) - 1; i >= 0; i-- {
+		if c, ok := r.segments[i].get(row, family, qualifier); ok {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version > out[j].Version })
+	// Deduplicate by version and stop at the first tombstone (older
+	// versions are logically deleted).
+	max := t.maxVersions(family)
+	var live []Cell
+	var lastVer int64 = -1
+	for _, c := range out {
+		if c.Version == lastVer {
+			continue
+		}
+		lastVer = c.Version
+		if c.IsTombstone() {
+			break
+		}
+		live = append(live, c)
+		if len(live) >= max {
+			break
+		}
+	}
+	return live
+}
+
+// GetRow returns every live cell of a row.
+func (t *Table) GetRow(row string) []KeyValue {
+	var out []KeyValue
+	for _, kv := range t.regionFor(row).snapshot() {
+		if kv.Row == row {
+			out = append(out, kv)
+		}
+	}
+	return out
+}
+
+// ScanOptions filter a Scan.
+type ScanOptions struct {
+	// StartRow is the inclusive scan start ("" = table start).
+	StartRow string
+	// EndRow is the exclusive scan end ("" = table end).
+	EndRow string
+	// Prefix restricts to rows with the given prefix.
+	Prefix string
+	// Family restricts to one column family ("" = all).
+	Family string
+	// Limit bounds the number of returned cells (0 = unlimited).
+	Limit int
+	// Filter, when non-nil, keeps only cells for which it returns true.
+	Filter func(KeyValue) bool
+}
+
+// Scan returns live cells in (row, family, qualifier) order across all
+// regions, applying the options.
+func (t *Table) Scan(opts ScanOptions) []KeyValue {
+	var out []KeyValue
+	for _, r := range t.Regions() {
+		if opts.EndRow != "" && r.start >= opts.EndRow {
+			break
+		}
+		for _, kv := range r.snapshot() {
+			if kv.Row < opts.StartRow {
+				continue
+			}
+			if opts.EndRow != "" && kv.Row >= opts.EndRow {
+				continue
+			}
+			if opts.Prefix != "" && !strings.HasPrefix(kv.Row, opts.Prefix) {
+				continue
+			}
+			if opts.Family != "" && kv.Family != opts.Family {
+				continue
+			}
+			if opts.Filter != nil && !opts.Filter(kv) {
+				continue
+			}
+			out = append(out, kv)
+			if opts.Limit > 0 && len(out) >= opts.Limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// FlushAll flushes every region's memstore.
+func (t *Table) FlushAll() {
+	for _, r := range t.Regions() {
+		r.Flush()
+	}
+}
+
+// CompactAll compacts every region.
+func (t *Table) CompactAll() {
+	for _, r := range t.Regions() {
+		r.Compact()
+	}
+}
+
+// maybeSplit splits the region at its median row when it exceeds the
+// cluster's split threshold, assigning the new daughter region to the
+// least-loaded server.
+func (t *Table) maybeSplit(r *Region) {
+	if t.cluster == nil || t.cluster.SplitThresholdBytes <= 0 {
+		return
+	}
+	if r.SizeBytes() < t.cluster.SplitThresholdBytes {
+		return
+	}
+	// Resolve the daughter's server before taking t.mu: leastLoadedServer
+	// reads t.Regions() and must not run under this table's write lock.
+	daughterServer := t.cluster.leastLoadedServer()
+	split := false
+	defer func() {
+		if split {
+			t.cluster.noteSplit(t.name)
+		}
+	}()
+	r.mu.Lock()
+	if r.offline {
+		r.mu.Unlock()
+		return
+	}
+	rows := map[string]bool{}
+	for _, seg := range r.segments {
+		for _, kv := range seg.kvs {
+			rows[kv.Row] = true
+		}
+	}
+	for row := range r.mem {
+		rows[row] = true
+	}
+	if len(rows) < 2 {
+		r.mu.Unlock()
+		return
+	}
+	sorted := make([]string, 0, len(rows))
+	for row := range rows {
+		sorted = append(sorted, row)
+	}
+	sort.Strings(sorted)
+	mid := sorted[len(sorted)/2]
+	if mid == r.start {
+		r.mu.Unlock()
+		return
+	}
+
+	// Take the parent offline: concurrent writers bounce and retry against
+	// the daughters once the region map is swapped. Reads keep hitting the
+	// parent's (now frozen) state until then.
+	r.offline = true
+	all := r.snapshotLocked()
+	left := &Region{table: t, start: r.start, end: mid, mem: memstore{}, server: r.server}
+	right := &Region{table: t, start: mid, end: r.end, mem: memstore{}, server: daughterServer}
+	r.mu.Unlock()
+	for _, kv := range all {
+		if kv.Row < mid {
+			left.put(kv, true)
+		} else {
+			right.put(kv, true)
+		}
+	}
+	t.mu.Lock()
+	for i, reg := range t.regions {
+		if reg == r {
+			t.regions = append(t.regions[:i], append([]*Region{left, right}, t.regions[i+1:]...)...)
+			split = true
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// --- cluster -----------------------------------------------------------------
+
+// Cluster is the document-pool deployment: a master directing region
+// assignment across a set of region servers.
+type Cluster struct {
+	// SplitThresholdBytes triggers a region split when a region grows past
+	// it (0 disables splitting).
+	SplitThresholdBytes int
+
+	mu      sync.RWMutex
+	servers []string
+	tables  map[string]*Table
+	splits  map[string]int
+}
+
+// NewCluster creates a cluster with the given region server IDs (at least
+// one) and split threshold.
+func NewCluster(servers []string, splitThreshold int) (*Cluster, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("pool: cluster needs at least one region server")
+	}
+	return &Cluster{
+		SplitThresholdBytes: splitThreshold,
+		servers:             append([]string(nil), servers...),
+		tables:              map[string]*Table{},
+		splits:              map[string]int{},
+	}, nil
+}
+
+// CreateTable declares a table with its column families. The table starts
+// with a single region covering the whole key space.
+func (c *Cluster) CreateTable(name string, families ...FamilySpec) (*Table, error) {
+	if name == "" {
+		return nil, errors.New("pool: empty table name")
+	}
+	if len(families) == 0 {
+		return nil, errors.New("pool: table needs at least one column family")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("pool: table %q already exists", name)
+	}
+	t := &Table{
+		name:     name,
+		families: map[string]FamilySpec{},
+		cluster:  c,
+	}
+	for _, f := range families {
+		t.families[f.Name] = f
+	}
+	t.regions = []*Region{{table: t, mem: memstore{}, server: c.servers[0]}}
+	c.tables[name] = t
+	return t, nil
+}
+
+// Table returns a declared table.
+func (c *Cluster) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Servers returns the region server IDs.
+func (c *Cluster) Servers() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.servers...)
+}
+
+// leastLoadedServer picks the server hosting the fewest regions.
+func (c *Cluster) leastLoadedServer() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	load := map[string]int{}
+	for _, s := range c.servers {
+		load[s] = 0
+	}
+	for _, t := range c.tables {
+		for _, r := range t.Regions() {
+			load[r.Server()]++
+		}
+	}
+	best := c.servers[0]
+	for _, s := range c.servers[1:] {
+		if load[s] < load[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+func (c *Cluster) noteSplit(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.splits[table]++
+}
+
+// Splits reports how many region splits the table has undergone.
+func (c *Cluster) Splits(table string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.splits[table]
+}
+
+// FailServer simulates the crash of one region server: every region it
+// hosts loses its memstore (the crash), is reassigned by the master to the
+// least-loaded surviving server, and replays its write-ahead log there —
+// the HBase recovery path. The failed server leaves the cluster. Failing
+// the last server is refused.
+func (c *Cluster) FailServer(serverID string) error {
+	c.mu.Lock()
+	idx := -1
+	for i, s := range c.servers {
+		if s == serverID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("pool: no such server %q", serverID)
+	}
+	if len(c.servers) == 1 {
+		c.mu.Unlock()
+		return errors.New("pool: cannot fail the last region server")
+	}
+	c.servers = append(c.servers[:idx], c.servers[idx+1:]...)
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.Unlock()
+
+	for _, t := range tables {
+		for _, r := range t.Regions() {
+			if r.Server() != serverID {
+				continue
+			}
+			r.Crash()
+			target := c.leastLoadedServer()
+			r.mu.Lock()
+			r.server = target
+			r.mu.Unlock()
+			r.Recover()
+		}
+	}
+	return nil
+}
+
+// RegionDistribution returns server ID → hosted region count across all
+// tables, the master's load-balancing view.
+func (c *Cluster) RegionDistribution() map[string]int {
+	c.mu.RLock()
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	servers := append([]string(nil), c.servers...)
+	c.mu.RUnlock()
+
+	dist := map[string]int{}
+	for _, s := range servers {
+		dist[s] = 0
+	}
+	for _, t := range tables {
+		for _, r := range t.Regions() {
+			dist[r.Server()]++
+		}
+	}
+	return dist
+}
+
+// Equal reports whether two values are byte-identical (test helper).
+func Equal(a, b []byte) bool { return bytes.Equal(a, b) }

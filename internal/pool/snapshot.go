@@ -1,0 +1,81 @@
+package pool
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot support: a table's full live state can be exported to a stream
+// and imported into a freshly created table — the operational escape hatch
+// for the in-memory pool (backups, process restarts of cmd/draportal,
+// migrations between clusters). The snapshot holds the latest live version
+// of every cell; tombstoned and superseded versions are not carried.
+
+// snapshotCell is the portable JSON form of one cell.
+type snapshotCell struct {
+	Row       string `json:"row"`
+	Family    string `json:"family"`
+	Qualifier string `json:"qualifier"`
+	Value     string `json:"value"` // base64
+	Version   int64  `json:"version"`
+}
+
+type snapshotHeader struct {
+	Table string `json:"table"`
+	Cells int    `json:"cells"`
+}
+
+// Export writes the table's live cells as a JSON snapshot.
+func (t *Table) Export(w io.Writer) error {
+	kvs := t.Scan(ScanOptions{})
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{Table: t.name, Cells: len(kvs)}); err != nil {
+		return fmt.Errorf("pool: writing snapshot header: %w", err)
+	}
+	for _, kv := range kvs {
+		c := snapshotCell{
+			Row:       kv.Row,
+			Family:    kv.Family,
+			Qualifier: kv.Qualifier,
+			Value:     base64.StdEncoding.EncodeToString(kv.Value),
+			Version:   kv.Version,
+		}
+		if err := enc.Encode(c); err != nil {
+			return fmt.Errorf("pool: writing snapshot cell: %w", err)
+		}
+	}
+	return nil
+}
+
+// Import loads a snapshot into the table. Imported cells receive fresh
+// versions in snapshot order (the logical clock of the importing table
+// owns versioning); existing cells with the same coordinates are
+// overwritten. It returns the number of imported cells.
+func (t *Table) Import(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return 0, fmt.Errorf("pool: reading snapshot header: %w", err)
+	}
+	n := 0
+	for dec.More() {
+		var c snapshotCell
+		if err := dec.Decode(&c); err != nil {
+			return n, fmt.Errorf("pool: reading snapshot cell %d: %w", n, err)
+		}
+		raw, err := base64.StdEncoding.DecodeString(c.Value)
+		if err != nil {
+			return n, fmt.Errorf("pool: snapshot cell %d: bad value encoding: %w", n, err)
+		}
+		if err := t.Put(c.Row, c.Family, c.Qualifier, raw); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n != hdr.Cells {
+		return n, fmt.Errorf("pool: snapshot declared %d cells, read %d", hdr.Cells, n)
+	}
+	return n, nil
+}

@@ -1,0 +1,399 @@
+// Package portal implements the portal servers of the DRA4WfMS cloud
+// system (Figure 7 of the paper). A portal authenticates users, serves
+// them copies of DRA4WfMS documents from the document pool, accepts the
+// documents their AEAs produce, and notifies the participants of the next
+// activities. Portals hold no secret process data — documents are
+// self-protecting — and several portals can serve the same pool
+// concurrently, which is what makes the tier horizontally scalable.
+//
+// Pool layout (one table, three column families):
+//
+//	row key            = process id
+//	doc:content        = canonical DRA4WfMS document bytes
+//	meta:definition    = workflow definition name
+//	meta:state         = "running" | "completed"
+//	meta:cers          = number of final CERs (decimal)
+//	idx:<participant>  = comma-separated enabled activities for the
+//	                     participant (worklist index)
+package portal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/pool"
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmltree"
+)
+
+// Column families of the documents table.
+var Families = []pool.FamilySpec{
+	{Name: "doc", MaxVersions: 3},
+	{Name: "meta", MaxVersions: 1},
+	{Name: "idx", MaxVersions: 1},
+}
+
+// TableName is the pool table portals use.
+const TableName = "dra4wfms_documents"
+
+// CreateTable declares the documents table on a cluster.
+func CreateTable(c *pool.Cluster) (*pool.Table, error) {
+	return c.CreateTable(TableName, Families...)
+}
+
+// Errors.
+var (
+	// ErrUnknownProcess: no document stored under the process id.
+	ErrUnknownProcess = errors.New("portal: unknown process instance")
+	// ErrNotAuthenticated: the caller's principal is not registered.
+	ErrNotAuthenticated = errors.New("portal: unknown principal")
+)
+
+// Notification tells a participant an activity awaits them.
+type Notification struct {
+	Participant string
+	ProcessID   string
+	Activity    string
+}
+
+// WorkItem is one entry of a participant's TO-DO list.
+type WorkItem struct {
+	ProcessID  string
+	Definition string
+	Activity   string
+}
+
+// Portal is one portal server. Portals sharing a table coordinate only
+// through it (plus a per-portal mutex to serialize local read-modify-write
+// cycles); stored CER sets are grow-only, so concurrent stores converge by
+// re-merging.
+type Portal struct {
+	// ID names the portal (for logs and notifications).
+	ID string
+	// Registry authenticates principals and verifies document signatures.
+	Registry *pki.Registry
+	// Table is the shared documents table.
+	Table *pool.Table
+	// Clock supplies meta timestamps (defaults to time.Now).
+	Clock func() time.Time
+	// OnNotify, when set, receives every notification produced by Store
+	// and StoreInitial (after the document is durably persisted) — the
+	// paper's "notify the subsequent participants" hook. It is called
+	// outside the portal's lock; implementations deliver asynchronously.
+	OnNotify func(Notification)
+
+	mu sync.Mutex
+}
+
+// New creates a portal server.
+func New(id string, reg *pki.Registry, table *pool.Table, clock func() time.Time) *Portal {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Portal{ID: id, Registry: reg, Table: table, Clock: clock}
+}
+
+// Authenticate verifies that the principal is registered and unrevoked.
+func (p *Portal) Authenticate(principal string) error {
+	if _, err := p.Registry.Certificate(principal); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotAuthenticated, err)
+	}
+	return nil
+}
+
+// Store verifies a document produced by an AEA (or a TFC server), merges
+// it with the stored copy of the same process instance, persists the
+// result, refreshes the worklist index, and returns notifications for the
+// participants of the now-enabled activities.
+func (p *Portal) Store(doc *document.Document) ([]Notification, error) {
+	if _, err := doc.VerifyAll(p.Registry); err != nil {
+		return nil, fmt.Errorf("portal: rejecting document: %w", err)
+	}
+	notes, err := func() ([]Notification, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		merged := doc
+		if existing, err := p.retrieve(doc.ProcessID()); err == nil {
+			merged, err = document.Merge(existing, doc)
+			if err != nil {
+				return nil, err
+			}
+		} else if !errors.Is(err, ErrUnknownProcess) {
+			return nil, err
+		}
+		return p.persist(merged)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	p.dispatch(notes)
+	return notes, nil
+}
+
+// dispatch fans notifications out to OnNotify. Must be called without p.mu.
+func (p *Portal) dispatch(notes []Notification) {
+	if p.OnNotify == nil {
+		return
+	}
+	for _, n := range notes {
+		p.OnNotify(n)
+	}
+}
+
+// persist writes the merged document and its metadata/index and computes
+// notifications. Caller holds p.mu.
+func (p *Portal) persist(doc *document.Document) ([]Notification, error) {
+	def, err := doc.Definition()
+	if err != nil {
+		return nil, err
+	}
+	enabled, completed, err := document.Enabled(def, doc)
+	if err != nil {
+		return nil, err
+	}
+	row := doc.ProcessID()
+	if err := p.Table.Put(row, "doc", "content", doc.Bytes()); err != nil {
+		return nil, err
+	}
+	state := "running"
+	if completed {
+		state = "completed"
+	}
+	p.Table.Put(row, "meta", "definition", []byte(def.Name))
+	p.Table.Put(row, "meta", "state", []byte(state))
+	p.Table.Put(row, "meta", "cers", []byte(strconv.Itoa(len(doc.FinalCERs()))))
+	p.Table.Put(row, "meta", "updated", []byte(p.Clock().UTC().Format(time.RFC3339Nano)))
+
+	// Rebuild the worklist index: one idx cell per assignee with their
+	// enabled activities; stale cells from prior states are deleted.
+	// Fixed assignments index under the participant ID; role-based
+	// activities index under "role:<role>" so any role holder's worklist
+	// query finds them.
+	byParticipant := map[string][]string{}
+	for _, act := range enabled {
+		a := def.Activity(act)
+		if a == nil {
+			return nil, fmt.Errorf("portal: enabled activity %q not in definition", act)
+		}
+		key := a.Participant
+		if key == "" {
+			key = rolePrefix + a.Role
+		}
+		byParticipant[key] = append(byParticipant[key], act)
+	}
+	for _, kv := range p.Table.GetRow(row) {
+		if kv.Family == "idx" {
+			if _, still := byParticipant[kv.Qualifier]; !still {
+				p.Table.Delete(row, "idx", kv.Qualifier)
+			}
+		}
+	}
+	var notes []Notification
+	for participant, acts := range byParticipant {
+		sort.Strings(acts)
+		p.Table.Put(row, "idx", participant, []byte(strings.Join(acts, ",")))
+		for _, a := range acts {
+			notes = append(notes, Notification{Participant: participant, ProcessID: row, Activity: a})
+		}
+	}
+	sort.Slice(notes, func(i, j int) bool {
+		if notes[i].Participant != notes[j].Participant {
+			return notes[i].Participant < notes[j].Participant
+		}
+		return notes[i].Activity < notes[j].Activity
+	})
+	return notes, nil
+}
+
+// StoreInitial verifies and stores a freshly designed initial document,
+// starting the process instance. It fails if the instance already exists
+// (process ids are unique; re-posting an initial document is a replay).
+func (p *Portal) StoreInitial(doc *document.Document) ([]Notification, error) {
+	if _, err := doc.VerifyAll(p.Registry); err != nil {
+		return nil, fmt.Errorf("portal: rejecting initial document: %w", err)
+	}
+	notes, err := func() ([]Notification, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if _, ok := p.Table.Get(doc.ProcessID(), "doc", "content"); ok {
+			return nil, fmt.Errorf("portal: process %s already exists (replayed initial document?)", doc.ProcessID())
+		}
+		return p.persist(doc)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	p.dispatch(notes)
+	return notes, nil
+}
+
+// Retrieve returns a copy of the stored document for the authenticated
+// principal. Confidentiality does not depend on this check — documents are
+// element-wise encrypted — but unauthenticated scraping is still refused.
+func (p *Portal) Retrieve(principal, processID string) (*document.Document, error) {
+	if err := p.Authenticate(principal); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retrieve(processID)
+}
+
+func (p *Portal) retrieve(processID string) (*document.Document, error) {
+	raw, ok := p.Table.Get(processID, "doc", "content")
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProcess, processID)
+	}
+	return document.Parse(raw)
+}
+
+// rolePrefix namespaces role-based worklist index cells.
+const rolePrefix = "role:"
+
+// Worklist returns the participant's TO-DO list across all running process
+// instances — activities assigned to them directly plus activities
+// assigned to any role their registered identity holds — sorted by process
+// id then activity.
+func (p *Portal) Worklist(principal string) ([]WorkItem, error) {
+	if err := p.Authenticate(principal); err != nil {
+		return nil, err
+	}
+	id, err := p.Registry.Identity(principal)
+	if err != nil {
+		return nil, err
+	}
+	match := func(qualifier string) bool {
+		if qualifier == principal {
+			return true
+		}
+		if strings.HasPrefix(qualifier, rolePrefix) {
+			return id.HasRole(strings.TrimPrefix(qualifier, rolePrefix))
+		}
+		return false
+	}
+	var items []WorkItem
+	for _, kv := range p.Table.Scan(pool.ScanOptions{Family: "idx"}) {
+		if !match(kv.Qualifier) {
+			continue
+		}
+		defName, _ := p.Table.Get(kv.Row, "meta", "definition")
+		for _, act := range strings.Split(string(kv.Value), ",") {
+			if act == "" {
+				continue
+			}
+			items = append(items, WorkItem{
+				ProcessID:  kv.Row,
+				Definition: string(defName),
+				Activity:   act,
+			})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].ProcessID != items[j].ProcessID {
+			return items[i].ProcessID < items[j].ProcessID
+		}
+		return items[i].Activity < items[j].Activity
+	})
+	return items, nil
+}
+
+// ProcessIDs lists stored process instances, optionally filtered by state
+// ("running", "completed", or "" for all).
+func (p *Portal) ProcessIDs(state string) []string {
+	var ids []string
+	for _, kv := range p.Table.Scan(pool.ScanOptions{Family: "meta"}) {
+		if kv.Qualifier != "state" {
+			continue
+		}
+		if state != "" && string(kv.Value) != state {
+			continue
+		}
+		ids = append(ids, kv.Row)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// State returns "running" or "completed" for a process instance.
+func (p *Portal) State(processID string) (string, error) {
+	v, ok := p.Table.Get(processID, "meta", "state")
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownProcess, processID)
+	}
+	return string(v), nil
+}
+
+// --- workflow template catalog ---------------------------------------------
+
+// templateRowPrefix namespaces catalog rows away from process instances.
+const templateRowPrefix = "tpl#"
+
+// StoreTemplate verifies a designer-signed workflow template and files it
+// in the catalog under its definition name — the paper's "prepared by the
+// system or uploaded by the user" distribution path. Re-storing a name
+// overwrites the previous template (the newest designer signature wins).
+func (p *Portal) StoreTemplate(tpl *xmltree.Node) (string, error) {
+	def, err := document.VerifyTemplate(tpl, p.Registry)
+	if err != nil {
+		return "", fmt.Errorf("portal: rejecting template: %w", err)
+	}
+	row := templateRowPrefix + def.Name
+	if err := p.Table.Put(row, "doc", "template", tpl.Canonical()); err != nil {
+		return "", err
+	}
+	p.Table.Put(row, "meta", "designer", []byte(def.Designer))
+	return def.Name, nil
+}
+
+// Template fetches and re-verifies a cataloged template by name.
+func (p *Portal) Template(principal, name string) (*wfdef.Definition, *xmltree.Node, error) {
+	if err := p.Authenticate(principal); err != nil {
+		return nil, nil, err
+	}
+	raw, ok := p.Table.Get(templateRowPrefix+name, "doc", "template")
+	if !ok {
+		return nil, nil, fmt.Errorf("portal: no template %q", name)
+	}
+	tpl, err := xmltree.ParseBytes(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	def, err := document.VerifyTemplate(tpl, p.Registry)
+	if err != nil {
+		return nil, nil, fmt.Errorf("portal: stored template %q no longer verifies: %w", name, err)
+	}
+	return def, tpl, nil
+}
+
+// Templates lists the catalog: definition name → designer.
+func (p *Portal) Templates() map[string]string {
+	out := map[string]string{}
+	for _, kv := range p.Table.Scan(pool.ScanOptions{Prefix: templateRowPrefix, Family: "meta"}) {
+		if kv.Qualifier == "designer" {
+			out[strings.TrimPrefix(kv.Row, templateRowPrefix)] = string(kv.Value)
+		}
+	}
+	return out
+}
+
+// Enabled recomputes the enabled activities of a stored instance.
+func (p *Portal) Enabled(processID string) ([]string, bool, error) {
+	p.mu.Lock()
+	doc, err := p.retrieve(processID)
+	p.mu.Unlock()
+	if err != nil {
+		return nil, false, err
+	}
+	def, err := doc.Definition()
+	if err != nil {
+		return nil, false, err
+	}
+	return document.Enabled(def, doc)
+}

@@ -1,0 +1,96 @@
+package secpol
+
+import (
+	"errors"
+	"fmt"
+
+	"dra4wfms/internal/expr"
+	"dra4wfms/internal/wfdef"
+)
+
+// Routing errors.
+var (
+	// ErrUnreadableCondition: a branch condition references a variable the
+	// evaluating principal cannot read — in the basic model this means the
+	// advanced model (TFC routing) is required.
+	ErrUnreadableCondition = errors.New("secpol: branch condition references an unreadable variable")
+	// ErrNoBranch: an XOR-split evaluated with no branch taken and no
+	// default branch declared.
+	ErrNoBranch = errors.New("secpol: no branch condition holds and there is no default branch")
+)
+
+// Route decides the outgoing targets of act given the variable environment
+// visible to the router (an AEA under the basic model, the TFC server
+// under the advanced model):
+//
+//   - AND-split: every outgoing target fires;
+//   - XOR-split: the first transition (definition order) whose condition
+//     holds, falling back to the default (unconditional) transition;
+//   - plain sequence: the single outgoing transition, whose optional guard
+//     must hold.
+func Route(def *wfdef.Definition, act *wfdef.Activity, env expr.Env) ([]string, error) {
+	out := def.Outgoing(act.ID)
+	switch act.Split {
+	case wfdef.SplitAND:
+		next := make([]string, 0, len(out))
+		for _, t := range out {
+			next = append(next, t.To)
+		}
+		return next, nil
+	case wfdef.SplitXOR:
+		var deflt *wfdef.Transition
+		for i := range out {
+			t := out[i]
+			if t.Concealed {
+				return nil, fmt.Errorf("%w: transition %s condition is concealed (vaulted for the TFC)",
+					ErrUnreadableCondition, t.ID)
+			}
+			if t.Condition == "" {
+				deflt = &out[i]
+				continue
+			}
+			ok, err := evalGuard(t.Condition, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return []string{t.To}, nil
+			}
+		}
+		if deflt != nil {
+			return []string{deflt.To}, nil
+		}
+		return nil, fmt.Errorf("%w (activity %s)", ErrNoBranch, act.ID)
+	default:
+		t := out[0]
+		if t.Concealed {
+			return nil, fmt.Errorf("%w: transition %s condition is concealed (vaulted for the TFC)",
+				ErrUnreadableCondition, t.ID)
+		}
+		if t.Condition != "" {
+			ok, err := evalGuard(t.Condition, env)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w (activity %s, single guarded edge)", ErrNoBranch, act.ID)
+			}
+		}
+		return []string{t.To}, nil
+	}
+}
+
+func evalGuard(condition string, env expr.Env) (bool, error) {
+	e, err := expr.Parse(condition)
+	if err != nil {
+		return false, err
+	}
+	ok, err := e.EvalBool(env)
+	if err != nil {
+		if errors.Is(err, expr.ErrUndefinedVariable) {
+			return false, fmt.Errorf("%w: %v", ErrUnreadableCondition, err)
+		}
+		return false, err
+	}
+	return ok, nil
+}

@@ -1,0 +1,302 @@
+// Package tfc implements the Timestamp and Flow Control server of the
+// advanced operational model (Section 2.2 of the paper).
+//
+// A TFC server is deliberately NOT a workflow engine: it holds no process
+// state of its own, it merely
+//
+//  1. verifies a received intermediate document;
+//  2. decrypts the participant's raw execution result, which the AEA
+//     encrypted to the TFC's public key (the paper's ⟨R⟩Pub(TFC));
+//  3. re-encrypts each result variable element-wise according to the
+//     security policy — something the participant could not do when the
+//     next reader depends on a concealed branch condition (Figure 4);
+//  4. evaluates the flow conditions it is entitled to read and decides the
+//     routing;
+//  5. embeds a timestamp witnessing the activity finish time (the notary
+//     role) and a TFC signature chaining to the participant's intermediate
+//     signature, preserving the nonrepudiation cascade;
+//  6. forwards the document to the next participant(s) and records the
+//     forwarding for workflow monitoring.
+//
+// Because the TFC never opens an interactive session with participants its
+// per-document work is bounded, which is why the paper finds it is not the
+// system bottleneck; BenchmarkTFCThroughput reproduces that claim.
+package tfc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/secpol"
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmlenc"
+)
+
+// Typed failures.
+var (
+	// ErrNotResponsible: the definition names a different TFC server.
+	ErrNotResponsible = errors.New("tfc: this server is not the definition's TFC")
+	// ErrNoPending: the document holds no intermediate CER awaiting
+	// processing.
+	ErrNoPending = errors.New("tfc: no pending intermediate CER")
+	// ErrReplay: this server already processed this (process, activity,
+	// iteration).
+	ErrReplay = errors.New("tfc: duplicate intermediate document (replay)")
+)
+
+// ForwardRecord is one monitoring log entry: the paper's TFC "keeps a copy
+// of each forwarded document and makes a record of the document
+// processing".
+type ForwardRecord struct {
+	ProcessID   string
+	Activity    string
+	Iteration   int
+	Participant string
+	Timestamp   time.Time
+	Next        []string
+	Size        int // canonical bytes of the forwarded document
+}
+
+// Server is one TFC server instance. It is safe for concurrent use.
+type Server struct {
+	// Keys is the server's key pair; Keys.Owner must match the
+	// definition's Policy.TFC.
+	Keys *pki.KeyPair
+	// Registry resolves participant keys.
+	Registry *pki.Registry
+	// Clock supplies timestamps; it defaults to time.Now and is injectable
+	// for deterministic tests.
+	Clock func() time.Time
+
+	mu      sync.Mutex
+	seen    map[string]bool
+	records []ForwardRecord
+}
+
+// New creates a TFC server. clock may be nil (defaults to time.Now).
+func New(keys *pki.KeyPair, reg *pki.Registry, clock func() time.Time) *Server {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Server{Keys: keys, Registry: reg, Clock: clock, seen: make(map[string]bool)}
+}
+
+// Outcome is the result of processing one intermediate document.
+type Outcome struct {
+	// Doc is the document after the TFC appended the final CER.
+	Doc *document.Document
+	// CER is the appended final characteristic execution result.
+	CER document.CER
+	// Next lists the routed targets.
+	Next []string
+	// Completed reports whether the process instance reached the end.
+	Completed bool
+	// Routed holds one document clone per next activity.
+	Routed map[string]*document.Document
+	// VerifiedSignatures counts signatures checked (the TFC share of α).
+	VerifiedSignatures int
+	// Timestamp is the witnessed finish time embedded in the CER.
+	Timestamp time.Time
+	// VerifyDuration is the wall time spent verifying the received
+	// document's signatures and decrypting — the TFC's share of the
+	// paper's α column (Table 2).
+	VerifyDuration time.Duration
+	// EncryptSignDuration is the wall time spent policy-encrypting the
+	// result and embedding the timestamped signature — the paper's γ
+	// column (Table 2).
+	EncryptSignDuration time.Duration
+}
+
+// Process handles one intermediate document end to end.
+func (s *Server) Process(doc *document.Document) (*Outcome, error) {
+	verifyStart := time.Now()
+	work := doc.Clone()
+	nsigs, err := work.VerifyAll(s.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("tfc: document verification failed: %w", err)
+	}
+	def, err := work.Definition()
+	if err != nil {
+		return nil, err
+	}
+	if err := def.Validate(); err != nil {
+		return nil, fmt.Errorf("tfc: embedded definition invalid: %w", err)
+	}
+	pending, err := pendingIntermediate(work)
+	if err != nil {
+		return nil, err
+	}
+	act := def.Activity(pending.ActivityID())
+	if act == nil {
+		return nil, fmt.Errorf("tfc: intermediate CER names unknown activity %q", pending.ActivityID())
+	}
+	if responsible := def.TFCFor(act.ID); responsible != s.Keys.Owner {
+		return nil, fmt.Errorf("%w: activity %s is assigned to %q, this server is %q",
+			ErrNotResponsible, act.ID, responsible, s.Keys.Owner)
+	}
+	// Statically concealed conditions (document.NewConcealed) are vaulted
+	// inside the signed definition; only vault recipients can open it.
+	for _, t := range def.Transitions {
+		if t.Concealed {
+			if err := work.RevealConditions(def, s.Keys); err != nil {
+				return nil, fmt.Errorf("tfc: revealing concealed conditions: %w", err)
+			}
+			break
+		}
+	}
+	if pending.Signer() != pending.Participant() {
+		return nil, fmt.Errorf("tfc: intermediate CER of %s signed by %q but records participant %q",
+			act.ID, pending.Signer(), pending.Participant())
+	}
+	if act.Participant != "" && act.Participant != pending.Participant() {
+		return nil, fmt.Errorf("tfc: intermediate CER of %s executed by %q, expected participant %q",
+			act.ID, pending.Participant(), act.Participant)
+	}
+	if act.Role != "" {
+		id, err := s.Registry.Identity(pending.Participant())
+		if err != nil {
+			return nil, fmt.Errorf("tfc: resolving executor %q: %w", pending.Participant(), err)
+		}
+		if !id.HasRole(act.Role) {
+			return nil, fmt.Errorf("tfc: executor %q of %s lacks role %q", pending.Participant(), act.ID, act.Role)
+		}
+	}
+	iter := pending.Iteration()
+	key := fmt.Sprintf("%s|%s|%d", work.ProcessID(), act.ID, iter)
+	s.mu.Lock()
+	if s.seen[key] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrReplay, key)
+	}
+	s.seen[key] = true
+	s.mu.Unlock()
+
+	// Unwrap the raw result the AEA encrypted to this server.
+	res := pending.Result()
+	if res == nil || len(res.ChildElements()) != 1 || !xmlenc.IsEncrypted(res.ChildElements()[0]) {
+		return nil, errors.New("tfc: intermediate result is not a single encrypted payload")
+	}
+	plain, err := xmlenc.Decrypt(res.ChildElements()[0], s.Keys)
+	if err != nil {
+		return nil, fmt.Errorf("tfc: unwrapping intermediate result: %w", err)
+	}
+	values := map[string]string{}
+	for _, f := range document.Fields(plain) {
+		values[f.AttrDefault("Variable", "")] = f.TextContent()
+	}
+
+	// Routing environment: everything the TFC itself can read from the
+	// document history plus the fresh raw values.
+	hist := work.Clone()
+	if _, err := xmlenc.DecryptVisible(hist.Root, s.Keys); err != nil {
+		return nil, fmt.Errorf("tfc: decrypting history: %w", err)
+	}
+	envVals := hist.Values()
+	for k, v := range values {
+		envVals[k] = v
+	}
+	verifyDur := time.Since(verifyStart)
+	next, err := secpol.Route(def, act, secpol.Env(envVals))
+	if err != nil {
+		return nil, fmt.Errorf("tfc: routing after %s: %w", act.ID, err)
+	}
+
+	// Policy encryption of the result fields.
+	encStart := time.Now()
+	fields, err := secpol.EncryptFields(def, s.Registry, act.ID, iter, values)
+	if err != nil {
+		return nil, err
+	}
+
+	now := s.Clock()
+	cer, err := work.AppendCER(document.AppendSpec{
+		ActivityID:     act.ID,
+		Iteration:      iter,
+		Kind:           document.KindFinal,
+		Participant:    pending.Participant(),
+		ResultChildren: fields,
+		Timestamp:      now,
+		Next:           next,
+		PredSigIDs:     []string{pending.SignatureID()},
+		Signer:         s.Keys,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{
+		Doc: work, CER: cer, Next: next,
+		Routed:              map[string]*document.Document{},
+		VerifiedSignatures:  nsigs,
+		Timestamp:           now,
+		VerifyDuration:      verifyDur,
+		EncryptSignDuration: time.Since(encStart),
+	}
+	for _, to := range next {
+		if to == wfdef.EndID {
+			out.Completed = true
+			continue
+		}
+		out.Routed[to] = work.Clone()
+	}
+
+	s.mu.Lock()
+	s.records = append(s.records, ForwardRecord{
+		ProcessID:   work.ProcessID(),
+		Activity:    act.ID,
+		Iteration:   iter,
+		Participant: pending.Participant(),
+		Timestamp:   now,
+		Next:        next,
+		Size:        work.Size(),
+	})
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Records returns a copy of the forwarding log, the data source for
+// workflow monitoring in the advanced model.
+func (s *Server) Records() []ForwardRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ForwardRecord, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// RecordsFor returns the forwarding log entries of one process instance.
+func (s *Server) RecordsFor(processID string) []ForwardRecord {
+	var out []ForwardRecord
+	for _, r := range s.Records() {
+		if r.ProcessID == processID {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// pendingIntermediate finds the unique intermediate CER without a matching
+// final CER.
+func pendingIntermediate(d *document.Document) (document.CER, error) {
+	var pending []document.CER
+	for _, c := range d.CERs() {
+		if c.Kind() != document.KindIntermediate {
+			continue
+		}
+		if _, done := d.FindCER(document.KindFinal, c.ActivityID(), c.Iteration()); !done {
+			pending = append(pending, c)
+		}
+	}
+	switch len(pending) {
+	case 0:
+		return document.CER{}, ErrNoPending
+	case 1:
+		return pending[0], nil
+	default:
+		return document.CER{}, fmt.Errorf("tfc: %d pending intermediate CERs in one document", len(pending))
+	}
+}

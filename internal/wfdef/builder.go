@@ -1,0 +1,182 @@
+package wfdef
+
+import "fmt"
+
+// Builder assembles a Definition with a fluent API. It auto-numbers
+// transitions and is the intended way for example applications and tests to
+// author workflows:
+//
+//	def, err := wfdef.NewBuilder("purchase", "designer@acme").
+//	    Activity("A", "Prepare order", "peter@acme").
+//	        Response("amount", "number", true).Split(wfdef.SplitAND).Done().
+//	    ...
+//	    Start("A").Edge("A", "B1").
+//	    Build()
+type Builder struct {
+	def  Definition
+	errs []error
+	tseq int
+}
+
+// NewBuilder starts a definition with the given name and designer.
+func NewBuilder(name, designer string) *Builder {
+	return &Builder{def: Definition{Name: name, Designer: designer}}
+}
+
+// ActivityBuilder configures one activity; call Done to return to the
+// parent Builder.
+type ActivityBuilder struct {
+	b *Builder
+	a *Activity
+}
+
+// Activity appends an activity and returns its sub-builder.
+func (b *Builder) Activity(id, name, participant string) *ActivityBuilder {
+	b.def.Activities = append(b.def.Activities, Activity{ID: id, Name: name, Participant: participant})
+	return &ActivityBuilder{b: b, a: &b.def.Activities[len(b.def.Activities)-1]}
+}
+
+// Request adds a displayed variable.
+func (ab *ActivityBuilder) Request(variable string) *ActivityBuilder {
+	ab.a.Requests = append(ab.a.Requests, Request{Variable: variable})
+	return ab
+}
+
+// Response adds a produced variable.
+func (ab *ActivityBuilder) Response(variable, typ string, required bool) *ActivityBuilder {
+	ab.a.Responses = append(ab.a.Responses, Response{Variable: variable, Type: typ, Required: required})
+	return ab
+}
+
+// Split sets the outgoing fan-out kind.
+func (ab *ActivityBuilder) Split(k SplitKind) *ActivityBuilder {
+	ab.a.Split = k
+	return ab
+}
+
+// Join sets the incoming fan-in kind.
+func (ab *ActivityBuilder) Join(k JoinKind) *ActivityBuilder {
+	ab.a.Join = k
+	return ab
+}
+
+// Role constrains the executing principal to holders of the role.
+func (ab *ActivityBuilder) Role(role string) *ActivityBuilder {
+	ab.a.Role = role
+	return ab
+}
+
+// Done returns to the parent builder.
+func (ab *ActivityBuilder) Done() *Builder { return ab.b }
+
+// Start adds an initial transition from the start pseudo-node to each id.
+func (b *Builder) Start(ids ...string) *Builder {
+	for _, id := range ids {
+		b.edge(StartID, id, "")
+	}
+	return b
+}
+
+// Edge adds an unconditional transition.
+func (b *Builder) Edge(from, to string) *Builder {
+	b.edge(from, to, "")
+	return b
+}
+
+// EdgeIf adds a transition guarded by condition.
+func (b *Builder) EdgeIf(from, to, condition string) *Builder {
+	b.edge(from, to, condition)
+	return b
+}
+
+// End adds a terminating transition from each id to the end pseudo-node.
+func (b *Builder) End(ids ...string) *Builder {
+	for _, id := range ids {
+		b.edge(id, EndID, "")
+	}
+	return b
+}
+
+// EndIf adds a conditional terminating transition.
+func (b *Builder) EndIf(from, condition string) *Builder {
+	b.edge(from, EndID, condition)
+	return b
+}
+
+func (b *Builder) edge(from, to, cond string) {
+	b.tseq++
+	b.def.Transitions = append(b.def.Transitions, Transition{
+		ID:        fmt.Sprintf("t%d", b.tseq),
+		From:      from,
+		To:        to,
+		Condition: cond,
+	})
+}
+
+// PatchActivity mutates an already-added activity in place — support for
+// programmatic generators that decide split/join kinds after emitting the
+// activity. Patching an unknown ID records an error surfaced by Build.
+func (b *Builder) PatchActivity(id string, fn func(*Activity)) *Builder {
+	for i := range b.def.Activities {
+		if b.def.Activities[i].ID == id {
+			fn(&b.def.Activities[i])
+			return b
+		}
+	}
+	b.errs = append(b.errs, fmt.Errorf("wfdef: PatchActivity: unknown activity %q", id))
+	return b
+}
+
+// DefaultReaders sets the policy's default reader list.
+func (b *Builder) DefaultReaders(readers ...string) *Builder {
+	b.def.Policy.DefaultReaders = readers
+	return b
+}
+
+// ReadRule grants the listed readers access to variable.
+func (b *Builder) ReadRule(variable string, readers ...string) *Builder {
+	b.def.Policy.Rules = append(b.def.Policy.Rules, ReadRule{Variable: variable, Readers: readers})
+	return b
+}
+
+// ConcealFlow hides flow information from participants and names the TFC
+// that will route documents.
+func (b *Builder) ConcealFlow(tfcID string) *Builder {
+	b.def.Policy.ConcealFlow = true
+	b.def.Policy.TFC = tfcID
+	return b
+}
+
+// TFC names the default TFC server without concealing flow.
+func (b *Builder) TFC(tfcID string) *Builder {
+	b.def.Policy.TFC = tfcID
+	return b
+}
+
+// AssignTFC routes one activity's advanced-model processing to a specific
+// TFC server (multi-TFC deployments).
+func (b *Builder) AssignTFC(activityID, tfcID string) *Builder {
+	b.def.Policy.TFCAssigns = append(b.def.Policy.TFCAssigns, TFCAssign{Activity: activityID, TFC: tfcID})
+	return b
+}
+
+// Build validates and returns the definition.
+func (b *Builder) Build() (*Definition, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	def := b.def
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return &def, nil
+}
+
+// MustBuild is Build for static fixtures; it panics on error.
+func (b *Builder) MustBuild() *Definition {
+	def, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return def
+}

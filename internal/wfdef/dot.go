@@ -1,0 +1,58 @@
+package wfdef
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the definition as a Graphviz digraph for documentation and
+// review: activities as boxes (AND/XOR splits and joins annotated),
+// transitions as edges labeled with their conditions (or "<concealed>"),
+// and the start/end pseudo-nodes as circles.
+func (d *Definition) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", d.Name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  __start__ [shape=circle, label=\"\", style=filled, fillcolor=black, width=0.2];\n")
+	b.WriteString("  __end__ [shape=doublecircle, label=\"\", style=filled, fillcolor=black, width=0.15];\n")
+	for _, a := range d.Activities {
+		label := a.ID
+		if a.Name != "" {
+			label += "\\n" + escapeDot(a.Name)
+		}
+		who := a.Participant
+		if who == "" {
+			who = "role:" + a.Role
+		}
+		label += "\\n(" + escapeDot(who) + ")"
+		var marks []string
+		if a.Split != SplitNone {
+			marks = append(marks, string(a.Split)+"-split")
+		}
+		if a.Join != JoinNone {
+			marks = append(marks, string(a.Join)+"-join")
+		}
+		if len(marks) > 0 {
+			label += "\\n[" + strings.Join(marks, ", ") + "]"
+		}
+		fmt.Fprintf(&b, "  %q [shape=box, label=\"%s\"];\n", a.ID, label)
+	}
+	for _, t := range d.Transitions {
+		attrs := ""
+		switch {
+		case t.Concealed:
+			attrs = " [label=\"<concealed>\", style=dashed]"
+		case t.Condition != "":
+			attrs = fmt.Sprintf(" [label=\"%s\"]", escapeDot(t.Condition))
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", t.From, t.To, attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

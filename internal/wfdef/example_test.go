@@ -1,0 +1,40 @@
+package wfdef_test
+
+import (
+	"fmt"
+
+	"dra4wfms/internal/wfdef"
+)
+
+// The Builder assembles a validated definition; String renders the graph.
+func ExampleBuilder() {
+	def, err := wfdef.NewBuilder("order", "designer@acme").
+		Activity("submit", "Submit order", "alice@acme").
+		Response("amount", "number", true).
+		Split(wfdef.SplitXOR).Done().
+		Activity("review", "Manager review", "bob@acme").
+		Request("amount").
+		Response("ok", "bool", true).Done().
+		Activity("auto", "Auto-approve", "bot@acme").
+		Response("ok", "bool", true).Done().
+		Start("submit").
+		EdgeIf("submit", "review", "amount > 1000").
+		Edge("submit", "auto").
+		End("review", "auto").
+		DefaultReaders("alice@acme", "bob@acme", "bot@acme").
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(def)
+	// Output:
+	// workflow "order" by designer@acme
+	//   [submit] Submit order (participant alice@acme, split XOR)
+	//   [review] Manager review (participant bob@acme)
+	//   [auto] Auto-approve (participant bot@acme)
+	//   __start__ -> submit
+	//   submit -> review when amount > 1000
+	//   submit -> auto
+	//   review -> __end__
+	//   auto -> __end__
+}

@@ -1,0 +1,127 @@
+package wfdef
+
+// This file holds the workflow definitions used in the paper's evaluation
+// (Figure 9) and the flow-concealment scenario of Figure 4. They are the
+// workloads behind Tables 1 and 2 and several examples and benchmarks.
+
+// Fig9Participants maps the five activities of the Figure 9 workflow to
+// default participant IDs. The paper does not name participants; we assign
+// one principal per activity across two enterprises to make the workflow
+// cross-enterprise.
+var Fig9Participants = map[string]string{
+	"A":  "alice@acme",
+	"B1": "bob@acme",
+	"B2": "betty@bolt",
+	"C":  "carol@bolt",
+	"D":  "dave@acme",
+}
+
+// Fig9A builds the paper's first experimental workflow (Figure 9A): five
+// activities with sequence, AND-split/AND-join, and a loop —
+//
+//	start → A → (B1 ∥ B2) → C → D ─ accept ─→ end
+//	                              └ attachment insufficient ─→ A (again)
+//
+// Activity A re-entry uses an XOR-join (either the initial edge or the
+// loop-back edge enables it). Run under the basic operational model.
+func Fig9A() *Definition {
+	return fig9(false)
+}
+
+// Fig9B builds the paper's second experimental workflow (Figure 9B): the
+// same process as Figure 9A but executed under the advanced operational
+// model — every hop passes through a TFC server that timestamps, applies
+// the policy encryption and forwards. The TFC principal is "tfc@cloud".
+func Fig9B() *Definition {
+	return fig9(true)
+}
+
+func fig9(advanced bool) *Definition {
+	everyone := []string{
+		Fig9Participants["A"], Fig9Participants["B1"], Fig9Participants["B2"],
+		Fig9Participants["C"], Fig9Participants["D"],
+	}
+	b := NewBuilder("fig9-review", "designer@acme").
+		Activity("A", "Prepare request", Fig9Participants["A"]).
+		Response("request", "string", true).
+		Response("attachment", "file", false).
+		Split(SplitAND).Join(JoinXOR).Done().
+		Activity("B1", "Technical review", Fig9Participants["B1"]).
+		Request("request").
+		Response("techReview", "string", true).Done().
+		Activity("B2", "Budget review", Fig9Participants["B2"]).
+		Request("request").
+		Response("budgetReview", "string", true).Done().
+		Activity("C", "Consolidate", Fig9Participants["C"]).
+		Request("techReview").Request("budgetReview").
+		Response("summary", "string", true).
+		Join(JoinAND).Done().
+		Activity("D", "Final decision", Fig9Participants["D"]).
+		Request("summary").Request("attachment").
+		Response("accept", "bool", true).
+		Split(SplitXOR).Done().
+		Start("A").
+		Edge("A", "B1").
+		Edge("A", "B2").
+		Edge("B1", "C").
+		Edge("B2", "C").
+		Edge("C", "D").
+		EndIf("D", `accept == true`).
+		EdgeIf("D", "A", `accept != true`). // "attachment is insufficient"
+		DefaultReaders(everyone...)
+	if advanced {
+		b = b.TFC("tfc@cloud").
+			ReadRule("accept", append(append([]string{}, everyone...), TFCReader)...)
+	} else {
+		// In the basic model the deciding participant (and everyone, per the
+		// default) can read the condition variable directly.
+		_ = b
+	}
+	return b.MustBuild()
+}
+
+// Fig4Participants names the principals of the Figure 4 concealment
+// scenario.
+var Fig4Participants = struct {
+	Peter, Tony, Amy, John, Mary string
+}{"peter@p1", "tony@p2", "amy@p3", "john@p4", "mary@p5"}
+
+// Fig4 builds the paper's Figure 4 scenario: Peter inputs X (readable only
+// by Amy and the TFC), Tony inputs Y, and a concealed conditional branch on
+// Func(X) routes either to John (A4) or Mary (A5). Tony cannot read X, so
+// he can neither evaluate the branch nor encrypt Y for the right next
+// reader — the advanced operational model with a TFC server is required.
+// Amy's activity A3 forwards the document after the condition is resolved.
+func Fig4() *Definition {
+	p := Fig4Participants
+	return NewBuilder("fig4-concealed", "designer@p0").
+		Activity("A1", "Input X", p.Peter).
+		Response("X", "number", true).Done().
+		Activity("A2", "Input Y", p.Tony).
+		Response("Y", "string", true).Done().
+		Activity("A3", "Review", p.Amy).
+		Request("X").
+		Response("reviewed", "bool", true).
+		Split(SplitXOR).Done().
+		Activity("A4", "Handle high", p.John).
+		Request("Y").
+		Response("highResult", "string", true).Done().
+		Activity("A5", "Handle low", p.Mary).
+		Request("Y").
+		Response("lowResult", "string", true).Done().
+		Start("A1").
+		Edge("A1", "A2").
+		Edge("A2", "A3").
+		EdgeIf("A3", "A4", `X > 1000`). // Func(X) = True
+		EdgeIf("A3", "A5", `X <= 1000`).
+		End("A4", "A5").
+		ConcealFlow("tfc@cloud").
+		// X: only Peter's successor reviewer Amy and the TFC may read it.
+		ReadRule("X", p.Amy, TFCReader).
+		// Y: confidential; John or Mary will need it, but which one is
+		// decided by the concealed condition — so only the TFC can read it
+		// in transit and re-encrypts for the chosen branch.
+		ReadRule("Y", p.John, p.Mary, TFCReader).
+		DefaultReaders(p.Peter, p.Tony, p.Amy, p.John, p.Mary).
+		MustBuild()
+}

@@ -1,0 +1,389 @@
+package wfdef
+
+import (
+	"strings"
+	"testing"
+
+	"dra4wfms/internal/xmltree"
+)
+
+// linear returns a minimal valid two-activity sequence for mutation tests.
+func linear() *Definition {
+	return NewBuilder("linear", "designer@x").
+		Activity("A1", "First", "alice").Response("v", "string", true).Done().
+		Activity("A2", "Second", "bob").Request("v").Response("w", "string", false).Done().
+		Start("A1").Edge("A1", "A2").End("A2").
+		DefaultReaders("alice", "bob").
+		MustBuild()
+}
+
+func TestLinearValid(t *testing.T) {
+	d := linear()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.InitialActivities(); len(got) != 1 || got[0] != "A1" {
+		t.Fatalf("InitialActivities = %v", got)
+	}
+	if a := d.Activity("A2"); a == nil || a.Participant != "bob" {
+		t.Fatalf("Activity(A2) = %+v", a)
+	}
+	if d.Activity("missing") != nil {
+		t.Fatal("Activity(missing) != nil")
+	}
+	p, err := d.ParticipantOf("A1")
+	if err != nil || p != "alice" {
+		t.Fatalf("ParticipantOf = %q, %v", p, err)
+	}
+	if _, err := d.ParticipantOf("zz"); err == nil {
+		t.Fatal("ParticipantOf(zz) succeeded")
+	}
+	if got := d.Variables(); strings.Join(got, ",") != "v,w" {
+		t.Fatalf("Variables = %v", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Definition)
+	}{
+		{"no name", func(d *Definition) { d.Name = "" }},
+		{"no designer", func(d *Definition) { d.Designer = "" }},
+		{"no activities", func(d *Definition) { d.Activities = nil }},
+		{"reserved id", func(d *Definition) { d.Activities[0].ID = StartID }},
+		{"duplicate id", func(d *Definition) { d.Activities[1].ID = "A1" }},
+		{"no participant", func(d *Definition) { d.Activities[0].Participant = "" }},
+		{"empty response var", func(d *Definition) { d.Activities[0].Responses[0].Variable = "" }},
+		{"duplicate response", func(d *Definition) {
+			d.Activities[0].Responses = append(d.Activities[0].Responses, Response{Variable: "v"})
+		}},
+		{"empty transition id", func(d *Definition) { d.Transitions[0].ID = "" }},
+		{"duplicate transition id", func(d *Definition) { d.Transitions[1].ID = d.Transitions[0].ID }},
+		{"unknown from", func(d *Definition) { d.Transitions[1].From = "nope" }},
+		{"unknown to", func(d *Definition) { d.Transitions[1].To = "nope" }},
+		{"bad condition", func(d *Definition) { d.Transitions[1].Condition = "((" }},
+		{"no start", func(d *Definition) { d.Transitions[0].From = "A2"; d.Activities[0].Join = JoinAND }},
+		{"unknown split kind", func(d *Definition) { d.Activities[0].Split = "WAT" }},
+		{"unknown join kind", func(d *Definition) { d.Activities[0].Join = "WAT" }},
+		{"policy unknown var", func(d *Definition) { d.Policy.Rules = []ReadRule{{Variable: "zz", Readers: []string{"x"}}} }},
+		{"policy empty readers", func(d *Definition) { d.Policy.Rules = []ReadRule{{Variable: "v"}} }},
+		{"policy duplicate rule", func(d *Definition) {
+			d.Policy.Rules = []ReadRule{{Variable: "v", Readers: []string{"x"}}, {Variable: "v", Readers: []string{"y"}}}
+		}},
+		{"conceal without tfc", func(d *Definition) { d.Policy.ConcealFlow = true }},
+	}
+	for _, c := range cases {
+		d := linear()
+		c.mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestValidateFanMismatch(t *testing.T) {
+	// Two outgoing edges with no declared split.
+	_, err := NewBuilder("w", "d").
+		Activity("A", "", "p").Response("v", "", false).Done().
+		Activity("B", "", "p").Done().
+		Activity("C", "", "p").Done().
+		Start("A").Edge("A", "B").Edge("A", "C").End("B", "C").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "split") {
+		t.Fatalf("undeclared split accepted: %v", err)
+	}
+
+	// AND-split with a condition.
+	_, err = NewBuilder("w", "d").
+		Activity("A", "", "p").Split(SplitAND).Done().
+		Activity("B", "", "p").Done().
+		Activity("C", "", "p").Done().
+		Start("A").EdgeIf("A", "B", "true").Edge("A", "C").End("B", "C").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "unconditional") {
+		t.Fatalf("conditional AND-split accepted: %v", err)
+	}
+
+	// XOR-split with two default branches.
+	_, err = NewBuilder("w", "d").
+		Activity("A", "", "p").Split(SplitXOR).Done().
+		Activity("B", "", "p").Done().
+		Activity("C", "", "p").Done().
+		Start("A").Edge("A", "B").Edge("A", "C").End("B", "C").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "default") {
+		t.Fatalf("double-default XOR accepted: %v", err)
+	}
+
+	// Two incoming edges with no declared join.
+	_, err = NewBuilder("w", "d").
+		Activity("A", "", "p").Split(SplitAND).Done().
+		Activity("B", "", "p").Done().
+		Activity("C", "", "p").Done().
+		Activity("D", "", "p").Done().
+		Start("A").Edge("A", "B").Edge("A", "C").Edge("B", "D").Edge("C", "D").End("D").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "join") {
+		t.Fatalf("undeclared join accepted: %v", err)
+	}
+}
+
+func TestValidateReachability(t *testing.T) {
+	// Unreachable activity.
+	_, err := NewBuilder("w", "d").
+		Activity("A", "", "p").Done().
+		Activity("Z", "", "p").Done().
+		Start("A").End("A").End("Z").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unreachable activity accepted: %v", err)
+	}
+
+	// Activity that cannot reach the end.
+	_, err = NewBuilder("w", "d").
+		Activity("A", "", "p").Split(SplitAND).Done().
+		Activity("B", "", "p").Done().
+		Activity("T", "", "p").Join(JoinXOR).Done().
+		Start("A").Edge("A", "B").Edge("A", "T").Edge("T", "T").End("B").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "to end") {
+		t.Fatalf("trap state accepted: %v", err)
+	}
+}
+
+func TestReaders(t *testing.T) {
+	d := linear()
+	d.Policy.Rules = []ReadRule{{Variable: "v", Readers: []string{"alice"}}}
+	if got := d.Readers("v"); len(got) != 1 || got[0] != "alice" {
+		t.Fatalf("Readers(v) = %v", got)
+	}
+	if got := d.Readers("w"); len(got) != 2 {
+		t.Fatalf("Readers(w) = %v (want default)", got)
+	}
+}
+
+func TestConditionVariables(t *testing.T) {
+	d := Fig9A()
+	vars, err := d.ConditionVariables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 1 || vars[0] != "accept" {
+		t.Fatalf("ConditionVariables = %v", vars)
+	}
+}
+
+func TestConcealedFlowRequiresTFCReader(t *testing.T) {
+	d := Fig4()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the TFC from X's readers: validation must fail because the
+	// concealed condition X > 1000 becomes unevaluable.
+	for i := range d.Policy.Rules {
+		if d.Policy.Rules[i].Variable == "X" {
+			d.Policy.Rules[i].Readers = []string{Fig4Participants.Amy}
+		}
+	}
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "TFC cannot read") {
+		t.Fatalf("concealed condition without TFC reader accepted: %v", err)
+	}
+}
+
+func TestFixturesValid(t *testing.T) {
+	for _, d := range []*Definition{Fig9A(), Fig9B(), Fig4()} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	if Fig9B().Policy.TFC == "" {
+		t.Error("Fig9B has no TFC")
+	}
+	if Fig9A().Policy.TFC != "" {
+		t.Error("Fig9A unexpectedly names a TFC")
+	}
+	if !Fig4().Policy.ConcealFlow {
+		t.Error("Fig4 does not conceal flow")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	d := Fig9A()
+	if got := len(d.Activities); got != 5 {
+		t.Fatalf("Fig9A activities = %d, want 5", got)
+	}
+	a := d.Activity("A")
+	if a.Split != SplitAND || a.Join != JoinXOR {
+		t.Fatalf("A split/join = %s/%s", a.Split, a.Join)
+	}
+	if d.Activity("C").Join != JoinAND {
+		t.Fatal("C is not an AND-join")
+	}
+	if d.Activity("D").Split != SplitXOR {
+		t.Fatal("D is not an XOR-split")
+	}
+	// The loop-back edge D -> A exists.
+	loop := false
+	for _, tr := range d.Outgoing("D") {
+		if tr.To == "A" {
+			loop = true
+		}
+	}
+	if !loop {
+		t.Fatal("no loop edge D->A")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	for _, d := range []*Definition{linear(), Fig9A(), Fig9B(), Fig4()} {
+		el := d.ToXML()
+		// Serialize to bytes and back, as documents do.
+		parsed, err := xmltree.ParseBytes(el.Canonical())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", d.Name, err)
+		}
+		back, err := FromXML(parsed)
+		if err != nil {
+			t.Fatalf("%s: FromXML: %v", d.Name, err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("%s: round-tripped definition invalid: %v", d.Name, err)
+		}
+		if !xmltree.Equal(el, back.ToXML()) {
+			t.Fatalf("%s: XML round trip not stable:\n%s\nvs\n%s", d.Name, el, back.ToXML())
+		}
+	}
+}
+
+func TestFromXMLErrors(t *testing.T) {
+	if _, err := FromXML(nil); err == nil {
+		t.Fatal("FromXML(nil) succeeded")
+	}
+	if _, err := FromXML(xmltree.NewElement("Wrong")); err == nil {
+		t.Fatal("FromXML(wrong element) succeeded")
+	}
+	bad, _ := xmltree.ParseString(`<WorkflowDefinition><Activities><Junk/></Activities></WorkflowDefinition>`)
+	if _, err := FromXML(bad); err == nil {
+		t.Fatal("junk inside Activities accepted")
+	}
+	bad2, _ := xmltree.ParseString(`<WorkflowDefinition><Activities><Activity Id="A"><Junk/></Activity></Activities></WorkflowDefinition>`)
+	if _, err := FromXML(bad2); err == nil {
+		t.Fatal("junk inside Activity accepted")
+	}
+	bad3, _ := xmltree.ParseString(`<WorkflowDefinition><Transitions><Junk/></Transitions></WorkflowDefinition>`)
+	if _, err := FromXML(bad3); err == nil {
+		t.Fatal("junk inside Transitions accepted")
+	}
+}
+
+func TestOutgoingIncoming(t *testing.T) {
+	d := Fig9A()
+	if got := len(d.Outgoing("A")); got != 2 {
+		t.Fatalf("Outgoing(A) = %d", got)
+	}
+	if got := len(d.Incoming("C")); got != 2 {
+		t.Fatalf("Incoming(C) = %d", got)
+	}
+	if got := len(d.Incoming("A")); got != 2 { // initial + loop-back
+		t.Fatalf("Incoming(A) = %d", got)
+	}
+	if got := len(d.Incoming(EndID)); got != 1 {
+		t.Fatalf("Incoming(end) = %d", got)
+	}
+}
+
+func TestStringAndSummary(t *testing.T) {
+	d := Fig9A()
+	s := d.String()
+	for _, want := range []string{"fig9-review", "[A]", "AND", "__start__ -> A", "when accept == true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(d.Summary(), "5 activities") {
+		t.Errorf("Summary = %q", d.Summary())
+	}
+}
+
+func TestBuilderStartEndDirect(t *testing.T) {
+	// start -> end directly is rejected.
+	_, err := NewBuilder("w", "d").
+		Activity("A", "", "p").Done().
+		Start("A").End("A").
+		EdgeIf(StartID, EndID, "").
+		Build()
+	if err == nil {
+		t.Fatal("start->end transition accepted")
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	d := Fig9A()
+	dot := d.DOT()
+	for _, want := range []string{
+		"digraph \"fig9-review\"", "rankdir=LR", "__start__", "__end__",
+		"AND-split", "AND-join", "XOR-split", "accept == true", "\"D\" -> \"A\"",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Concealed edges render dashed without the predicate.
+	c := Fig4()
+	for i := range c.Transitions {
+		if c.Transitions[i].Condition != "" {
+			c.Transitions[i].Condition = ""
+			c.Transitions[i].Concealed = true
+		}
+	}
+	dot = c.DOT()
+	if !strings.Contains(dot, "<concealed>") || strings.Contains(dot, "X > 1000") {
+		t.Fatalf("concealed DOT leaks predicates:\n%s", dot)
+	}
+	// Role-based activity labels.
+	r := NewBuilder("roled", "d@x").
+		Activity("A", "Approve", "").Role("approver").Response("ok", "bool", true).Done().
+		Start("A").End("A").DefaultReaders("x@y").MustBuild()
+	if !strings.Contains(r.DOT(), "role:approver") {
+		t.Fatal("role label missing in DOT")
+	}
+}
+
+func TestTFCAssignValidationAndRoundTrip(t *testing.T) {
+	d := Fig9B()
+	d.Policy.TFCAssigns = []TFCAssign{{Activity: "C", TFC: "tfc2@cloud"}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// XML round trip preserves assignments.
+	back, err := FromXML(d.ToXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Policy.TFCAssigns) != 1 || back.TFCFor("C") != "tfc2@cloud" {
+		t.Fatalf("round trip lost TFC assignment: %+v", back.Policy.TFCAssigns)
+	}
+	// Error cases.
+	bad := Fig9B()
+	bad.Policy.TFCAssigns = []TFCAssign{{Activity: "ZZ", TFC: "x"}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown activity assignment accepted")
+	}
+	bad2 := Fig9B()
+	bad2.Policy.TFCAssigns = []TFCAssign{{Activity: "C", TFC: ""}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("empty TFC assignment accepted")
+	}
+	bad3 := Fig9B()
+	bad3.Policy.TFCAssigns = []TFCAssign{{Activity: "C", TFC: "a"}, {Activity: "C", TFC: "b"}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("duplicate assignment accepted")
+	}
+	bad4 := Fig9A() // no default TFC
+	bad4.Policy.TFCAssigns = []TFCAssign{{Activity: "C", TFC: "a"}}
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("assignments without default TFC accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Package wfgen generates random — but always structurally valid —
+// workflow definitions and drives random executions of them. It exists for
+// property-based testing across the whole stack: any generated definition
+// must validate, any random execution must terminate with a fully
+// verifiable document, and any tampering with that document must be
+// detected.
+//
+// Generation is block-structured, which guarantees well-formed graphs by
+// construction: a block is a sequence of segments, where each segment is a
+// single activity, an AND-split/join of sub-blocks, an XOR-split/join of
+// sub-blocks (guarded by a boolean variable produced just before the
+// split), or a loop (a block followed by a decision activity with a
+// bounded back edge).
+package wfgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dra4wfms/internal/wfdef"
+)
+
+// Options bound the generator.
+type Options struct {
+	// Participants are the candidate executors (at least one required).
+	Participants []string
+	// MaxDepth bounds block nesting (default 3).
+	MaxDepth int
+	// MaxSegments bounds segments per block (default 3).
+	MaxSegments int
+	// MaxBranches bounds AND/XOR fan-out (default 3).
+	MaxBranches int
+	// AllowLoops enables loop segments.
+	AllowLoops bool
+	// TFC, when non-empty, declares a TFC server so the workflow can run
+	// under the advanced operational model.
+	TFC string
+}
+
+func (o *Options) defaults() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 3
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = 3
+	}
+	if o.MaxBranches < 2 {
+		o.MaxBranches = 3
+	}
+}
+
+// Generated couples a definition with the knowledge a random executor
+// needs: which variables are loop/branch decisions.
+type Generated struct {
+	// Def is the generated, validated definition.
+	Def *wfdef.Definition
+	// DecisionVars maps boolean decision variables to the activity that
+	// produces them.
+	DecisionVars map[string]string
+	// LoopVars is the subset of DecisionVars guarding loop back edges;
+	// executors should eventually set them "false" to terminate.
+	LoopVars map[string]bool
+	// Activities counts generated activities.
+	Activities int
+}
+
+type gen struct {
+	r    *rand.Rand
+	opts Options
+	b    *wfdef.Builder
+	seq  int
+	out  *Generated
+}
+
+// Generate builds a random definition using r for all randomness.
+func Generate(r *rand.Rand, opts Options) (*Generated, error) {
+	opts.defaults()
+	if len(opts.Participants) == 0 {
+		return nil, fmt.Errorf("wfgen: no participants")
+	}
+	g := &gen{
+		r:    r,
+		opts: opts,
+		b:    wfdef.NewBuilder(fmt.Sprintf("gen-%d", r.Int63()), "designer@gen"),
+		out:  &Generated{DecisionVars: map[string]string{}, LoopVars: map[string]bool{}},
+	}
+	entry, exit := g.block(opts.MaxDepth)
+	g.b = g.b.Start(entry).End(exit)
+	g.b = g.b.DefaultReaders(opts.Participants...)
+	if opts.TFC != "" {
+		g.b = g.b.TFC(opts.TFC)
+	}
+	def, err := g.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("wfgen: generated definition invalid: %w", err)
+	}
+	g.out.Def = def
+	g.out.Activities = len(def.Activities)
+	return g.out, nil
+}
+
+// MustGenerate panics on generation failure (tests).
+func MustGenerate(r *rand.Rand, opts Options) *Generated {
+	g, err := Generate(r, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *gen) participant() string {
+	return g.opts.Participants[g.r.Intn(len(g.opts.Participants))]
+}
+
+// activity emits a plain activity producing one string response.
+func (g *gen) activity() string {
+	g.seq++
+	id := fmt.Sprintf("N%03d", g.seq)
+	g.b = g.b.Activity(id, "generated "+id, g.participant()).
+		Response(fmt.Sprintf("v%03d", g.seq), "string", true).Done()
+	return id
+}
+
+// decisionActivity emits an activity additionally producing a boolean
+// decision variable; returns (activityID, variable).
+func (g *gen) decisionActivity() (string, string) {
+	g.seq++
+	id := fmt.Sprintf("N%03d", g.seq)
+	v := fmt.Sprintf("d%03d", g.seq)
+	g.b = g.b.Activity(id, "decision "+id, g.participant()).
+		Response(v, "bool", true).Done()
+	g.out.DecisionVars[v] = id
+	return id, v
+}
+
+// block emits a sequence of segments and returns its entry and exit
+// activity IDs.
+func (g *gen) block(depth int) (entry, exit string) {
+	n := 1 + g.r.Intn(g.opts.MaxSegments)
+	var first, last string
+	for i := 0; i < n; i++ {
+		e, x := g.segment(depth)
+		if first == "" {
+			first = e
+		} else {
+			g.b = g.b.Edge(last, e)
+		}
+		last = x
+	}
+	return first, last
+}
+
+func (g *gen) segment(depth int) (entry, exit string) {
+	choices := []string{"activity"}
+	if depth > 0 {
+		choices = append(choices, "and", "xor")
+		if g.opts.AllowLoops {
+			choices = append(choices, "loop")
+		}
+	}
+	switch choices[g.r.Intn(len(choices))] {
+	case "and":
+		return g.andBlock(depth - 1)
+	case "xor":
+		return g.xorBlock(depth - 1)
+	case "loop":
+		return g.loopBlock(depth - 1)
+	default:
+		id := g.activity()
+		return id, id
+	}
+}
+
+// setSplit / setJoin adjust the kinds of already-emitted activities.
+func (g *gen) setSplit(id string, k wfdef.SplitKind) {
+	g.patch(id, func(a *wfdef.Activity) { a.Split = k })
+}
+func (g *gen) setJoin(id string, k wfdef.JoinKind) {
+	g.patch(id, func(a *wfdef.Activity) { a.Join = k })
+}
+
+// patch relies on Builder internals being value-backed; re-expose via a
+// dedicated Builder hook instead.
+func (g *gen) patch(id string, fn func(*wfdef.Activity)) {
+	g.b.PatchActivity(id, fn)
+}
+
+// andBlock: split activity → k parallel sub-blocks → join activity.
+func (g *gen) andBlock(depth int) (string, string) {
+	split := g.activity()
+	join := g.activity()
+	k := 2 + g.r.Intn(g.opts.MaxBranches-1)
+	g.setSplit(split, wfdef.SplitAND)
+	g.setJoin(join, wfdef.JoinAND)
+	for i := 0; i < k; i++ {
+		e, x := g.block(depth)
+		g.b = g.b.Edge(split, e)
+		g.b = g.b.Edge(x, join)
+	}
+	return split, join
+}
+
+// xorBlock: decision activity → one of k guarded sub-blocks → XOR join.
+func (g *gen) xorBlock(depth int) (string, string) {
+	split, v := g.decisionActivity()
+	join := g.activity()
+	g.setSplit(split, wfdef.SplitXOR)
+	g.setJoin(join, wfdef.JoinXOR)
+	// Two branches: condition true / default.
+	eTrue, xTrue := g.block(depth)
+	g.b = g.b.EdgeIf(split, eTrue, v+" == true")
+	eFalse, xFalse := g.block(depth)
+	g.b = g.b.Edge(split, eFalse) // default branch
+	g.b = g.b.Edge(xTrue, join)
+	g.b = g.b.Edge(xFalse, join)
+	return split, join
+}
+
+// loopBlock: body block → decision activity; "true" loops back to the
+// body entry, default exits.
+func (g *gen) loopBlock(depth int) (string, string) {
+	entry, bodyExit := g.block(depth)
+	dec, v := g.decisionActivity()
+	exit := g.activity()
+	g.b = g.b.Edge(bodyExit, dec)
+	g.setSplit(dec, wfdef.SplitXOR)
+	g.setJoin(entry, wfdef.JoinXOR)
+	g.setJoin(exit, wfdef.JoinNone)
+	g.b = g.b.EdgeIf(dec, entry, v+" == true")
+	g.b = g.b.Edge(dec, exit) // default: leave the loop
+	g.out.LoopVars[v] = true
+	return entry, exit
+}

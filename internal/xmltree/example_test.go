@@ -1,0 +1,39 @@
+package xmltree_test
+
+import (
+	"fmt"
+
+	"dra4wfms/internal/xmltree"
+)
+
+// Canonical serialization sorts attributes and uses explicit end tags, so
+// structurally equal trees digest identically — the property XML
+// signatures rely on.
+func ExampleNode_Canonical() {
+	a := xmltree.NewElement("Field")
+	a.SetAttr("Variable", "amount")
+	a.SetAttr("Id", "f1")
+	a.AppendChild(xmltree.NewText("15000"))
+
+	b := xmltree.NewElement("Field")
+	b.SetAttr("Id", "f1") // different insertion order
+	b.SetAttr("Variable", "amount")
+	b.AppendChild(xmltree.NewText("15000"))
+
+	fmt.Println(string(a.Canonical()))
+	fmt.Println(string(a.Canonical()) == string(b.Canonical()))
+	// Output:
+	// <Field Id="f1" Variable="amount">15000</Field>
+	// true
+}
+
+// Parse round-trips canonical output.
+func ExampleParseBytes() {
+	root, err := xmltree.ParseBytes([]byte(`<Doc><Name>alice</Name></Doc>`))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(root.ChildText("Name"))
+	// Output:
+	// alice
+}

@@ -1,0 +1,634 @@
+// Package xmltree provides a small, mutable XML document tree with a
+// deterministic canonical serialization.
+//
+// It is the foundation of the DRA4WfMS document format: XML digital
+// signatures (package dsig) digest the canonical bytes of subtrees, and
+// element-wise encryption (package xmlenc) replaces subtrees in place.
+//
+// The tree model is deliberately simpler than a full DOM:
+//
+//   - two node kinds only, elements and text (no comments, processing
+//     instructions, or CDATA — CDATA sections parse into plain text nodes);
+//   - no namespace support: DRA4WfMS documents do not declare namespaces,
+//     and the canonical form is defined over plain element and attribute
+//     names (a parse error is reported if a namespace declaration is seen);
+//   - attributes keep insertion order for storage but are sorted by name in
+//     the canonical serialization, mirroring Canonical XML.
+//
+// Canonical form rules (a pragmatic subset of W3C C14N 1.0):
+//
+//   - UTF-8 output;
+//   - attributes sorted lexicographically by name, values double-quoted;
+//   - empty elements serialize as <a></a>, never <a/>;
+//   - text escapes &, <, > and carriage return; attribute values escape
+//     &, <, " and the whitespace characters TAB, CR, LF;
+//   - no XML declaration, no insignificant whitespace added or removed.
+package xmltree
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the two node kinds in a tree.
+type Kind int
+
+const (
+	// ElementKind is an element node with a name, attributes and children.
+	ElementKind Kind = iota
+	// TextKind is a character-data node; only Text is meaningful.
+	TextKind
+)
+
+// Attr is a single element attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is one node of an XML tree. The zero value is an empty element with
+// no name; use NewElement and NewText to construct nodes.
+type Node struct {
+	Kind     Kind
+	Name     string  // element name; empty for text nodes
+	Attrs    []Attr  // attributes in insertion order; nil for text nodes
+	Children []*Node // child nodes in document order; nil for text nodes
+	Text     string  // character data; empty for element nodes
+}
+
+// NewElement returns a new element node with the given name.
+func NewElement(name string) *Node {
+	return &Node{Kind: ElementKind, Name: name}
+}
+
+// NewText returns a new text node carrying s.
+func NewText(s string) *Node {
+	return &Node{Kind: TextKind, Text: s}
+}
+
+// Elem creates an element with optional text content and appends it as a
+// child of n, returning the new element. It is a convenience for building
+// documents: parent.Elem("Name", "text").
+func (n *Node) Elem(name, text string) *Node {
+	e := NewElement(name)
+	if text != "" {
+		e.AppendChild(NewText(text))
+	}
+	n.AppendChild(e)
+	return e
+}
+
+// IsElement reports whether n is an element node.
+func (n *Node) IsElement() bool { return n != nil && n.Kind == ElementKind }
+
+// IsText reports whether n is a text node.
+func (n *Node) IsText() bool { return n != nil && n.Kind == TextKind }
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrDefault returns the value of the named attribute, or def if absent.
+func (n *Node) AttrDefault(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// SetAttr sets the named attribute, replacing an existing value or
+// appending a new attribute. It returns n to allow chaining.
+func (n *Node) SetAttr(name, value string) *Node {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs[i].Value = value
+			return n
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+	return n
+}
+
+// RemoveAttr deletes the named attribute if present and reports whether a
+// deletion happened.
+func (n *Node) RemoveAttr(name string) bool {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs = append(n.Attrs[:i], n.Attrs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AppendChild appends c as the last child of n.
+func (n *Node) AppendChild(c *Node) *Node {
+	n.Children = append(n.Children, c)
+	return n
+}
+
+// InsertChild inserts c at index i among n's children. Out-of-range indices
+// clamp to the valid range.
+func (n *Node) InsertChild(i int, c *Node) {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(n.Children) {
+		i = len(n.Children)
+	}
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+}
+
+// RemoveChild removes the first occurrence of c (pointer identity) from n's
+// children and reports whether it was found.
+func (n *Node) RemoveChild(c *Node) bool {
+	for i, k := range n.Children {
+		if k == c {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceChild replaces the first occurrence of old (pointer identity) with
+// repl and reports whether a replacement happened.
+func (n *Node) ReplaceChild(old, repl *Node) bool {
+	for i, k := range n.Children {
+		if k == old {
+			n.Children[i] = repl
+			return true
+		}
+	}
+	return false
+}
+
+// ChildElements returns n's direct element children, skipping text nodes.
+func (n *Node) ChildElements() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.IsElement() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Child returns the first direct child element with the given name, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.IsElement() && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildText returns the text content of the first direct child element with
+// the given name, or "" if there is no such child.
+func (n *Node) ChildText(name string) string {
+	if c := n.Child(name); c != nil {
+		return c.TextContent()
+	}
+	return ""
+}
+
+// Find returns the first element in the subtree rooted at n (including n
+// itself) whose name matches, in depth-first document order, or nil.
+func (n *Node) Find(name string) *Node {
+	if n.IsElement() && n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if c.IsElement() {
+			if m := c.Find(name); m != nil {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// FindAll returns every element in the subtree rooted at n (including n)
+// whose name matches, in depth-first document order.
+func (n *Node) FindAll(name string) []*Node {
+	var out []*Node
+	n.Walk(func(e *Node) bool {
+		if e.Name == name {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// FindByID returns the element in the subtree whose "Id" attribute equals
+// id, or nil. DRA4WfMS signatures reference signed subtrees by Id.
+func (n *Node) FindByID(id string) *Node {
+	var found *Node
+	n.Walk(func(e *Node) bool {
+		if v, ok := e.Attr("Id"); ok && v == id {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Parent returns the parent element of target within the subtree rooted at
+// n, or nil if target is n itself or is not in the subtree.
+func (n *Node) Parent(target *Node) *Node {
+	var parent *Node
+	var rec func(e *Node) bool
+	rec = func(e *Node) bool {
+		for _, c := range e.Children {
+			if c == target {
+				parent = e
+				return true
+			}
+			if c.IsElement() && rec(c) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(n)
+	return parent
+}
+
+// Walk visits every element in the subtree rooted at n in depth-first
+// document order, calling fn for each. If fn returns false the walk stops.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !n.IsElement() {
+		return
+	}
+	stop := false
+	var rec func(e *Node)
+	rec = func(e *Node) {
+		if stop {
+			return
+		}
+		if !fn(e) {
+			stop = true
+			return
+		}
+		for _, c := range e.Children {
+			if c.IsElement() {
+				rec(c)
+			}
+		}
+	}
+	rec(n)
+}
+
+// TextContent returns the concatenation of all text nodes in the subtree,
+// in document order.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	var rec func(e *Node)
+	rec = func(e *Node) {
+		if e.IsText() {
+			b.WriteString(e.Text)
+			return
+		}
+		for _, c := range e.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return b.String()
+}
+
+// SetText replaces all children of n with a single text node carrying s.
+func (n *Node) SetText(s string) *Node {
+	n.Children = n.Children[:0]
+	if s != "" {
+		n.Children = append(n.Children, NewText(s))
+	}
+	return n
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
+	if n.Attrs != nil {
+		c.Attrs = make([]Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	if n.Children != nil {
+		c.Children = make([]*Node, len(n.Children))
+		for i, k := range n.Children {
+			c.Children[i] = k.Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports whether two subtrees are structurally identical: same node
+// kinds, names, attribute sets (order-insensitive) and children (order-
+// sensitive). Adjacent text nodes are not merged before comparison.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == TextKind {
+		return a.Text == b.Text
+	}
+	if a.Name != b.Name || len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for _, attr := range a.Attrs {
+		v, ok := b.Attr(attr.Name)
+		if !ok || v != attr.Value {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns the canonical serialization of the subtree rooted at n.
+// Two structurally equal trees always produce identical canonical bytes,
+// regardless of attribute insertion order.
+func (n *Node) Canonical() []byte {
+	var b bytes.Buffer
+	writeCanonical(&b, n)
+	return b.Bytes()
+}
+
+// String returns the canonical serialization as a string; it implements
+// fmt.Stringer for debugging convenience.
+func (n *Node) String() string { return string(n.Canonical()) }
+
+// Indent returns a human-readable, indented rendering of the subtree. The
+// output is NOT canonical (whitespace is added) and must never be digested;
+// it exists for logs, CLIs and documentation.
+func (n *Node) Indent() string {
+	var b bytes.Buffer
+	writeIndented(&b, n, 0)
+	return b.String()
+}
+
+func writeIndented(b *bytes.Buffer, n *Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	if n.IsText() {
+		t := strings.TrimSpace(n.Text)
+		if t != "" {
+			b.WriteString(ind)
+			escapeText(b, t)
+			b.WriteByte('\n')
+		}
+		return
+	}
+	b.WriteString(ind)
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	for _, a := range sortedAttrs(n.Attrs) {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		escapeAttr(b, a.Value)
+		b.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("></")
+		b.WriteString(n.Name)
+		b.WriteString(">\n")
+		return
+	}
+	// Single text child renders inline.
+	if len(n.Children) == 1 && n.Children[0].IsText() {
+		b.WriteByte('>')
+		escapeText(b, n.Children[0].Text)
+		b.WriteString("</")
+		b.WriteString(n.Name)
+		b.WriteString(">\n")
+		return
+	}
+	b.WriteString(">\n")
+	for _, c := range n.Children {
+		writeIndented(b, c, depth+1)
+	}
+	b.WriteString(ind)
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteString(">\n")
+}
+
+func sortedAttrs(attrs []Attr) []Attr {
+	if len(attrs) < 2 {
+		return attrs
+	}
+	s := make([]Attr, len(attrs))
+	copy(s, attrs)
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+func writeCanonical(b *bytes.Buffer, n *Node) {
+	if n.IsText() {
+		escapeText(b, n.Text)
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	for _, a := range sortedAttrs(n.Attrs) {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		escapeAttr(b, a.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('>')
+	for _, c := range n.Children {
+		writeCanonical(b, c)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+}
+
+func escapeText(b *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '\r':
+			b.WriteString("&#xD;")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func escapeAttr(b *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\t':
+			b.WriteString("&#x9;")
+		case '\n':
+			b.WriteString("&#xA;")
+		case '\r':
+			b.WriteString("&#xD;")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// ErrNamespace is returned by Parse when the input declares or uses XML
+// namespaces, which the DRA4WfMS document format does not employ.
+var ErrNamespace = errors.New("xmltree: namespaced XML is not supported")
+
+// Parse reads a single XML document from r and returns its root element.
+// Comments and processing instructions are discarded; CDATA becomes plain
+// text. Namespaced input is rejected with ErrNamespace.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Space != "" {
+				return nil, ErrNamespace
+			}
+			e := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space != "" || a.Name.Local == "xmlns" {
+					return nil, ErrNamespace
+				}
+				e.Attrs = append(e.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmltree: multiple root elements")
+				}
+				root = e
+			} else {
+				stack[len(stack)-1].AppendChild(e)
+			}
+			stack = append(stack, e)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmltree: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				// Whitespace outside the root is insignificant.
+				if strings.TrimSpace(string(t)) != "" {
+					return nil, errors.New("xmltree: character data outside root element")
+				}
+				continue
+			}
+			parent := stack[len(stack)-1]
+			// Merge adjacent character data into one text node so that
+			// parse(canonical(t)) == t holds for trees without adjacent
+			// text children.
+			if len(parent.Children) > 0 && parent.Children[len(parent.Children)-1].IsText() {
+				parent.Children[len(parent.Children)-1].Text += string(t)
+			} else {
+				parent.AppendChild(NewText(string(t)))
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Not part of the document model.
+		}
+	}
+	if root == nil {
+		return nil, errors.New("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmltree: unexpected EOF inside element")
+	}
+	return root, nil
+}
+
+// ParseBytes parses an XML document held in b. See Parse.
+func ParseBytes(b []byte) (*Node, error) {
+	return Parse(bytes.NewReader(b))
+}
+
+// ParseString parses an XML document held in s. See Parse.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Normalize merges adjacent text children and removes empty text nodes
+// throughout the subtree, in place. Canonical serialization followed by
+// parsing yields a normalized tree; normalizing both sides makes
+// Equal(t, reparse(canonical(t))) hold for any tree.
+func (n *Node) Normalize() {
+	if !n.IsElement() {
+		return
+	}
+	out := n.Children[:0]
+	for _, c := range n.Children {
+		if c.IsText() {
+			if c.Text == "" {
+				continue
+			}
+			if len(out) > 0 && out[len(out)-1].IsText() {
+				out[len(out)-1].Text += c.Text
+				continue
+			}
+		} else {
+			c.Normalize()
+		}
+		out = append(out, c)
+	}
+	n.Children = out
+}
+
+// Size returns the number of nodes (elements and text) in the subtree.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.Size()
+	}
+	return total
+}

@@ -1,0 +1,467 @@
+package xmltree
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAndAttr(t *testing.T) {
+	root := NewElement("Doc")
+	root.SetAttr("Id", "d1")
+	root.SetAttr("Version", "1")
+	root.SetAttr("Id", "d2") // overwrite
+
+	if got, ok := root.Attr("Id"); !ok || got != "d2" {
+		t.Fatalf("Attr(Id) = %q, %v; want d2, true", got, ok)
+	}
+	if got := root.AttrDefault("Missing", "def"); got != "def" {
+		t.Fatalf("AttrDefault = %q, want def", got)
+	}
+	if !root.RemoveAttr("Version") {
+		t.Fatal("RemoveAttr(Version) = false, want true")
+	}
+	if _, ok := root.Attr("Version"); ok {
+		t.Fatal("Version still present after RemoveAttr")
+	}
+	if root.RemoveAttr("Version") {
+		t.Fatal("second RemoveAttr reported a deletion")
+	}
+}
+
+func TestChildManipulation(t *testing.T) {
+	root := NewElement("R")
+	a := NewElement("A")
+	b := NewElement("B")
+	c := NewElement("C")
+	root.AppendChild(a)
+	root.AppendChild(c)
+	root.InsertChild(1, b)
+
+	names := make([]string, 0, 3)
+	for _, k := range root.ChildElements() {
+		names = append(names, k.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"A", "B", "C"}) {
+		t.Fatalf("children = %v, want [A B C]", names)
+	}
+
+	d := NewElement("D")
+	if !root.ReplaceChild(b, d) {
+		t.Fatal("ReplaceChild(b, d) = false")
+	}
+	if root.Child("B") != nil || root.Child("D") == nil {
+		t.Fatal("ReplaceChild did not swap B for D")
+	}
+	if !root.RemoveChild(d) {
+		t.Fatal("RemoveChild(d) = false")
+	}
+	if root.RemoveChild(d) {
+		t.Fatal("RemoveChild of absent node = true")
+	}
+	if len(root.ChildElements()) != 2 {
+		t.Fatalf("want 2 children after removal, got %d", len(root.ChildElements()))
+	}
+}
+
+func TestInsertChildClamps(t *testing.T) {
+	root := NewElement("R")
+	root.InsertChild(-5, NewElement("A"))
+	root.InsertChild(99, NewElement("B"))
+	if root.Children[0].Name != "A" || root.Children[1].Name != "B" {
+		t.Fatalf("clamped insert produced %v", root.String())
+	}
+}
+
+func TestFindAndFindByID(t *testing.T) {
+	root, err := ParseString(`<W><X Id="x1"><Y Id="y1">t</Y></X><Y Id="y2"/></W>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Find("Y"); got == nil || got.AttrDefault("Id", "") != "y1" {
+		t.Fatalf("Find(Y) = %v, want element with Id y1", got)
+	}
+	if got := len(root.FindAll("Y")); got != 2 {
+		t.Fatalf("FindAll(Y) returned %d, want 2", got)
+	}
+	if got := root.FindByID("y2"); got == nil || got.Name != "Y" {
+		t.Fatalf("FindByID(y2) = %v", got)
+	}
+	if got := root.FindByID("nope"); got != nil {
+		t.Fatalf("FindByID(nope) = %v, want nil", got)
+	}
+}
+
+func TestParentLookup(t *testing.T) {
+	root, _ := ParseString(`<A><B><C/></B></A>`)
+	c := root.Find("C")
+	if p := root.Parent(c); p == nil || p.Name != "B" {
+		t.Fatalf("Parent(C) = %v, want B", p)
+	}
+	if p := root.Parent(root); p != nil {
+		t.Fatalf("Parent(root) = %v, want nil", p)
+	}
+	if p := root.Parent(NewElement("Z")); p != nil {
+		t.Fatalf("Parent(alien) = %v, want nil", p)
+	}
+}
+
+func TestTextContentAndSetText(t *testing.T) {
+	root, _ := ParseString(`<A>one<B>two</B>three</A>`)
+	if got := root.TextContent(); got != "onetwothree" {
+		t.Fatalf("TextContent = %q", got)
+	}
+	root.SetText("replaced")
+	if got := root.TextContent(); got != "replaced" {
+		t.Fatalf("after SetText, TextContent = %q", got)
+	}
+	root.SetText("")
+	if len(root.Children) != 0 {
+		t.Fatal("SetText(\"\") should leave no children")
+	}
+}
+
+func TestChildText(t *testing.T) {
+	root, _ := ParseString(`<A><Name>alice</Name><Empty/></A>`)
+	if got := root.ChildText("Name"); got != "alice" {
+		t.Fatalf("ChildText(Name) = %q", got)
+	}
+	if got := root.ChildText("Empty"); got != "" {
+		t.Fatalf("ChildText(Empty) = %q", got)
+	}
+	if got := root.ChildText("Missing"); got != "" {
+		t.Fatalf("ChildText(Missing) = %q", got)
+	}
+}
+
+func TestCanonicalSortsAttributes(t *testing.T) {
+	a := NewElement("E")
+	a.SetAttr("zeta", "1")
+	a.SetAttr("alpha", "2")
+	b := NewElement("E")
+	b.SetAttr("alpha", "2")
+	b.SetAttr("zeta", "1")
+	if string(a.Canonical()) != string(b.Canonical()) {
+		t.Fatalf("canonical differs by attr order:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	want := `<E alpha="2" zeta="1"></E>`
+	if got := string(a.Canonical()); got != want {
+		t.Fatalf("canonical = %q, want %q", got, want)
+	}
+}
+
+func TestCanonicalEscaping(t *testing.T) {
+	e := NewElement("E")
+	e.SetAttr("a", `q"<&`+"\t\n\r")
+	e.AppendChild(NewText("x<y>&z\rw"))
+	got := string(e.Canonical())
+	want := `<E a="q&quot;&lt;&amp;&#x9;&#xA;&#xD;">x&lt;y&gt;&amp;z&#xD;w</E>`
+	if got != want {
+		t.Fatalf("canonical = %q, want %q", got, want)
+	}
+	// Round-trip through the parser must preserve content.
+	back, err := ParseBytes(e.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Attr("a"); v != `q"<&`+"\t\n\r" {
+		t.Fatalf("attr after round trip = %q", v)
+	}
+	if back.TextContent() != "x<y>&z\rw" {
+		t.Fatalf("text after round trip = %q", back.TextContent())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"two roots", "<a></a><b></b>"},
+		{"unclosed", "<a><b></b>"},
+		{"stray text", "<a></a>junk"},
+		{"namespace decl", `<a xmlns="urn:x"></a>`},
+		{"prefixed attr", `<a xml:lang="en"></a>`},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.in); err == nil {
+			t.Errorf("%s: ParseString(%q) succeeded, want error", c.name, c.in)
+		}
+	}
+}
+
+func TestParseDiscardsCommentsAndPIs(t *testing.T) {
+	root, err := ParseString(`<?xml version="1.0"?><!-- c --><a><!-- inner -->t<?pi data?></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.TextContent() != "t" {
+		t.Fatalf("TextContent = %q, want t", root.TextContent())
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("children = %d, want 1 (text only)", len(root.Children))
+	}
+}
+
+func TestParseMergesAdjacentCharData(t *testing.T) {
+	// CDATA and plain text are adjacent character data and must merge.
+	root, err := ParseString(`<a>one<![CDATA[two]]>three</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 1 || !root.Children[0].IsText() {
+		t.Fatalf("want a single merged text node, got %d children", len(root.Children))
+	}
+	if root.TextContent() != "onetwothree" {
+		t.Fatalf("TextContent = %q", root.TextContent())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig, _ := ParseString(`<A x="1"><B>t</B></A>`)
+	cp := orig.Clone()
+	if !Equal(orig, cp) {
+		t.Fatal("clone not equal to original")
+	}
+	cp.Find("B").SetText("mutated")
+	cp.SetAttr("x", "2")
+	if orig.ChildText("B") != "t" {
+		t.Fatal("mutating clone changed original text")
+	}
+	if v, _ := orig.Attr("x"); v != "1" {
+		t.Fatal("mutating clone changed original attr")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	a, _ := ParseString(`<A x="1" y="2"><B/></A>`)
+	b, _ := ParseString(`<A y="2" x="1"><B/></A>`)
+	if !Equal(a, b) {
+		t.Fatal("attribute order should not affect Equal")
+	}
+	c, _ := ParseString(`<A x="1" y="2"><C/></A>`)
+	if Equal(a, c) {
+		t.Fatal("different children compared equal")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) || Equal(nil, a) {
+		t.Fatal("nil handling wrong")
+	}
+}
+
+func TestNormalizeMergesText(t *testing.T) {
+	n := NewElement("A")
+	n.AppendChild(NewText("x"))
+	n.AppendChild(NewText(""))
+	n.AppendChild(NewText("y"))
+	inner := NewElement("B")
+	inner.AppendChild(NewText("a"))
+	inner.AppendChild(NewText("b"))
+	n.AppendChild(inner)
+	n.Normalize()
+	if len(n.Children) != 2 {
+		t.Fatalf("children after Normalize = %d, want 2", len(n.Children))
+	}
+	if n.Children[0].Text != "xy" {
+		t.Fatalf("merged text = %q", n.Children[0].Text)
+	}
+	if len(inner.Children) != 1 || inner.Children[0].Text != "ab" {
+		t.Fatalf("inner not normalized: %v", inner.String())
+	}
+}
+
+func TestSize(t *testing.T) {
+	root, _ := ParseString(`<A>t<B><C/></B></A>`)
+	if got := root.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	var nilNode *Node
+	if nilNode.Size() != 0 {
+		t.Fatal("nil Size != 0")
+	}
+}
+
+func TestWalkStops(t *testing.T) {
+	root, _ := ParseString(`<A><B/><C/><D/></A>`)
+	var visited []string
+	root.Walk(func(e *Node) bool {
+		visited = append(visited, e.Name)
+		return e.Name != "C"
+	})
+	if !reflect.DeepEqual(visited, []string{"A", "B", "C"}) {
+		t.Fatalf("visited = %v", visited)
+	}
+}
+
+func TestIndentIsReadableAndParsable(t *testing.T) {
+	root, _ := ParseString(`<A x="1"><B>hi</B><C/></A>`)
+	ind := root.Indent()
+	if !strings.Contains(ind, "\n") {
+		t.Fatal("Indent output has no newlines")
+	}
+	back, err := ParseString(ind)
+	if err != nil {
+		t.Fatalf("Indent output not parsable: %v", err)
+	}
+	if back.ChildText("B") != "hi" {
+		t.Fatalf("content lost in Indent round trip: %q", back.ChildText("B"))
+	}
+}
+
+func TestElemBuilder(t *testing.T) {
+	root := NewElement("R")
+	b := root.Elem("B", "text")
+	root.Elem("C", "")
+	if b.TextContent() != "text" || root.Child("C") == nil {
+		t.Fatal("Elem builder misbehaved")
+	}
+	if len(root.Child("C").Children) != 0 {
+		t.Fatal("Elem with empty text should create no text node")
+	}
+}
+
+// --- property tests -------------------------------------------------------
+
+// randomTree builds a random tree with the given recursion budget. Names and
+// text use a safe alphabet plus characters requiring escaping.
+func randomTree(r *rand.Rand, depth int) *Node {
+	names := []string{"A", "Bq", "Cx", "Data", "Field", "Sig"}
+	texts := []string{"", "plain", "a<b", "x&y", `q"z`, "line1\nline2", "tab\tend", "cr\rend"}
+	n := NewElement(names[r.Intn(len(names))])
+	for i := 0; i < r.Intn(3); i++ {
+		n.SetAttr(names[r.Intn(len(names))]+"attr", texts[r.Intn(len(texts))])
+	}
+	kids := r.Intn(4)
+	if depth <= 0 {
+		kids = 0
+	}
+	lastWasText := false
+	for i := 0; i < kids; i++ {
+		if r.Intn(2) == 0 && !lastWasText {
+			txt := texts[1+r.Intn(len(texts)-1)] // non-empty
+			n.AppendChild(NewText(txt))
+			lastWasText = true
+		} else {
+			n.AppendChild(randomTree(r, depth-1))
+			lastWasText = false
+		}
+	}
+	return n
+}
+
+// TestPropCanonicalRoundTrip: for any normalized tree t,
+// parse(canonical(t)) is structurally equal to t, and canonicalization is
+// stable across the round trip.
+func TestPropCanonicalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		tree := randomTree(r, 4)
+		tree.Normalize()
+		c1 := tree.Canonical()
+		back, err := ParseBytes(c1)
+		if err != nil {
+			t.Fatalf("iter %d: parse(canonical) failed: %v\n%s", i, err, c1)
+		}
+		back.Normalize()
+		if !Equal(tree, back) {
+			t.Fatalf("iter %d: round trip not equal\norig: %s\nback: %s", i, c1, back.Canonical())
+		}
+		if string(back.Canonical()) != string(c1) {
+			t.Fatalf("iter %d: canonical not stable", i)
+		}
+	}
+}
+
+// TestPropCloneEqual: Clone always yields an Equal tree with equal canonical
+// bytes.
+func TestPropCloneEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		tree := randomTree(r, 4)
+		cp := tree.Clone()
+		if !Equal(tree, cp) {
+			t.Fatalf("iter %d: clone not Equal", i)
+		}
+		if string(tree.Canonical()) != string(cp.Canonical()) {
+			t.Fatalf("iter %d: clone canonical differs", i)
+		}
+	}
+}
+
+// TestPropEscaping uses testing/quick over arbitrary strings: any string
+// stored as text or attribute survives a canonical round trip, as long as it
+// is valid UTF-8 without control characters rejected by XML.
+func TestPropEscaping(t *testing.T) {
+	sanitize := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			// XML 1.0 forbids most control characters; keep printable text
+			// plus the whitespace we explicitly escape.
+			if r == '\t' || r == '\n' || r == '\r' || (r >= 0x20 && r != 0xFFFE && r != 0xFFFF && r != 0xFFFD) {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	f := func(text, attr string) bool {
+		text, attr = sanitize(text), sanitize(attr)
+		e := NewElement("E")
+		e.SetAttr("a", attr)
+		if text != "" {
+			e.AppendChild(NewText(text))
+		}
+		back, err := ParseBytes(e.Canonical())
+		if err != nil {
+			return false
+		}
+		got, _ := back.Attr("a")
+		return got == attr && back.TextContent() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSizePositive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		tree := randomTree(r, 3)
+		size := tree.Size()
+		count := 0
+		var rec func(*Node)
+		rec = func(n *Node) {
+			count++
+			for _, c := range n.Children {
+				rec(c)
+			}
+		}
+		rec(tree)
+		if size != count {
+			t.Fatalf("Size = %d, manual count = %d", size, count)
+		}
+	}
+}
+
+// TestPropParseNeverPanics: Parse must handle arbitrary byte input without
+// panicking (documents arrive over the network).
+func TestPropParseNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseBytes(%q) panicked: %v", b, r)
+			}
+		}()
+		_, _ = ParseBytes(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{
+		"<", "<>", "</>", "<a", "<a b=>", "<a 'b'>", "<a></b>", "<a><a><a>",
+		"<a>&#x0;</a>", "<a>&bogus;</a>", "\xff\xfe<a/>",
+	} {
+		_, _ = ParseString(s)
+	}
+}
