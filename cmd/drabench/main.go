@@ -9,25 +9,41 @@
 //
 //	drabench [-experiment all|table1|table2|cascade|elementwise|
 //	          multirecipient|tfc|scalability|dos|engine|poolscale|pool]
-//	         [-bits 2048] [-reps 5]
+//	         [-bits 2048] [-reps 5] [-json]
+//
+// After the experiments it prints the run's telemetry — crypto op counts
+// and latency histograms accumulated by the instrumented packages — as a
+// table, or as a JSON metrics section with -json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"dra4wfms/internal/bench"
 	"dra4wfms/internal/cloudsim"
+	"dra4wfms/internal/telemetry"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	bits := flag.Int("bits", 2048, "RSA modulus size")
 	reps := flag.Int("reps", 5, "repetitions to average over (tables)")
+	jsonOut := flag.Bool("json", false, "emit the closing telemetry snapshot as JSON on stdout (tables move to stderr)")
 	flag.Parse()
+
+	// With -json, stdout must stay machine-readable: divert the human
+	// tables (all printed via fmt.Printf) to stderr for the run, keeping
+	// the real stdout for the closing JSON document.
+	jsonDst := os.Stdout
+	if *jsonOut {
+		os.Stdout = os.Stderr
+	}
 
 	run := func(name string, fn func() error) {
 		switch *experiment {
@@ -213,4 +229,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
+
+	printTelemetry(*jsonOut, jsonDst)
+}
+
+// printTelemetry dumps the process-wide registry accumulated while the
+// experiments ran: every dsig/xmlenc/aea/tfc/pool operation the harness
+// performed in-process is in here, so the numbers contextualize the
+// tables above (e.g. how many signature verifications Table 1 cost).
+func printTelemetry(asJSON bool, jsonDst *os.File) {
+	snap := telemetry.Default().Snapshot()
+	if asJSON {
+		enc := json.NewEncoder(jsonDst)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]telemetry.Snapshot{"metrics": snap}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("\n================ telemetry ================\n")
+	if len(snap.Counters) > 0 {
+		fmt.Printf("%-44s %12s\n", "counter", "value")
+		for _, c := range snap.Counters {
+			fmt.Printf("%-44s %12d\n", c.Name+labelSuffix(c.Labels), c.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Printf("\n%-44s %10s %12s %12s %12s\n", "histogram", "count", "p50", "p95", "p99")
+		for _, h := range snap.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-44s %10d %12s %12s %12s\n",
+				h.Name+labelSuffix(h.Labels), h.Count, fmtQ(h.P50), fmtQ(h.P95), fmtQ(h.P99))
+		}
+	}
+}
+
+// labelSuffix renders a flat [k, v, ...] label list as {k="v",...}.
+func labelSuffix(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fmtQ renders a histogram quantile: latency histograms hold seconds,
+// size histograms hold bytes; sub-second values read best as durations.
+func fmtQ(v float64) string {
+	if v > 0 && v < 1000 {
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.0f", v)
 }

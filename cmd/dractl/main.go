@@ -9,6 +9,7 @@
 //	dractl scope   FILE.xml CER-ID
 //	dractl cers    FILE.xml
 //	dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b] [-out FILE]
+//	dractl metrics [-url URL] [-filter PREFIX] [-raw]
 //	dractl audit   -trust trust.json FILE.xml
 //	dractl dot     fig9a|fig9b|fig4|FILE.xml
 //	dractl export-def fig9a|fig9b|fig4
@@ -48,6 +49,8 @@ func main() {
 		cmdCERs(os.Args[2:])
 	case "remote":
 		cmdRemote(os.Args[2:])
+	case "metrics":
+		cmdMetrics(os.Args[2:])
 	case "audit":
 		cmdAudit(os.Args[2:])
 	case "dot":
@@ -68,6 +71,7 @@ func usage() {
   dractl scope   FILE.xml CER-ID
   dractl cers    FILE.xml
   dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b]
+  dractl metrics [-url URL] [-filter PREFIX] [-raw]
   dractl audit   -trust trust.json FILE.xml
   dractl dot     fig9a|fig9b|fig4|FILE.xml
   dractl export-def fig9a|fig9b|fig4

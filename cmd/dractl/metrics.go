@@ -1,0 +1,266 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cmdMetrics scrapes a service's GET /v1/metrics endpoint and renders the
+// Prometheus exposition for humans: counters and gauges as-is, histograms
+// condensed to count/mean/p50/p95/p99 estimated from the buckets.
+func cmdMetrics(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080", "portal or TFC base URL")
+	filter := fs.String("filter", "", "only show metrics whose name has this prefix")
+	raw := fs.Bool("raw", false, "print the exposition text verbatim")
+	fs.Parse(args)
+
+	resp, err := http.Get(strings.TrimRight(*url, "/") + "/v1/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET /v1/metrics: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if *raw {
+		fmt.Print(string(body))
+		return
+	}
+
+	scalars, hists := parseExposition(string(body))
+
+	var names []string
+	for name := range scalars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	shown := 0
+	for _, name := range names {
+		if !strings.HasPrefix(name, *filter) {
+			continue
+		}
+		fmt.Printf("%-64s %s\n", name, scalars[name])
+		shown++
+	}
+
+	names = names[:0]
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.HasPrefix(name, *filter) {
+			continue
+		}
+		h := hists[name]
+		mean := 0.0
+		if h.count > 0 {
+			mean = h.sum / float64(h.count)
+		}
+		fmt.Printf("%-64s count=%d mean=%s p50=%s p95=%s p99=%s\n",
+			name, h.count, fmtSeconds(mean),
+			fmtSeconds(h.quantile(0.50)), fmtSeconds(h.quantile(0.95)), fmtSeconds(h.quantile(0.99)))
+		shown++
+	}
+	if shown == 0 {
+		log.Fatalf("no metrics matched filter %q", *filter)
+	}
+}
+
+// histogramSeries is one histogram sample set: cumulative bucket counts
+// keyed by upper bound, plus the _sum and _count series.
+type histogramSeries struct {
+	bounds []float64 // ascending; math.Inf(1) last
+	counts []uint64  // cumulative, parallel to bounds
+	sum    float64
+	count  uint64
+}
+
+// quantile mirrors the server-side estimate: linear interpolation inside
+// the bucket holding the q-th observation, clamping +Inf to the highest
+// finite bound.
+func (h *histogramSeries) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	prevCum, lower := uint64(0), 0.0
+	for i, cum := range h.counts {
+		if float64(cum) >= rank {
+			upper := h.bounds[i]
+			if math.IsInf(upper, 1) {
+				if i > 0 {
+					return h.bounds[i-1]
+				}
+				return 0
+			}
+			in := cum - prevCum
+			if in == 0 {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-float64(prevCum))/float64(in)
+		}
+		prevCum, lower = cum, h.bounds[i]
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// parseExposition splits Prometheus text into scalar samples (counters and
+// gauges, rendered name{labels} → value string) and histogram series keyed
+// by name{non-le labels}.
+func parseExposition(text string) (map[string]string, map[string]*histogramSeries) {
+	kinds := map[string]string{}
+	scalars := map[string]string{}
+	hists := map[string]*histogramSeries{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if parts := strings.Fields(rest); len(parts) == 2 {
+				kinds[parts[0]] = parts[1]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if b, found := strings.CutSuffix(name, s); found && kinds[b] == "histogram" {
+				base, suffix = b, s
+				break
+			}
+		}
+		if suffix == "" {
+			scalars[name+labelSuffix(labels, "")] = value
+			continue
+		}
+		key := base + labelSuffix(labels, "le")
+		h := hists[key]
+		if h == nil {
+			h = &histogramSeries{}
+			hists[key] = h
+		}
+		switch suffix {
+		case "_sum":
+			h.sum, _ = strconv.ParseFloat(value, 64)
+		case "_count":
+			h.count, _ = strconv.ParseUint(value, 10, 64)
+		case "_bucket":
+			le := labelValue(labels, "le")
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				bound, _ = strconv.ParseFloat(le, 64)
+			}
+			cum, _ := strconv.ParseUint(value, 10, 64)
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, cum)
+		}
+	}
+	return scalars, hists
+}
+
+// parseSample splits `name{k="v",...} value` into its parts; labels is the
+// raw brace content ("" when absent).
+func parseSample(line string) (name, labels, value string, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", "", false
+	}
+	series, value := line[:sp], line[sp+1:]
+	if open := strings.IndexByte(series, '{'); open >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", "", "", false
+		}
+		return series[:open], series[open+1 : len(series)-1], value, true
+	}
+	return series, "", value, true
+}
+
+// labelSuffix re-renders labels (minus one excluded key) for display keys.
+func labelSuffix(labels, exclude string) string {
+	if labels == "" {
+		return ""
+	}
+	var kept []string
+	for _, pair := range splitPairs(labels) {
+		if exclude != "" && strings.HasPrefix(pair, exclude+"=") {
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// labelValue extracts one label's (unescaped-enough) value.
+func labelValue(labels, key string) string {
+	for _, pair := range splitPairs(labels) {
+		if rest, ok := strings.CutPrefix(pair, key+"="); ok {
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// splitPairs splits `k="v",k2="v2"` on commas outside quotes.
+func splitPairs(labels string) []string {
+	var pairs []string
+	start, inQuotes, escaped := 0, false, false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == ',' && !inQuotes:
+			pairs = append(pairs, labels[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(labels) {
+		pairs = append(pairs, labels[start:])
+	}
+	return pairs
+}
+
+// fmtSeconds renders a seconds value at a readable scale. Histograms in
+// this codebase record either seconds or byte sizes; sub-1000 values get
+// duration-style units, larger ones plain notation.
+func fmtSeconds(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1e-3:
+		return fmt.Sprintf("%.1fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.2fms", v*1e3)
+	case v < 1000:
+		return fmt.Sprintf("%.3fs", v)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}

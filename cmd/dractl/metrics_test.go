@@ -1,0 +1,58 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+const exposition = `# TYPE aea_sign_ops_total counter
+aea_sign_ops_total 6
+# TYPE http_requests_total counter
+http_requests_total{route="POST /v1/documents",code="2xx"} 5
+# TYPE portal_store_seconds histogram
+portal_store_seconds_bucket{le="0.001"} 2
+portal_store_seconds_bucket{le="0.01"} 9
+portal_store_seconds_bucket{le="+Inf"} 10
+portal_store_seconds_sum 0.05
+portal_store_seconds_count 10
+`
+
+func TestParseExposition(t *testing.T) {
+	scalars, hists := parseExposition(exposition)
+
+	if got := scalars["aea_sign_ops_total"]; got != "6" {
+		t.Errorf("aea_sign_ops_total = %q, want 6", got)
+	}
+	if got := scalars[`http_requests_total{route="POST /v1/documents",code="2xx"}`]; got != "5" {
+		t.Errorf("labeled counter = %q, want 5", got)
+	}
+
+	h := hists["portal_store_seconds"]
+	if h == nil {
+		t.Fatalf("histogram missing; have %v", hists)
+	}
+	if h.count != 10 || h.sum != 0.05 {
+		t.Errorf("count/sum = %d/%v, want 10/0.05", h.count, h.sum)
+	}
+	if len(h.bounds) != 3 || !math.IsInf(h.bounds[2], 1) {
+		t.Fatalf("bounds = %v", h.bounds)
+	}
+	// p50: rank 5 lands in the (0.001, 0.01] bucket holding observations
+	// 3..9 → 0.001 + 0.009*(5-2)/7.
+	want := 0.001 + 0.009*3/7
+	if got := h.quantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	// p99: rank 9.9 falls in the +Inf bucket → clamps to the highest
+	// finite bound.
+	if got := h.quantile(0.99); got != 0.01 {
+		t.Errorf("p99 = %v, want 0.01", got)
+	}
+}
+
+func TestSplitPairsQuotedComma(t *testing.T) {
+	pairs := splitPairs(`a="x,y",b="z"`)
+	if len(pairs) != 2 || pairs[0] != `a="x,y"` || pairs[1] != `b="z"` {
+		t.Fatalf("splitPairs = %v", pairs)
+	}
+}

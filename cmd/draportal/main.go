@@ -25,6 +25,7 @@ import (
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/pool"
 	"dra4wfms/internal/portal"
+	"dra4wfms/internal/telemetry"
 )
 
 func main() {
@@ -34,7 +35,15 @@ func main() {
 	trust := flag.String("trust", "deploy/trust.json", "trust bundle path")
 	servers := flag.Int("servers", 3, "pool region servers")
 	keyPath := flag.String("key", "", "portal private-key PEM; enables signed webhook notifications")
+	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
+	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
 	flag.Parse()
+
+	if *slowOps > 0 {
+		telemetry.Default().SetSlowOpThreshold(*slowOps)
+		telemetry.Default().SetSlowOpLogger(log.Default())
+		log.Printf("logging operations slower than %s", *slowOps)
+	}
 
 	data, err := os.ReadFile(*trust)
 	if err != nil {
@@ -64,6 +73,7 @@ func main() {
 
 	p := portal.New("portal", reg, table, time.Now)
 	srv := httpapi.NewPortalServer(p, monitor.New(table), httpapi.NewAuthenticator(reg, time.Now))
+	srv.EnablePprof = *pprofOn
 	if *keyPath != "" {
 		keyPEM, err := os.ReadFile(*keyPath)
 		if err != nil {

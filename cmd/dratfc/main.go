@@ -15,6 +15,7 @@ import (
 
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/pki"
+	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/tfc"
 )
 
@@ -24,7 +25,15 @@ func main() {
 	listen := flag.String("listen", ":8081", "listen address")
 	trust := flag.String("trust", "deploy/trust.json", "trust bundle path")
 	keyPath := flag.String("key", "", "this server's private-key PEM")
+	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
+	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
 	flag.Parse()
+
+	if *slowOps > 0 {
+		telemetry.Default().SetSlowOpThreshold(*slowOps)
+		telemetry.Default().SetSlowOpLogger(log.Default())
+		log.Printf("logging operations slower than %s", *slowOps)
+	}
 
 	if *keyPath == "" {
 		log.Fatal("missing -key (the TFC's private key PEM)")
@@ -52,6 +61,7 @@ func main() {
 
 	server := tfc.New(keys, reg, time.Now)
 	srv := httpapi.NewTFCServer(server, httpapi.NewAuthenticator(reg, time.Now))
+	srv.EnablePprof = *pprofOn
 	log.Printf("TFC %s serving on %s", keys.Owner, *listen)
 	log.Fatal(httpapi.ListenAndServe(*listen, srv.Handler()))
 }

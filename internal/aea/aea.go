@@ -34,9 +34,21 @@ import (
 	"dra4wfms/internal/expr"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/secpol"
+	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/wfdef"
 	"dra4wfms/internal/xmlenc"
 	"dra4wfms/internal/xmltree"
+)
+
+// Runtime telemetry: per-phase latency histograms mirroring the paper's
+// cost decomposition (α = verify + decrypt, β = encrypt + sign) plus
+// counters for signature-cascade size and replay rejections.
+var (
+	tel                 = telemetry.Default()
+	mVerifiedSignatures = tel.Counter("aea_verify_signatures_total")
+	mSignedCERs         = tel.Counter("aea_sign_ops_total")
+	mDecryptedElements  = tel.Counter("aea_decrypt_elements_total")
+	mReplayRejections   = tel.Counter("aea_replay_rejections_total")
 )
 
 // Typed failures an AEA can report.
@@ -104,11 +116,15 @@ type Session struct {
 // Open verifies the received document and prepares the participant's view
 // (the paper's α phase: decrypt cipher data and verify digital signatures).
 func (a *AEA) Open(doc *document.Document, activityID string) (*Session, error) {
+	defer tel.StartSpan("aea_open_seconds").End()
 	work := doc.Clone()
+	verifySpan := tel.StartSpan("aea_verify_cascade_seconds")
 	nsigs, err := work.VerifyAll(a.Registry)
+	verifySpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("aea: document verification failed: %w", err)
 	}
+	mVerifiedSignatures.Add(int64(nsigs))
 	def, err := work.Definition()
 	if err != nil {
 		return nil, err
@@ -144,14 +160,18 @@ func (a *AEA) Open(doc *document.Document, activityID string) (*Session, error) 
 	}
 	iter := work.LatestIteration(activityID) + 1
 	if a.alreadySeen(replayKey(work.ProcessID(), activityID, iter)) {
+		mReplayRejections.Inc()
 		return nil, fmt.Errorf("%w: %s#%d of process %s", ErrReplay, activityID, iter, work.ProcessID())
 	}
 
 	view := work.Clone()
+	decryptSpan := tel.StartSpan("aea_decrypt_view_seconds")
 	ndec, err := xmlenc.DecryptVisible(view.Root, a.Keys)
+	decryptSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("aea: decrypting view: %w", err)
 	}
+	mDecryptedElements.Add(int64(ndec))
 	return &Session{
 		aea: a, work: work, view: view, def: def, act: act, iter: iter,
 		VerifiedSignatures: nsigs, DecryptedElements: ndec,
@@ -204,6 +224,7 @@ type Outcome struct {
 // inputs, element-wise encrypt them per the security policy, decide the
 // routing, and append the cascade-signed CER.
 func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
+	defer tel.StartSpan("aea_complete_seconds").End()
 	if s.def.Policy.ConcealFlow {
 		return nil, ErrAdvancedRequired
 	}
@@ -214,7 +235,9 @@ func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	encryptSpan := tel.StartSpan("aea_encrypt_result_seconds")
 	fields, err := secpol.EncryptFields(s.def, s.aea.Registry, s.act.ID, s.iter, inputs)
+	encryptSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +245,7 @@ func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	signSpan := tel.StartSpan("aea_sign_seconds")
 	cer, err := s.work.AppendCER(document.AppendSpec{
 		ActivityID:     s.act.ID,
 		Iteration:      s.iter,
@@ -232,9 +256,11 @@ func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
 		PredSigIDs:     preds,
 		Signer:         s.aea.Keys,
 	})
+	signSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	mSignedCERs.Inc()
 	s.aea.markSeen(replayKey(s.work.ProcessID(), s.act.ID, s.iter))
 
 	out := &Outcome{Doc: s.work, CER: cer, Next: next, Routed: map[string]*document.Document{}}
@@ -254,6 +280,7 @@ func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
 // returned document must be sent to the TFC for policy encryption,
 // timestamping and forwarding.
 func (s *Session) CompleteToTFC(inputs Inputs) (*document.Document, error) {
+	defer tel.StartSpan("aea_complete_tfc_seconds").End()
 	tfcID := s.def.TFCFor(s.act.ID)
 	if tfcID == "" {
 		return nil, errors.New("aea: definition names no TFC server")
@@ -283,7 +310,8 @@ func (s *Session) CompleteToTFC(inputs Inputs) (*document.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := s.work.AppendCER(document.AppendSpec{
+	signSpan := tel.StartSpan("aea_sign_seconds")
+	_, err = s.work.AppendCER(document.AppendSpec{
 		ActivityID:     s.act.ID,
 		Iteration:      s.iter,
 		Kind:           document.KindIntermediate,
@@ -291,9 +319,12 @@ func (s *Session) CompleteToTFC(inputs Inputs) (*document.Document, error) {
 		ResultChildren: []*xmltree.Node{enc},
 		PredSigIDs:     preds,
 		Signer:         s.aea.Keys,
-	}); err != nil {
+	})
+	signSpan.End()
+	if err != nil {
 		return nil, err
 	}
+	mSignedCERs.Inc()
 	s.aea.markSeen(replayKey(s.work.ProcessID(), s.act.ID, s.iter))
 	return s.work, nil
 }

@@ -36,7 +36,17 @@ import (
 	"strings"
 
 	"dra4wfms/internal/pki"
+	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/xmltree"
+)
+
+// Runtime telemetry: operation and byte counters for the crypto hot path
+// (the paper's α/β cost drivers).
+var (
+	mSignOps     = telemetry.Default().Counter("dsig_sign_ops_total")
+	mSignBytes   = telemetry.Default().Counter("dsig_sign_bytes_total")
+	mVerifyOps   = telemetry.Default().Counter("dsig_verify_ops_total")
+	mVerifyBytes = telemetry.Default().Counter("dsig_verify_bytes_total")
 )
 
 // Algorithm identifiers recorded inside signatures. Verification rejects
@@ -113,10 +123,13 @@ func Sign(root *xmltree.Node, refIDs []string, key *pki.KeyPair, sigID string) (
 		signedInfo.AppendChild(ref)
 	}
 
-	sigValue, err := key.Sign(signedInfo.Canonical())
+	canon := signedInfo.Canonical()
+	sigValue, err := key.Sign(canon)
 	if err != nil {
 		return nil, err
 	}
+	mSignOps.Inc()
+	mSignBytes.Add(int64(len(canon)))
 
 	sig := xmltree.NewElement(SignatureElem)
 	if sigID != "" {
@@ -213,9 +226,12 @@ func Verify(root, sig *xmltree.Node, resolver KeyResolver) error {
 	if err != nil {
 		return fmt.Errorf("dsig: corrupt SignatureValue: %w", err)
 	}
-	if err := pki.Verify(pub, si.Canonical(), sigValue); err != nil {
+	canon := si.Canonical()
+	if err := pki.Verify(pub, canon, sigValue); err != nil {
 		return fmt.Errorf("%w (signer %s)", ErrBadSignature, signer)
 	}
+	mVerifyOps.Inc()
+	mVerifyBytes.Add(int64(len(canon)))
 	return nil
 }
 

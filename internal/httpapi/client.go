@@ -222,6 +222,29 @@ func (c *Client) ProcessViaTFC(doc *document.Document) (*ProcessResponse, *docum
 	return &pr, out, nil
 }
 
+// Metrics fetches the service's Prometheus text exposition. The metrics
+// endpoint is unauthenticated, so this is a plain GET without a
+// signature — it works even without Keys.
+func (c *Client) Metrics() (string, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Get(c.BaseURL + "/v1/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("httpapi: GET /v1/metrics: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return string(body), nil
+}
+
 // TFCRecords fetches the TFC forwarding log (optionally for one process).
 func (c *Client) TFCRecords(processID string) ([]tfc.ForwardRecord, error) {
 	path := "/v1/records"

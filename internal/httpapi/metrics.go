@@ -1,0 +1,74 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"dra4wfms/internal/telemetry"
+)
+
+// Runtime telemetry: every route registered through instrument records a
+// per-route request counter (split by status class), a latency histogram,
+// and accepted request-body bytes; authWrap counts oversized rejections.
+var (
+	tel       = telemetry.Default()
+	mRejected = tel.Counter("http_requests_rejected_total")
+)
+
+// MetricsContentType is the Prometheus text exposition content type
+// served by GET /v1/metrics.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route telemetry. route is the mux
+// pattern (e.g. "POST /v1/documents"), which keeps the label cardinality
+// fixed regardless of path parameters.
+func instrument(route string, next http.HandlerFunc) http.HandlerFunc {
+	// Eager creation makes the route visible in /v1/metrics before any
+	// traffic hits it.
+	tel.Histogram("http_request_seconds", telemetry.LatencyBuckets, "route", route)
+	bodyBytes := tel.Counter("http_request_body_bytes_total", "route", route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		span := tel.StartSpan("http_request_seconds", "route", route)
+		next(sw, r)
+		span.End()
+		tel.Counter("http_requests_total", "route", route, "code", fmt.Sprintf("%dxx", sw.status/100)).Inc()
+		if r.ContentLength > 0 {
+			bodyBytes.Add(r.ContentLength)
+		}
+	}
+}
+
+// handleMetrics serves the process-wide registry in Prometheus text
+// exposition format. The endpoint is deliberately unauthenticated:
+// scrapers cannot sign requests, and the registry holds only aggregate
+// operational data — never document contents.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", MetricsContentType)
+	_ = telemetry.Default().WritePrometheus(w)
+}
+
+// registerObservability wires GET /v1/metrics and, when pprof is enabled,
+// the /debug/pprof/* handlers onto mux.
+func registerObservability(mux *http.ServeMux, enablePprof bool) {
+	mux.HandleFunc("GET /v1/metrics", handleMetrics)
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}

@@ -2,7 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
-
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -23,8 +23,9 @@ const (
 )
 
 // maxBody bounds accepted request bodies (documents grow linearly with
-// executed activities; 64 MiB is generous).
-const maxBody = 64 << 20
+// executed activities; 64 MiB is generous). A variable so tests can
+// exercise the 413 path without 64 MiB payloads.
+var maxBody int64 = 64 << 20
 
 // PortalServer serves one portal over HTTP.
 //
@@ -42,6 +43,10 @@ type PortalServer struct {
 	// Webhooks, when non-nil, enables PUT /v1/webhook registration and
 	// should also be wired as the portal's OnNotify.
 	Webhooks *WebhookDispatcher
+	// EnablePprof additionally serves /debug/pprof/* (CPU/heap/goroutine
+	// profiling) from the same listener. Off by default: profiles expose
+	// process internals, so operators opt in (draportal -pprof).
+	EnablePprof bool
 }
 
 // NewPortalServer assembles the HTTP facade of a portal.
@@ -57,20 +62,26 @@ func (s *PortalServer) EnableWebhooks(keys *pki.KeyPair) *WebhookDispatcher {
 	return s.Webhooks
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler. Every route is wrapped with
+// the telemetry middleware; GET /v1/metrics serves the registry and
+// /debug/pprof/* is added when EnablePprof is set.
 func (s *PortalServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/documents/initial", s.auth(s.handleStoreInitial))
-	mux.HandleFunc("POST /v1/documents", s.auth(s.handleStore))
-	mux.HandleFunc("GET /v1/documents/{pid}", s.auth(s.handleRetrieve))
-	mux.HandleFunc("GET /v1/worklist", s.auth(s.handleWorklist))
-	mux.HandleFunc("GET /v1/processes", s.auth(s.handleProcesses))
-	mux.HandleFunc("GET /v1/status/{pid}", s.auth(s.handleStatus))
-	mux.HandleFunc("GET /v1/statistics", s.auth(s.handleStatistics))
-	mux.HandleFunc("PUT /v1/templates", s.auth(s.handleStoreTemplate))
-	mux.HandleFunc("GET /v1/templates", s.auth(s.handleListTemplates))
-	mux.HandleFunc("GET /v1/templates/{name}", s.auth(s.handleGetTemplate))
-	mux.HandleFunc("PUT /v1/webhook", s.auth(s.handleWebhook))
+	route := func(pattern string, h handlerFunc) {
+		mux.HandleFunc(pattern, instrument(pattern, s.auth(h)))
+	}
+	route("POST /v1/documents/initial", s.handleStoreInitial)
+	route("POST /v1/documents", s.handleStore)
+	route("GET /v1/documents/{pid}", s.handleRetrieve)
+	route("GET /v1/worklist", s.handleWorklist)
+	route("GET /v1/processes", s.handleProcesses)
+	route("GET /v1/status/{pid}", s.handleStatus)
+	route("GET /v1/statistics", s.handleStatistics)
+	route("PUT /v1/templates", s.handleStoreTemplate)
+	route("GET /v1/templates", s.handleListTemplates)
+	route("GET /v1/templates/{name}", s.handleGetTemplate)
+	route("PUT /v1/webhook", s.handleWebhook)
+	registerObservability(mux, s.EnablePprof)
 	return mux
 }
 
@@ -89,8 +100,15 @@ func authWrap(a *Authenticator, h handlerFunc) http.HandlerFunc {
 			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		if len(body) > maxBody {
-			http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		if int64(len(body)) > maxBody {
+			// Deliberate 413 with a machine-readable JSON error (not an
+			// accidental connection reset), counted for operators.
+			mRejected.Inc()
+			w.Header().Set("Content-Type", ContentJSON)
+			w.WriteHeader(http.StatusRequestEntityTooLarge)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": fmt.Sprintf("request body exceeds the %d-byte limit", maxBody),
+			})
 			return
 		}
 		principal, err := a.Verify(r, body)
@@ -236,6 +254,8 @@ func httpStatusError(w http.ResponseWriter, err error) {
 type TFCServer struct {
 	Server *tfc.Server
 	Auth   *Authenticator
+	// EnablePprof additionally serves /debug/pprof/* (see PortalServer).
+	EnablePprof bool
 }
 
 // NewTFCServer assembles the HTTP facade of a TFC server.
@@ -256,11 +276,13 @@ type ProcessResponse struct {
 	Document string `json:"document"`
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler, instrumented like the
+// portal's and likewise serving GET /v1/metrics.
 func (s *TFCServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/process", authWrap(s.Auth, s.handleProcess))
-	mux.HandleFunc("GET /v1/records", authWrap(s.Auth, s.handleRecords))
+	mux.HandleFunc("POST /v1/process", instrument("POST /v1/process", authWrap(s.Auth, s.handleProcess)))
+	mux.HandleFunc("GET /v1/records", instrument("GET /v1/records", authWrap(s.Auth, s.handleRecords)))
+	registerObservability(mux, s.EnablePprof)
 	return mux
 }
 

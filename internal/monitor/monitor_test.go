@@ -261,3 +261,66 @@ func TestDurationStatistics(t *testing.T) {
 		t.Fatalf("empty stats = %+v, %v", empty, err)
 	}
 }
+
+// TestDurationStatisticsEmptyPool: the mapreduce job over a table with no
+// documents must yield a well-formed empty report, not an error or nil
+// maps.
+func TestDurationStatisticsEmptyPool(t *testing.T) {
+	w := newWorld(t)
+	stats, err := w.mon.DurationStatistics("fig9-review")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Definition != "fig9-review" {
+		t.Errorf("definition = %q", stats.Definition)
+	}
+	if stats.Instances != 0 || stats.SkippedNoTimestamps != 0 {
+		t.Errorf("instances/skipped = %d/%d, want 0/0", stats.Instances, stats.SkippedNoTimestamps)
+	}
+	if stats.PerActivity == nil {
+		t.Error("PerActivity is nil, want empty map")
+	}
+	if len(stats.PerActivity) != 0 {
+		t.Errorf("PerActivity = %v, want empty", stats.PerActivity)
+	}
+}
+
+// TestDurationStatisticsNoMatchingInstances: a populated pool whose
+// documents all belong to other definitions contributes nothing — and is
+// not counted as skipped either (skipped means matched but untimestamped).
+func TestDurationStatisticsNoMatchingInstances(t *testing.T) {
+	w := newWorld(t)
+	w.runBasic(t)
+	stats, err := w.mon.DurationStatistics("some-other-definition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instances != 0 || stats.SkippedNoTimestamps != 0 {
+		t.Errorf("instances/skipped = %d/%d, want 0/0", stats.Instances, stats.SkippedNoTimestamps)
+	}
+	if stats.PerActivity == nil || len(stats.PerActivity) != 0 {
+		t.Errorf("PerActivity = %v, want empty non-nil", stats.PerActivity)
+	}
+}
+
+// TestDurationStatisticsAllBasic: basic-model instances carry no TFC
+// timestamps, so a pool of only basic runs reports every instance as
+// skipped and aggregates nothing.
+func TestDurationStatisticsAllBasic(t *testing.T) {
+	w := newWorld(t)
+	w.runBasic(t)
+	w.runBasic(t)
+	stats, err := w.mon.DurationStatistics("fig9-review")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instances != 0 {
+		t.Errorf("instances = %d, want 0", stats.Instances)
+	}
+	if stats.SkippedNoTimestamps != 2 {
+		t.Errorf("skipped = %d, want 2", stats.SkippedNoTimestamps)
+	}
+	if stats.PerActivity == nil || len(stats.PerActivity) != 0 {
+		t.Errorf("PerActivity = %v, want empty non-nil", stats.PerActivity)
+	}
+}

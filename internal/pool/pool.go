@@ -30,6 +30,18 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"dra4wfms/internal/telemetry"
+)
+
+// Runtime telemetry: latency histograms for the three access patterns
+// portals exercise (random get/put, ordered scan) plus scan volume and
+// region-split counters — the pool-tier half of the paper's scalability
+// claim.
+var (
+	tel           = telemetry.Default()
+	mScannedCells = tel.Counter("pool_scan_cells_total")
+	mSplits       = tel.Counter("pool_region_splits_total")
 )
 
 // Cell is one versioned value.
@@ -412,6 +424,7 @@ func (t *Table) Regions() []*Region {
 
 // Put stores value at (row, family, qualifier) with a fresh version.
 func (t *Table) Put(row, family, qualifier string, value []byte) error {
+	defer tel.StartSpan("pool_put_seconds").End()
 	if row == "" {
 		return ErrEmptyRow
 	}
@@ -456,6 +469,7 @@ func (t *Table) Delete(row, family, qualifier string) error {
 
 // Get returns the newest live value at (row, family, qualifier).
 func (t *Table) Get(row, family, qualifier string) ([]byte, bool) {
+	defer tel.StartSpan("pool_get_seconds").End()
 	if row == "" {
 		return nil, false
 	}
@@ -540,12 +554,16 @@ type ScanOptions struct {
 // Scan returns live cells in (row, family, qualifier) order across all
 // regions, applying the options.
 func (t *Table) Scan(opts ScanOptions) []KeyValue {
+	defer tel.StartSpan("pool_scan_seconds").End()
+	var scanned int64
+	defer func() { mScannedCells.Add(scanned) }()
 	var out []KeyValue
 	for _, r := range t.Regions() {
 		if opts.EndRow != "" && r.start >= opts.EndRow {
 			break
 		}
 		for _, kv := range r.snapshot() {
+			scanned++
 			if kv.Row < opts.StartRow {
 				continue
 			}
@@ -755,6 +773,7 @@ func (c *Cluster) leastLoadedServer() string {
 }
 
 func (c *Cluster) noteSplit(table string) {
+	mSplits.Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.splits[table]++

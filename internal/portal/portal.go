@@ -29,8 +29,17 @@ import (
 	"dra4wfms/internal/document"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/pool"
+	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/wfdef"
 	"dra4wfms/internal/xmltree"
+)
+
+// Runtime telemetry: per-operation latency histograms and the
+// notification fan-out counter. Portals are the paper's horizontally
+// scaled tier, so their request latency is the first scalability signal.
+var (
+	tel            = telemetry.Default()
+	mNotifications = tel.Counter("portal_notifications_total")
 )
 
 // Column families of the documents table.
@@ -113,6 +122,7 @@ func (p *Portal) Authenticate(principal string) error {
 // result, refreshes the worklist index, and returns notifications for the
 // participants of the now-enabled activities.
 func (p *Portal) Store(doc *document.Document) ([]Notification, error) {
+	defer tel.StartSpan("portal_store_seconds").End()
 	if _, err := doc.VerifyAll(p.Registry); err != nil {
 		return nil, fmt.Errorf("portal: rejecting document: %w", err)
 	}
@@ -139,6 +149,7 @@ func (p *Portal) Store(doc *document.Document) ([]Notification, error) {
 
 // dispatch fans notifications out to OnNotify. Must be called without p.mu.
 func (p *Portal) dispatch(notes []Notification) {
+	mNotifications.Add(int64(len(notes)))
 	if p.OnNotify == nil {
 		return
 	}
@@ -216,6 +227,7 @@ func (p *Portal) persist(doc *document.Document) ([]Notification, error) {
 // starting the process instance. It fails if the instance already exists
 // (process ids are unique; re-posting an initial document is a replay).
 func (p *Portal) StoreInitial(doc *document.Document) ([]Notification, error) {
+	defer tel.StartSpan("portal_store_initial_seconds").End()
 	if _, err := doc.VerifyAll(p.Registry); err != nil {
 		return nil, fmt.Errorf("portal: rejecting initial document: %w", err)
 	}
@@ -238,6 +250,7 @@ func (p *Portal) StoreInitial(doc *document.Document) ([]Notification, error) {
 // principal. Confidentiality does not depend on this check — documents are
 // element-wise encrypted — but unauthenticated scraping is still refused.
 func (p *Portal) Retrieve(principal, processID string) (*document.Document, error) {
+	defer tel.StartSpan("portal_retrieve_seconds").End()
 	if err := p.Authenticate(principal); err != nil {
 		return nil, err
 	}
@@ -262,6 +275,7 @@ const rolePrefix = "role:"
 // assigned to any role their registered identity holds — sorted by process
 // id then activity.
 func (p *Portal) Worklist(principal string) ([]WorkItem, error) {
+	defer tel.StartSpan("portal_worklist_seconds").End()
 	if err := p.Authenticate(principal); err != nil {
 		return nil, err
 	}

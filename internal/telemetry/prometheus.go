@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, then one
+// sample line per label variant; histograms expand into cumulative
+// _bucket{le=...} series plus _sum and _count. Output is sorted by family
+// name and label key, so it is stable across calls.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.samples))
+		for k := range f.samples {
+			keys = append(keys, k)
+		}
+		f.mu.Unlock()
+		sort.Strings(keys)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			f.mu.Lock()
+			m := f.samples[k]
+			labels := f.labels[k]
+			f.mu.Unlock()
+			if err := writeSample(w, f.name, labels, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name string, labels []string, m any) error {
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, labelString(labels), v.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, labelString(labels), formatFloat(v.Value()))
+		return err
+	case *Histogram:
+		bounds, cums := v.bucketCumulative()
+		for i := range bounds {
+			le := "+Inf"
+			if !math.IsInf(bounds[i], 1) {
+				le = formatFloat(bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, labelString(append(append([]string(nil), labels...), "le", le)), cums[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(labels), formatFloat(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels), v.Count())
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...} or "" for no labels. Label values are
+// escaped per the exposition format (backslash, quote, newline).
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -32,8 +32,20 @@ import (
 	"dra4wfms/internal/document"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/secpol"
+	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/wfdef"
 	"dra4wfms/internal/xmlenc"
+)
+
+// Runtime telemetry: end-to-end and per-phase latencies (the paper's α
+// and γ columns for the TFC share of Table 2) plus witness/replay
+// counters. The TFC's per-document cost bounds the advanced model's
+// shared-tier capacity, so these histograms are the "is the TFC the
+// bottleneck?" signal at runtime.
+var (
+	tel               = telemetry.Default()
+	mTimestamps       = tel.Counter("tfc_timestamps_total")
+	mReplayRejections = tel.Counter("tfc_replay_rejections_total")
 )
 
 // Typed failures.
@@ -113,6 +125,7 @@ type Outcome struct {
 
 // Process handles one intermediate document end to end.
 func (s *Server) Process(doc *document.Document) (*Outcome, error) {
+	defer tel.StartSpan("tfc_process_seconds").End()
 	verifyStart := time.Now()
 	work := doc.Clone()
 	nsigs, err := work.VerifyAll(s.Registry)
@@ -170,6 +183,7 @@ func (s *Server) Process(doc *document.Document) (*Outcome, error) {
 	s.mu.Lock()
 	if s.seen[key] {
 		s.mu.Unlock()
+		mReplayRejections.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrReplay, key)
 	}
 	s.seen[key] = true
@@ -228,13 +242,18 @@ func (s *Server) Process(doc *document.Document) (*Outcome, error) {
 		return nil, err
 	}
 
+	encryptSignDur := time.Since(encStart)
+	tel.Histogram("tfc_verify_seconds", telemetry.LatencyBuckets).ObserveDuration(verifyDur)
+	tel.Histogram("tfc_encrypt_sign_seconds", telemetry.LatencyBuckets).ObserveDuration(encryptSignDur)
+	mTimestamps.Inc()
+
 	out := &Outcome{
 		Doc: work, CER: cer, Next: next,
 		Routed:              map[string]*document.Document{},
 		VerifiedSignatures:  nsigs,
 		Timestamp:           now,
 		VerifyDuration:      verifyDur,
-		EncryptSignDuration: time.Since(encStart),
+		EncryptSignDuration: encryptSignDur,
 	}
 	for _, to := range next {
 		if to == wfdef.EndID {

@@ -37,7 +37,17 @@ import (
 	"sort"
 
 	"dra4wfms/internal/pki"
+	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/xmltree"
+)
+
+// Runtime telemetry: operation and plaintext-byte counters for the
+// element-wise encryption hot path.
+var (
+	mEncryptOps   = telemetry.Default().Counter("xmlenc_encrypt_ops_total")
+	mEncryptBytes = telemetry.Default().Counter("xmlenc_encrypt_bytes_total")
+	mDecryptOps   = telemetry.Default().Counter("xmlenc_decrypt_ops_total")
+	mDecryptBytes = telemetry.Default().Counter("xmlenc_decrypt_bytes_total")
 )
 
 // Algorithm identifiers recorded in encrypted elements.
@@ -143,6 +153,8 @@ func Encrypt(el *xmltree.Node, id string, recipients ...Recipient) (*xmltree.Nod
 	for i := range cek {
 		cek[i] = 0
 	}
+	mEncryptOps.Inc()
+	mEncryptBytes.Add(int64(len(plaintext)))
 	return enc, nil
 }
 
@@ -253,6 +265,8 @@ func Decrypt(enc *xmltree.Node, key *pki.KeyPair) (*xmltree.Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xmlenc: decrypted payload is not well-formed XML: %w", err)
 	}
+	mDecryptOps.Inc()
+	mDecryptBytes.Add(int64(len(plaintext)))
 	return el, nil
 }
 
