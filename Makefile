@@ -1,10 +1,18 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet lint build test race bench
 
-# check is the CI gate: formatting, static analysis, build, and the full
-# test suite under the race detector.
-check: fmt vet build race
+# check is the CI gate: formatting, static analysis (go vet plus the
+# repo's own dralint rules), build, and the full test suite under the
+# race detector.
+check: fmt vet lint build race
+
+# lint runs the project's domain analyzers (discarded crypto errors,
+# variable-time digest comparisons, nondeterministic verification inputs,
+# leaked telemetry spans, locks held across I/O). See README "Static
+# analysis".
+lint:
+	$(GO) run ./cmd/dralint ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; \

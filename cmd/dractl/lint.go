@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dra4wfms/internal/wfdef"
+	"dra4wfms/internal/xmltree"
+)
+
+// cmdLint statically checks a workflow definition — a fixture name or a
+// WorkflowDefinition XML file — and prints every finding, graded
+// error/warning/info. Unlike `dractl validate`, which stops at the first
+// hard error, lint reports everything it can see: control-flow problems
+// (dead cycles, unreachable activities, XOR-splits with no default) and
+// security-policy problems (variables displayed to participants who hold
+// no key for them, read grants to principals outside the workflow).
+// Exits 1 when any error-severity finding (or a Validate failure) is
+// present.
+func cmdLint(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+
+	var def *wfdef.Definition
+	switch args[0] {
+	case "fig9a":
+		def = wfdef.Fig9A()
+	case "fig9b":
+		def = wfdef.Fig9B()
+	case "fig4":
+		def = wfdef.Fig4()
+	default:
+		raw, err := os.ReadFile(args[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		el, err := xmltree.ParseBytes(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		def, err = wfdef.FromXML(el)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	findings := wfdef.Lint(def)
+	errors := 0
+	if err := def.Validate(); err != nil {
+		findings = append(findings, wfdef.Finding{
+			Severity: wfdef.SevError, Rule: "validate", Message: err.Error(),
+		})
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+		if f.Severity == wfdef.SevError {
+			errors++
+		}
+	}
+	switch {
+	case errors > 0:
+		fmt.Printf("%s: %d finding(s), %d error(s)\n", def.Name, len(findings), errors)
+		os.Exit(1)
+	case len(findings) > 0:
+		fmt.Printf("%s: %d finding(s), no errors\n", def.Name, len(findings))
+	default:
+		fmt.Printf("%s: clean\n", def.Name)
+	}
+}

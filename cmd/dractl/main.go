@@ -14,6 +14,7 @@
 //	dractl dot     fig9a|fig9b|fig4|FILE.xml
 //	dractl export-def fig9a|fig9b|fig4
 //	dractl validate DEFINITION.xml
+//	dractl lint     fig9a|fig9b|fig4|DEFINITION.xml
 package main
 
 import (
@@ -59,6 +60,8 @@ func main() {
 		cmdExportDef(os.Args[2:])
 	case "validate":
 		cmdValidate(os.Args[2:])
+	case "lint":
+		cmdLint(os.Args[2:])
 	default:
 		usage()
 	}
@@ -75,7 +78,8 @@ func usage() {
   dractl audit   -trust trust.json FILE.xml
   dractl dot     fig9a|fig9b|fig4|FILE.xml
   dractl export-def fig9a|fig9b|fig4
-  dractl validate DEFINITION.xml`)
+  dractl validate DEFINITION.xml
+  dractl lint     fig9a|fig9b|fig4|DEFINITION.xml`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,111 @@
+// dralint is the DRA4WfMS static-analysis gate: it runs the internal/lint
+// analyzers — the machine-checked crypto and telemetry invariants of the
+// engine-less architecture — over the module and exits non-zero on
+// findings.
+//
+// Usage:
+//
+//	dralint [-json] [-rules LIST] [-tests=false] [-v] [packages]
+//
+// Packages default to ./... relative to the enclosing module root.
+// Findings print as file:line:col: [rule] message; a //lint:ignore
+// directive with a reason suppresses a finding (suppressed findings are
+// listed with -v and counted in -json output).
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dra4wfms/internal/lint"
+)
+
+func main() {
+	fs := flag.NewFlagSet("dralint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON on stdout")
+	rules := fs.String("rules", "", "comma-separated analyzer subset (default: all)")
+	withTests := fs.Bool("tests", true, "also load _test.go files (per-rule exemptions still apply)")
+	verbose := fs.Bool("v", false, "list suppressed findings and type-check warnings")
+	list := fs.Bool("list", false, "print the available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dralint [-json] [-rules LIST] [-tests=false] [-v] [packages]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader("", root)
+	if err != nil {
+		fatal(err)
+	}
+	loader.IncludeTests = *withTests
+
+	patterns := fs.Args()
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("dralint: no packages matched %v", patterns))
+	}
+	if *verbose {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "dralint: typecheck %s: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+
+	res := lint.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+		if *verbose {
+			for _, d := range res.Suppressed {
+				fmt.Printf("%s (suppressed: %s)\n", d, d.SuppressReason)
+			}
+		}
+		if n := len(res.Diagnostics); n > 0 {
+			fmt.Fprintf(os.Stderr, "dralint: %d finding(s) in %d package(s)\n", n, len(pkgs))
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dralint: %v\n", err)
+	os.Exit(2)
+}

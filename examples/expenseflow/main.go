@@ -122,6 +122,7 @@ func main() {
 	// And if finance had doctored the amount in its copy:
 	forged := final.Clone()
 	forged.Root.FindByID("res-file-0").SetText("forged amount")
+	//lint:ignore cryptoerr the forged document is SUPPOSED to fail; the report carries the verdict
 	badReport, _ := audit.Audit(forged, sys.Registry)
 	fmt.Printf("\nforged copy audit verdict: verified=%v (finding: %s)\n",
 		badReport.Verified, badReport.Findings[0].Message)

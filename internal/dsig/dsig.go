@@ -30,6 +30,7 @@ package dsig
 import (
 	"crypto/rsa"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/base64"
 	"errors"
 	"fmt"
@@ -255,13 +256,8 @@ func algorithmOf(parent *xmltree.Node, elem string) string {
 	return ""
 }
 
+// equalBytes compares digests without leaking a timing oracle on the
+// first differing byte (the dralint consttime invariant).
 func equalBytes(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	var diff byte
-	for i := range a {
-		diff |= a[i] ^ b[i]
-	}
-	return diff == 0
+	return subtle.ConstantTimeCompare(a, b) == 1
 }

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sensitiveWords are identifier words marking a value as a digest, MAC, or
+// signature — material whose comparison must not leak timing.
+var sensitiveWords = map[string]bool{
+	"digest":      true,
+	"digests":     true,
+	"mac":         true,
+	"hmac":        true,
+	"sig":         true,
+	"sigs":        true,
+	"signature":   true,
+	"signatures":  true,
+	"hash":        true,
+	"hashes":      true,
+	"sum":         true,
+	"checksum":    true,
+	"sha":         true,
+	"fingerprint": true,
+}
+
+// ConstTime flags variable-time comparisons of digests, MACs, and
+// signature values (bytes.Equal, bytes.Compare, == / !=): a byte-wise
+// early-exit comparison lets an attacker binary-search a valid MAC one
+// byte at a time. crypto/subtle.ConstantTimeCompare is the fix. Test
+// files are exempt — golden comparisons there are not an oracle.
+var ConstTime = &Analyzer{
+	Name: "consttime",
+	Doc: "reports variable-time comparisons (bytes.Equal, bytes.Compare, ==) " +
+		"of digests, MACs, or signatures; use crypto/subtle.ConstantTimeCompare",
+	Run: runConstTime,
+}
+
+func runConstTime(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		file := f.AST
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				callee, ok := pass.CalleeOf(file, e)
+				if !ok || callee.PkgPath != "bytes" || (callee.Name != "Equal" && callee.Name != "Compare") {
+					return true
+				}
+				for _, arg := range e.Args {
+					if exprIsSensitive(arg) {
+						pass.Reportf(e.Pos(), "bytes.%s on %s is not constant-time; use crypto/subtle.ConstantTimeCompare",
+							callee.Name, describeSensitive(arg))
+						break
+					}
+				}
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if pass.isTrivialOperand(e.X) || pass.isTrivialOperand(e.Y) {
+					return true // nil / empty / constant guards are fine
+				}
+				if !pass.comparableSensitiveType(e.X) && !pass.comparableSensitiveType(e.Y) {
+					return true
+				}
+				var hit ast.Expr
+				switch {
+				case exprIsSensitive(e.X):
+					hit = e.X
+				case exprIsSensitive(e.Y):
+					hit = e.Y
+				default:
+					return true
+				}
+				pass.Reportf(e.Pos(), "%s comparison of %s is not constant-time; use crypto/subtle.ConstantTimeCompare",
+					e.Op, describeSensitive(hit))
+			}
+			return true
+		})
+	}
+}
+
+// exprIsSensitive reports whether the operand's value is named after
+// crypto material ("DigestValue", "wantMAC", "sha256.Sum256(...)"). Only
+// the head of the expression describes the value being compared: for a
+// call that is the function name, not its arguments (SignerOf(sig)
+// returns a principal, however the argument is named).
+func exprIsSensitive(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return wordsAreSensitive(e.Name)
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok && wordsAreSensitive(x.Name) {
+			return true
+		}
+		return wordsAreSensitive(e.Sel.Name)
+	case *ast.CallExpr:
+		return exprIsSensitive(e.Fun)
+	case *ast.IndexExpr:
+		return exprIsSensitive(e.X)
+	case *ast.SliceExpr:
+		return exprIsSensitive(e.X)
+	case *ast.StarExpr:
+		return exprIsSensitive(e.X)
+	case *ast.UnaryExpr:
+		return exprIsSensitive(e.X)
+	}
+	return false
+}
+
+func wordsAreSensitive(name string) bool {
+	for _, w := range splitWords(name) {
+		if sensitiveWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// describeSensitive renders the offending operand for the message.
+func describeSensitive(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	default:
+		return "a digest/MAC/signature value"
+	}
+}
+
+// isTrivialOperand reports operands whose comparison cannot leak secret
+// timing: literals, nil, and compile-time constants (emptiness and
+// sentinel checks, not content comparisons).
+func (p *Pass) isTrivialOperand(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		if e.Name == "nil" || e.Name == "true" || e.Name == "false" {
+			return true
+		}
+	}
+	if p.Pkg.Info != nil {
+		if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// comparableSensitiveType restricts == findings to value kinds that can
+// actually hold crypto material: strings and byte arrays. Without type
+// information the check is permissive.
+func (p *Pass) comparableSensitiveType(e ast.Expr) bool {
+	if p.Pkg.Info == nil {
+		return true
+	}
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	case *types.Array:
+		elem, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && elem.Kind() == types.Byte
+	}
+	return false
+}

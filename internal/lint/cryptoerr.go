@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// cryptoErrPkgs are the packages whose sign/verify/encrypt/decrypt errors
+// are protocol failures: ignoring them accepts forged or tampered
+// documents. Matched by import-path suffix.
+var cryptoErrPkgs = []string{
+	"internal/dsig",
+	"internal/xmlenc",
+	"internal/pki",
+	"internal/aea",
+	"internal/document",
+	"internal/secpol",
+	"internal/tfc",
+	"internal/audit",
+}
+
+// cryptoErrFunc matches the protocol-critical operation names within those
+// packages.
+var cryptoErrFunc = regexp.MustCompile(`^(Sign|Verify|Encrypt|Decrypt|Reveal|Audit)`)
+
+// CryptoErr flags discarded or unchecked error returns from the document
+// crypto path. In an engine-less WfMS the verification code IS the trust
+// boundary: `_, _ = doc.VerifyAll(reg)` silently accepts a document whose
+// cascade no longer verifies. Test files are exempt — provoking and
+// discarding failures is what they are for.
+var CryptoErr = &Analyzer{
+	Name: "cryptoerr",
+	Doc: "reports discarded error results of dsig/xmlenc/pki/aea/document " +
+		"sign, verify, encrypt and decrypt calls (exempt in _test.go files)",
+	Run: runCryptoErr,
+}
+
+func runCryptoErr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		file := f.AST
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					pass.checkDiscardedCall(file, call, "its results are discarded")
+				}
+			case *ast.GoStmt:
+				pass.checkDiscardedCall(file, st.Call, "its error cannot be observed from a go statement")
+			case *ast.DeferStmt:
+				pass.checkDiscardedCall(file, st.Call, "its error cannot be observed from a deferred call")
+			case *ast.AssignStmt:
+				pass.checkBlankedErrors(file, st)
+			}
+			return true
+		})
+	}
+}
+
+// isCryptoCall reports whether the call targets a protocol-critical
+// function, returning the callee for the message.
+func (p *Pass) isCryptoCall(file *ast.File, call *ast.CallExpr) (Callee, bool) {
+	callee, ok := p.CalleeOf(file, call)
+	if !ok || !cryptoErrFunc.MatchString(callee.Name) {
+		return Callee{}, false
+	}
+	for _, suffix := range cryptoErrPkgs {
+		if callee.InPkg(suffix) {
+			return callee, true
+		}
+	}
+	return Callee{}, false
+}
+
+// checkDiscardedCall reports a crypto call whose results (including the
+// error) are thrown away wholesale.
+func (p *Pass) checkDiscardedCall(file *ast.File, call *ast.CallExpr, why string) {
+	callee, ok := p.isCryptoCall(file, call)
+	if !ok {
+		return
+	}
+	if idxs, typed := p.ErrorResultIndexes(call); typed && len(idxs) == 0 {
+		return // provably returns no error
+	}
+	p.Reportf(call.Pos(), "error returned by %s is unchecked: %s", callee, why)
+}
+
+// checkBlankedErrors reports assignments that bind a crypto call's error
+// result to the blank identifier (`n, _ := doc.VerifyAll(reg)`).
+func (p *Pass) checkBlankedErrors(file *ast.File, st *ast.AssignStmt) {
+	// Match the single-call forms: x, _ := f() and parallel a, b = f(), g()
+	// with one result each.
+	if len(st.Rhs) == 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee, ok := p.isCryptoCall(file, call)
+		if !ok {
+			return
+		}
+		idxs, typed := p.ErrorResultIndexes(call)
+		if !typed {
+			// Heuristic without type information: these APIs return the
+			// error last.
+			idxs = []int{len(st.Lhs) - 1}
+		}
+		for _, i := range idxs {
+			if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+				p.Reportf(st.Lhs[i].Pos(), "error returned by %s is assigned to _; handle it or route it to the caller", callee)
+			}
+		}
+		return
+	}
+	for i, rhs := range st.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || i >= len(st.Lhs) || !isBlank(st.Lhs[i]) {
+			continue
+		}
+		callee, ok := p.isCryptoCall(file, call)
+		if !ok {
+			continue
+		}
+		if idxs, typed := p.ErrorResultIndexes(call); typed && len(idxs) == 0 {
+			continue
+		}
+		p.Reportf(st.Lhs[i].Pos(), "error returned by %s is assigned to _; handle it or route it to the caller", callee)
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

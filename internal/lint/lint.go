@@ -1,0 +1,436 @@
+// Package lint is a stdlib-only static-analysis framework enforcing the
+// DRA4WfMS crypto and telemetry invariants that the engine-less
+// architecture depends on. There is no central engine to sanity-check a
+// running process: all trust rests on the correctness of the crypto code
+// handling the routed document (the cascaded signatures and element-wise
+// encryption of PAPER.md §2.3). A swallowed Verify error or a
+// non-constant-time digest comparison is therefore a protocol break, not a
+// style nit — and those invariants are machine-checkable.
+//
+// The framework is deliberately dependency-free (go/parser + go/types +
+// go/importer, matching the zero-dep go.mod): a Loader type-checks the
+// module's packages, Analyzers walk the typed syntax trees, and a driver
+// collects Diagnostics, honoring //lint:ignore suppression comments.
+// cmd/dralint is the CLI; `make lint` and CI run it over ./... and fail on
+// findings.
+//
+// Suppression syntax (one finding, one reason):
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory; an ignore directive without one does not suppress.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// An Analyzer is one lint rule: a named pass over a type-checked package.
+type Analyzer struct {
+	// Name is the rule identifier used in reports and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the rule enforces.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// All returns the default analyzer set, sorted by name.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ConstTime,
+		CryptoErr,
+		LockIO,
+		NonDeterminism,
+		SpanLeak,
+	}
+}
+
+// ByName resolves a comma-separated rule list against All; unknown names
+// are an error.
+func ByName(list string) ([]*Analyzer, error) {
+	if strings.TrimSpace(list) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Rule is the reporting analyzer's name.
+	Rule string `json:"rule"`
+	// Position locates the finding.
+	Position token.Position `json:"position"`
+	// Message describes the violation and the fix.
+	Message string `json:"message"`
+	// SuppressReason is the ignore directive's reason when the finding was
+	// suppressed (suppressed findings are reported separately).
+	SuppressReason string `json:"suppressReason,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Rule, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the running rule.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Fset maps positions.
+	Fset *token.FileSet
+
+	diags []Diagnostic
+
+	// importsByFile caches the local-name → import-path table per file, the
+	// syntactic fallback when type information is incomplete.
+	importsByFile map[*ast.File]map[string]string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Rule:     p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Callee identifies the static target of a call expression.
+type Callee struct {
+	// PkgPath is the defining package's import path.
+	PkgPath string
+	// Recv is the named receiver type for methods, "" for functions.
+	Recv string
+	// Name is the function or method name.
+	Name string
+}
+
+// InPkg reports whether the callee's package path equals suffix or ends
+// with "/"+suffix — rules match by path suffix so the same analyzer works
+// on the real module and on testdata fixture modules.
+func (c Callee) InPkg(suffix string) bool {
+	return pathHasSuffix(c.PkgPath, suffix)
+}
+
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// String renders dsig.Verify or (document.Document).VerifyAll.
+func (c Callee) String() string {
+	base := c.PkgPath
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	if c.Recv != "" {
+		return fmt.Sprintf("(%s.%s).%s", base, c.Recv, c.Name)
+	}
+	if base == "" {
+		return c.Name
+	}
+	return base + "." + c.Name
+}
+
+// CalleeOf resolves the static target of a call, preferring type
+// information and falling back to the file's import table for package-
+// qualified calls. The second result is false when the target cannot be
+// determined (dynamic calls through function values, missing types).
+func (p *Pass) CalleeOf(file *ast.File, call *ast.CallExpr) (Callee, bool) {
+	info := p.Pkg.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if info != nil {
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				return calleeFromFunc(fn), true
+			}
+			if fn, ok := info.Defs[fun].(*types.Func); ok {
+				return calleeFromFunc(fn), true
+			}
+		}
+	case *ast.SelectorExpr:
+		if info != nil {
+			if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				return calleeFromFunc(fn), true
+			}
+		}
+		// Fallback: a selector on a package name resolved via imports.
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if path, ok := p.importPathOf(file, x.Name); ok {
+				return Callee{PkgPath: path, Name: fun.Sel.Name}, true
+			}
+		}
+	}
+	return Callee{}, false
+}
+
+func calleeFromFunc(fn *types.Func) Callee {
+	c := Callee{Name: fn.Name()}
+	if fn.Pkg() != nil {
+		c.PkgPath = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			c.Recv = named.Obj().Name()
+			// Methods live in the receiver type's package.
+			if named.Obj().Pkg() != nil {
+				c.PkgPath = named.Obj().Pkg().Path()
+			}
+		}
+	}
+	return c
+}
+
+// importPathOf resolves a local package name within file to its import
+// path, deriving local names from aliases or the path base.
+func (p *Pass) importPathOf(file *ast.File, name string) (string, bool) {
+	if p.importsByFile == nil {
+		p.importsByFile = map[*ast.File]map[string]string{}
+	}
+	table, ok := p.importsByFile[file]
+	if !ok {
+		table = map[string]string{}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			local := path
+			if i := strings.LastIndex(local, "/"); i >= 0 {
+				local = local[i+1:]
+			}
+			if imp.Name != nil {
+				local = imp.Name.Name
+			}
+			if local == "_" || local == "." {
+				continue
+			}
+			table[local] = path
+		}
+		p.importsByFile[file] = table
+	}
+	path, ok := table[name]
+	return path, ok
+}
+
+// ErrorResultIndexes returns the result positions of call that have type
+// error. When type information is unavailable it returns nil and the
+// second result is false; rule-specific heuristics take over.
+func (p *Pass) ErrorResultIndexes(call *ast.CallExpr) ([]int, bool) {
+	info := p.Pkg.Info
+	if info == nil {
+		return nil, false
+	}
+	t := info.TypeOf(call)
+	if t == nil {
+		return nil, false
+	}
+	var out []int
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if isErrorType(t) {
+			out = append(out, 0)
+		}
+	}
+	return out, true
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// identObj resolves an identifier to its object (definition or use).
+func (p *Pass) identObj(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// --- identifier word splitting ----------------------------------------------
+
+// splitWords breaks an identifier into lowercase words on camelCase,
+// digit, and underscore boundaries: "DigestValue" → [digest value],
+// "mac_sum256" → [mac sum 256].
+func splitWords(name string) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-':
+			flush()
+		case unicode.IsDigit(r):
+			if len(cur) > 0 && !unicode.IsDigit(cur[len(cur)-1]) {
+				flush()
+			}
+			cur = append(cur, r)
+		case unicode.IsUpper(r):
+			// Boundary at lower→Upper and at the last Upper of an
+			// acronym run (HTTPServer → http server).
+			if len(cur) > 0 && !unicode.IsUpper(cur[len(cur)-1]) {
+				flush()
+			} else if i+1 < len(runes) && unicode.IsLower(runes[i+1]) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return words
+}
+
+// --- suppression -------------------------------------------------------------
+
+const ignoreDirective = "//lint:ignore"
+
+// ignoreEntry is one parsed //lint:ignore directive.
+type ignoreEntry struct {
+	rules  []string
+	reason string
+}
+
+// ignoreIndex maps file → line → directives applying to that line. A
+// directive covers its own line (trailing comment) and the line below it
+// (standalone comment above the offending statement).
+type ignoreIndex map[string]map[int][]ignoreEntry
+
+func buildIgnoreIndex(fset *token.FileSet, pkgs []*Package) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if !strings.HasPrefix(text, ignoreDirective) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+					if len(fields) < 2 {
+						// No reason given: the directive is inert by design.
+						continue
+					}
+					entry := ignoreEntry{
+						rules:  strings.Split(fields[0], ","),
+						reason: strings.Join(fields[1:], " "),
+					}
+					pos := fset.Position(c.Pos())
+					lines := idx[pos.Filename]
+					if lines == nil {
+						lines = map[int][]ignoreEntry{}
+						idx[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], entry)
+					lines[pos.Line+1] = append(lines[pos.Line+1], entry)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// match returns the reason of a directive covering the diagnostic, if any.
+func (idx ignoreIndex) match(d Diagnostic) (string, bool) {
+	for _, e := range idx[d.Position.Filename][d.Position.Line] {
+		for _, r := range e.rules {
+			if r == d.Rule || r == "all" {
+				return e.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// --- driver ------------------------------------------------------------------
+
+// Result is the outcome of running analyzers over packages.
+type Result struct {
+	// Diagnostics are active findings, sorted by position then rule.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Suppressed are findings silenced by //lint:ignore directives.
+	Suppressed []Diagnostic `json:"suppressed,omitempty"`
+}
+
+// Run applies each analyzer to each package and partitions the findings
+// into active and suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	res := Result{Diagnostics: []Diagnostic{}}
+	if len(pkgs) == 0 {
+		return res
+	}
+	idx := buildIgnoreIndex(pkgs[0].Fset, pkgs)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: pkg.Fset}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if reason, ok := idx.match(d); ok {
+					d.SuppressReason = reason
+					res.Suppressed = append(res.Suppressed, d)
+				} else {
+					res.Diagnostics = append(res.Diagnostics, d)
+				}
+			}
+		}
+	}
+	sortDiags(res.Diagnostics)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted substrings of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+var wantStrRe = regexp.MustCompile(`"([^"]*)"`)
+
+// lineKey identifies one source line across the fixture module.
+type lineKey struct {
+	file string // base name, e.g. fixture.go
+	line int
+}
+
+type wantEntry struct {
+	substr  string
+	matched bool
+}
+
+// collectWants scans the loaded fixture packages for want comments.
+func collectWants(pkgs []*Package) map[lineKey][]*wantEntry {
+	wants := map[lineKey][]*wantEntry{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := lineKey{file: baseName(pos.Filename), line: pos.Line}
+					for _, q := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+						wants[key] = append(wants[key], &wantEntry{substr: q[1]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// loadFixture loads the given patterns from the golden fixture module.
+func loadFixture(t *testing.T, patterns ...string) []*Package {
+	t.Helper()
+	loader, err := NewLoader("dra4wfms", "testdata/src/dra4wfms")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatalf("Load(%v): %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("Load(%v): no packages", patterns)
+	}
+	return pkgs
+}
+
+// checkGolden runs one analyzer over the fixture packages and diffs its
+// diagnostics against the want comments.
+func checkGolden(t *testing.T, a *Analyzer, res Result, pkgs []*Package) {
+	t.Helper()
+	wants := collectWants(pkgs)
+
+	for _, d := range res.Diagnostics {
+		key := lineKey{file: baseName(d.Position.Filename), line: d.Position.Line}
+		entries := wants[key]
+		matched := false
+		for _, w := range entries {
+			if !w.matched && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", key, d.Rule, d.Message)
+		}
+	}
+
+	var missing []string
+	for key, entries := range wants {
+		for _, w := range entries {
+			if !w.matched {
+				missing = append(missing, fmt.Sprintf("%s: no diagnostic containing %q", key, w.substr))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+func (k lineKey) String() string { return fmt.Sprintf("%s:%d", k.file, k.line) }
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		analyzer       *Analyzer
+		patterns       []string
+		wantSuppressed int // reasoned //lint:ignore directives in the fixture
+	}{
+		{CryptoErr, []string{"./lintfix/cryptoerr"}, 2},
+		{ConstTime, []string{"./lintfix/consttime"}, 1},
+		{NonDeterminism, []string{"./internal/tfc", "./lintfix/gen"}, 1},
+		{SpanLeak, []string{"./lintfix/spanleak"}, 1},
+		{LockIO, []string{"./lintfix/lockio"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkgs := loadFixture(t, tc.patterns...)
+			res := Run(pkgs, []*Analyzer{tc.analyzer})
+			checkGolden(t, tc.analyzer, res, pkgs)
+			if got := len(res.Suppressed); got != tc.wantSuppressed {
+				for _, d := range res.Suppressed {
+					t.Logf("suppressed: %s [%s] %s (reason: %s)", d.Position, d.Rule, d.Message, d.SuppressReason)
+				}
+				t.Errorf("suppressed diagnostics = %d, want %d", got, tc.wantSuppressed)
+			}
+			for _, d := range res.Suppressed {
+				if d.SuppressReason == "" {
+					t.Errorf("%s: suppressed without a recorded reason", d.Position)
+				}
+			}
+		})
+	}
+}
+
+// TestTestFileExemption pins the cryptoerr test-file carve-out: the same
+// discarded calls that are violations in fixture.go are silent in
+// fixture_test.go.
+func TestTestFileExemption(t *testing.T) {
+	pkgs := loadFixture(t, "./lintfix/cryptoerr")
+	res := Run(pkgs, []*Analyzer{CryptoErr})
+	for _, d := range res.Diagnostics {
+		if strings.HasSuffix(d.Position.Filename, "_test.go") {
+			t.Errorf("cryptoerr diagnostic in a test file: %s: %s", d.Position, d.Message)
+		}
+	}
+}
+
+// TestSelfClean is the dogfood gate: every analyzer must come back clean
+// on the repository that ships it.
+func TestSelfClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	loader, err := NewLoader("", root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res := Run(pkgs, All())
+	for _, d := range res.Diagnostics {
+		t.Errorf("repo is not dralint-clean: %s", d.String())
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName("consttime,spanleak")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "consttime" || got[1].Name != "spanleak" {
+		t.Fatalf("ByName returned %v", got)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("ByName(nosuchrule): expected error")
+	}
+}
+
+func TestSplitWords(t *testing.T) {
+	cases := map[string][]string{
+		"wantMAC":     {"want", "mac"},
+		"sigValue":    {"sig", "value"},
+		"sha256Sum":   {"sha", "256", "sum"},
+		"plain":       {"plain"},
+		"HMACDigest2": {"hmac", "digest", "2"},
+	}
+	for in, want := range cases {
+		got := splitWords(in)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Errorf("splitWords(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

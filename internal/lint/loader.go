@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed source file of a Package.
+type File struct {
+	// AST is the parsed syntax tree, with comments.
+	AST *ast.File
+	// Name is the file's base name.
+	Name string
+	// Test reports whether the file is a _test.go file. Several rules
+	// (cryptoerr, consttime) exempt test files, where discarding a Verify
+	// error or comparing digests with == is legitimate.
+	Test bool
+}
+
+// Package is one type-checked analysis unit.
+type Package struct {
+	// Path is the import path ("dra4wfms/internal/dsig"). External test
+	// packages get the conventional "_test" suffix.
+	Path string
+	// Dir is the package directory.
+	Dir string
+	// Fset maps positions for every file of the load.
+	Fset *token.FileSet
+	// Files are the unit's source files.
+	Files []*File
+	// Types is the type-checked package (possibly incomplete on errors).
+	Types *types.Package
+	// Info holds the resolved type information for Files.
+	Info *types.Info
+	// TypeErrors collects type-checking problems; analysis proceeds on the
+	// partial information.
+	TypeErrors []error
+}
+
+// Loader locates, parses, and type-checks the packages of one module.
+// Module-internal imports are resolved by source against Dir; everything
+// else (the standard library — the module has no other dependencies) is
+// imported from compiler export data, falling back to source.
+type Loader struct {
+	// ModulePath is the module's import-path prefix (go.mod "module").
+	ModulePath string
+	// Dir is the module root directory.
+	Dir string
+	// IncludeTests adds _test.go files (and external test packages) to the
+	// analysis units.
+	IncludeTests bool
+	// Fset receives all parsed positions; NewLoader allocates one.
+	Fset *token.FileSet
+
+	gcImporter  types.Importer
+	srcImporter types.Importer
+	libCache    map[string]*libPkg
+	loading     map[string]bool
+}
+
+// libPkg is the import-facing (non-test) build of one module package.
+type libPkg struct {
+	types *types.Package
+	err   error
+}
+
+// NewLoader creates a loader rooted at dir. When modulePath is empty it is
+// read from dir/go.mod.
+func NewLoader(modulePath, dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if modulePath == "" {
+		modulePath, err = modulePathOf(abs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModulePath:  modulePath,
+		Dir:         abs,
+		Fset:        fset,
+		gcImporter:  importer.ForCompiler(fset, "gc", nil),
+		srcImporter: importer.ForCompiler(fset, "source", nil),
+		libCache:    map[string]*libPkg{},
+		loading:     map[string]bool{},
+	}, nil
+}
+
+// modulePathOf reads the module path from dir/go.mod.
+func modulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: cannot determine module path: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// Load resolves the patterns ("./...", "./internal/dsig", import paths
+// relative to the module root) into type-checked packages, sorted by path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		root := filepath.Join(l.Dir, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			dirs[root] = true
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walking %s: %w", pat, err)
+		}
+	}
+
+	var pkgs []*Package
+	for dir := range dirs {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Dir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.Dir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses and type-checks the analysis units of one directory: the
+// package itself (plus in-package test files when IncludeTests) and, when
+// present and requested, the external test package.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); !ok {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+		if !l.IncludeTests || len(bp.TestGoFiles)+len(bp.XTestGoFiles) == 0 {
+			return nil, err // NoGoError: nothing to analyze
+		}
+	}
+	importPath, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	names := append([]string(nil), bp.GoFiles...)
+	names = append(names, bp.CgoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	if len(names) > 0 {
+		pkg, err := l.typeCheck(importPath, dir, names, bp.GoFiles, bp.CgoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if l.IncludeTests && len(bp.XTestGoFiles) > 0 {
+		pkg, err := l.typeCheck(importPath+"_test", dir, bp.XTestGoFiles, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses names in dir and type-checks them as one unit. libNames
+// and cgoNames mark the non-test files (used to decide the Test flag).
+func (l *Loader) typeCheck(importPath, dir string, names, libNames, cgoNames []string) (*Package, error) {
+	lib := map[string]bool{}
+	for _, n := range libNames {
+		lib[n] = true
+	}
+	for _, n := range cgoNames {
+		lib[n] = true
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.Fset}
+	var asts []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, &File{AST: f, Name: name, Test: !lib[name]})
+		asts = append(asts, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, asts, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// loaderImporter adapts Loader to types.Importer for dependency imports.
+type loaderImporter Loader
+
+// Import resolves module-internal paths by source and everything else via
+// the gc importer (export data), falling back to the source importer.
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		return l.importModulePkg(path)
+	}
+	pkg, err := l.gcImporter.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if srcPkg, srcErr := l.srcImporter.Import(path); srcErr == nil {
+		return srcPkg, nil
+	}
+	return nil, err
+}
+
+// importModulePkg loads the non-test build of a module package, with
+// memoization and import-cycle detection.
+func (l *Loader) importModulePkg(path string) (*types.Package, error) {
+	if cached, ok := l.libCache[path]; ok {
+		return cached.types, cached.err
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.Dir, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		l.libCache[path] = &libPkg{err: err}
+		return nil, err
+	}
+	names := append(append([]string(nil), bp.GoFiles...), bp.CgoFiles...)
+	var asts []*ast.File
+	for _, name := range names {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			l.libCache[path] = &libPkg{err: perr}
+			return nil, perr
+		}
+		asts = append(asts, f)
+	}
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		// Dependencies are typed leniently; the analysis unit's own errors
+		// are what the driver surfaces.
+		Error: func(error) {},
+	}
+	tpkg, err := conf.Check(path, l.Fset, asts, nil)
+	if tpkg != nil {
+		err = nil // lenient: partial type information beats none
+	}
+	l.libCache[path] = &libPkg{types: tpkg, err: err}
+	return tpkg, err
+}

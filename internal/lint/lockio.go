@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ioPkgs lists packages any call into which counts as I/O for lockio.
+var ioPkgs = map[string]bool{
+	"net/http":     true,
+	"net":          true,
+	"net/rpc":      true,
+	"net/smtp":     true,
+	"os/exec":      true,
+	"database/sql": true,
+}
+
+// ioOSFuncs are the file-touching entry points of package os.
+var ioOSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+}
+
+// LockIO flags I/O performed while a sync.Mutex or sync.RWMutex is held:
+// an httpapi client call, an HTTP round trip, or a file operation under a
+// lock turns one slow peer into a portal-wide stall (every worklist and
+// store request queues behind the lock). The scan is lexical per
+// function: locks taken via m.Lock() are considered held until the
+// matching m.Unlock() in the same statement list, or to function end when
+// the unlock is deferred.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc: "reports network and file I/O (net/http, internal/httpapi client " +
+		"calls, os file ops) performed while holding a sync mutex",
+	Run: runLockIO,
+}
+
+func runLockIO(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		file := f.AST
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					pass.scanLockStmts(file, fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				pass.scanLockStmts(file, fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// lockCall classifies a call as Lock/RLock (acquire) or Unlock/RUnlock
+// (release) on a sync mutex, returning the receiver's rendered expression.
+func (p *Pass) lockCall(file *ast.File, call *ast.CallExpr) (key string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	callee, resolved := p.CalleeOf(file, call)
+	if resolved && callee.PkgPath != "sync" {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquire, true
+}
+
+// scanLockStmts walks one statement list carrying the held-lock set.
+// Nested blocks get a copy: acquisitions and releases inside a branch are
+// conservative and do not propagate to the enclosing list.
+func (p *Pass) scanLockStmts(file *ast.File, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if key, acquire, ok := p.lockCall(file, call); ok {
+					if acquire {
+						held[key] = call.Pos()
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			p.checkIONode(file, st, held)
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` keeps the lock held for the remainder of
+			// the scan, which is exactly right. Other deferred calls run
+			// at return time; skip them.
+		case *ast.BlockStmt:
+			p.scanLockStmts(file, st.List, copyHeld(held))
+		case *ast.IfStmt:
+			if st.Init != nil {
+				p.checkIONode(file, st.Init, held)
+			}
+			p.checkIONode(file, st.Cond, held)
+			p.scanLockStmts(file, st.Body.List, copyHeld(held))
+			if st.Else != nil {
+				p.scanLockStmts(file, []ast.Stmt{st.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if st.Init != nil {
+				p.checkIONode(file, st.Init, held)
+			}
+			if st.Cond != nil {
+				p.checkIONode(file, st.Cond, held)
+			}
+			if st.Post != nil {
+				p.checkIONode(file, st.Post, held)
+			}
+			p.scanLockStmts(file, st.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			p.checkIONode(file, st.X, held)
+			p.scanLockStmts(file, st.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if st.Init != nil {
+				p.checkIONode(file, st.Init, held)
+			}
+			if st.Tag != nil {
+				p.checkIONode(file, st.Tag, held)
+			}
+			p.scanCaseClauses(file, st.Body, held)
+		case *ast.TypeSwitchStmt:
+			p.scanCaseClauses(file, st.Body, held)
+		case *ast.SelectStmt:
+			for _, clause := range st.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					p.scanLockStmts(file, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			p.scanLockStmts(file, []ast.Stmt{st.Stmt}, held)
+		default:
+			p.checkIONode(file, st, held)
+		}
+	}
+}
+
+func (p *Pass) scanCaseClauses(file *ast.File, body *ast.BlockStmt, held map[string]token.Pos) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			p.scanLockStmts(file, cc.Body, copyHeld(held))
+		}
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// checkIONode reports I/O calls under the current held set. Function
+// literals are skipped: a goroutine body runs on its own schedule.
+func (p *Pass) checkIONode(file *ast.File, n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := p.CalleeOf(file, call)
+		if !ok || !isIOCallee(callee) {
+			return true
+		}
+		key := ""
+		for k := range held {
+			if key == "" || k < key {
+				key = k
+			}
+		}
+		p.Reportf(call.Pos(), "%s performs I/O while %s is locked (since line %d); release the mutex before the call",
+			callee, key, p.Fset.Position(held[key]).Line)
+		return true
+	})
+}
+
+// isIOCallee matches network and file I/O entry points, including the
+// module's own HTTP client.
+func isIOCallee(c Callee) bool {
+	if ioPkgs[c.PkgPath] {
+		return true
+	}
+	if c.PkgPath == "os" && ioOSFuncs[c.Name] {
+		return true
+	}
+	if c.InPkg("internal/httpapi") && c.Recv == "Client" {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+// Package dsig is a fixture stub mirroring the real module's signature
+// API surface for analyzer tests.
+package dsig
+
+// Sign mirrors dsig.Sign: it returns a signature and an error.
+func Sign(msg []byte) ([]byte, error) { return msg, nil }
+
+// Verify mirrors dsig.Verify.
+func Verify(msg, sig []byte) error { return nil }
+
+// VerifyAll mirrors dsig.VerifyAll: (count, error).
+func VerifyAll(msgs [][]byte) (int, error) { return len(msgs), nil }
+
+// SignerOf returns a principal name, not crypto material.
+func SignerOf(sig []byte) string { return "someone" }
+
+// Document carries a VerifyAll method mirroring document.Document.
+type Document struct{}
+
+// VerifyAll mirrors (*document.Document).VerifyAll.
+func (d *Document) VerifyAll(resolver any) (int, error) { return 0, nil }

@@ -1,0 +1,12 @@
+// Package httpapi is a fixture stub mirroring the real module's HTTP
+// client surface for analyzer tests.
+package httpapi
+
+// Client mirrors httpapi.Client.
+type Client struct{}
+
+// Store performs an HTTP round trip in the real module.
+func (c *Client) Store(doc []byte) error { return nil }
+
+// Worklist performs an HTTP round trip in the real module.
+func (c *Client) Worklist() ([]string, error) { return nil, nil }

@@ -1,0 +1,12 @@
+// Package pki is a fixture stub mirroring the real module's key API
+// surface for analyzer tests.
+package pki
+
+// KeyPair mirrors pki.KeyPair.
+type KeyPair struct{ Owner string }
+
+// Sign mirrors (*pki.KeyPair).Sign.
+func (k *KeyPair) Sign(msg []byte) ([]byte, error) { return msg, nil }
+
+// Verify mirrors pki.Verify.
+func Verify(pub any, msg, sig []byte) error { return nil }

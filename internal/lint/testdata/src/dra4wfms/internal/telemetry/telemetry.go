@@ -1,0 +1,27 @@
+// Package telemetry is a fixture stub mirroring the real module's span
+// API surface for analyzer tests.
+package telemetry
+
+import "time"
+
+// Registry mirrors telemetry.Registry.
+type Registry struct{}
+
+// Default mirrors telemetry.Default.
+func Default() *Registry { return &Registry{} }
+
+// Span mirrors telemetry.Span.
+type Span struct{ start time.Time }
+
+// StartSpan mirrors telemetry.(*Registry).StartSpan.
+func (r *Registry) StartSpan(name string, labels ...string) *Span {
+	return &Span{start: time.Now()}
+}
+
+// End mirrors telemetry.(*Span).End.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}

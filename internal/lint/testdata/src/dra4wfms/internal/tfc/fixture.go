@@ -1,0 +1,36 @@
+// Package tfc is a fixture inside the nondeterminism analyzer's scope
+// (internal/tfc is a verification-path package): wall-clock and math/rand
+// reads reachable from Verify* functions are violations.
+package tfc
+
+import (
+	"math/rand" // want "math/rand imported"
+	"time"
+)
+
+// VerifyCascade is a seed function for the reachability walk.
+func VerifyCascade(sigs [][]byte) error {
+	if stamp().IsZero() {
+		return nil
+	}
+	if rand.Intn(2) == 0 { // want "rand.Intn"
+		return nil
+	}
+	return nil
+}
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func verifyTimed(sigs [][]byte) int {
+	//lint:ignore nondeterminism fixture demo: latency measurement, not a verification input
+	start := time.Now()
+	return int(time.Since(start)) // want "time.Since"
+}
+
+// formatEpoch is not reachable from any Verify* seed, so its clock read
+// is fine.
+func formatEpoch() string {
+	return time.Now().UTC().Format(time.RFC3339)
+}

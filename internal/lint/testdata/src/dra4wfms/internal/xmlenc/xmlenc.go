@@ -1,0 +1,12 @@
+// Package xmlenc is a fixture stub mirroring the real module's encryption
+// API surface for analyzer tests.
+package xmlenc
+
+// Encrypt mirrors xmlenc.Encrypt.
+func Encrypt(plain []byte) ([]byte, error) { return plain, nil }
+
+// Decrypt mirrors xmlenc.Decrypt.
+func Decrypt(cipher []byte) ([]byte, error) { return cipher, nil }
+
+// DecryptVisible mirrors xmlenc.DecryptVisible: (count, error).
+func DecryptVisible(doc any) (int, error) { return 0, nil }

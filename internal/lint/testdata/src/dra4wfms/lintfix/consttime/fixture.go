@@ -1,0 +1,41 @@
+// Package consttime seeds variable-time comparison violations for the
+// consttime analyzer's golden test.
+package consttime
+
+import (
+	"bytes"
+	"crypto/subtle"
+)
+
+func bad(digest, other, wantMAC, gotMAC []byte, sigValue, presented string) bool {
+	if bytes.Equal(digest, other) { // want "bytes.Equal on digest"
+		return true
+	}
+	if bytes.Compare(wantMAC, gotMAC) == 0 { // want "bytes.Compare on wantMAC"
+		return true
+	}
+	return sigValue == presented // want "== comparison of sigValue"
+}
+
+func suppressed(digest, other []byte) bool {
+	//lint:ignore consttime fixture demo: comparison feeds a cache key, not an accept/reject decision
+	return bytes.Equal(digest, other)
+}
+
+func good(digest []byte, sigValue, signer string, payload, copyOf []byte) bool {
+	if len(digest) == 0 {
+		return false
+	}
+	if sigValue == "" || signer == "designer" {
+		return false
+	}
+	if bytes.Equal(payload, copyOf) { // neither operand has a sensitive name
+		return false
+	}
+	return constantTimeEqual(digest, digest)
+}
+
+// constantTimeEqual is the remediation the analyzer points at.
+func constantTimeEqual(a, b []byte) bool {
+	return subtle.ConstantTimeCompare(a, b) == 1
+}

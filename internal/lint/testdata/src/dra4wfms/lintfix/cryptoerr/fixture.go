@@ -1,0 +1,48 @@
+// Package cryptoerr seeds discarded-crypto-error violations for the
+// cryptoerr analyzer's golden test.
+package cryptoerr
+
+import (
+	"dra4wfms/internal/dsig"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/xmlenc"
+)
+
+func bad(doc *dsig.Document, kp *pki.KeyPair, msg, sig []byte) {
+	dsig.Verify(msg, sig)      // want "error returned by dsig.Verify is unchecked"
+	n, _ := doc.VerifyAll(nil) // want "error returned by (dsig.Document).VerifyAll is assigned to _"
+	_ = n
+	_, _ = xmlenc.Decrypt(msg) // want "error returned by xmlenc.Decrypt is assigned to _"
+	out, _ := kp.Sign(msg)     // want "error returned by (pki.KeyPair).Sign is assigned to _"
+	_ = out
+	go dsig.Verify(msg, sig) // want "error returned by dsig.Verify is unchecked"
+}
+
+func suppressedTrailing(msg, sig []byte) {
+	_ = dsig.Verify(msg, sig) //lint:ignore cryptoerr fixture demo of trailing suppression
+}
+
+func suppressedAbove(msg []byte) {
+	//lint:ignore cryptoerr fixture demo of standalone suppression
+	_, _ = xmlenc.Encrypt(msg)
+}
+
+func ignoreWithoutReasonIsInert(msg, sig []byte) {
+	//lint:ignore cryptoerr
+	_ = dsig.Verify(msg, sig) // want "error returned by dsig.Verify is assigned to _"
+}
+
+func checked(msg, sig []byte) error {
+	if err := dsig.Verify(msg, sig); err != nil {
+		return err
+	}
+	out, err := xmlenc.Encrypt(msg)
+	_ = out
+	return err
+}
+
+// signerName discards no error: SignerOf has a crypto-ish prefix but a
+// single result, so the typed check skips it.
+func signerName(sig []byte) string {
+	return dsig.SignerOf(sig)
+}

@@ -1,0 +1,17 @@
+// Package gen stands in for workload generators (internal/wfgen,
+// cmd/drabench): outside the nondeterminism analyzer's scope, so its
+// math/rand use must produce no findings.
+package gen
+
+import "math/rand"
+
+// Workload draws a deterministic-enough synthetic load; generators are
+// allowed to use math/rand.
+func Workload(n int, seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(1000)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Package lockio seeds lock-held-across-I/O violations for the lockio
+// analyzer's golden test.
+package lockio
+
+import (
+	"net/http"
+	"os"
+	"sync"
+
+	"dra4wfms/internal/httpapi"
+)
+
+type cache struct {
+	mu     sync.Mutex
+	urls   map[string]string
+	client *httpapi.Client
+}
+
+func (c *cache) badDeferred(target string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := http.Get(target) // want "http.Get performs I/O while c.mu is locked"
+	return err
+}
+
+func (c *cache) badClient(doc []byte) error {
+	c.mu.Lock()
+	err := c.client.Store(doc) // want "(httpapi.Client).Store performs I/O while c.mu is locked"
+	c.mu.Unlock()
+	return err
+}
+
+func (c *cache) badFile(path string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.ReadFile(path) // want "os.ReadFile performs I/O while c.mu is locked"
+}
+
+func (c *cache) good(target string) error {
+	c.mu.Lock()
+	u := c.urls[target]
+	c.mu.Unlock()
+	_, err := http.Get(u) // lock already released
+	return err
+}
+
+// goodAsync launches the request on another goroutine; the lock is not
+// held on that goroutine's stack.
+func (c *cache) goodAsync(target string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		_, _ = http.Get(target)
+	}()
+}
+
+func (c *cache) suppressed(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:ignore lockio fixture demo: startup-only write before any request traffic
+	return os.WriteFile(path, nil, 0o600)
+}

@@ -1,0 +1,81 @@
+// Package spanleak seeds telemetry-span lifecycle violations for the
+// spanleak analyzer's golden test.
+package spanleak
+
+import (
+	"errors"
+
+	"dra4wfms/internal/telemetry"
+)
+
+var tel = telemetry.Default()
+
+func goodDeferred() error {
+	defer tel.StartSpan("good_seconds").End()
+	return nil
+}
+
+func goodSequential(fail bool) error {
+	span := tel.StartSpan("seq_seconds")
+	err := work(fail)
+	span.End()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodBranchEnd(fail bool) error {
+	span := tel.StartSpan("branch_seconds")
+	if fail {
+		span.End()
+		return errors.New("fail")
+	}
+	span.End()
+	return nil
+}
+
+func leakEarlyReturn(fail bool) error {
+	span := tel.StartSpan("leak_seconds")
+	if fail {
+		return errors.New("early") // want "return leaks telemetry span span"
+	}
+	span.End()
+	return nil
+}
+
+// neverEnded leaves the span entirely unused ("declared and not used" is
+// a type error the lenient loader tolerates); any other use of the
+// variable counts as an escape and ends lexical tracking.
+func neverEnded() {
+	span := tel.StartSpan("never_seconds") // want "never ended"
+}
+
+func dropped() {
+	tel.StartSpan("dropped_seconds")   // want "discarded"
+	_ = tel.StartSpan("blank_seconds") // want "discarded"
+}
+
+// escapes hands the span to a closure; ending it becomes the caller's
+// responsibility, so the analyzer stays quiet.
+func escapes() func() {
+	span := tel.StartSpan("escape_seconds")
+	return func() { span.End() }
+}
+
+func suppressed(fail bool) error {
+	span := tel.StartSpan("supp_seconds")
+	if fail {
+		//lint:ignore spanleak fixture demo: abandoned span is observed via the leak counter
+		return errors.New("early")
+	}
+	span.End()
+	return nil
+}
+
+func work(fail bool) error {
+	if fail {
+		return errors.New("work failed")
+	}
+	return nil
+}

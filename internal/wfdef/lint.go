@@ -1,0 +1,348 @@
+package wfdef
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dra4wfms/internal/expr"
+)
+
+// Severity grades a lint finding.
+type Severity string
+
+const (
+	// SevError findings describe definitions that will misbehave at
+	// runtime: unreachable work, undecryptable requests, dead cycles.
+	SevError Severity = "error"
+	// SevWarning findings are probable policy mistakes worth a review.
+	SevWarning Severity = "warning"
+	// SevInfo findings describe notable but legitimate structure (loops,
+	// write-only variables).
+	SevInfo Severity = "info"
+)
+
+// Finding is one diagnostic produced by Lint.
+type Finding struct {
+	// Severity grades the finding.
+	Severity Severity
+	// Rule names the check that produced the finding (stable identifier).
+	Rule string
+	// Message is the human-readable description.
+	Message string
+}
+
+// String renders "severity[rule]: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s[%s]: %s", f.Severity, f.Rule, f.Message)
+}
+
+// Lint statically checks a workflow definition beyond the hard
+// well-formedness rules of Validate: control-flow shape (cycles without an
+// exit, unreachable activities, XOR-splits with no default branch) and
+// security-policy consistency (participants shown variables they hold no
+// key for, read grants to principals outside the workflow, variables
+// nobody can decrypt or nobody produces).
+//
+// Unlike Validate, which stops at the first hard error, Lint reports every
+// finding it can and never fails: it is usable on definitions that do not
+// validate. Error-severity findings indicate the process will misbehave at
+// runtime; warnings are probable mistakes; info findings are notable but
+// legitimate structure.
+func Lint(d *Definition) []Finding {
+	var out []Finding
+	add := func(sev Severity, rule, format string, args ...any) {
+		out = append(out, Finding{Severity: sev, Rule: rule, Message: fmt.Sprintf(format, args...)})
+	}
+
+	ids := map[string]bool{}
+	for _, a := range d.Activities {
+		ids[a.ID] = true
+	}
+
+	lintReachability(d, ids, add)
+	lintCycles(d, ids, add)
+	lintSplits(d, add)
+	lintPolicy(d, add)
+	lintVariables(d, add)
+	return out
+}
+
+type addFunc func(sev Severity, rule, format string, args ...any)
+
+// lintReachability reports activities no token can reach and activities
+// from which the end is unreachable.
+func lintReachability(d *Definition, ids map[string]bool, add addFunc) {
+	reached := map[string]bool{}
+	frontier := d.InitialActivities()
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, id := range frontier {
+			if id == EndID || reached[id] {
+				continue
+			}
+			reached[id] = true
+			for _, t := range d.Outgoing(id) {
+				next = append(next, t.To)
+			}
+		}
+		frontier = next
+	}
+	coreached := map[string]bool{}
+	rev := []string{}
+	for _, t := range d.Incoming(EndID) {
+		rev = append(rev, t.From)
+	}
+	for len(rev) > 0 {
+		next := rev[:0:0]
+		for _, id := range rev {
+			if id == StartID || coreached[id] {
+				continue
+			}
+			coreached[id] = true
+			for _, t := range d.Incoming(id) {
+				next = append(next, t.From)
+			}
+		}
+		rev = next
+	}
+	for _, a := range d.Activities {
+		if !reached[a.ID] {
+			add(SevError, "unreachable", "activity %s is unreachable from start; it can never execute", a.ID)
+		}
+		if !coreached[a.ID] {
+			add(SevError, "no-exit", "no path from activity %s to end; an instance entering it never terminates", a.ID)
+		}
+	}
+}
+
+// lintCycles finds the strongly connected components of the activity graph
+// (Tarjan). A cycle with an exit is a legitimate loop and reported as
+// info; a cycle no transition leaves can never terminate.
+func lintCycles(d *Definition, ids map[string]bool, add addFunc) {
+	type nodeState struct {
+		index, lowlink int
+		onStack        bool
+	}
+	var (
+		order  []string // deterministic node order: definition order
+		states = map[string]*nodeState{}
+		stack  []string
+		index  int
+		sccs   [][]string
+	)
+	for _, a := range d.Activities {
+		order = append(order, a.ID)
+	}
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		st := &nodeState{index: index, lowlink: index}
+		states[v] = st
+		index++
+		stack = append(stack, v)
+		st.onStack = true
+		for _, t := range d.Outgoing(v) {
+			w := t.To
+			if !ids[w] {
+				continue // EndID
+			}
+			ws, seen := states[w]
+			switch {
+			case !seen:
+				strongconnect(w)
+				if lw := states[w].lowlink; lw < st.lowlink {
+					st.lowlink = lw
+				}
+			case ws.onStack:
+				if ws.index < st.lowlink {
+					st.lowlink = ws.index
+				}
+			}
+		}
+		if st.lowlink == st.index {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range order {
+		if _, seen := states[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		member := map[string]bool{}
+		for _, id := range scc {
+			member[id] = true
+		}
+		cyclic := len(scc) > 1
+		if !cyclic { // single node: cyclic only with a self-loop
+			for _, t := range d.Outgoing(scc[0]) {
+				if t.To == scc[0] {
+					cyclic = true
+					break
+				}
+			}
+		}
+		if !cyclic {
+			continue
+		}
+		var exits []string
+		for _, id := range scc {
+			for _, t := range d.Outgoing(id) {
+				if t.To == EndID || !member[t.To] {
+					exits = append(exits, t.ID)
+				}
+			}
+		}
+		sort.Strings(exits)
+		if len(exits) == 0 {
+			add(SevError, "dead-cycle", "activities %s form a cycle no transition leaves; an instance entering it never terminates",
+				strings.Join(scc, ", "))
+		} else {
+			add(SevInfo, "loop", "activities %s form a loop (exits via %s); ensure the exit condition can become true",
+				strings.Join(scc, ", "), strings.Join(exits, ", "))
+		}
+	}
+}
+
+// lintSplits reports XOR-splits whose branches are all guarded: if every
+// condition evaluates to false, the instance deadlocks at the split.
+func lintSplits(d *Definition, add addFunc) {
+	for _, a := range d.Activities {
+		if a.Split != SplitXOR {
+			continue
+		}
+		out := d.Outgoing(a.ID)
+		if len(out) == 0 {
+			continue
+		}
+		allGuarded := true
+		for _, t := range out {
+			if !t.Guarded() {
+				allGuarded = false
+				break
+			}
+		}
+		if allGuarded {
+			add(SevInfo, "xor-no-default", "XOR-split at %s has no default (unconditional) branch; the instance deadlocks if every guard is false",
+				a.ID)
+		}
+	}
+}
+
+// lintPolicy checks read grants against the key-holding principals of the
+// workflow: the participants, the designer and the TFC servers. A grant
+// to anyone else names a principal who holds no workflow key — either a
+// typo or a leftover from an earlier revision. It also flags variables
+// displayed to a participant who cannot decrypt them, and variables with
+// no readers at all.
+func lintPolicy(d *Definition, add addFunc) {
+	holders := map[string]bool{TFCReader: true}
+	if d.Designer != "" {
+		holders[d.Designer] = true
+	}
+	for _, a := range d.Activities {
+		if a.Participant != "" {
+			holders[a.Participant] = true
+		}
+	}
+	for _, id := range d.TFCs() {
+		holders[id] = true
+	}
+
+	for _, v := range d.Variables() {
+		readers := d.Readers(v)
+		if len(readers) == 0 {
+			add(SevError, "no-readers", "no principal can read variable %q; grant readers in a rule or set default readers", v)
+			continue
+		}
+		for _, r := range readers {
+			if !holders[r] {
+				add(SevWarning, "orphan-reader", "variable %q grants read access to %q, who participates nowhere in the workflow and holds no key for it",
+					v, r)
+			}
+		}
+	}
+
+	// Every variable displayed to a participant must be decryptable by
+	// that participant.
+	for _, a := range d.Activities {
+		if a.Participant == "" {
+			continue // role-resolved at runtime; the concrete principal is unknown
+		}
+		for _, req := range a.Requests {
+			if !readableBy(d.Readers(req.Variable), a.Participant) {
+				add(SevError, "unreadable-request", "activity %s displays %q to %s, who is not among its readers and cannot decrypt it",
+					a.ID, req.Variable, a.Participant)
+			}
+		}
+	}
+
+	// Under the basic model the forwarding participant's AEA evaluates the
+	// branch conditions; under concealed flow the TFC does (Validate
+	// enforces the TFC grants there).
+	if !d.Policy.ConcealFlow {
+		for _, t := range d.Transitions {
+			if t.Condition == "" || t.From == StartID {
+				continue
+			}
+			a := d.Activity(t.From)
+			if a == nil || a.Participant == "" {
+				continue
+			}
+			e, err := expr.Parse(t.Condition)
+			if err != nil {
+				continue // Validate reports the syntax error
+			}
+			for _, v := range e.Variables() {
+				if !readableBy(d.Readers(v), a.Participant) {
+					add(SevError, "unreadable-condition", "transition %s condition reads %q, which %s (participant of %s) cannot decrypt",
+						t.ID, v, a.Participant, a.ID)
+				}
+			}
+		}
+	}
+}
+
+// lintVariables cross-checks requests against responses: a variable shown
+// to a participant that no activity produces is displayed as an empty
+// value; a produced variable nobody displays or branches on is write-only
+// output.
+func lintVariables(d *Definition, add addFunc) {
+	produced := map[string]bool{}
+	requested := map[string]bool{}
+	for _, a := range d.Activities {
+		for _, r := range a.Responses {
+			produced[r.Variable] = true
+		}
+		for _, r := range a.Requests {
+			requested[r.Variable] = true
+		}
+	}
+	inCondition := map[string]bool{}
+	if vars, err := d.ConditionVariables(); err == nil {
+		for _, v := range vars {
+			inCondition[v] = true
+		}
+	}
+
+	for _, v := range d.Variables() {
+		if requested[v] && !produced[v] {
+			add(SevWarning, "unproduced-variable", "variable %q is displayed to participants but no activity produces it", v)
+		}
+		if produced[v] && !requested[v] && !inCondition[v] {
+			add(SevInfo, "write-only-variable", "variable %q is produced but never displayed or branched on; it is final output only", v)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package wfdef
+
+import (
+	"strings"
+	"testing"
+)
+
+func rulesOf(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Rule]++
+	}
+	return m
+}
+
+func errorsIn(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// The shipped paper workflows must be free of error-severity findings:
+// `dractl lint fig9a|fig9b|fig4` exits 0.
+func TestLintBuiltinsClean(t *testing.T) {
+	for name, def := range map[string]*Definition{
+		"fig9a": Fig9A(), "fig9b": Fig9B(), "fig4": Fig4(),
+	} {
+		for _, f := range errorsIn(Lint(def)) {
+			t.Errorf("%s: unexpected error finding: %s", name, f)
+		}
+	}
+}
+
+func TestLintFig9Loop(t *testing.T) {
+	fs := Lint(Fig9A())
+	var loop *Finding
+	for i := range fs {
+		if fs[i].Rule == "loop" {
+			loop = &fs[i]
+		}
+	}
+	if loop == nil {
+		t.Fatalf("no loop finding in %v", fs)
+	}
+	if loop.Severity != SevInfo {
+		t.Errorf("loop severity = %s, want info", loop.Severity)
+	}
+	for _, id := range []string{"A", "B1", "B2", "C", "D"} {
+		if !strings.Contains(loop.Message, id) {
+			t.Errorf("loop message %q misses member %s", loop.Message, id)
+		}
+	}
+}
+
+func TestLintFig4WriteOnly(t *testing.T) {
+	got := rulesOf(Lint(Fig4()))
+	// reviewed, highResult and lowResult are final outputs nobody displays.
+	if got["write-only-variable"] != 3 {
+		t.Errorf("write-only-variable findings = %d, want 3", got["write-only-variable"])
+	}
+}
+
+// two activities where B is a dead end and C is unreachable.
+func brokenFlow() *Definition {
+	return &Definition{
+		Name:     "broken",
+		Designer: "designer@x",
+		Activities: []Activity{
+			{ID: "A", Participant: "p1@x"},
+			{ID: "B", Participant: "p2@x"},
+			{ID: "C", Participant: "p3@x"},
+		},
+		Transitions: []Transition{
+			{ID: "t0", From: StartID, To: "A"},
+			{ID: "t1", From: "A", To: "B"},
+			{ID: "t2", From: "A", To: EndID},
+			{ID: "t3", From: "C", To: EndID},
+		},
+		Policy: SecurityPolicy{DefaultReaders: []string{"p1@x", "p2@x", "p3@x"}},
+	}
+}
+
+func TestLintReachability(t *testing.T) {
+	got := rulesOf(Lint(brokenFlow()))
+	if got["unreachable"] != 1 { // C
+		t.Errorf("unreachable findings = %d, want 1", got["unreachable"])
+	}
+	if got["no-exit"] != 1 { // B
+		t.Errorf("no-exit findings = %d, want 1", got["no-exit"])
+	}
+}
+
+func TestLintDeadCycle(t *testing.T) {
+	d := &Definition{
+		Name:     "dead-cycle",
+		Designer: "designer@x",
+		Activities: []Activity{
+			{ID: "A", Participant: "p1@x"},
+			{ID: "B", Participant: "p2@x", Join: JoinXOR},
+		},
+		Transitions: []Transition{
+			{ID: "t0", From: StartID, To: "B"},
+			{ID: "t1", From: "B", To: "A"},
+			{ID: "t2", From: "A", To: "B"},
+		},
+		Policy: SecurityPolicy{DefaultReaders: []string{"p1@x", "p2@x"}},
+	}
+	fs := Lint(d)
+	got := rulesOf(fs)
+	if got["dead-cycle"] != 1 {
+		t.Fatalf("dead-cycle findings = %d, want 1 (%v)", got["dead-cycle"], fs)
+	}
+	if got["loop"] != 0 {
+		t.Errorf("a dead cycle must not also be reported as a loop (%v)", fs)
+	}
+}
+
+func TestLintPolicyFindings(t *testing.T) {
+	d := &Definition{
+		Name:     "leaky",
+		Designer: "designer@x",
+		Activities: []Activity{
+			{ID: "A", Participant: "alice@x", Responses: []Response{
+				{Variable: "secret"}, {Variable: "amount"}, {Variable: "orphaned"},
+			}},
+			{ID: "B", Participant: "bob@y", Split: SplitXOR,
+				Requests:  []Request{{Variable: "secret"}, {Variable: "ghost"}},
+				Responses: []Response{{Variable: "verdict"}}},
+			{ID: "C", Participant: "carol@z"},
+			{ID: "D", Participant: "dan@z", Join: JoinXOR},
+		},
+		Transitions: []Transition{
+			{ID: "t0", From: StartID, To: "A"},
+			{ID: "t1", From: "A", To: "B"},
+			{ID: "t2", From: "B", To: "C", Condition: `amount > 10`},
+			{ID: "t3", From: "B", To: "D", Condition: `amount <= 10`},
+			{ID: "t4", From: "C", To: "D"},
+			{ID: "t5", From: "D", To: EndID},
+		},
+		Policy: SecurityPolicy{
+			DefaultReaders: []string{"alice@x", "bob@y", "carol@z", "dan@z"},
+			Rules: []ReadRule{
+				// bob displays "secret" but is not a reader; mallory holds no key.
+				{Variable: "secret", Readers: []string{"alice@x", "mallory@evil"}},
+				// bob guards t2/t3 on "amount" but cannot read it.
+				{Variable: "amount", Readers: []string{"alice@x"}},
+				// nobody at all can read "orphaned".
+				{Variable: "orphaned", Readers: nil},
+			},
+		},
+	}
+	fs := Lint(d)
+	got := rulesOf(fs)
+	want := map[string]int{
+		"orphan-reader":        1, // mallory@evil on secret
+		"unreadable-request":   1, // secret shown to bob
+		"unreadable-condition": 2, // amount guards t2 and t3
+		"no-readers":           1, // orphaned
+		"unproduced-variable":  1, // ghost
+		"xor-no-default":       1, // B's split is fully guarded
+	}
+	for rule, n := range want {
+		if got[rule] != n {
+			t.Errorf("%s findings = %d, want %d\nall: %v", rule, got[rule], n, fs)
+		}
+	}
+	for _, f := range fs {
+		if f.Rule == "orphan-reader" && !strings.Contains(f.Message, "mallory@evil") {
+			t.Errorf("orphan-reader message %q does not name the orphan", f.Message)
+		}
+	}
+}
+
+// Concealed flow hands condition evaluation to the TFC, so the
+// participant-side condition check must stay quiet.
+func TestLintConcealedSkipsConditionCheck(t *testing.T) {
+	d := Fig4()
+	if !d.Policy.ConcealFlow {
+		t.Fatal("Fig4 should conceal flow")
+	}
+	for _, f := range Lint(d) {
+		if f.Rule == "unreadable-condition" {
+			t.Errorf("unexpected condition finding under concealed flow: %s", f)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Severity: SevWarning, Rule: "orphan-reader", Message: "m"}
+	if got := f.String(); got != "warning[orphan-reader]: m" {
+		t.Errorf("String() = %q", got)
+	}
+}
