@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench
+.PHONY: check fmt vet lint build test race bench faults
 
 # check is the CI gate: formatting, static analysis (go vet plus the
-# repo's own dralint rules), build, and the full test suite under the
-# race detector.
-check: fmt vet lint build race
+# repo's own dralint rules), build, the relay reliability gate, and the
+# full test suite under the race detector.
+check: fmt vet lint build faults race
+
+# faults is the relay reliability gate: fault-injection workflows (20% of
+# hops dropped/duplicated), crash recovery from the outbox WAL, and
+# receiver-side idempotency, all under the race detector. The race target
+# covers these too; the split keeps the gate visible and fast to re-run.
+faults:
+	$(GO) test -race -count=1 -run 'TestFaultInjection|TestCrashRecovery|TestReceiverIdempotency|TestOutboxTornTail' ./internal/relay/ ./internal/httpapi/
 
 # lint runs the project's domain analyzers (discarded crypto errors,
 # variable-time digest comparisons, nondeterministic verification inputs,

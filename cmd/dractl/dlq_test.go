@@ -1,0 +1,121 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dra4wfms/internal/relay"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestDLQListAndRequeue(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "relay.wal")
+	ob, err := relay.OpenOutbox(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, _, err := ob.Append("http://portal.example", "store", "key-live", []byte("<doc/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, _, err := ob.Append("http://tfc.example", "process", "key-dead", []byte("<doc2/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.DeadLetter(dead.Seq, "after 8 attempts: connection refused"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() { cmdDLQ([]string{"-wal", wal, "list"}) })
+	for _, want := range []string{"1 pending, 1 dead-lettered", "http://portal.example", "http://tfc.example", "connection refused"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = captureStdout(t, func() { cmdDLQ([]string{"-wal", wal, "requeue", "all"}) })
+	if !strings.Contains(out, "requeued 1 dead letters") {
+		t.Fatalf("requeue output:\n%s", out)
+	}
+
+	// The requeued entry is pending again and survives a reopen.
+	ob, err = relay.OpenOutbox(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.Close()
+	pending, deadCount := ob.Counts()
+	if pending != 2 || deadCount != 0 {
+		t.Fatalf("after requeue: %d pending, %d dead — want 2, 0", pending, deadCount)
+	}
+	found := false
+	for _, e := range ob.Pending() {
+		if e.Seq == dead.Seq {
+			found = true
+			if e.Attempts != 0 {
+				t.Fatalf("requeued entry kept %d attempts", e.Attempts)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("requeued seq %d not pending; live seq %d", dead.Seq, live.Seq)
+	}
+}
+
+func TestDLQDrop(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "relay.wal")
+	ob, err := relay.OpenOutbox(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := ob.Append("http://portal.example", "store", "k", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.DeadLetter(e.Seq, "poison payload"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seq := strconv.FormatUint(e.Seq, 10)
+	out := captureStdout(t, func() { cmdDLQ([]string{"-wal", wal, "drop", seq}) })
+	if !strings.Contains(out, "dropped seq "+seq) {
+		t.Fatalf("drop output:\n%s", out)
+	}
+	ob, err = relay.OpenOutbox(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.Close()
+	if pending, dead := ob.Counts(); pending != 0 || dead != 0 {
+		t.Fatalf("after drop: %d pending, %d dead", pending, dead)
+	}
+}

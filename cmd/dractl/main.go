@@ -10,6 +10,7 @@
 //	dractl cers    FILE.xml
 //	dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b] [-out FILE]
 //	dractl metrics [-url URL] [-filter PREFIX] [-raw]
+//	dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
 //	dractl audit   -trust trust.json FILE.xml
 //	dractl dot     fig9a|fig9b|fig4|FILE.xml
 //	dractl export-def fig9a|fig9b|fig4
@@ -52,6 +53,8 @@ func main() {
 		cmdRemote(os.Args[2:])
 	case "metrics":
 		cmdMetrics(os.Args[2:])
+	case "dlq":
+		cmdDLQ(os.Args[2:])
 	case "audit":
 		cmdAudit(os.Args[2:])
 	case "dot":
@@ -75,6 +78,7 @@ func usage() {
   dractl cers    FILE.xml
   dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b]
   dractl metrics [-url URL] [-filter PREFIX] [-raw]
+  dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
   dractl audit   -trust trust.json FILE.xml
   dractl dot     fig9a|fig9b|fig4|FILE.xml
   dractl export-def fig9a|fig9b|fig4

@@ -35,6 +35,7 @@ func main() {
 	trust := flag.String("trust", "deploy/trust.json", "trust bundle path")
 	servers := flag.Int("servers", 3, "pool region servers")
 	keyPath := flag.String("key", "", "portal private-key PEM; enables signed webhook notifications")
+	webhookWAL := flag.String("webhook-wal", "", "outbox WAL file for webhook deliveries; pending notifications survive restarts (requires -key)")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
 	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
 	flag.Parse()
@@ -83,8 +84,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv.EnableWebhooks(keys)
-		log.Printf("webhook notifications enabled, signing as %s", keys.Owner)
+		srv.EnableWebhooksAt(keys, *webhookWAL)
+		if *webhookWAL != "" {
+			log.Printf("webhook notifications enabled, signing as %s, outbox WAL %s", keys.Owner, *webhookWAL)
+		} else {
+			log.Printf("webhook notifications enabled, signing as %s", keys.Owner)
+		}
+	} else if *webhookWAL != "" {
+		log.Fatal("-webhook-wal requires -key")
 	}
 	log.Printf("serving %d principals on %s", len(reg.Principals()), *listen)
 	log.Fatal(httpapi.ListenAndServe(*listen, srv.Handler()))

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"dra4wfms/internal/cloudsim"
+	"dra4wfms/internal/relay"
+)
+
+// --- fault injection: relay retry policy under lossy hops ----------------------
+
+// FaultRow is one discrete-event run of the Figure 9 hop chain under a
+// given hop-loss probability, with and without the relay's retry policy.
+type FaultRow struct {
+	// DropRate is the probability one delivery attempt is lost in flight.
+	DropRate float64
+	// DupRate is the probability a delivered hop arrives twice.
+	DupRate float64
+	// Instances is how many concurrent workflow instances ran.
+	Instances int
+	// CompletedNoRetry counts instances finishing all hops when every
+	// hop gets exactly one attempt (fire-and-forget dispatch).
+	CompletedNoRetry int
+	// CompletedRelay counts instances finishing under the relay policy.
+	CompletedRelay int
+	// DeadLetters counts hops the relay gave up on after MaxAttempts.
+	DeadLetters int
+	// Attempts is the total delivery attempts the relay made.
+	Attempts int
+	// DupSuppressed counts duplicate arrivals absorbed by receiver-side
+	// idempotency keys (they never re-applied an effect).
+	DupSuppressed int
+	// MeanLatency / P99Latency are per-instance completion times under
+	// the relay; Makespan is when the last instance finished.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	Makespan    time.Duration
+}
+
+// faultsConfig fixes the simulated deployment: Figure 9A routes six
+// documents portal-ward per instance (the initial store plus one per
+// activity), each hop one network round trip plus portal service.
+const (
+	faultHops       = 6
+	faultNetLatency = 2 * time.Millisecond
+	faultPortalSvc  = 500 * time.Microsecond
+)
+
+// RunFaults sweeps hop-loss probabilities and replays the Figure 9A hop
+// chain on the discrete-event simulator, comparing fire-and-forget
+// dispatch against the relay's retry policy (exponential backoff, full
+// jitter, bounded attempts, receiver-side dedup). Deterministic for a
+// given seed.
+func RunFaults(dropRates []float64, instances, maxAttempts int, policy relay.BackoffPolicy, seed int64) []FaultRow {
+	var rows []FaultRow
+	for _, p := range dropRates {
+		dup := p / 2
+		rng := rand.New(rand.NewSource(seed))
+		rows = append(rows, runFaultRate(p, dup, instances, maxAttempts, policy, rng))
+	}
+	return rows
+}
+
+func runFaultRate(drop, dup float64, instances, maxAttempts int, policy relay.BackoffPolicy, rng *rand.Rand) FaultRow {
+	row := FaultRow{DropRate: drop, DupRate: dup, Instances: instances}
+
+	// Baseline: every hop fires once; a single loss strands the instance.
+	for i := 0; i < instances; i++ {
+		alive := true
+		for h := 0; h < faultHops; h++ {
+			if rng.Float64() < drop {
+				alive = false
+			}
+		}
+		if alive {
+			row.CompletedNoRetry++
+		}
+	}
+
+	// Relay: one FIFO portal station shared by all instances; each hop
+	// retries with the real backoff policy until delivered or out of
+	// attempts. Duplicated arrivals consume portal service but are
+	// absorbed by the idempotency key — the hop chain advances once.
+	sim := cloudsim.NewSim()
+	portal := cloudsim.NewStation(sim, "portal")
+	var latencies []time.Duration
+
+	for i := 0; i < instances; i++ {
+		start := time.Duration(i) * time.Millisecond // staggered arrivals
+		var hop func(h int)
+		var attemptHop func(h, attempt int)
+		attemptHop = func(h, attempt int) {
+			row.Attempts++
+			if rng.Float64() < drop {
+				// Lost in flight: the relay times out and backs off.
+				if attempt >= maxAttempts {
+					row.DeadLetters++
+					return // instance stalls; operator re-drives via DLQ
+				}
+				sim.Schedule(policy.Delay(attempt, rng.Float64), func() {
+					attemptHop(h, attempt+1)
+				})
+				return
+			}
+			duplicated := rng.Float64() < dup
+			sim.Schedule(faultNetLatency, func() {
+				portal.Submit(faultPortalSvc, func(time.Duration) {
+					hop(h + 1)
+				})
+				if duplicated {
+					// Second arrival: serviced, deduplicated, no effect.
+					portal.Submit(faultPortalSvc, func(time.Duration) {
+						row.DupSuppressed++
+					})
+				}
+			})
+		}
+		var begin time.Duration
+		hop = func(h int) {
+			if h == faultHops {
+				row.CompletedRelay++
+				latencies = append(latencies, sim.Now()-begin)
+				return
+			}
+			attemptHop(h, 1)
+		}
+		sim.Schedule(start, func() {
+			begin = sim.Now()
+			hop(0)
+		})
+	}
+
+	row.Makespan = sim.Run()
+	row.MeanLatency = cloudsim.Mean(latencies)
+	row.P99Latency = cloudsim.Percentile(latencies, 99)
+	return row
+}

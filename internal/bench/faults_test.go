@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"dra4wfms/internal/relay"
+)
+
+func TestRunFaults(t *testing.T) {
+	policy := relay.BackoffPolicy{Base: time.Millisecond, Cap: 10 * time.Millisecond, Factor: 2}
+	rows := RunFaults([]float64{0, 0.2}, 100, 20, policy, 7)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+
+	clean := rows[0]
+	if clean.CompletedRelay != 100 || clean.CompletedNoRetry != 100 || clean.DeadLetters != 0 {
+		t.Fatalf("lossless run: %+v", clean)
+	}
+	if clean.Attempts != 100*faultHops {
+		t.Fatalf("lossless attempts = %d, want %d", clean.Attempts, 100*faultHops)
+	}
+
+	lossy := rows[1]
+	// 20% hop loss strands ~1-(0.8)^6 ≈ 74% of fire-and-forget instances
+	// but the relay retries them all through.
+	if lossy.CompletedNoRetry >= 60 {
+		t.Fatalf("fire-and-forget completed %d/100 at 20%% loss — too lucky", lossy.CompletedNoRetry)
+	}
+	if lossy.CompletedRelay != 100 || lossy.DeadLetters != 0 {
+		t.Fatalf("relay run at 20%% loss: %+v", lossy)
+	}
+	if lossy.Attempts <= 100*faultHops {
+		t.Fatalf("lossy attempts = %d — retries not visible", lossy.Attempts)
+	}
+	if lossy.DupSuppressed == 0 {
+		t.Fatal("no duplicates suppressed at 10% dup rate")
+	}
+	if lossy.MeanLatency <= clean.MeanLatency {
+		t.Fatalf("lossy mean %v not above clean mean %v", lossy.MeanLatency, clean.MeanLatency)
+	}
+
+	// Determinism: same seed, same numbers.
+	again := RunFaults([]float64{0.2}, 100, 20, policy, 7)[0]
+	if again != lossy {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", again, lossy)
+	}
+}

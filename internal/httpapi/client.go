@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,6 +22,11 @@ import (
 
 // Client talks to portal and TFC HTTP services with signed requests. One
 // client represents one principal (its AEA's network side).
+//
+// Every call runs under a context with a deadline: the exported methods
+// use context.Background bounded by Timeout (default 30s), so a hung
+// peer can no longer block a hop indefinitely; the *Ctx variants also
+// honor the caller's cancellation.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://portal-1.example:8080".
 	BaseURL string
@@ -30,7 +36,13 @@ type Client struct {
 	HTTP *http.Client
 	// Clock supplies request dates (default time.Now).
 	Clock func() time.Time
+	// Timeout bounds one request end to end, including the body read
+	// (default 30s; negative disables the bound).
+	Timeout time.Duration
 }
+
+// DefaultTimeout bounds a client request when Client.Timeout is unset.
+const DefaultTimeout = 30 * time.Second
 
 // NewClient builds a client for the given principal.
 func NewClient(baseURL string, keys *pki.KeyPair) *Client {
@@ -38,7 +50,20 @@ func NewClient(baseURL string, keys *pki.KeyPair) *Client {
 }
 
 func (c *Client) do(method, path string, body []byte) (*http.Response, []byte, error) {
-	req, err := http.NewRequest(method, c.BaseURL+path, bytes.NewReader(body))
+	return c.doCtx(context.Background(), method, path, body)
+}
+
+func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) (*http.Response, []byte, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -74,7 +99,12 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, []byte, e
 
 // StoreInitial posts a secured initial document to the portal.
 func (c *Client) StoreInitial(doc *document.Document) ([]portal.Notification, error) {
-	_, body, err := c.do(http.MethodPost, "/v1/documents/initial", doc.Bytes())
+	return c.StoreInitialCtx(context.Background(), doc)
+}
+
+// StoreInitialCtx is StoreInitial bounded by the caller's context.
+func (c *Client) StoreInitialCtx(ctx context.Context, doc *document.Document) ([]portal.Notification, error) {
+	_, body, err := c.doCtx(ctx, http.MethodPost, "/v1/documents/initial", doc.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +117,12 @@ func (c *Client) StoreInitial(doc *document.Document) ([]portal.Notification, er
 
 // Store posts a produced document to the portal.
 func (c *Client) Store(doc *document.Document) ([]portal.Notification, error) {
-	_, body, err := c.do(http.MethodPost, "/v1/documents", doc.Bytes())
+	return c.StoreCtx(context.Background(), doc)
+}
+
+// StoreCtx is Store bounded by the caller's context.
+func (c *Client) StoreCtx(ctx context.Context, doc *document.Document) ([]portal.Notification, error) {
+	_, body, err := c.doCtx(ctx, http.MethodPost, "/v1/documents", doc.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +135,12 @@ func (c *Client) Store(doc *document.Document) ([]portal.Notification, error) {
 
 // Retrieve fetches the stored document of a process instance.
 func (c *Client) Retrieve(processID string) (*document.Document, error) {
-	_, body, err := c.do(http.MethodGet, "/v1/documents/"+url.PathEscape(processID), nil)
+	return c.RetrieveCtx(context.Background(), processID)
+}
+
+// RetrieveCtx is Retrieve bounded by the caller's context.
+func (c *Client) RetrieveCtx(ctx context.Context, processID string) (*document.Document, error) {
+	_, body, err := c.doCtx(ctx, http.MethodGet, "/v1/documents/"+url.PathEscape(processID), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +247,14 @@ func (c *Client) Template(name string, resolver dsig.KeyResolver) (*wfdef.Defini
 // ProcessViaTFC submits an intermediate document to a TFC service and
 // returns the routed outcome (pointing the client's BaseURL at the TFC).
 func (c *Client) ProcessViaTFC(doc *document.Document) (*ProcessResponse, *document.Document, error) {
-	_, body, err := c.do(http.MethodPost, "/v1/process", doc.Bytes())
+	return c.ProcessViaTFCCtx(context.Background(), doc)
+}
+
+// ProcessViaTFCCtx is ProcessViaTFC bounded by the caller's context —
+// the AEA→TFC forwarding hop. For delivery that survives crashes and
+// peer outages, route the hop through a Forwarder instead.
+func (c *Client) ProcessViaTFCCtx(ctx context.Context, doc *document.Document) (*ProcessResponse, *document.Document, error) {
+	_, body, err := c.doCtx(ctx, http.MethodPost, "/v1/process", doc.Bytes())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -230,7 +277,21 @@ func (c *Client) Metrics() (string, error) {
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
-	resp, err := httpc.Get(c.BaseURL + "/v1/metrics")
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := httpc.Do(req)
 	if err != nil {
 		return "", err
 	}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -39,8 +40,14 @@ func newWorld(t *testing.T) *world {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var tickMu sync.Mutex
 	tick := now
-	clock := func() time.Time { tick = tick.Add(time.Second); return tick }
+	clock := func() time.Time {
+		tickMu.Lock()
+		defer tickMu.Unlock()
+		tick = tick.Add(time.Second)
+		return tick
+	}
 
 	p := portal.New("portal-1", env.Registry, table, clock)
 	mon := monitor.New(table)

@@ -12,6 +12,7 @@ import (
 	"dra4wfms/internal/monitor"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/portal"
+	"dra4wfms/internal/relay"
 	"dra4wfms/internal/tfc"
 	"dra4wfms/internal/xmltree"
 )
@@ -47,6 +48,10 @@ type PortalServer struct {
 	// profiling) from the same listener. Off by default: profiles expose
 	// process internals, so operators opt in (draportal -pprof).
 	EnablePprof bool
+
+	// dedup caches the responses of applied idempotency keys so a
+	// redelivered store is answered, not re-applied.
+	dedup relay.Deduper
 }
 
 // NewPortalServer assembles the HTTP facade of a portal.
@@ -55,9 +60,18 @@ func NewPortalServer(p *portal.Portal, m *monitor.Monitor, auth *Authenticator) 
 }
 
 // EnableWebhooks attaches a dispatcher signing as keys.Owner and wires it
-// into the portal's notification hook.
+// into the portal's notification hook. The dispatcher's outbox lives in
+// memory; use EnableWebhooksAt for one that survives restarts.
 func (s *PortalServer) EnableWebhooks(keys *pki.KeyPair) *WebhookDispatcher {
+	return s.EnableWebhooksAt(keys, "")
+}
+
+// EnableWebhooksAt is EnableWebhooks with a persistent outbox WAL at
+// walPath (empty = memory-only): notifications not yet delivered when
+// the portal stops are retried on the next start.
+func (s *PortalServer) EnableWebhooksAt(keys *pki.KeyPair, walPath string) *WebhookDispatcher {
 	s.Webhooks = NewWebhookDispatcher(keys)
+	s.Webhooks.WALPath = walPath
 	s.Portal.OnNotify = s.Webhooks.Notify
 	return s.Webhooks
 }
@@ -70,8 +84,8 @@ func (s *PortalServer) Handler() http.Handler {
 	route := func(pattern string, h handlerFunc) {
 		mux.HandleFunc(pattern, instrument(pattern, s.auth(h)))
 	}
-	route("POST /v1/documents/initial", s.handleStoreInitial)
-	route("POST /v1/documents", s.handleStore)
+	route("POST /v1/documents/initial", idempotent(&s.dedup, s.handleStoreInitial))
+	route("POST /v1/documents", idempotent(&s.dedup, s.handleStore))
 	route("GET /v1/documents/{pid}", s.handleRetrieve)
 	route("GET /v1/worklist", s.handleWorklist)
 	route("GET /v1/processes", s.handleProcesses)
@@ -117,6 +131,68 @@ func authWrap(a *Authenticator, h handlerFunc) http.HandlerFunc {
 			return
 		}
 		h(w, r, principal, body)
+	}
+}
+
+// cachedResponse is one remembered idempotent outcome.
+type cachedResponse struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// responseCapture tees a handler's response into a buffer so a 2xx
+// outcome can be cached for replay.
+type responseCapture struct {
+	http.ResponseWriter
+	status int
+	buf    []byte
+}
+
+func (rc *responseCapture) WriteHeader(code int) {
+	rc.status = code
+	rc.ResponseWriter.WriteHeader(code)
+}
+
+func (rc *responseCapture) Write(b []byte) (int, error) {
+	rc.buf = append(rc.buf, b...)
+	return rc.ResponseWriter.Write(b)
+}
+
+// idempotent makes a mutating handler safe under redelivery: a request
+// carrying HeaderIdempotencyKey whose (principal, key) pair was already
+// applied gets the original 2xx response replayed — marked with
+// HeaderIdempotentReplay — instead of a second application. Only 2xx
+// outcomes are cached; errors stay retryable. The key is scoped to the
+// authenticated principal, so one caller cannot replay another's result.
+func idempotent(d *relay.Deduper, h handlerFunc) handlerFunc {
+	return func(w http.ResponseWriter, r *http.Request, principal string, body []byte) {
+		key := r.Header.Get(HeaderIdempotencyKey)
+		if key == "" {
+			h(w, r, principal, body)
+			return
+		}
+		scoped := principal + "|" + key
+		if v, ok := d.Lookup(scoped); ok {
+			cr := v.(cachedResponse)
+			mDeduplicated.Inc()
+			w.Header().Set(HeaderIdempotentReplay, "true")
+			if cr.contentType != "" {
+				w.Header().Set("Content-Type", cr.contentType)
+			}
+			w.WriteHeader(cr.status)
+			_, _ = w.Write(cr.body)
+			return
+		}
+		rc := &responseCapture{ResponseWriter: w, status: http.StatusOK}
+		h(rc, r, principal, body)
+		if rc.status/100 == 2 {
+			d.Remember(scoped, cachedResponse{
+				status:      rc.status,
+				contentType: rc.Header().Get("Content-Type"),
+				body:        rc.buf,
+			})
+		}
 	}
 }
 
@@ -256,6 +332,10 @@ type TFCServer struct {
 	Auth   *Authenticator
 	// EnablePprof additionally serves /debug/pprof/* (see PortalServer).
 	EnablePprof bool
+
+	// dedup replays responses of already-applied process submissions
+	// (see PortalServer.dedup).
+	dedup relay.Deduper
 }
 
 // NewTFCServer assembles the HTTP facade of a TFC server.
@@ -280,7 +360,7 @@ type ProcessResponse struct {
 // portal's and likewise serving GET /v1/metrics.
 func (s *TFCServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/process", instrument("POST /v1/process", authWrap(s.Auth, s.handleProcess)))
+	mux.HandleFunc("POST /v1/process", instrument("POST /v1/process", authWrap(s.Auth, idempotent(&s.dedup, s.handleProcess))))
 	mux.HandleFunc("GET /v1/records", instrument("GET /v1/records", authWrap(s.Auth, s.handleRecords)))
 	registerObservability(mux, s.EnablePprof)
 	return mux

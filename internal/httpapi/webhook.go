@@ -1,16 +1,18 @@
 package httpapi
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/portal"
+	"dra4wfms/internal/relay"
 )
 
 // Webhook notification delivery — the paper's "after a resulting DRA4WfMS
@@ -20,8 +22,16 @@ import (
 // portal-signed JSON notification to it whenever one of the participant's
 // activities becomes enabled. Receivers verify the same signed-request
 // headers clients use, so notifications cannot be forged.
+//
+// Deliveries go through an internal relay: a bounded worker pool with
+// retries, per-destination circuit breakers, and (with a WAL path) an
+// outbox that survives portal restarts. A notification that exhausts its
+// retry budget lands in the relay's dead-letter queue and is counted as
+// failed.
 
 // WebhookDispatcher keeps the URL registry and delivers notifications.
+// Configure the public fields before the first Notify; they are frozen
+// once the delivery relay starts.
 type WebhookDispatcher struct {
 	// Keys signs outgoing deliveries under the portal's identity.
 	Keys *pki.KeyPair
@@ -31,14 +41,17 @@ type WebhookDispatcher struct {
 	Clock func() time.Time
 	// Timeout bounds one delivery attempt (default 5s).
 	Timeout time.Duration
+	// WALPath, when set, persists undelivered notifications across
+	// restarts (draportal -webhook-wal). Empty keeps the outbox in memory.
+	WALPath string
+	// RelayConfig tunes retries; zero fields get webhook defaults
+	// (3 attempts, short backoff, per-attempt Timeout).
+	RelayConfig relay.Config
 
 	mu   sync.Mutex
 	urls map[string]string // principal (or "role:<r>") → callback URL
-	// failures counts deliveries that could not be completed.
-	failures int
-	// delivered counts successful deliveries.
-	delivered int
-	wg        sync.WaitGroup
+	rly  *relay.Relay
+	seq  atomic.Uint64 // distinguishes legitimately repeated notifications
 }
 
 // NewWebhookDispatcher creates a dispatcher signing as keys.Owner.
@@ -73,70 +86,106 @@ func (d *WebhookDispatcher) URL(principal string) (string, bool) {
 	return u, ok
 }
 
-// Stats returns (delivered, failed) counters.
+// Stats returns (delivered, failed) counters: acknowledged deliveries
+// and deliveries that exhausted their retries into the DLQ.
 func (d *WebhookDispatcher) Stats() (delivered, failed int) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.delivered, d.failures
+	rly := d.rly
+	d.mu.Unlock()
+	if rly == nil {
+		return 0, 0
+	}
+	st := rly.Stats()
+	return int(st.Delivered), int(st.DeadLettered)
 }
 
-// Notify implements the portal.OnNotify contract: it delivers the
-// notification asynchronously to the participant's registered URL (if
-// any). Delivery failures are counted, not retried — the worklist remains
-// the source of truth; webhooks are a latency optimization.
+// ensureRelay starts the delivery relay on first use, freezing the
+// dispatcher's configuration fields into it.
+func (d *WebhookDispatcher) ensureRelay() (*relay.Relay, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rly != nil {
+		return d.rly, nil
+	}
+	ob, err := relay.OpenOutbox(d.WALPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := d.RelayConfig
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = d.timeout()
+	}
+	if cfg.Backoff == (relay.BackoffPolicy{}) {
+		cfg.Backoff = relay.BackoffPolicy{Base: 25 * time.Millisecond, Cap: 500 * time.Millisecond}
+	}
+	tr := &HTTPTransport{Keys: d.Keys, HTTP: d.HTTP, Clock: d.Clock}
+	d.rly = relay.New(ob, tr, cfg)
+	return d.rly, nil
+}
+
+// Notify implements the portal.OnNotify contract: the notification is
+// journaled and delivered asynchronously to the participant's registered
+// URL (if any), with retries and breaker protection. A delivery that
+// exhausts its budget is dead-lettered, not lost silently — but the
+// worklist remains the source of truth; webhooks are a latency
+// optimization.
 func (d *WebhookDispatcher) Notify(n portal.Notification) {
 	target, ok := d.URL(n.Participant)
 	if !ok {
 		return
 	}
-	d.wg.Add(1)
-	go func() {
-		defer d.wg.Done()
-		if err := d.deliver(target, n); err != nil {
-			d.mu.Lock()
-			d.failures++
-			d.mu.Unlock()
-			return
-		}
-		d.mu.Lock()
-		d.delivered++
-		d.mu.Unlock()
-	}()
-}
-
-// Wait blocks until all in-flight deliveries finish (tests, shutdown).
-func (d *WebhookDispatcher) Wait() { d.wg.Wait() }
-
-func (d *WebhookDispatcher) deliver(target string, n portal.Notification) error {
+	rly, err := d.ensureRelay()
+	if err != nil {
+		return
+	}
 	body, err := json.Marshal(n)
 	if err != nil {
-		return err
+		return
 	}
-	req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
-	if err != nil {
-		return err
+	// Identical notifications are legitimate (a loop re-enabling the same
+	// activity), so the idempotency key folds in a local sequence number:
+	// retries of one Notify share it, distinct Notifies never do.
+	keyed := append(strconv.AppendUint(nil, d.seq.Add(1), 10), '|')
+	keyed = append(keyed, body...)
+	//lint:ignore cryptoerr webhook dispatch is fire-and-forget by contract: an enqueue failure (closed relay, journal write error) must not fail the document store that triggered the notification, and the worklist remains the source of truth
+	_, _, _ = rly.Enqueue(target, KindWebhook, relay.IdempotencyKey(KindWebhook, target, keyed), body)
+}
+
+// Wait blocks until all accepted deliveries have settled.
+//
+// Deprecated: Notify no longer spawns a goroutine per delivery — a
+// bounded relay drains the queue — so Wait is simply a flush of that
+// relay, kept for compatibility.
+func (d *WebhookDispatcher) Wait() {
+	d.mu.Lock()
+	rly := d.rly
+	d.mu.Unlock()
+	if rly != nil {
+		rly.Flush()
 	}
-	req.Header.Set("Content-Type", ContentJSON)
-	clock := d.Clock
-	if clock == nil {
-		clock = time.Now
+}
+
+// Relay exposes the delivery relay (DLQ inspection, stats); nil before
+// the first Notify.
+func (d *WebhookDispatcher) Relay() *relay.Relay {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rly
+}
+
+// Close stops the delivery relay; with a WAL, undelivered notifications
+// survive for the next start.
+func (d *WebhookDispatcher) Close() error {
+	d.mu.Lock()
+	rly := d.rly
+	d.mu.Unlock()
+	if rly == nil {
+		return nil
 	}
-	if err := SignRequest(req, body, d.Keys, clock()); err != nil {
-		return err
-	}
-	httpc := d.HTTP
-	if httpc == nil {
-		httpc = &http.Client{Timeout: d.timeout()}
-	}
-	resp, err := httpc.Do(req)
-	if err != nil {
-		return err
-	}
-	resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("httpapi: webhook %s: %s", target, resp.Status)
-	}
-	return nil
+	return rly.Close()
 }
 
 func (d *WebhookDispatcher) timeout() time.Duration {

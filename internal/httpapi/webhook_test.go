@@ -83,6 +83,7 @@ func webhookWorld(t *testing.T) (*world, *PortalServer, *WebhookDispatcher) {
 	}
 	dispatcher := ps.EnableWebhooks(w.env.KeyOf("portal@cloud"))
 	dispatcher.Clock = w.clock
+	t.Cleanup(func() { _ = dispatcher.Close() })
 	srv := httptest.NewServer(ps.Handler())
 	t.Cleanup(srv.Close)
 	w.portalSrv = srv

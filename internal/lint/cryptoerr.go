@@ -23,15 +23,30 @@ var cryptoErrPkgs = []string{
 // packages.
 var cryptoErrFunc = regexp.MustCompile(`^(Sign|Verify|Encrypt|Decrypt|Reveal|Audit)`)
 
+// durabilityPkgs are the packages whose delivery-journal errors are
+// durability failures: a discarded Enqueue or Ack error means a document
+// hop was silently lost or will be replayed forever, which breaks the
+// relay's exactly-once-effects contract just as surely as a discarded
+// Verify error breaks the trust chain.
+var durabilityPkgs = []string{
+	"internal/relay",
+}
+
+// durabilityFunc matches the journal-mutating operations within those
+// packages (exact names: the relay API has no prefix convention).
+var durabilityFunc = regexp.MustCompile(`^(Enqueue|Append|Ack|Fail|DeadLetter|Requeue|Drop|Deliver)$`)
+
 // CryptoErr flags discarded or unchecked error returns from the document
-// crypto path. In an engine-less WfMS the verification code IS the trust
-// boundary: `_, _ = doc.VerifyAll(reg)` silently accepts a document whose
-// cascade no longer verifies. Test files are exempt — provoking and
-// discarding failures is what they are for.
+// crypto path and the relay delivery journal. In an engine-less WfMS the
+// verification code IS the trust boundary: `_, _ = doc.VerifyAll(reg)`
+// silently accepts a document whose cascade no longer verifies — and a
+// dropped relay journal error silently loses a delivery. Test files are
+// exempt — provoking and discarding failures is what they are for.
 var CryptoErr = &Analyzer{
 	Name: "cryptoerr",
 	Doc: "reports discarded error results of dsig/xmlenc/pki/aea/document " +
-		"sign, verify, encrypt and decrypt calls (exempt in _test.go files)",
+		"sign, verify, encrypt and decrypt calls and of relay outbox/delivery " +
+		"operations (exempt in _test.go files)",
 	Run: runCryptoErr,
 }
 
@@ -60,15 +75,25 @@ func runCryptoErr(pass *Pass) {
 }
 
 // isCryptoCall reports whether the call targets a protocol-critical
-// function, returning the callee for the message.
+// function — document crypto or relay journal — returning the callee for
+// the message.
 func (p *Pass) isCryptoCall(file *ast.File, call *ast.CallExpr) (Callee, bool) {
 	callee, ok := p.CalleeOf(file, call)
-	if !ok || !cryptoErrFunc.MatchString(callee.Name) {
+	if !ok {
 		return Callee{}, false
 	}
-	for _, suffix := range cryptoErrPkgs {
-		if callee.InPkg(suffix) {
-			return callee, true
+	if cryptoErrFunc.MatchString(callee.Name) {
+		for _, suffix := range cryptoErrPkgs {
+			if callee.InPkg(suffix) {
+				return callee, true
+			}
+		}
+	}
+	if durabilityFunc.MatchString(callee.Name) {
+		for _, suffix := range durabilityPkgs {
+			if callee.InPkg(suffix) {
+				return callee, true
+			}
 		}
 	}
 	return Callee{}, false

@@ -117,6 +117,7 @@ func TestGolden(t *testing.T) {
 		wantSuppressed int // reasoned //lint:ignore directives in the fixture
 	}{
 		{CryptoErr, []string{"./lintfix/cryptoerr"}, 2},
+		{CryptoErr, []string{"./lintfix/relay"}, 1},
 		{ConstTime, []string{"./lintfix/consttime"}, 1},
 		{NonDeterminism, []string{"./internal/tfc", "./lintfix/gen"}, 1},
 		{SpanLeak, []string{"./lintfix/spanleak"}, 1},

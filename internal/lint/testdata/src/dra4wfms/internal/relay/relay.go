@@ -1,0 +1,50 @@
+// Package relay is a fixture stub mirroring the real module's outbox and
+// delivery API surface for analyzer tests.
+package relay
+
+import "context"
+
+// Entry mirrors relay.Entry.
+type Entry struct {
+	Seq     uint64
+	Dest    string
+	Kind    string
+	Key     string
+	Payload []byte
+}
+
+// Outbox mirrors relay.Outbox.
+type Outbox struct{}
+
+// Append mirrors relay.(*Outbox).Append.
+func (o *Outbox) Append(dest, kind, key string, payload []byte) (Entry, bool, error) {
+	return Entry{}, false, nil
+}
+
+// Ack mirrors relay.(*Outbox).Ack.
+func (o *Outbox) Ack(seq uint64) error { return nil }
+
+// Fail mirrors relay.(*Outbox).Fail.
+func (o *Outbox) Fail(seq uint64) (int, error) { return 0, nil }
+
+// DeadLetter mirrors relay.(*Outbox).DeadLetter.
+func (o *Outbox) DeadLetter(seq uint64, reason string) error { return nil }
+
+// Requeue mirrors relay.(*Outbox).Requeue.
+func (o *Outbox) Requeue(seq uint64) error { return nil }
+
+// Drop mirrors relay.(*Outbox).Drop.
+func (o *Outbox) Drop(seq uint64) error { return nil }
+
+// Transport mirrors relay.Transport.
+type Transport interface {
+	Deliver(ctx context.Context, e Entry) error
+}
+
+// Relay mirrors relay.Relay.
+type Relay struct{}
+
+// Enqueue mirrors relay.(*Relay).Enqueue.
+func (r *Relay) Enqueue(dest, kind, key string, payload []byte) (Entry, bool, error) {
+	return Entry{}, false, nil
+}

@@ -1,0 +1,34 @@
+// Package relay seeds discarded-durability-error violations for the
+// cryptoerr analyzer's relay coverage: a dropped journal error silently
+// loses a delivery, so the analyzer treats the outbox and transport API
+// like the crypto path.
+package relay
+
+import (
+	"context"
+
+	"dra4wfms/internal/relay"
+)
+
+func bad(r *relay.Relay, ob *relay.Outbox, tr relay.Transport, e relay.Entry) {
+	r.Enqueue("http://portal", "store", "k", nil)       // want "error returned by (relay.Relay).Enqueue is unchecked"
+	_, _, _ = r.Enqueue("http://portal", "s", "k", nil) // want "error returned by (relay.Relay).Enqueue is assigned to _"
+	ob.Ack(e.Seq)                                       // want "error returned by (relay.Outbox).Ack is unchecked"
+	_ = ob.Requeue(e.Seq)                               // want "error returned by (relay.Outbox).Requeue is assigned to _"
+	n, _ := ob.Fail(e.Seq)                              // want "error returned by (relay.Outbox).Fail is assigned to _"
+	_ = n
+	go tr.Deliver(context.Background(), e) // want "error cannot be observed from a go statement"
+	defer ob.DeadLetter(e.Seq, "gave up")  // want "error cannot be observed from a deferred call"
+}
+
+func suppressed(ob *relay.Outbox, e relay.Entry) {
+	//lint:ignore cryptoerr fixture demo: best-effort cleanup where losing the entry is acceptable
+	_ = ob.Drop(e.Seq)
+}
+
+func checked(r *relay.Relay, ob *relay.Outbox) error {
+	if _, _, err := r.Enqueue("d", "k", "key", nil); err != nil {
+		return err
+	}
+	return ob.Ack(1)
+}

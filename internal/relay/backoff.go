@@ -1,0 +1,57 @@
+package relay
+
+import "time"
+
+// BackoffPolicy computes retry delays: exponential growth capped at Cap,
+// then scaled by "full jitter" (delay drawn uniformly from [0, capped]).
+// Full jitter decorrelates the retry storms of many senders hammering a
+// recovering peer — the standard cure for thundering herds.
+type BackoffPolicy struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 30s).
+	Cap time.Duration
+	// Factor multiplies the delay per attempt (default 2).
+	Factor float64
+}
+
+// withDefaults fills zero fields.
+func (p BackoffPolicy) withDefaults() BackoffPolicy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 30 * time.Second
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	return p
+}
+
+// Delay returns the jittered delay before retry number attempt (1 = the
+// first retry). rnd supplies the jitter draw in [0,1); nil disables
+// jitter (full deterministic delay), which tests use.
+func (p BackoffPolicy) Delay(attempt int, rnd func() float64) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Cap) {
+			break
+		}
+	}
+	if d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if rnd != nil {
+		d *= rnd()
+	}
+	if d < float64(time.Millisecond) {
+		d = float64(time.Millisecond)
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,146 @@
+package relay
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit breakers stop the relay from burning its retry budget (and its
+// workers) on a destination that is down: after Threshold consecutive
+// failures the destination's breaker opens and deliveries are parked
+// without an attempt until Cooldown elapses; the breaker then half-opens
+// and lets a single probe through. A successful probe closes the circuit,
+// a failed one re-opens it for another cooldown.
+
+// Breaker states, exported as the relay_breaker_state gauge value.
+const (
+	BreakerClosed   = 0.0
+	BreakerHalfOpen = 1.0
+	BreakerOpen     = 2.0
+)
+
+// BreakerPolicy configures per-destination circuit breaking.
+type BreakerPolicy struct {
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (default 5; <0 disables breaking entirely).
+	Threshold int
+	// Cooldown is how long an open circuit rejects attempts before
+	// half-opening (default 5s).
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Threshold == 0 {
+		p.Threshold = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 5 * time.Second
+	}
+	return p
+}
+
+// breaker is one destination's circuit state. Callers synchronize through
+// breakerSet.
+type breaker struct {
+	state    float64
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// breakerSet tracks breakers per destination.
+type breakerSet struct {
+	policy BreakerPolicy
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakerSet(p BreakerPolicy) *breakerSet {
+	return &breakerSet{policy: p.withDefaults(), m: map[string]*breaker{}}
+}
+
+func (s *breakerSet) get(dest string) *breaker {
+	b, ok := s.m[dest]
+	if !ok {
+		b = &breaker{}
+		s.m[dest] = b
+	}
+	return b
+}
+
+// allow reports whether an attempt to dest may proceed now; when it may
+// not, retryAt is when the circuit will next admit one.
+func (s *breakerSet) allow(dest string, now time.Time) (ok bool, retryAt time.Time) {
+	if s.policy.Threshold < 0 {
+		return true, time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(dest)
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < s.policy.Cooldown {
+			return false, b.openedAt.Add(s.policy.Cooldown)
+		}
+		b.state = BreakerHalfOpen
+		b.probing = false
+		mBreakerState.Set(BreakerHalfOpen)
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probing {
+			// One probe at a time; others wait out the cooldown again.
+			return false, now.Add(s.policy.Cooldown)
+		}
+		b.probing = true
+		return true, time.Time{}
+	default:
+		return true, time.Time{}
+	}
+}
+
+// success records a delivered attempt, closing the circuit.
+func (s *breakerSet) success(dest string) {
+	if s.policy.Threshold < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(dest)
+	b.failures = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+		mBreakerState.Set(BreakerClosed)
+	}
+}
+
+// failure records a failed attempt, opening the circuit at the threshold.
+func (s *breakerSet) failure(dest string, now time.Time) {
+	if s.policy.Threshold < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(dest)
+	b.failures++
+	b.probing = false
+	if b.state == BreakerHalfOpen || b.failures >= s.policy.Threshold {
+		if b.state != BreakerOpen {
+			mBreakerOpens.Inc()
+		}
+		b.state = BreakerOpen
+		b.openedAt = now
+		mBreakerState.Set(BreakerOpen)
+	}
+}
+
+// state returns the current state value for dest.
+func (s *breakerSet) stateOf(dest string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.m[dest]; ok {
+		return b.state
+	}
+	return BreakerClosed
+}

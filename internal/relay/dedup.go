@@ -1,0 +1,85 @@
+package relay
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// IdempotencyKey derives the key that identifies one logical delivery:
+// the digest of (kind, destination, payload). Retries of the same hop
+// collide on it — the outbox refuses a second enqueue and receivers
+// replay their cached response instead of re-applying the document.
+// Callers whose payloads legitimately repeat (a loop re-notifying the
+// same worklist) must fold a local sequence number into the payload or
+// supply their own key.
+func IdempotencyKey(kind, dest string, payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(dest))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// defaultDeduperCap bounds receiver-side dedup memory.
+const defaultDeduperCap = 4096
+
+// Deduper is the receiver half of exactly-once: it remembers the outcome
+// of each idempotency key so a redelivered request gets the original
+// response replayed instead of a second application. Bounded FIFO; safe
+// for concurrent use. The zero value is ready with the default capacity.
+type Deduper struct {
+	// Cap overrides the retention bound when set before first use.
+	Cap int
+
+	mu    sync.Mutex
+	m     map[string]any
+	order []string
+}
+
+// Remember records the outcome for key, evicting the oldest entries past
+// capacity. An empty key is ignored; a key already present keeps its
+// first outcome.
+func (d *Deduper) Remember(key string, outcome any) {
+	if key == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.m == nil {
+		d.m = map[string]any{}
+	}
+	if _, ok := d.m[key]; ok {
+		return
+	}
+	d.m[key] = outcome
+	d.order = append(d.order, key)
+	cap := d.Cap
+	if cap <= 0 {
+		cap = defaultDeduperCap
+	}
+	for len(d.order) > cap {
+		delete(d.m, d.order[0])
+		d.order = d.order[1:]
+	}
+}
+
+// Lookup returns the remembered outcome for key, if any.
+func (d *Deduper) Lookup(key string) (any, bool) {
+	if key == "" {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, ok := d.m[key]
+	return v, ok
+}
+
+// Len returns how many keys are retained.
+func (d *Deduper) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.m)
+}

@@ -1,0 +1,87 @@
+package relay
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedDrop is the failure a FaultInjector reports for a dropped
+// delivery attempt.
+var ErrInjectedDrop = errors.New("relay: injected fault: delivery dropped")
+
+// FaultInjector wraps a Transport with the three network pathologies the
+// relay exists to survive: lost requests (the receiver never sees the
+// hop), lost acknowledgements (the receiver applies the hop but the
+// sender sees a failure and retries), and duplicated deliveries (the hop
+// arrives twice). Rates are probabilities in [0,1] drawn per attempt.
+// Used by the fault-injection tests and drabench.
+type FaultInjector struct {
+	// Inner performs the real delivery.
+	Inner Transport
+	// DropRate is the chance an attempt is dropped before reaching the
+	// receiver.
+	DropRate float64
+	// AckLossRate is the chance a successful delivery is reported as
+	// failed (forcing a sender retry the receiver must deduplicate).
+	AckLossRate float64
+	// DupRate is the chance a successful delivery is immediately
+	// delivered a second time.
+	DupRate float64
+	// Delay is fixed extra latency per attempt.
+	Delay time.Duration
+	// Rand supplies draws in [0,1); required (tests seed it for
+	// determinism).
+	Rand func() float64
+
+	randMu sync.Mutex
+	drops  atomic.Int64
+	acklss atomic.Int64
+	dups   atomic.Int64
+}
+
+// draw takes one synchronized random sample.
+func (f *FaultInjector) draw() float64 {
+	f.randMu.Lock()
+	defer f.randMu.Unlock()
+	return f.Rand()
+}
+
+// Deliver applies the configured faults around the inner transport.
+func (f *FaultInjector) Deliver(ctx context.Context, e Entry) error {
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if f.DropRate > 0 && f.draw() < f.DropRate {
+		f.drops.Add(1)
+		return ErrInjectedDrop
+	}
+	err := f.Inner.Deliver(ctx, e)
+	if err != nil {
+		return err
+	}
+	if f.DupRate > 0 && f.draw() < f.DupRate {
+		f.dups.Add(1)
+		// The duplicate's own outcome is irrelevant — the point is that
+		// the receiver sees the hop twice.
+		//lint:ignore cryptoerr the injected duplicate's outcome is intentionally unobserved; the primary delivery's error was already returned above
+		_ = f.Inner.Deliver(ctx, e)
+	}
+	if f.AckLossRate > 0 && f.draw() < f.AckLossRate {
+		f.acklss.Add(1)
+		return ErrInjectedDrop
+	}
+	return nil
+}
+
+// Injected returns how many faults fired: dropped requests, lost acks,
+// and duplicated deliveries.
+func (f *FaultInjector) Injected() (drops, ackLosses, dups int64) {
+	return f.drops.Load(), f.acklss.Load(), f.dups.Load()
+}
