@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench faults
+.PHONY: check fmt vet lint build test race bench benchsmoke faults
 
 # check is the CI gate: formatting, static analysis (go vet plus the
-# repo's own dralint rules), build, the relay reliability gate, and the
-# full test suite under the race detector.
-check: fmt vet lint build faults race
+# repo's own dralint rules), build, the benchmark smoke run for the
+# verification fast path, the relay reliability gate, and the full test
+# suite under the race detector.
+check: fmt vet lint build benchsmoke faults race
+
+# benchsmoke compiles and runs every dsig/xmltree benchmark once, so the
+# fast-path benchmarks (BenchmarkVerifyAll, BenchmarkCanonicalMemo) cannot
+# rot between perf-focused PRs.
+benchsmoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/dsig/... ./internal/xmltree/...
 
 # faults is the relay reliability gate: fault-injection workflows (20% of
 # hops dropped/duplicated), crash recovery from the outbox WAL, and

@@ -7,13 +7,17 @@
 //
 // Usage:
 //
-//	drabench [-experiment all|table1|table2|cascade|elementwise|
+//	drabench [-experiment all|table1|table2|cascade|verifycache|elementwise|
 //	          multirecipient|tfc|scalability|dos|engine|poolscale|pool|faults]
 //	         [-bits 2048] [-reps 5] [-json] [-faults]
 //
 // After the experiments it prints the run's telemetry — crypto op counts
 // and latency histograms accumulated by the instrumented packages — as a
-// table, or as a JSON metrics section with -json.
+// table, or as a JSON metrics section with -json. With -json the α/β/Σ
+// tables of the run are additionally written to a BENCH_<n>.json
+// trajectory file in the current directory (n auto-increments), so future
+// changes can diff performance against recorded runs; see EXPERIMENTS.md
+// "Raw outputs" for the format.
 package main
 
 import (
@@ -50,6 +54,10 @@ func main() {
 		os.Stdout = os.Stderr
 	}
 
+	// traj collects the rows of the tables that ran, for the BENCH_<n>.json
+	// trajectory file written with -json.
+	traj := &trajectory{Bits: *bits, Reps: *reps, Experiment: *experiment}
+
 	run := func(name string, fn func() error) {
 		switch *experiment {
 		case "all", name:
@@ -66,6 +74,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		traj.Table1 = rows
 		fmt.Print(bench.FormatTable1(rows))
 		fmt.Println("expected shape: alpha grows ~linearly with #sigs; beta ~constant; Sigma linear.")
 		return nil
@@ -77,6 +86,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		traj.Table2 = rows
 		fmt.Print(bench.FormatTable2(rows))
 		fmt.Println("expected shape: alpha grows with #CERs on both AEA and TFC sides; beta, gamma ~constant;")
 		fmt.Println("documents larger than Table 1 (intermediate CERs + timestamps).")
@@ -84,16 +94,39 @@ func main() {
 	})
 
 	run("cascade", func() error {
-		fmt.Println("Ablation — signature-cascade depth (VerifyAll and Algorithm 1 vs chain length)")
-		rows, err := bench.RunCascadeDepth(*bits, []int{1, 2, 4, 8, 16, 32})
+		fmt.Println("Ablation — signature-cascade depth (VerifyAll and Algorithm 1 vs chain length;")
+		fmt.Printf("median of %d reps after warm-up; 'verify' is the serial cache-less baseline,\n", *reps)
+		fmt.Println("'verify(warm)' re-verifies through a warm verified-prefix cache)")
+		rows, err := bench.RunCascadeDepth(*bits, []int{1, 2, 4, 8, 16, 32}, *reps)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%6s %14s %10s %14s %8s\n", "CERs", "verify", "bytes", "scope(Alg.1)", "|scope|")
+		traj.Cascade = rows
+		fmt.Printf("%6s %14s %14s %10s %14s %8s\n", "CERs", "verify", "verify(warm)", "bytes", "scope(Alg.1)", "|scope|")
 		for _, r := range rows {
-			fmt.Printf("%6d %14v %10d %14v %8d\n", r.CERs, r.VerifyTime.Round(time.Microsecond),
+			fmt.Printf("%6d %14v %14v %10d %14v %8d\n", r.CERs, r.VerifyTime.Round(time.Microsecond),
+				r.WarmVerifyTime.Round(time.Microsecond),
 				r.DocBytes, r.ScopeTime.Round(time.Microsecond), r.ScopeSize)
 		}
+		return nil
+	})
+
+	run("verifycache", func() error {
+		fmt.Println("Ablation — verified-prefix cache (per-hop α before/after the fast path;")
+		fmt.Printf("median of %d reps after warm-up)\n", *reps)
+		rows, err := bench.RunVerifyCache(*bits, []int{1, 2, 4, 8, 16, 32}, *reps)
+		if err != nil {
+			return err
+		}
+		traj.VerifyCache = rows
+		fmt.Printf("%6s %6s %14s %14s %14s\n", "CERs", "sigs", "cold-serial", "cold-fast", "warm-hop")
+		for _, r := range rows {
+			fmt.Printf("%6d %6d %14v %14v %14v\n", r.CERs, r.Sigs,
+				r.ColdSerial.Round(time.Microsecond), r.ColdFast.Round(time.Microsecond),
+				r.WarmHop.Round(time.Microsecond))
+		}
+		fmt.Println("expected shape: cold-serial grows ~linearly in CERs (the paper's Fig. 9 alpha")
+		fmt.Println("curve); warm-hop stays ~flat — the cache turns per-hop alpha into O(new sigs).")
 		return nil
 	})
 
@@ -256,6 +289,53 @@ func main() {
 	}
 
 	printTelemetry(*jsonOut, jsonDst)
+
+	if *jsonOut {
+		path, err := writeTrajectory(traj)
+		if err != nil {
+			log.Fatalf("writing trajectory file: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trajectory written to %s\n", path)
+	}
+}
+
+// trajectory is the schema of the BENCH_<n>.json file: the α/β/Σ tables
+// (and the fast-path ablations) of one drabench run, for diffing
+// performance across changes. Durations serialize as integer nanoseconds
+// (Go's time.Duration JSON encoding).
+type trajectory struct {
+	Timestamp   string                 `json:"timestamp"`
+	Bits        int                    `json:"bits"`
+	Reps        int                    `json:"reps"`
+	Experiment  string                 `json:"experiment"`
+	Table1      []bench.Table1Row      `json:"table1,omitempty"`
+	Table2      []bench.Table2Row      `json:"table2,omitempty"`
+	Cascade     []bench.CascadeRow     `json:"cascade,omitempty"`
+	VerifyCache []bench.VerifyCacheRow `json:"verifycache,omitempty"`
+}
+
+// writeTrajectory writes traj to BENCH_<n>.json in the current directory,
+// where n is one more than the highest existing trajectory number — runs
+// accumulate instead of overwriting, so the sequence forms a perf history.
+func writeTrajectory(traj *trajectory) (string, error) {
+	traj.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	max := 0
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	path := fmt.Sprintf("BENCH_%d.json", max+1)
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // printTelemetry dumps the process-wide registry accumulated while the

@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"dra4wfms/internal/dsig"
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/monitor"
 	"dra4wfms/internal/pki"
@@ -38,8 +39,11 @@ func main() {
 	webhookWAL := flag.String("webhook-wal", "", "outbox WAL file for webhook deliveries; pending notifications survive restarts (requires -key)")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
 	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
+	verifyWorkers := flag.Int("verify-workers", 0, "max concurrent signature verifications per document (0 = all cores, 1 = serial)")
+	verifyCache := flag.Int("verify-cache", dsig.DefaultCacheSize, "verified-prefix cache entries (0 disables the cache)")
 	flag.Parse()
 
+	dsig.Configure(*verifyWorkers, *verifyCache)
 	if *slowOps > 0 {
 		telemetry.Default().SetSlowOpThreshold(*slowOps)
 		telemetry.Default().SetSlowOpLogger(log.Default())

@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"dra4wfms/internal/dsig"
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/telemetry"
@@ -27,8 +28,11 @@ func main() {
 	keyPath := flag.String("key", "", "this server's private-key PEM")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
 	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
+	verifyWorkers := flag.Int("verify-workers", 0, "max concurrent signature verifications per document (0 = all cores, 1 = serial)")
+	verifyCache := flag.Int("verify-cache", dsig.DefaultCacheSize, "verified-prefix cache entries (0 disables the cache)")
 	flag.Parse()
 
+	dsig.Configure(*verifyWorkers, *verifyCache)
 	if *slowOps > 0 {
 		telemetry.Default().SetSlowOpThreshold(*slowOps)
 		telemetry.Default().SetSlowOpLogger(log.Default())

@@ -122,7 +122,7 @@ func (a *AEA) Open(doc *document.Document, activityID string) (*Session, error) 
 	nsigs, err := work.VerifyAll(a.Registry)
 	verifySpan.End()
 	if err != nil {
-		return nil, fmt.Errorf("aea: document verification failed: %w", err)
+		return nil, fmt.Errorf("aea: document verification failed after %d valid signatures: %w", nsigs, err)
 	}
 	mVerifiedSignatures.Add(int64(nsigs))
 	def, err := work.Definition()

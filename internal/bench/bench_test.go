@@ -110,7 +110,7 @@ func TestRunCascadeDepth(t *testing.T) {
 	// compare depths far apart.
 	var rows []CascadeRow
 	for attempt := 0; attempt < 3; attempt++ {
-		got, err := RunCascadeDepth(bits, []int{2, 32})
+		got, err := RunCascadeDepth(bits, []int{2, 32}, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,6 +121,9 @@ func TestRunCascadeDepth(t *testing.T) {
 		for i := range got {
 			if got[i].VerifyTime < rows[i].VerifyTime {
 				rows[i].VerifyTime = got[i].VerifyTime
+			}
+			if got[i].WarmVerifyTime < rows[i].WarmVerifyTime {
+				rows[i].WarmVerifyTime = got[i].WarmVerifyTime
 			}
 		}
 	}
@@ -135,6 +138,40 @@ func TestRunCascadeDepth(t *testing.T) {
 	}
 	if rows[0].ScopeSize != 3 || rows[1].ScopeSize != 33 { // chain + CER(A0)
 		t.Fatalf("scope sizes = %d, %d", rows[0].ScopeSize, rows[1].ScopeSize)
+	}
+	// The warm column exists and carries a measurement; at depth 32 the
+	// warm re-verify skips 33 RSA operations, so even under heavy noise it
+	// must not exceed the serial baseline (best of three on both sides).
+	if rows[1].WarmVerifyTime <= 0 {
+		t.Fatal("warm verify time not measured")
+	}
+	if rows[1].WarmVerifyTime > rows[1].VerifyTime {
+		t.Fatalf("warm re-verify slower than serial baseline at depth 32: %v > %v",
+			rows[1].WarmVerifyTime, rows[1].VerifyTime)
+	}
+}
+
+func TestRunVerifyCache(t *testing.T) {
+	rows, err := RunVerifyCache(bits, []int{1, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sigs != r.CERs+1 { // chain CERs + the designer signature
+			t.Fatalf("depth %d: Sigs = %d, want %d", r.CERs, r.Sigs, r.CERs+1)
+		}
+		if r.ColdSerial <= 0 || r.ColdFast <= 0 || r.WarmHop <= 0 {
+			t.Fatalf("depth %d: missing measurement: %+v", r.CERs, r)
+		}
+	}
+	// At depth 8 the warm hop pays one RSA verify instead of nine; the
+	// sub-linear re-verify is the acceptance criterion of the fast path.
+	if rows[1].WarmHop > rows[1].ColdSerial {
+		t.Fatalf("warm hop slower than cold serial at depth 8: %v > %v",
+			rows[1].WarmHop, rows[1].ColdSerial)
 	}
 }
 

@@ -469,23 +469,32 @@ func (d *Document) AppendCER(spec AppendSpec) (CER, error) {
 // (intermediate CERs are participant-signed, final advanced CERs are
 // TFC-signed; callers with a definition can check executor assignment).
 // It returns the total number of signatures verified — the quantity behind
-// the paper's α column.
+// the paper's α column — and uses the process-wide default dsig verifier
+// (parallel workers plus the verified-prefix cache).
 func (d *Document) VerifyAll(resolver dsig.KeyResolver) (int, error) {
+	return d.VerifyAllWith(dsig.DefaultVerifier(), resolver)
+}
+
+// VerifyAllWith is VerifyAll with an explicit verifier, letting callers
+// (benchmarks, ablations, servers with custom knobs) pick the worker count
+// and prefix cache instead of the process-wide default.
+//
+// The cheap structural checks run serially first; the signatures then
+// verify as one batch sharing a single id→digest index, so on failure the
+// returned count is the number of signatures that did verify (it excludes
+// the failing one).
+func (d *Document) VerifyAllWith(v *dsig.Verifier, resolver dsig.KeyResolver) (int, error) {
 	ds := d.DesignerSignature()
 	if ds == nil {
 		return 0, errors.New("document: missing designer signature")
 	}
-	if err := dsig.Verify(d.Root, ds, resolver); err != nil {
-		return 0, fmt.Errorf("document: designer signature: %w", err)
-	}
-	count := 1
-	for _, c := range d.CERs() {
+	cers := d.CERs()
+	sigs := make([]*xmltree.Node, 0, len(cers)+1)
+	sigs = append(sigs, ds)
+	for _, c := range cers {
 		sig := c.Signature()
 		if sig == nil {
 			return 0, fmt.Errorf("document: CER %s has no signature", c.ID())
-		}
-		if err := dsig.Verify(d.Root, sig, resolver); err != nil {
-			return 0, fmt.Errorf("document: CER %s: %w", c.ID(), err)
 		}
 		// The signature must bind this CER's own result and meta.
 		res := c.Result()
@@ -516,9 +525,16 @@ func (d *Document) VerifyAll(resolver dsig.KeyResolver) (int, error) {
 				return 0, fmt.Errorf("document: CER %s attribute %s disagrees with its signed meta", c.ID(), attr)
 			}
 		}
-		count++
+		sigs = append(sigs, sig)
 	}
-	return count, nil
+	n, idx, err := v.VerifyBatch(d.Root, sigs, resolver)
+	if err != nil {
+		if idx == 0 {
+			return n, fmt.Errorf("document: designer signature: %w", err)
+		}
+		return n, fmt.Errorf("document: CER %s: %w", cers[idx-1].ID(), err)
+	}
+	return n, nil
 }
 
 // --- merge (AND-join) ---------------------------------------------------------

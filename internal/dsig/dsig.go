@@ -29,7 +29,6 @@ package dsig
 
 import (
 	"crypto/rsa"
-	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/base64"
 	"errors"
@@ -89,17 +88,6 @@ var ErrDigestMismatch = errors.New("dsig: digest mismatch (referenced element wa
 // ErrBadSignature is returned when the RSA signature over SignedInfo fails.
 var ErrBadSignature = errors.New("dsig: signature value invalid")
 
-// digestByID locates the element with the given Id in root and returns the
-// SHA-256 of its canonical bytes.
-func digestByID(root *xmltree.Node, id string) ([]byte, error) {
-	target := root.FindByID(id)
-	if target == nil {
-		return nil, fmt.Errorf("%w: #%s", ErrMissingReference, id)
-	}
-	sum := sha256.Sum256(target.Canonical())
-	return sum[:], nil
-}
-
 // Sign creates a Signature element covering the elements of root whose Id
 // attributes appear in refIDs (order preserved). The signature is labeled
 // sigID via its own Id attribute so later signatures can reference it, and
@@ -109,11 +97,12 @@ func Sign(root *xmltree.Node, refIDs []string, key *pki.KeyPair, sigID string) (
 	if len(refIDs) == 0 {
 		return nil, errors.New("dsig: no references to sign")
 	}
+	ix := newDigestIndex(root)
 	signedInfo := xmltree.NewElement(signedInfoElem)
 	signedInfo.Elem(c14nMethodElem, "").SetAttr("Algorithm", CanonicalizationAlg)
 	signedInfo.Elem(signatureMethodElem, "").SetAttr("Algorithm", SignatureAlg)
 	for _, id := range refIDs {
-		digest, err := digestByID(root, id)
+		digest, err := ix.digest(id)
 		if err != nil {
 			return nil, err
 		}
@@ -170,22 +159,30 @@ func References(sig *xmltree.Node) []string {
 	return ids
 }
 
-// Verify checks a Signature element against the current state of root:
-// every Reference digest must match the present canonical bytes of its
-// target, and the RSA signature over SignedInfo must verify under the
-// public key the resolver returns for the recorded KeyName.
-func Verify(root, sig *xmltree.Node, resolver KeyResolver) error {
+var errMissingKeyName = errors.New("dsig: signature has no KeyName")
+
+// checkStructure validates a Signature element's shape and algorithm
+// identifiers and returns its SignedInfo.
+func checkStructure(sig *xmltree.Node) (*xmltree.Node, error) {
 	si := sig.Child(signedInfoElem)
 	if si == nil {
-		return errors.New("dsig: Signature has no SignedInfo")
+		return nil, errors.New("dsig: Signature has no SignedInfo")
 	}
 	if alg := algorithmOf(si, c14nMethodElem); alg != CanonicalizationAlg {
-		return fmt.Errorf("dsig: unsupported canonicalization %q", alg)
+		return nil, fmt.Errorf("dsig: unsupported canonicalization %q", alg)
 	}
 	if alg := algorithmOf(si, signatureMethodElem); alg != SignatureAlg {
-		return fmt.Errorf("dsig: unsupported signature method %q", alg)
+		return nil, fmt.Errorf("dsig: unsupported signature method %q", alg)
 	}
+	return si, nil
+}
 
+// checkReferences recomputes every Reference digest against the current
+// document (through the shared index) and compares it to the signed
+// DigestValue. This always runs — even on a verified-prefix cache hit —
+// because the referenced subtrees live outside the signature and may have
+// been altered since it was cached.
+func checkReferences(ix *digestIndex, si *xmltree.Node) error {
 	nRefs := 0
 	for _, ref := range si.ChildElements() {
 		if ref.Name != referenceElem {
@@ -203,7 +200,7 @@ func Verify(root, sig *xmltree.Node, resolver KeyResolver) error {
 		if err != nil {
 			return fmt.Errorf("dsig: corrupt DigestValue in %s: %w", uri, err)
 		}
-		got, err := digestByID(root, strings.TrimPrefix(uri, "#"))
+		got, err := ix.digest(strings.TrimPrefix(uri, "#"))
 		if err != nil {
 			return err
 		}
@@ -214,15 +211,12 @@ func Verify(root, sig *xmltree.Node, resolver KeyResolver) error {
 	if nRefs == 0 {
 		return errors.New("dsig: signature covers no references")
 	}
+	return nil
+}
 
-	signer := SignerOf(sig)
-	if signer == "" {
-		return errors.New("dsig: signature has no KeyName")
-	}
-	pub, err := resolver.PublicKey(signer)
-	if err != nil {
-		return fmt.Errorf("dsig: resolving signer %q: %w", signer, err)
-	}
+// checkSignatureValue verifies the RSA signature over SignedInfo's
+// canonical bytes under the resolved public key.
+func checkSignatureValue(si, sig *xmltree.Node, signer string, pub *rsa.PublicKey) error {
 	sigValue, err := base64.StdEncoding.DecodeString(sig.ChildText(signatureValueElem))
 	if err != nil {
 		return fmt.Errorf("dsig: corrupt SignatureValue: %w", err)
@@ -236,17 +230,23 @@ func Verify(root, sig *xmltree.Node, resolver KeyResolver) error {
 	return nil
 }
 
+// Verify checks a Signature element against the current state of root:
+// every Reference digest must match the present canonical bytes of its
+// target, and the RSA signature over SignedInfo must verify under the
+// public key the resolver returns for the recorded KeyName. It uses no
+// cache; batch verification goes through Verifier.VerifyAll.
+func Verify(root, sig *xmltree.Node, resolver KeyResolver) error {
+	return verifyWith(newDigestIndex(root), sig, resolver, nil)
+}
+
 // VerifyAll verifies every Signature element found in the subtree rooted at
-// container against the document root, returning the first failure. It
-// reports the number of signatures verified.
+// container against the document root using the process-wide default
+// verifier (parallel workers plus the verified-prefix cache; see
+// Configure). It reports the number of signatures that verified; on
+// failure that count excludes the failing signature and the error names the
+// failing signature's Id.
 func VerifyAll(root, container *xmltree.Node, resolver KeyResolver) (int, error) {
-	sigs := container.FindAll(SignatureElem)
-	for _, s := range sigs {
-		if err := Verify(root, s, resolver); err != nil {
-			return 0, err
-		}
-	}
-	return len(sigs), nil
+	return DefaultVerifier().VerifyAll(root, container, resolver)
 }
 
 func algorithmOf(parent *xmltree.Node, elem string) string {

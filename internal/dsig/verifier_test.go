@@ -1,0 +1,252 @@
+package dsig
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dra4wfms/internal/xmltree"
+)
+
+// buildCascade builds an n-signature DRA-style cascade: payload i is signed
+// by user i together with the previous Signature element, exactly the
+// nonrepudiation chain a routed document accumulates. It returns the root
+// and a resolver trusting every participant.
+func buildCascade(t testing.TB, n int) (*xmltree.Node, mapResolver) {
+	t.Helper()
+	root := xmltree.NewElement("Doc")
+	resolver := mapResolver{}
+	prevSig := ""
+	for i := 0; i < n; i++ {
+		owner := fmt.Sprintf("user%d", i)
+		resolver[owner] = cache.MustGet(owner).Public()
+		p := root.Elem("Payload", fmt.Sprintf("result %d", i))
+		pid := fmt.Sprintf("p%d", i)
+		p.SetAttr("Id", pid)
+		refs := []string{pid}
+		if prevSig != "" {
+			refs = append(refs, prevSig)
+		}
+		sigID := fmt.Sprintf("sig%d", i)
+		sig, err := Sign(root, refs, cache.MustGet(owner), sigID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.AppendChild(sig)
+		prevSig = sigID
+	}
+	return root, resolver
+}
+
+func TestVerifierParallelMatchesSerial(t *testing.T) {
+	root, resolver := buildCascade(t, 12)
+	for _, v := range []*Verifier{
+		{Workers: 1},
+		{Workers: 4},
+		{Workers: 0}, // GOMAXPROCS
+		{Workers: 4, Cache: NewCache(64)},
+	} {
+		n, err := v.VerifyAll(root, root, resolver)
+		if err != nil || n != 12 {
+			t.Fatalf("Workers=%d Cache=%v: VerifyAll = %d, %v", v.Workers, v.Cache != nil, n, err)
+		}
+	}
+}
+
+func TestVerifyAllReportsCountAndFailingID(t *testing.T) {
+	root, resolver := buildCascade(t, 8)
+	// Tamper with payload 3: only sig3 references p3 directly, and the
+	// Signature elements themselves are untouched, so exactly sig3 fails.
+	root.FindByID("p3").SetText("tampered")
+
+	v := &Verifier{Workers: 1}
+	n, err := v.VerifyAll(root, root, resolver)
+	if err == nil {
+		t.Fatal("tampered cascade verified")
+	}
+	if n != 3 {
+		t.Fatalf("verified count before failure = %d, want 3", n)
+	}
+	if !strings.Contains(err.Error(), "sig3") {
+		t.Fatalf("error does not name the failing signature Id: %v", err)
+	}
+	if !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("unexpected failure cause: %v", err)
+	}
+
+	// Parallel mode must report the same failing signature (count may
+	// legitimately include later signatures that finished before cancel).
+	vp := &Verifier{Workers: 4}
+	if _, err := vp.VerifyAll(root, root, resolver); err == nil || !strings.Contains(err.Error(), "sig3") {
+		t.Fatalf("parallel error does not name sig3: %v", err)
+	}
+}
+
+func TestVerifiedPrefixCacheStillChecksDigests(t *testing.T) {
+	root, resolver := buildCascade(t, 6)
+	v := &Verifier{Workers: 1, Cache: NewCache(64)}
+
+	if n, err := v.VerifyAll(root, root, resolver); err != nil || n != 6 {
+		t.Fatalf("cold verify = %d, %v", n, err)
+	}
+	if v.Cache.Len() != 6 {
+		t.Fatalf("cache holds %d entries after cold verify, want 6", v.Cache.Len())
+	}
+	if n, err := v.VerifyAll(root, root, resolver); err != nil || n != 6 {
+		t.Fatalf("warm verify = %d, %v", n, err)
+	}
+
+	// Flip a byte of a mid-cascade payload AFTER the cache is warm: the hit
+	// path skips only the RSA operation, never the reference digests, so
+	// the tamper must still be rejected.
+	root.FindByID("p2").SetText("flipped")
+	n, err := v.VerifyAll(root, root, resolver)
+	if err == nil {
+		t.Fatal("warm cache masked a tampered referenced subtree")
+	}
+	if n != 2 || !strings.Contains(err.Error(), "sig2") {
+		t.Fatalf("warm tamper: n=%d err=%v, want 2 verified and sig2 named", n, err)
+	}
+}
+
+func TestCacheMissesOnSignatureTamper(t *testing.T) {
+	root, resolver := buildCascade(t, 4)
+	v := &Verifier{Workers: 1, Cache: NewCache(64)}
+	if _, err := v.VerifyAll(root, root, resolver); err != nil {
+		t.Fatal(err)
+	}
+	// Any byte flipped inside a cached Signature element changes its
+	// canonical bytes, so the cache cannot vouch for it — the fresh RSA
+	// check runs and fails.
+	root.Find("SignatureValue").SetText("QUFBQQ==")
+	if _, err := v.VerifyAll(root, root, resolver); err == nil {
+		t.Fatal("tampered SignatureValue accepted on a warm cache")
+	}
+}
+
+func TestCacheKeyedByResolvedKey(t *testing.T) {
+	root, resolver := buildCascade(t, 3)
+	v := &Verifier{Workers: 1, Cache: NewCache(64)}
+	if _, err := v.VerifyAll(root, root, resolver); err != nil {
+		t.Fatal(err)
+	}
+	// A different registry binds the same principal names to different
+	// keys. The cached entries fingerprint the resolved public key, so the
+	// warm cache must not vouch for signatures under the impostor registry.
+	impostor := mapResolver{}
+	for owner := range resolver {
+		impostor[owner] = cache.MustGet("impostor-" + owner).Public()
+	}
+	if _, err := v.VerifyAll(root, root, impostor); err == nil {
+		t.Fatal("cache entry honored under a registry with different keys")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	k := func(b byte) cacheKey {
+		var key cacheKey
+		key.sig[0] = b
+		return key
+	}
+	c.add(k(1))
+	c.add(k(2))
+	c.add(k(3)) // evicts k(1)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.contains(k(1)) {
+		t.Fatal("least recently used entry not evicted")
+	}
+	// Touch k(3) then k(2): k(3) becomes the LRU victim for the next add.
+	if !c.contains(k(3)) || !c.contains(k(2)) {
+		t.Fatal("recent entries evicted")
+	}
+	c.add(k(4))
+	if !c.contains(k(2)) || c.contains(k(3)) {
+		t.Fatal("LRU order not updated on access")
+	}
+	if NewCache(0) != nil {
+		t.Fatal("NewCache(0) should disable caching")
+	}
+}
+
+func TestVerifyAllConcurrentCallers(t *testing.T) {
+	// Several goroutines verifying the same document through one shared
+	// verifier — the server steady state. Run with -race.
+	root, resolver := buildCascade(t, 8)
+	v := &Verifier{Workers: 2, Cache: NewCache(64)}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if n, err := v.VerifyAll(root, root, resolver); err != nil || n != 8 {
+				errs <- fmt.Errorf("VerifyAll = %d, %v", n, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestConfigureReplacesDefaultVerifier(t *testing.T) {
+	orig := DefaultVerifier()
+	defer defaultVerifier.Store(orig)
+	Configure(3, 7)
+	v := DefaultVerifier()
+	if v.Workers != 3 || v.Cache == nil {
+		t.Fatalf("Configure not applied: %+v", v)
+	}
+	Configure(1, 0)
+	if DefaultVerifier().Cache != nil {
+		t.Fatal("Configure(1, 0) left a cache enabled")
+	}
+}
+
+// BenchmarkVerifyAll measures the 32-CER cascade of the acceptance
+// criterion. "serial" is the pre-optimization baseline (one worker, no
+// cache); "parallel" adds the worker pool; "warm" is the steady state a
+// tier reaches after verifying the prefix once — the verified-prefix cache
+// plus memoized canonical bytes reduce the hop to digest re-checks.
+func BenchmarkVerifyAll(b *testing.B) {
+	root, resolver := buildCascade(b, 32)
+	bench := func(v *Verifier) func(*testing.B) {
+		return func(b *testing.B) {
+			if n, err := v.VerifyAll(root, root, resolver); err != nil || n != 32 {
+				b.Fatalf("VerifyAll = %d, %v", n, err) // also warms the cache
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.VerifyAll(root, root, resolver); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", bench(&Verifier{Workers: 1}))
+	b.Run("parallel", bench(&Verifier{}))
+	b.Run("warm", bench(&Verifier{Cache: NewCache(64)}))
+	b.Run("warm-serial", bench(&Verifier{Workers: 1, Cache: NewCache(64)}))
+}
+
+// BenchmarkCanonicalMemo isolates the xmltree contribution: canonicalizing
+// an unchanged 32-CER document with and without a primed memo.
+func BenchmarkCanonicalMemo(b *testing.B) {
+	root, _ := buildCascade(b, 32)
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = root.Canonical()
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = root.Clone().Canonical()
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package portal
+
+import (
+	"strings"
+	"testing"
+
+	"dra4wfms/internal/aea"
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/wfdef"
+)
+
+// flipCipherByte flips one byte inside the first encrypted execution
+// result, tampering mid-cascade with a signed subtree.
+func flipCipherByte(t *testing.T, doc *document.Document) {
+	t.Helper()
+	cv := doc.Root.Find("CipherValue")
+	if cv == nil {
+		t.Fatal("document has no CipherValue to tamper with")
+	}
+	b := []byte(cv.TextContent())
+	if b[0] == 'A' {
+		b[0] = 'B'
+	} else {
+		b[0] = 'A'
+	}
+	cv.SetText(string(b))
+}
+
+// TestPortalRejectsTamperAfterWarmCache stores a document (which verifies
+// it, warming the verified-prefix cache), then tries to store a copy with
+// one byte flipped mid-cascade: the portal must reject it even though
+// every signature in it has a warm cache entry.
+func TestPortalRejectsTamperAfterWarmCache(t *testing.T) {
+	c := newCloud(t)
+	doc := c.initial(t)
+	if _, err := c.portal.StoreInitial(doc); err != nil {
+		t.Fatal(err)
+	}
+	pid := doc.ProcessID()
+	participant := wfdef.Fig9Participants["A"]
+	cur, err := c.portal.Retrieve(participant, pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.agents["A"].Execute(cur, "A", aea.Inputs{"request": "req", "attachment": "a.pdf"}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First store verifies and accepts, warming the cache for every
+	// signature in the document.
+	if _, err := c.portal.Store(out.Doc); err != nil {
+		t.Fatal(err)
+	}
+	tampered := out.Doc.Clone()
+	flipCipherByte(t, tampered)
+	_, err = c.portal.Store(tampered)
+	if err == nil {
+		t.Fatal("portal accepted a tampered document on a warm cache")
+	}
+	if !strings.Contains(err.Error(), "rejecting document") {
+		t.Fatalf("unexpected rejection cause: %v", err)
+	}
+	// The untampered document still stores fine afterwards.
+	if _, err := c.portal.Store(out.Doc); err != nil {
+		t.Fatalf("pristine document rejected after tamper attempt: %v", err)
+	}
+}
+
+// TestPortalRejectsTamperedInitialDocument covers the StoreInitial path:
+// a byte flipped in the designer-signed definition must be caught.
+func TestPortalRejectsTamperedInitialDocument(t *testing.T) {
+	c := newCloud(t)
+	doc := c.initial(t)
+	// Warm the cache with the pristine designer signature first.
+	if _, err := doc.VerifyAll(c.env.Registry); err != nil {
+		t.Fatal(err)
+	}
+	tampered := doc.Clone()
+	wf := tampered.Root.Find("WorkflowDefinition")
+	if wf == nil {
+		t.Fatal("no WorkflowDefinition element")
+	}
+	wf.SetAttr("Injected", "true")
+	if _, err := c.portal.StoreInitial(tampered); err == nil {
+		t.Fatal("portal accepted a tampered initial document")
+	} else if !strings.Contains(err.Error(), "rejecting initial document") {
+		t.Fatalf("unexpected rejection cause: %v", err)
+	}
+}

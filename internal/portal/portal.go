@@ -123,8 +123,8 @@ func (p *Portal) Authenticate(principal string) error {
 // participants of the now-enabled activities.
 func (p *Portal) Store(doc *document.Document) ([]Notification, error) {
 	defer tel.StartSpan("portal_store_seconds").End()
-	if _, err := doc.VerifyAll(p.Registry); err != nil {
-		return nil, fmt.Errorf("portal: rejecting document: %w", err)
+	if nsigs, err := doc.VerifyAll(p.Registry); err != nil {
+		return nil, fmt.Errorf("portal: rejecting document (%d signatures verified before failure): %w", nsigs, err)
 	}
 	notes, err := func() ([]Notification, error) {
 		p.mu.Lock()
@@ -228,8 +228,8 @@ func (p *Portal) persist(doc *document.Document) ([]Notification, error) {
 // (process ids are unique; re-posting an initial document is a replay).
 func (p *Portal) StoreInitial(doc *document.Document) ([]Notification, error) {
 	defer tel.StartSpan("portal_store_initial_seconds").End()
-	if _, err := doc.VerifyAll(p.Registry); err != nil {
-		return nil, fmt.Errorf("portal: rejecting initial document: %w", err)
+	if nsigs, err := doc.VerifyAll(p.Registry); err != nil {
+		return nil, fmt.Errorf("portal: rejecting initial document (%d signatures verified before failure): %w", nsigs, err)
 	}
 	notes, err := func() ([]Notification, error) {
 		p.mu.Lock()

@@ -1,0 +1,54 @@
+package tfc
+
+import (
+	"strings"
+	"testing"
+
+	"dra4wfms/internal/aea"
+	"dra4wfms/internal/document"
+)
+
+// flipCipherByte flips one byte inside the first encrypted execution
+// result, tampering mid-cascade with a signed subtree.
+func flipCipherByte(t *testing.T, doc *document.Document) {
+	t.Helper()
+	cv := doc.Root.Find("CipherValue")
+	if cv == nil {
+		t.Fatal("document has no CipherValue to tamper with")
+	}
+	b := []byte(cv.TextContent())
+	if b[0] == 'A' {
+		b[0] = 'B'
+	} else {
+		b[0] = 'A'
+	}
+	cv.SetText(string(b))
+}
+
+// TestTFCRejectsTamperAfterWarmCache: the TFC notarizes an intermediate
+// document (verifying the full cascade and warming the verified-prefix
+// cache), then receives the same document with one byte flipped
+// mid-cascade — it must reject it at verification, before timestamping or
+// signing anything.
+func TestTFCRejectsTamperAfterWarmCache(t *testing.T) {
+	f := newFig9B(t)
+	interm, err := f.agents["A"].ExecuteToTFC(f.doc, "A", aea.Inputs{"request": "req"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache on the pristine cascade.
+	if _, err := interm.VerifyAll(f.env.Registry); err != nil {
+		t.Fatalf("pristine intermediate rejected: %v", err)
+	}
+	tampered := interm.Clone()
+	flipCipherByte(t, tampered)
+	if _, err := f.server.Process(tampered); err == nil {
+		t.Fatal("TFC accepted a tampered document on a warm cache")
+	} else if !strings.Contains(err.Error(), "verification failed") {
+		t.Fatalf("unexpected rejection cause: %v", err)
+	}
+	// The pristine document still notarizes afterwards.
+	if _, err := f.server.Process(interm); err != nil {
+		t.Fatalf("pristine intermediate rejected after tamper attempt: %v", err)
+	}
+}

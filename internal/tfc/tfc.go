@@ -130,7 +130,7 @@ func (s *Server) Process(doc *document.Document) (*Outcome, error) {
 	work := doc.Clone()
 	nsigs, err := work.VerifyAll(s.Registry)
 	if err != nil {
-		return nil, fmt.Errorf("tfc: document verification failed: %w", err)
+		return nil, fmt.Errorf("tfc: document verification failed after %d valid signatures: %w", nsigs, err)
 	}
 	def, err := work.Definition()
 	if err != nil {

@@ -301,7 +301,9 @@ func DecryptVisible(n *xmltree.Node, key *pki.KeyPair) (int, error) {
 				if err != nil {
 					return err
 				}
-				parent.Children[i] = el
+				if !parent.ReplaceChild(c, el) {
+					return errors.New("xmlenc: encrypted element detached during walk")
+				}
 				count++
 				c = el
 			}

@@ -1,0 +1,194 @@
+package xmltree
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildMemoTree returns a small document with a nested element, suitable
+// for exercising every mutator at both the root and a descendant.
+func buildMemoTree() (root, inner *Node) {
+	root = NewElement("Doc")
+	root.SetAttr("Id", "d1")
+	mid := root.Elem("Mid", "")
+	mid.SetAttr("Id", "m1")
+	inner = mid.Elem("Inner", "payload")
+	inner.SetAttr("Id", "i1")
+	root.Elem("Tail", "tail text")
+	return root, inner
+}
+
+// freshCanonical serializes a clone of n, bypassing any memo cached on n
+// itself — the ground truth a memoized Canonical must match.
+func freshCanonical(n *Node) []byte {
+	return n.Clone().Canonical()
+}
+
+// TestMutatorsInvalidateMemo drives every mutating method through the same
+// scenario: canonicalize (priming the memo at the root AND at a
+// descendant), mutate somewhere inside the subtree, and require Canonical
+// to both change and agree with a from-scratch serialization of the
+// mutated tree.
+func TestMutatorsInvalidateMemo(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(root, inner *Node)
+	}{
+		{"SetAttr_new", func(root, inner *Node) { inner.SetAttr("Extra", "v") }},
+		{"SetAttr_overwrite", func(root, inner *Node) { inner.SetAttr("Id", "i2") }},
+		{"RemoveAttr", func(root, inner *Node) { inner.RemoveAttr("Id") }},
+		{"AppendChild", func(root, inner *Node) { inner.AppendChild(NewElement("Added")) }},
+		{"InsertChild", func(root, inner *Node) { inner.InsertChild(0, NewElement("First")) }},
+		{"RemoveChild", func(root, inner *Node) { inner.RemoveChild(inner.Children[0]) }},
+		{"ReplaceChild", func(root, inner *Node) {
+			inner.ReplaceChild(inner.Children[0], NewText("replaced"))
+		}},
+		{"SetText", func(root, inner *Node) { inner.SetText("rewritten") }},
+		{"Elem", func(root, inner *Node) { inner.Elem("Child", "txt") }},
+		{"Normalize_merges_text", func(root, inner *Node) {
+			// Adjacent text nodes canonicalize identically before and after
+			// merging, so give Normalize an empty text node to drop — that
+			// changes the accumulator but must keep canonical bytes valid.
+			inner.AppendChild(NewText("a"))
+			inner.AppendChild(NewText(""))
+			inner.AppendChild(NewText("b"))
+			root.Normalize()
+		}},
+		{"Invalidate_after_direct_edit", func(root, inner *Node) {
+			inner.Children[0].Text = "directly edited"
+			inner.Children[0].Invalidate()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root, inner := buildMemoTree()
+			before := append([]byte(nil), root.Canonical()...)
+			_ = inner.Canonical() // prime a descendant memo too
+			tc.mutate(root, inner)
+			got := root.Canonical()
+			want := freshCanonical(root)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("memoized canonical diverged from fresh serialization after %s:\n got  %s\n want %s",
+					tc.name, got, want)
+			}
+			if tc.name != "Normalize_merges_text" && bytes.Equal(got, before) {
+				t.Fatalf("canonical bytes unchanged after %s — stale memo served", tc.name)
+			}
+			// A second call must also be correct (and may now hit the memo).
+			if again := root.Canonical(); !bytes.Equal(again, want) {
+				t.Fatalf("second Canonical after %s returned stale bytes", tc.name)
+			}
+		})
+	}
+}
+
+// TestMemoReturnsStableBytes checks the basic memo contract: repeated calls
+// on an unchanged tree return identical bytes, and priming a child memo
+// then mutating a sibling still yields correct parent bytes (the valid
+// child memo is spliced into the rebuild).
+func TestMemoReturnsStableBytes(t *testing.T) {
+	root, inner := buildMemoTree()
+	first := root.Canonical()
+	second := root.Canonical()
+	if !bytes.Equal(first, second) {
+		t.Fatal("Canonical not stable across calls on an unchanged tree")
+	}
+	_ = inner.Canonical()
+	root.SetAttr("Version", "2") // invalidates root memo, not inner's
+	if got, want := root.Canonical(), freshCanonical(root); !bytes.Equal(got, want) {
+		t.Fatalf("rebuild with child splice diverged:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestCloneDropsMemo ensures a clone never serves bytes cached on its
+// original: direct field surgery on a fresh clone (the idiom of the tamper
+// tests across the repo) must be reflected in its canonical form.
+func TestCloneDropsMemo(t *testing.T) {
+	root, _ := buildMemoTree()
+	orig := root.Canonical()
+	clone := root.Clone()
+	clone.Find("Inner").Children[0].Text = "tampered"
+	got := clone.Canonical()
+	if bytes.Equal(got, orig) {
+		t.Fatal("clone served the original's memoized bytes after direct mutation")
+	}
+	if !bytes.Contains(got, []byte("tampered")) {
+		t.Fatal("clone canonical does not reflect the direct mutation")
+	}
+}
+
+// BenchmarkCanonical measures serialization of a ~100-element document
+// with the memo warm (steady state of repeated digesting), invalidated at
+// the root each iteration (worst-case rebuild, child memos still spliced),
+// and on a cold clone (no memos anywhere).
+func BenchmarkCanonical(b *testing.B) {
+	root := NewElement("Doc")
+	for i := 0; i < 100; i++ {
+		e := root.Elem("Entry", strings.Repeat("x", 64))
+		e.SetAttr("Id", fmt.Sprintf("id-%d", i))
+		e.SetAttr("Kind", "payload")
+	}
+	b.Run("memo-hit", func(b *testing.B) {
+		_ = root.Canonical()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = root.Canonical()
+		}
+	})
+	b.Run("root-invalidated", func(b *testing.B) {
+		for _, c := range root.Children {
+			_ = c.Canonical() // prime child memos
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			root.Invalidate()
+			_ = root.Canonical()
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = root.Clone().Canonical()
+		}
+	})
+}
+
+// TestConcurrentCanonical hammers Canonical from many goroutines on a
+// shared tree (run with -race): concurrent readers are part of the
+// contract — parallel signature verification digests subtrees of one
+// document from a worker pool.
+func TestConcurrentCanonical(t *testing.T) {
+	root := NewElement("Doc")
+	for i := 0; i < 40; i++ {
+		c := root.Elem("Item", fmt.Sprintf("value-%d", i))
+		c.SetAttr("Id", fmt.Sprintf("id-%d", i))
+	}
+	want := freshCanonical(root)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Mix whole-tree and subtree canonicalization.
+				if got := root.Canonical(); !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("goroutine %d: canonical bytes diverged", g)
+					return
+				}
+				sub := root.Children[(g+i)%len(root.Children)]
+				if len(sub.Canonical()) == 0 {
+					errs <- fmt.Errorf("goroutine %d: empty subtree canonical", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -33,6 +33,17 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"dra4wfms/internal/telemetry"
+)
+
+// Canonical-bytes memoization telemetry (the verification fast path:
+// repeated digesting of an unchanged prefix must not re-serialize it).
+var (
+	mMemoHits          = telemetry.Default().Counter("xmltree_canon_memo_hits_total")
+	mMemoMisses        = telemetry.Default().Counter("xmltree_canon_memo_misses_total")
+	mMemoInvalidations = telemetry.Default().Counter("xmltree_canon_memo_invalidations_total")
 )
 
 // Kind discriminates the two node kinds in a tree.
@@ -53,12 +64,79 @@ type Attr struct {
 
 // Node is one node of an XML tree. The zero value is an empty element with
 // no name; use NewElement and NewText to construct nodes.
+//
+// Canonical serialization results are memoized per node (see Canonical).
+// Mutating a subtree through the Node methods (SetAttr, AppendChild,
+// SetText, …) invalidates affected memos automatically. Writing the
+// exported fields directly is still possible for construction, but after
+// Canonical has been called on an enclosing subtree such writes must be
+// followed by Invalidate on the modified node (or an ancestor) — the
+// generation accumulator catches most direct edits as a safety net, but
+// only method mutations are guaranteed to be seen.
 type Node struct {
 	Kind     Kind
 	Name     string  // element name; empty for text nodes
 	Attrs    []Attr  // attributes in insertion order; nil for text nodes
 	Children []*Node // child nodes in document order; nil for text nodes
 	Text     string  // character data; empty for element nodes
+
+	gen  uint64                    // bumped by every method mutation
+	memo atomic.Pointer[canonMemo] // cached canonical bytes + accumulator
+}
+
+// canonMemo is a cached canonical serialization, valid while the subtree
+// accumulator (an order-sensitive fold over every node's generation and
+// shape) still evaluates to acc.
+type canonMemo struct {
+	acc  uint64
+	data []byte
+}
+
+// touch records a mutation of n: the generation counter is bumped (which
+// changes the accumulator of every enclosing subtree) and any canonical
+// memo cached on n itself is dropped.
+func (n *Node) touch() {
+	n.gen++
+	if n.memo.Load() != nil {
+		n.memo.Store(nil)
+		mMemoInvalidations.Inc()
+	}
+}
+
+// Invalidate marks n as mutated, dropping any cached canonical bytes for n
+// and making memos cached on ancestors stale. Call it after writing the
+// exported fields of a node directly; the mutating methods call it
+// implicitly.
+func (n *Node) Invalidate() { n.touch() }
+
+// accum folds the subtree rooted at n into an order-sensitive FNV-style
+// accumulator. It covers each node's generation counter plus enough shape
+// information (kind, name/text/attribute lengths, child count) that direct
+// field edits which change any length are caught even without a gen bump.
+func (n *Node) accum() uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	n.accumInto(&h)
+	return h
+}
+
+func (n *Node) accumInto(h *uint64) {
+	mix := func(v uint64) {
+		*h ^= v
+		*h *= 1099511628211 // FNV-64 prime
+	}
+	mix(n.gen)
+	mix(uint64(n.Kind))
+	mix(uint64(len(n.Name)))
+	mix(uint64(len(n.Text)))
+	mix(uint64(len(n.Attrs)))
+	for _, a := range n.Attrs {
+		mix(uint64(len(a.Name)))
+		mix(uint64(len(a.Value)))
+	}
+	mix(uint64(len(n.Children)))
+	for _, c := range n.Children {
+		c.accumInto(h)
+	}
 }
 
 // NewElement returns a new element node with the given name.
@@ -110,6 +188,7 @@ func (n *Node) AttrDefault(name, def string) string {
 // SetAttr sets the named attribute, replacing an existing value or
 // appending a new attribute. It returns n to allow chaining.
 func (n *Node) SetAttr(name, value string) *Node {
+	n.touch()
 	for i, a := range n.Attrs {
 		if a.Name == name {
 			n.Attrs[i].Value = value
@@ -125,6 +204,7 @@ func (n *Node) SetAttr(name, value string) *Node {
 func (n *Node) RemoveAttr(name string) bool {
 	for i, a := range n.Attrs {
 		if a.Name == name {
+			n.touch()
 			n.Attrs = append(n.Attrs[:i], n.Attrs[i+1:]...)
 			return true
 		}
@@ -134,6 +214,7 @@ func (n *Node) RemoveAttr(name string) bool {
 
 // AppendChild appends c as the last child of n.
 func (n *Node) AppendChild(c *Node) *Node {
+	n.touch()
 	n.Children = append(n.Children, c)
 	return n
 }
@@ -141,6 +222,7 @@ func (n *Node) AppendChild(c *Node) *Node {
 // InsertChild inserts c at index i among n's children. Out-of-range indices
 // clamp to the valid range.
 func (n *Node) InsertChild(i int, c *Node) {
+	n.touch()
 	if i < 0 {
 		i = 0
 	}
@@ -157,6 +239,7 @@ func (n *Node) InsertChild(i int, c *Node) {
 func (n *Node) RemoveChild(c *Node) bool {
 	for i, k := range n.Children {
 		if k == c {
+			n.touch()
 			n.Children = append(n.Children[:i], n.Children[i+1:]...)
 			return true
 		}
@@ -169,6 +252,7 @@ func (n *Node) RemoveChild(c *Node) bool {
 func (n *Node) ReplaceChild(old, repl *Node) bool {
 	for i, k := range n.Children {
 		if k == old {
+			n.touch()
 			n.Children[i] = repl
 			return true
 		}
@@ -315,6 +399,7 @@ func (n *Node) TextContent() string {
 
 // SetText replaces all children of n with a single text node carrying s.
 func (n *Node) SetText(s string) *Node {
+	n.touch()
 	n.Children = n.Children[:0]
 	if s != "" {
 		n.Children = append(n.Children, NewText(s))
@@ -322,7 +407,10 @@ func (n *Node) SetText(s string) *Node {
 	return n
 }
 
-// Clone returns a deep copy of the subtree rooted at n.
+// Clone returns a deep copy of the subtree rooted at n. Canonical memos
+// are deliberately not carried over: a clone is a common prelude to direct
+// field surgery (tamper tests, element-wise encryption), and a fresh tree
+// must never serve bytes cached on its original.
 func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
@@ -374,10 +462,33 @@ func Equal(a, b *Node) bool {
 // Canonical returns the canonical serialization of the subtree rooted at n.
 // Two structurally equal trees always produce identical canonical bytes,
 // regardless of attribute insertion order.
+//
+// The result is memoized on n and revalidated against the subtree's
+// generation accumulator on every call, so repeated canonicalization of an
+// unchanged subtree costs one O(nodes) walk instead of a full
+// re-serialization, and valid memos cached on descendants are spliced in
+// when the subtree around them changed. The returned slice is shared with
+// the memo and with future callers: treat it as immutable.
+//
+// Concurrent Canonical calls on a shared tree are safe with each other;
+// they are not safe against concurrent mutation (the usual reader/writer
+// contract of the tree itself).
 func (n *Node) Canonical() []byte {
+	acc := n.accum()
+	if m := n.memo.Load(); m != nil && m.acc == acc {
+		mMemoHits.Inc()
+		return m.data
+	}
+	mMemoMisses.Inc()
 	var b bytes.Buffer
-	writeCanonical(&b, n)
-	return b.Bytes()
+	if n.IsText() {
+		escapeText(&b, n.Text)
+	} else {
+		writeCanonicalElem(&b, n)
+	}
+	data := b.Bytes()
+	n.memo.Store(&canonMemo{acc: acc, data: data})
+	return data
 }
 
 // String returns the canonical serialization as a string; it implements
@@ -449,11 +560,25 @@ func sortedAttrs(attrs []Attr) []Attr {
 	return s
 }
 
+// writeCanonical serializes n into b, splicing in a still-valid canonical
+// memo cached on n by an earlier Canonical call instead of re-serializing
+// that subtree.
 func writeCanonical(b *bytes.Buffer, n *Node) {
 	if n.IsText() {
 		escapeText(b, n.Text)
 		return
 	}
+	if m := n.memo.Load(); m != nil && m.acc == n.accum() {
+		mMemoHits.Inc()
+		b.Write(m.data)
+		return
+	}
+	writeCanonicalElem(b, n)
+}
+
+// writeCanonicalElem serializes an element without consulting n's own memo
+// (children still reuse theirs).
+func writeCanonicalElem(b *bytes.Buffer, n *Node) {
 	b.WriteByte('<')
 	b.WriteString(n.Name)
 	for _, a := range sortedAttrs(n.Attrs) {
@@ -604,19 +729,26 @@ func (n *Node) Normalize() {
 		return
 	}
 	out := n.Children[:0]
+	changed := false
 	for _, c := range n.Children {
 		if c.IsText() {
 			if c.Text == "" {
+				changed = true
 				continue
 			}
 			if len(out) > 0 && out[len(out)-1].IsText() {
+				out[len(out)-1].touch()
 				out[len(out)-1].Text += c.Text
+				changed = true
 				continue
 			}
 		} else {
 			c.Normalize()
 		}
 		out = append(out, c)
+	}
+	if changed {
+		n.touch()
 	}
 	n.Children = out
 }
