@@ -1,12 +1,26 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench benchsmoke faults
+.PHONY: check fmt vet lint build test race bench benchsmoke faults crash smoke
 
 # check is the CI gate: formatting, static analysis (go vet plus the
 # repo's own dralint rules), build, the benchmark smoke run for the
-# verification fast path, the relay reliability gate, and the full test
+# verification fast path, the relay reliability gate, the pool
+# crash-recovery gate, the daemon lifecycle smoke, and the full test
 # suite under the race detector.
-check: fmt vet lint build benchsmoke faults race
+check: fmt vet lint build benchsmoke faults crash smoke race
+
+# crash is the pool durability gate: kill-mid-write recovery (torn and
+# bit-flipped WAL tails), checkpoint fallback, and concurrent
+# mutations-during-checkpoint, all under the race detector. The race
+# target covers these too; the split keeps the gate visible.
+crash:
+	$(GO) test -race -count=1 -run 'TestStore|TestSnapshot|TestServeGraceful|TestProbes' ./internal/pool/ ./internal/httpapi/
+
+# smoke boots a real draportal with a durable data dir, waits for
+# /v1/readyz, and asserts SIGTERM drains cleanly (exit 0) and writes a
+# final checkpoint.
+smoke:
+	./scripts/probe_smoke.sh
 
 # benchsmoke compiles and runs every dsig/xmltree benchmark once, so the
 # fast-path benchmarks (BenchmarkVerifyAll, BenchmarkCanonicalMemo) cannot

@@ -11,6 +11,7 @@
 //	dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b] [-out FILE]
 //	dractl metrics [-url URL] [-filter PREFIX] [-raw]
 //	dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
+//	dractl snapshot save -data-dir DIR -out FILE | restore -data-dir DIR -in FILE | inspect FILE
 //	dractl audit   -trust trust.json FILE.xml
 //	dractl dot     fig9a|fig9b|fig4|FILE.xml
 //	dractl export-def fig9a|fig9b|fig4
@@ -55,6 +56,8 @@ func main() {
 		cmdMetrics(os.Args[2:])
 	case "dlq":
 		cmdDLQ(os.Args[2:])
+	case "snapshot":
+		cmdSnapshot(os.Args[2:])
 	case "audit":
 		cmdAudit(os.Args[2:])
 	case "dot":
@@ -79,6 +82,7 @@ func usage() {
   dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b]
   dractl metrics [-url URL] [-filter PREFIX] [-raw]
   dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
+  dractl snapshot save -data-dir DIR -out FILE | restore -data-dir DIR -in FILE | inspect FILE
   dractl audit   -trust trust.json FILE.xml
   dractl dot     fig9a|fig9b|fig4|FILE.xml
   dractl export-def fig9a|fig9b|fig4

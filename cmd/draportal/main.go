@@ -6,18 +6,31 @@
 // Usage:
 //
 //	draportal -listen :8080 -trust deploy/trust.json [-servers 3]
+//	          [-data-dir ./data] [-fsync=true] [-checkpoint-interval 5m]
+//	          [-grace 15s]
 //
-// Note: each draportal process hosts its own in-memory pool. Pointing
-// several portals at one shared pool service would require the pool to be
-// a networked service of its own — internal/pool models the store, the
+// With -data-dir the document pool is crash-safe: every mutation is
+// journaled to a checksummed WAL before it is acknowledged, checkpoints
+// are written periodically, and on boot the pool recovers from the latest
+// valid checkpoint plus the WAL suffix. GET /v1/readyz reports 200 only
+// after recovery has completed. On SIGINT/SIGTERM the server drains
+// in-flight requests, flushes the webhook outbox, writes a final
+// checkpoint, and exits 0.
+//
+// Note: each draportal process hosts its own pool. Pointing several
+// portals at one shared pool service would require the pool to be a
+// networked service of its own — internal/pool models the store, the
 // cross-process protocol is out of scope for this binary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dra4wfms/internal/dsig"
@@ -26,8 +39,13 @@ import (
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/pool"
 	"dra4wfms/internal/portal"
+	"dra4wfms/internal/relay"
 	"dra4wfms/internal/telemetry"
 )
+
+// maxRelayBacklog is the webhook outbox depth past which /v1/readyz
+// reports unready (delivery is falling behind; stop routing new work).
+const maxRelayBacklog = 10_000
 
 func main() {
 	log.SetFlags(0)
@@ -37,6 +55,10 @@ func main() {
 	servers := flag.Int("servers", 3, "pool region servers")
 	keyPath := flag.String("key", "", "portal private-key PEM; enables signed webhook notifications")
 	webhookWAL := flag.String("webhook-wal", "", "outbox WAL file for webhook deliveries; pending notifications survive restarts (requires -key)")
+	dataDir := flag.String("data-dir", "", "durable pool directory (WAL + checkpoints); empty keeps the pool memory-only")
+	fsync := flag.Bool("fsync", true, "fsync the pool WAL on every mutation (requires -data-dir; disable only for benchmarks)")
+	ckInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic pool checkpoint interval (0 disables periodic checkpoints)")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
 	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
 	verifyWorkers := flag.Int("verify-workers", 0, "max concurrent signature verifications per document (0 = all cores, 1 = serial)")
@@ -76,9 +98,29 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Durable pool: recover before taking traffic, so readyz gates on a
+	// fully replayed table.
+	var store *pool.Store
+	if *dataDir != "" {
+		var rep *pool.RecoveryReport
+		store, rep, err = pool.Open(table, *dataDir, pool.StoreOptions{
+			NoFsync:            !*fsync,
+			CheckpointInterval: *ckInterval,
+		})
+		if err != nil {
+			log.Fatalf("opening durable pool in %s: %v", *dataDir, err)
+		}
+		log.Printf("durable pool in %s: %s", *dataDir, rep.Summary())
+		if rep.Damaged() {
+			log.Printf("WARNING: recovery quarantined damaged WAL data (%s); inspect %s", rep.DamageReason, rep.QuarantineFile)
+		}
+	}
+
 	p := portal.New("portal", reg, table, time.Now)
 	srv := httpapi.NewPortalServer(p, monitor.New(table), httpapi.NewAuthenticator(reg, time.Now))
 	srv.EnablePprof = *pprofOn
+	probes := httpapi.NewProbes()
+	srv.Probes = probes
 	if *keyPath != "" {
 		keyPEM, err := os.ReadFile(*keyPath)
 		if err != nil {
@@ -94,9 +136,39 @@ func main() {
 		} else {
 			log.Printf("webhook notifications enabled, signing as %s", keys.Owner)
 		}
+		probes.AddCheck("relay", httpapi.RelaySaturationCheck(func() *relay.Relay {
+			return srv.Webhooks.Relay()
+		}, maxRelayBacklog))
 	} else if *webhookWAL != "" {
 		log.Fatal("-webhook-wal requires -key")
 	}
+
+	// Recovery is complete and all subsystems are wired: advertise ready.
+	probes.SetReady(true)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	log.Printf("serving %d principals on %s", len(reg.Principals()), *listen)
-	log.Fatal(httpapi.ListenAndServe(*listen, srv.Handler()))
+	if err := httpapi.Serve(ctx, *listen, srv.Handler(), *grace, func() {
+		log.Printf("shutdown requested, draining in-flight requests (grace %s)", *grace)
+		probes.StartDraining()
+	}); err != nil {
+		log.Fatalf("serving: %v", err)
+	}
+
+	// Drain order: webhook outbox first (it may still append relay state),
+	// then the pool's final checkpoint.
+	if srv.Webhooks != nil {
+		if err := srv.Webhooks.Close(); err != nil {
+			log.Printf("flushing webhook outbox: %v", err)
+		}
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Fatalf("final checkpoint: %v", err)
+		}
+		log.Printf("final checkpoint written to %s", store.Dir())
+	}
+	log.Print("shutdown complete")
 }

@@ -5,20 +5,46 @@
 // Usage:
 //
 //	dratfc -listen :8081 -trust deploy/trust.json -key deploy/keys/tfc@cloud.pem
+//	       [-data-dir ./tfc-data] [-fsync=true] [-checkpoint-interval 5m]
+//	       [-grace 15s]
+//
+// With -data-dir the forwarding log — and with it the replay guard — is
+// persisted through the crash-safe pool store: every ForwardRecord is
+// journaled before the process response is acknowledged, and on boot the
+// log is restored so already-notarized intermediates stay rejected across
+// restarts. GET /v1/readyz reports 200 only after restore completes; on
+// SIGINT/SIGTERM the server drains, writes a final checkpoint, and exits 0.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dra4wfms/internal/dsig"
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/pki"
+	"dra4wfms/internal/pool"
 	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/tfc"
 )
+
+// The persisted forwarding log lives in one durable pool table: one row
+// per record, keyed by append index so scan order is append order.
+const (
+	stateTable  = "tfcstate"
+	stateFamily = "rec"
+	stateQual   = "json"
+)
+
+func stateRow(n uint64) string { return fmt.Sprintf("rec|%020d", n) }
 
 func main() {
 	log.SetFlags(0)
@@ -26,6 +52,10 @@ func main() {
 	listen := flag.String("listen", ":8081", "listen address")
 	trust := flag.String("trust", "deploy/trust.json", "trust bundle path")
 	keyPath := flag.String("key", "", "this server's private-key PEM")
+	dataDir := flag.String("data-dir", "", "durable state directory (WAL + checkpoints) for the forwarding log; empty keeps it memory-only")
+	fsync := flag.Bool("fsync", true, "fsync the state WAL on every record (requires -data-dir)")
+	ckInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic state checkpoint interval (0 disables periodic checkpoints)")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
 	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
 	verifyWorkers := flag.Int("verify-workers", 0, "max concurrent signature verifications per document (0 = all cores, 1 = serial)")
@@ -64,8 +94,82 @@ func main() {
 	}
 
 	server := tfc.New(keys, reg, time.Now)
+
+	// Durable forwarding log: recover, restore into the server (re-arming
+	// the replay guard), then journal every new record before the HTTP
+	// response leaves the process.
+	var store *pool.Store
+	if *dataDir != "" {
+		cluster, err := pool.NewCluster([]string{"tfc-rs"}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := cluster.CreateTable(stateTable, pool.FamilySpec{Name: stateFamily, MaxVersions: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rep *pool.RecoveryReport
+		store, rep, err = pool.Open(table, *dataDir, pool.StoreOptions{
+			NoFsync:            !*fsync,
+			CheckpointInterval: *ckInterval,
+		})
+		if err != nil {
+			log.Fatalf("opening durable state in %s: %v", *dataDir, err)
+		}
+		log.Printf("durable state in %s: %s", *dataDir, rep.Summary())
+		if rep.Damaged() {
+			log.Printf("WARNING: recovery quarantined damaged WAL data (%s); inspect %s", rep.DamageReason, rep.QuarantineFile)
+		}
+
+		var restored []tfc.ForwardRecord
+		for _, kv := range table.Scan(pool.ScanOptions{}) {
+			var rec tfc.ForwardRecord
+			if err := json.Unmarshal(kv.Value, &rec); err != nil {
+				log.Fatalf("decoding persisted record %s: %v", kv.Row, err)
+			}
+			restored = append(restored, rec)
+		}
+		server.Restore(restored)
+		if len(restored) > 0 {
+			log.Printf("restored %d forwarding records (replay guard re-armed)", len(restored))
+		}
+
+		var seq atomic.Uint64
+		seq.Store(uint64(len(restored)))
+		server.OnRecord = func(rec tfc.ForwardRecord) {
+			raw, err := json.Marshal(rec)
+			if err != nil {
+				log.Printf("encoding forwarding record: %v", err)
+				return
+			}
+			if err := table.Put(stateRow(seq.Add(1)-1), stateFamily, stateQual, raw); err != nil {
+				log.Printf("persisting forwarding record: %v", err)
+			}
+		}
+	}
+
 	srv := httpapi.NewTFCServer(server, httpapi.NewAuthenticator(reg, time.Now))
 	srv.EnablePprof = *pprofOn
+	probes := httpapi.NewProbes()
+	srv.Probes = probes
+	probes.SetReady(true)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	log.Printf("TFC %s serving on %s", keys.Owner, *listen)
-	log.Fatal(httpapi.ListenAndServe(*listen, srv.Handler()))
+	if err := httpapi.Serve(ctx, *listen, srv.Handler(), *grace, func() {
+		log.Printf("shutdown requested, draining in-flight requests (grace %s)", *grace)
+		probes.StartDraining()
+	}); err != nil {
+		log.Fatalf("serving: %v", err)
+	}
+
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Fatalf("final checkpoint: %v", err)
+		}
+		log.Printf("final checkpoint written to %s", store.Dir())
+	}
+	log.Print("shutdown complete")
 }

@@ -63,10 +63,13 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = telemetry.Default().WritePrometheus(w)
 }
 
-// registerObservability wires GET /v1/metrics and, when pprof is enabled,
-// the /debug/pprof/* handlers onto mux.
-func registerObservability(mux *http.ServeMux, enablePprof bool) {
+// registerObservability wires GET /v1/metrics, the lifecycle probes
+// (GET /v1/healthz, GET /v1/readyz) and, when pprof is enabled, the
+// /debug/pprof/* handlers onto mux.
+func registerObservability(mux *http.ServeMux, enablePprof bool, probes *Probes) {
 	mux.HandleFunc("GET /v1/metrics", handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", readyzHandler(probes))
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -189,7 +189,7 @@ func TestPprofGated(t *testing.T) {
 
 	srv := &PortalServer{EnablePprof: true}
 	mux := http.NewServeMux()
-	registerObservability(mux, srv.EnablePprof)
+	registerObservability(mux, srv.EnablePprof, nil)
 	req, _ := http.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil)
 	h, pattern := mux.Handler(req)
 	if h == nil || pattern == "" {

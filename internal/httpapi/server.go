@@ -1,9 +1,12 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"time"
@@ -48,6 +51,9 @@ type PortalServer struct {
 	// profiling) from the same listener. Off by default: profiles expose
 	// process internals, so operators opt in (draportal -pprof).
 	EnablePprof bool
+	// Probes, when non-nil, gates GET /v1/readyz on recovery completion
+	// and registered checks; nil leaves the endpoint always-ready.
+	Probes *Probes
 
 	// dedup caches the responses of applied idempotency keys so a
 	// redelivered store is answered, not re-applied.
@@ -95,7 +101,7 @@ func (s *PortalServer) Handler() http.Handler {
 	route("GET /v1/templates", s.handleListTemplates)
 	route("GET /v1/templates/{name}", s.handleGetTemplate)
 	route("PUT /v1/webhook", s.handleWebhook)
-	registerObservability(mux, s.EnablePprof)
+	registerObservability(mux, s.EnablePprof, s.Probes)
 	return mux
 }
 
@@ -332,6 +338,8 @@ type TFCServer struct {
 	Auth   *Authenticator
 	// EnablePprof additionally serves /debug/pprof/* (see PortalServer).
 	EnablePprof bool
+	// Probes gates GET /v1/readyz (see PortalServer.Probes).
+	Probes *Probes
 
 	// dedup replays responses of already-applied process submissions
 	// (see PortalServer.dedup).
@@ -362,7 +370,7 @@ func (s *TFCServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/process", instrument("POST /v1/process", authWrap(s.Auth, idempotent(&s.dedup, s.handleProcess))))
 	mux.HandleFunc("GET /v1/records", instrument("GET /v1/records", authWrap(s.Auth, s.handleRecords)))
-	registerObservability(mux, s.EnablePprof)
+	registerObservability(mux, s.EnablePprof, s.Probes)
 	return mux
 }
 
@@ -396,13 +404,62 @@ func (s *TFCServer) handleRecords(w http.ResponseWriter, r *http.Request, princi
 	writeJSON(w, recs)
 }
 
-// ListenAndServe runs handler on addr until the context is never canceled;
-// it exists for the cmd binaries (tests use httptest).
+// ListenAndServe runs handler on addr; it exists for the cmd binaries
+// (tests use httptest). http.ErrServerClosed — the sentinel a graceful
+// Shutdown makes ListenAndServe return — is a clean exit, not an error.
 func ListenAndServe(addr string, handler http.Handler) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Serve runs handler on addr until ctx is canceled, then shuts down
+// gracefully: onDrain (if non-nil) runs first — daemons flip their
+// readiness probe there so load balancers stop routing — and in-flight
+// requests get up to grace to complete before the listener is torn down.
+// Serve returns nil on a clean drain; a non-nil error means either the
+// listener failed or the grace deadline expired with requests still
+// in flight.
+func Serve(ctx context.Context, addr string, handler http.Handler, grace time.Duration, onDrain func()) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, ln, handler, grace, onDrain)
+}
+
+// ServeListener is Serve on an existing listener (tests use ephemeral
+// ports; Serve wraps it with net.Listen).
+func ServeListener(ctx context.Context, ln net.Listener, handler http.Handler, grace time.Duration, onDrain func()) error {
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	if onDrain != nil {
+		onDrain()
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	// Collect the Serve goroutine's ErrServerClosed so nothing leaks.
+	if serr := <-serveErr; !errors.Is(serr, http.ErrServerClosed) && serr != nil && err == nil {
+		err = serr
+	}
+	return err
 }

@@ -23,18 +23,21 @@ var cryptoErrPkgs = []string{
 // packages.
 var cryptoErrFunc = regexp.MustCompile(`^(Sign|Verify|Encrypt|Decrypt|Reveal|Audit)`)
 
-// durabilityPkgs are the packages whose delivery-journal errors are
-// durability failures: a discarded Enqueue or Ack error means a document
-// hop was silently lost or will be replayed forever, which breaks the
-// relay's exactly-once-effects contract just as surely as a discarded
-// Verify error breaks the trust chain.
+// durabilityPkgs are the packages whose delivery-journal and WAL errors
+// are durability failures: a discarded Enqueue or Ack error means a
+// document hop was silently lost or will be replayed forever, and a
+// discarded pool Sync or Checkpoint error means the caller believes
+// state is on disk when it is not — both break the durability contract
+// just as surely as a discarded Verify error breaks the trust chain.
 var durabilityPkgs = []string{
 	"internal/relay",
+	"internal/pool",
 }
 
 // durabilityFunc matches the journal-mutating operations within those
-// packages (exact names: the relay API has no prefix convention).
-var durabilityFunc = regexp.MustCompile(`^(Enqueue|Append|Ack|Fail|DeadLetter|Requeue|Drop|Deliver)$`)
+// packages (exact names: the relay and pool APIs have no prefix
+// convention).
+var durabilityFunc = regexp.MustCompile(`^(Enqueue|Append|Ack|Fail|DeadLetter|Requeue|Drop|Deliver|Sync|Checkpoint)$`)
 
 // CryptoErr flags discarded or unchecked error returns from the document
 // crypto path and the relay delivery journal. In an engine-less WfMS the
@@ -45,8 +48,9 @@ var durabilityFunc = regexp.MustCompile(`^(Enqueue|Append|Ack|Fail|DeadLetter|Re
 var CryptoErr = &Analyzer{
 	Name: "cryptoerr",
 	Doc: "reports discarded error results of dsig/xmlenc/pki/aea/document " +
-		"sign, verify, encrypt and decrypt calls and of relay outbox/delivery " +
-		"operations (exempt in _test.go files)",
+		"sign, verify, encrypt and decrypt calls, of relay outbox/delivery " +
+		"operations, and of pool/os durability syncs and checkpoints " +
+		"(exempt in _test.go files)",
 	Run: runCryptoErr,
 }
 
@@ -95,6 +99,11 @@ func (p *Pass) isCryptoCall(file *ast.File, call *ast.CallExpr) (Callee, bool) {
 				return callee, true
 			}
 		}
+	}
+	// (os.File).Sync is the raw durability primitive under every WAL: a
+	// discarded Sync error means acknowledged bytes may not be on disk.
+	if callee.Name == "Sync" && callee.PkgPath == "os" {
+		return callee, true
 	}
 	return Callee{}, false
 }

@@ -118,8 +118,9 @@ func TestGolden(t *testing.T) {
 	}{
 		{CryptoErr, []string{"./lintfix/cryptoerr"}, 2},
 		{CryptoErr, []string{"./lintfix/relay"}, 1},
+		{CryptoErr, []string{"./lintfix/pool"}, 1},
 		{ConstTime, []string{"./lintfix/consttime"}, 1},
-		{NonDeterminism, []string{"./internal/tfc", "./lintfix/gen"}, 1},
+		{NonDeterminism, []string{"./internal/tfc", "./lintfix/gen", "./internal/pool"}, 2},
 		{SpanLeak, []string{"./lintfix/spanleak"}, 1},
 		{LockIO, []string{"./lintfix/lockio"}, 1},
 	}

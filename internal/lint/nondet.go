@@ -24,43 +24,76 @@ var nonDetPkgs = []string{
 
 var verifyName = regexp.MustCompile(`(?i)verify`)
 
+// recoveryPkgs are the durability packages: crash recovery must rebuild
+// byte-identical state from the same WAL and checkpoints on every boot,
+// so replay/restore paths may not consult the wall clock or a PRNG. The
+// math/rand import ban does NOT extend here — relay legitimately uses it
+// for retry jitter outside the recovery path.
+var recoveryPkgs = []string{
+	"internal/pool",
+	"internal/relay",
+}
+
+// recoveryName seeds the reachability walk in recovery packages.
+var recoveryName = regexp.MustCompile(`(?i)(recover|replay|restore)`)
+
 // NonDeterminism flags wall-clock and pseudo-random inputs on signature-
-// verification paths. Cascade verification must be reproducible: if
-// re-verifying yesterday's document gives a different answer because the
-// verifier consulted time.Now or math/rand, nonrepudiation is void. The
-// rule reports (a) any math/rand import in a verification package and
-// (b) time.Now / time.Since / time.Until / math/rand calls in functions
-// reachable, within the package, from a function whose name contains
-// "Verify".
+// verification and crash-recovery paths. Cascade verification must be
+// reproducible: if re-verifying yesterday's document gives a different
+// answer because the verifier consulted time.Now or math/rand,
+// nonrepudiation is void. Recovery must be just as deterministic: replay
+// that stamps cells with boot-time values diverges from the pre-crash
+// state. The rule reports (a) any math/rand import in a verification
+// package and (b) time.Now / time.Since / time.Until / math/rand calls
+// in functions reachable, within the package, from a function whose name
+// contains "Verify" (verification packages) or "Recover"/"Replay"/
+// "Restore" (durability packages).
 var NonDeterminism = &Analyzer{
 	Name: "nondeterminism",
 	Doc: "reports time.Now and math/rand reachable from signature-verification " +
-		"paths in the crypto packages (dsig, aea, tfc, document, …)",
+		"paths in the crypto packages (dsig, aea, tfc, document, …) and from " +
+		"recovery/replay paths in the durability packages (pool, relay)",
 	Run: runNonDeterminism,
 }
 
 func runNonDeterminism(pass *Pass) {
-	inScope := false
+	pkgPath := strings.TrimSuffix(pass.Pkg.Path, "_test")
+	verifyScope := false
 	for _, suffix := range nonDetPkgs {
-		if pathHasSuffix(strings.TrimSuffix(pass.Pkg.Path, "_test"), suffix) {
-			inScope = true
+		if pathHasSuffix(pkgPath, suffix) {
+			verifyScope = true
 			break
 		}
 	}
-	if !inScope {
+	recoveryScope := false
+	for _, suffix := range recoveryPkgs {
+		if pathHasSuffix(pkgPath, suffix) {
+			recoveryScope = true
+			break
+		}
+	}
+	if !verifyScope && !recoveryScope {
 		return
+	}
+	seedName := verifyName
+	pathKind := "signature verification"
+	if recoveryScope {
+		seedName = recoveryName
+		pathKind = "crash recovery"
 	}
 
 	// (a) math/rand has no business in a verification package at all.
-	for _, f := range pass.Pkg.Files {
-		if f.Test {
-			continue
-		}
-		for _, imp := range f.AST.Imports {
-			path := strings.Trim(imp.Path.Value, `"`)
-			if path == "math/rand" || path == "math/rand/v2" {
-				pass.Reportf(imp.Pos(), "%s imported in verification package %s; use crypto/rand or inject the source",
-					path, pass.Pkg.Path)
+	if verifyScope {
+		for _, f := range pass.Pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, imp := range f.AST.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "%s imported in verification package %s; use crypto/rand or inject the source",
+						path, pass.Pkg.Path)
+				}
 			}
 		}
 	}
@@ -88,7 +121,7 @@ func runNonDeterminism(pass *Pass) {
 			key := funcKey(fd)
 			info := &fnInfo{decl: fd}
 			fns[key] = info
-			if verifyName.MatchString(fd.Name.Name) {
+			if seedName.MatchString(fd.Name.Name) {
 				seeds = append(seeds, key)
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -141,8 +174,8 @@ func runNonDeterminism(pass *Pass) {
 			continue
 		}
 		for i, call := range info.banned {
-			pass.Reportf(call.Pos(), "%s makes signature verification irreproducible (path: %s)",
-				info.labels[i], samplePath(parent, key))
+			pass.Reportf(call.Pos(), "%s makes %s irreproducible (path: %s)",
+				info.labels[i], pathKind, samplePath(parent, key))
 		}
 	}
 }

@@ -1,0 +1,32 @@
+// Package pool seeds discarded-durability-error violations for the
+// cryptoerr analyzer's WAL coverage: a dropped pool Sync or Checkpoint
+// error — or a dropped (os.File).Sync under any hand-rolled journal —
+// means the caller believes state is on disk when the kernel may have
+// refused it.
+package pool
+
+import (
+	"os"
+
+	"dra4wfms/internal/pool"
+)
+
+func bad(s *pool.Store, f *os.File) {
+	s.Sync()           // want "error returned by (pool.Store).Sync is unchecked"
+	_ = s.Checkpoint() // want "error returned by (pool.Store).Checkpoint is assigned to _"
+	f.Sync()           // want "error returned by (os.File).Sync is unchecked"
+	go s.Checkpoint()  // want "error cannot be observed from a go statement"
+	defer f.Sync()     // want "error cannot be observed from a deferred call"
+}
+
+func suppressed(s *pool.Store) {
+	//lint:ignore cryptoerr fixture demo: periodic checkpoint retried next tick, WAL preserves durability
+	_ = s.Checkpoint()
+}
+
+func checked(s *pool.Store, f *os.File) error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -382,7 +382,8 @@ type Table struct {
 	mu      sync.RWMutex
 	regions []*Region // sorted by start key, covering ["", "")
 	cluster *Cluster
-	seq     int64 // logical version clock
+	seq     int64  // logical version clock
+	store   *Store // durable backing; nil while the table is memory-only
 }
 
 // Name returns the table name.
@@ -400,6 +401,49 @@ func (t *Table) nextVersion() int64 {
 	defer t.mu.Unlock()
 	t.seq++
 	return t.seq
+}
+
+// attachStore binds a durable store to the table; every subsequent Put
+// and Delete is journaled to its WAL before being acknowledged.
+func (t *Table) attachStore(s *Store) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.store != nil {
+		return fmt.Errorf("pool: table %s already has a durable store", t.name)
+	}
+	t.store = s
+	return nil
+}
+
+// durableStore returns the attached store, if any.
+func (t *Table) durableStore() *Store {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.store
+}
+
+// Durable reports whether the table is backed by a Store.
+func (t *Table) Durable() bool { return t.durableStore() != nil }
+
+// applyReplay reinserts a recovered cell with its original version and
+// advances the table's version clock past it. Recovery-only: the mutation
+// is not re-journaled, and re-applying a cell that is already present is
+// idempotent because latest-wins resolves by version, not apply order.
+func (t *Table) applyReplay(kv KeyValue) {
+	t.mu.Lock()
+	if kv.Version > t.seq {
+		t.seq = kv.Version
+	}
+	t.mu.Unlock()
+	t.putKV(kv)
+}
+
+// applyDurable journals kv (when a store is attached) and applies it.
+func (t *Table) applyDurable(kv KeyValue, del bool) (*Region, error) {
+	if s := t.durableStore(); s != nil {
+		return s.logMutation(kv, del)
+	}
+	return t.putKV(kv), nil
 }
 
 // regionFor routes a row key to its region (client-side meta lookup).
@@ -436,7 +480,10 @@ func (t *Table) Put(row, family, qualifier string, value []byte) error {
 	}
 	kv := KeyValue{Row: row, Family: family, Qualifier: qualifier,
 		Cell: Cell{Value: value, Version: t.nextVersion()}}
-	region := t.putKV(kv)
+	region, err := t.applyDurable(kv, false)
+	if err != nil {
+		return err
+	}
 	t.maybeSplit(region)
 	return nil
 }
@@ -463,7 +510,9 @@ func (t *Table) Delete(row, family, qualifier string) error {
 	}
 	kv := KeyValue{Row: row, Family: family, Qualifier: qualifier,
 		Cell: Cell{Value: nil, Version: t.nextVersion()}}
-	t.putKV(kv)
+	if _, err := t.applyDurable(kv, true); err != nil {
+		return err
+	}
 	return nil
 }
 

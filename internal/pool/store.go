@@ -1,0 +1,604 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Store attaches crash-consistent persistence to one Table, closing the
+// gap between the paper's "documents live in a BigTable-like cloud store"
+// scalability story and the in-memory reproduction: a portal or TFC crash
+// must not lose stored workflow instances, or the nonrepudiation evidence
+// the cascaded signatures carry dies with the process.
+//
+// The design is the classic log-structured recovery pair:
+//
+//   - every mutation is appended to a CRC-checksummed WAL (wal.go) before
+//     the table acknowledges it;
+//   - Checkpoint writes the table's full live state as a snapshot file
+//     (the Export format plus a WAL watermark) and compacts the WAL down
+//     to the suffix not yet covered by a retained checkpoint;
+//   - Open recovers by loading the newest valid checkpoint and replaying
+//     the WAL suffix, preserving cell versions so the recovered table is
+//     identical to the pre-crash live state. Damaged checkpoints and torn
+//     or bit-flipped WAL tails are quarantined and surfaced in the
+//     RecoveryReport, never silently dropped.
+var (
+	mWALAppends       = tel.Counter("pool_wal_appends_total")
+	mWALBytes         = tel.Counter("pool_wal_bytes_total")
+	mWALFsyncs        = tel.Counter("pool_wal_fsyncs_total")
+	mWALQuarantined   = tel.Counter("pool_wal_quarantined_bytes_total")
+	mCheckpoints      = tel.Counter("pool_checkpoints_total")
+	mCheckpointErrors = tel.Counter("pool_checkpoint_errors_total")
+	mReplayedRecords  = tel.Counter("pool_recovery_replayed_records_total")
+)
+
+// ErrStoreClosed is returned for mutations after Close: the final
+// checkpoint has been written and accepting more writes would silently
+// leave them undurable.
+var ErrStoreClosed = errors.New("pool: durable store is closed")
+
+// Store file names inside a data directory.
+const (
+	walFileName        = "wal.log"
+	walQuarantineName  = "wal.quarantine"
+	checkpointExt      = ".ckpt"
+	corruptSuffix      = ".corrupt"
+	checkpointTmpName  = "checkpoint.tmp"
+	defaultCheckpoints = 2
+)
+
+// checkpointNameRe matches durable checkpoint files; the zero-padded
+// watermark makes lexical order equal numeric order.
+var checkpointNameRe = regexp.MustCompile(`^checkpoint-(\d{20})\.ckpt$`)
+
+func checkpointFileName(walSeq uint64) string {
+	return fmt.Sprintf("checkpoint-%020d%s", walSeq, checkpointExt)
+}
+
+// StoreOptions tune a Store. The zero value is usable: fsync on every
+// append, no automatic checkpoints, two retained checkpoints.
+type StoreOptions struct {
+	// NoFsync skips the per-append fsync. Appends still reach the OS page
+	// cache before the mutation is acknowledged, so only a machine (not
+	// process) crash can lose acknowledged writes.
+	NoFsync bool
+	// CheckpointInterval starts a background checkpoint loop when > 0.
+	CheckpointInterval time.Duration
+	// KeepCheckpoints bounds retained checkpoint files (default 2; the
+	// WAL keeps the suffix needed to recover from the oldest retained one,
+	// so a corrupt newest checkpoint never costs data).
+	KeepCheckpoints int
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = defaultCheckpoints
+	}
+	return o
+}
+
+// RecoveryReport describes what Open found and rebuilt. Surfacing the
+// damage is part of the contract: operators must learn about quarantined
+// records from the boot log, not from a missing workflow instance.
+type RecoveryReport struct {
+	// Checkpoint is the base name of the checkpoint loaded ("" if none).
+	Checkpoint string
+	// CheckpointCells counts cells loaded from that checkpoint.
+	CheckpointCells int
+	// SkippedCheckpoints lists checkpoint files that failed validation and
+	// were renamed aside with a .corrupt suffix.
+	SkippedCheckpoints []string
+	// ReplayedRecords counts WAL records applied after the checkpoint.
+	ReplayedRecords int
+	// QuarantinedBytes is the size of the damaged WAL suffix moved to
+	// QuarantineFile (0 when the log was clean).
+	QuarantinedBytes int64
+	// QuarantineFile is the sidecar holding the damaged bytes ("" if none).
+	QuarantineFile string
+	// DamageReason describes the first damaged WAL frame ("" when clean).
+	DamageReason string
+}
+
+// Damaged reports whether recovery found anything to quarantine.
+func (r *RecoveryReport) Damaged() bool {
+	return r.QuarantinedBytes > 0 || len(r.SkippedCheckpoints) > 0
+}
+
+// Summary renders the report as one operator-readable line.
+func (r *RecoveryReport) Summary() string {
+	s := fmt.Sprintf("recovered %d cells from %s, replayed %d WAL records",
+		r.CheckpointCells, orNone(r.Checkpoint), r.ReplayedRecords)
+	if len(r.SkippedCheckpoints) > 0 {
+		s += fmt.Sprintf(", skipped %d corrupt checkpoint(s)", len(r.SkippedCheckpoints))
+	}
+	if r.QuarantinedBytes > 0 {
+		s += fmt.Sprintf(", quarantined %d damaged WAL bytes to %s (%s)",
+			r.QuarantinedBytes, r.QuarantineFile, r.DamageReason)
+	}
+	return s
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "no checkpoint"
+	}
+	return s
+}
+
+// Store is the durable backing of one Table. Safe for concurrent use.
+type Store struct {
+	table *Table
+	dir   string
+	opts  StoreOptions
+
+	// applyMu orders WAL appends relative to checkpoints: mutators hold
+	// the read side across journal+apply, Checkpoint takes the write side
+	// to pick a watermark no in-flight mutation can precede.
+	applyMu sync.RWMutex
+
+	// ckMu serializes whole checkpoint runs (tmp file, pruning, WAL
+	// compaction) against each other.
+	ckMu sync.Mutex
+
+	mu     sync.Mutex // guards f, lsn, closed
+	f      *os.File
+	lsn    uint64
+	closed bool
+
+	closeOnce sync.Once
+	closeErr  error
+
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+}
+
+// Open attaches durable storage in dir to a freshly created table: it
+// recovers existing state (newest valid checkpoint plus WAL replay), then
+// journals every subsequent mutation before it is acknowledged. The
+// returned report describes what was recovered and what had to be
+// quarantined. The table must be empty — recovery owns its version clock.
+func Open(t *Table, dir string, opts StoreOptions) (*Store, *RecoveryReport, error) {
+	defer tel.StartSpan("pool_recovery_seconds").End()
+	if len(t.Scan(ScanOptions{Limit: 1})) > 0 {
+		return nil, nil, fmt.Errorf("pool: durable store needs a freshly created table, %s already holds data", t.name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("pool: creating data dir: %w", err)
+	}
+	s := &Store{table: t, dir: dir, opts: opts.withDefaults()}
+	rep := &RecoveryReport{}
+
+	watermark, err := s.recoverCheckpoint(rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.recoverWAL(watermark, rep); err != nil {
+		return nil, nil, err
+	}
+	if err := t.attachStore(s); err != nil {
+		cerr := s.f.Close()
+		return nil, nil, errors.Join(err, cerr)
+	}
+	if s.opts.CheckpointInterval > 0 {
+		s.tickerStop = make(chan struct{})
+		s.tickerDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
+	return s, rep, nil
+}
+
+// recoverCheckpoint loads the newest checkpoint that validates, renaming
+// damaged ones aside, and returns its WAL watermark.
+func (s *Store) recoverCheckpoint(rep *RecoveryReport) (uint64, error) {
+	names, err := s.checkpointFiles()
+	if err != nil {
+		return 0, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		name := names[i]
+		path := filepath.Join(s.dir, name)
+		info, err := readSnapshotFile(path)
+		if err != nil {
+			// Quarantine: keep the bytes for forensics, but make sure the
+			// next boot does not trip over the same damage.
+			if rerr := os.Rename(path, path+corruptSuffix); rerr != nil {
+				return 0, fmt.Errorf("pool: quarantining corrupt checkpoint %s: %w", name, rerr)
+			}
+			rep.SkippedCheckpoints = append(rep.SkippedCheckpoints, name)
+			continue
+		}
+		for _, kv := range info.Cells {
+			s.table.applyReplay(kv)
+		}
+		rep.Checkpoint = name
+		rep.CheckpointCells = len(info.Cells)
+		return info.WALSeq, nil
+	}
+	return 0, nil
+}
+
+// recoverWAL replays the intact WAL suffix past the checkpoint watermark,
+// quarantining any damaged tail, and leaves the file open for appends.
+func (s *Store) recoverWAL(watermark uint64, rep *RecoveryReport) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, walFileName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("pool: opening WAL: %w", err)
+	}
+	scan, err := scanWAL(f)
+	if err != nil {
+		cerr := f.Close()
+		return errors.Join(err, cerr)
+	}
+	if scan.damaged > 0 {
+		qpath := filepath.Join(s.dir, walQuarantineName)
+		if err := quarantineWALTail(f, scan, qpath); err != nil {
+			cerr := f.Close()
+			return errors.Join(err, cerr)
+		}
+		mWALQuarantined.Add(scan.damaged)
+		rep.QuarantinedBytes = scan.damaged
+		rep.QuarantineFile = qpath
+		rep.DamageReason = scan.reason
+	}
+	s.lsn = watermark
+	for _, rec := range scan.recs {
+		if rec.LSN > s.lsn {
+			s.lsn = rec.LSN
+		}
+		if rec.LSN <= watermark {
+			continue // already contained in the checkpoint
+		}
+		s.table.applyReplay(rec.keyValue())
+		rep.ReplayedRecords++
+	}
+	mReplayedRecords.Add(int64(rep.ReplayedRecords))
+	if _, err := f.Seek(scan.intact, io.SeekStart); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("pool: seeking WAL to append position: %w", err), cerr)
+	}
+	s.f = f
+	return nil
+}
+
+// checkpointFiles returns the durable checkpoint base names in ascending
+// watermark order.
+func (s *Store) checkpointFiles() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("pool: listing data dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && checkpointNameRe.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// logMutation journals one mutation and applies it to the table. It is
+// the table-mutator entry point: the record is durable (per the fsync
+// policy) before the memstore sees it.
+func (s *Store) logMutation(kv KeyValue, del bool) (*Region, error) {
+	s.applyMu.RLock()
+	defer s.applyMu.RUnlock()
+	if err := s.appendRec(kv, del); err != nil {
+		return nil, err
+	}
+	return s.table.putKV(kv), nil
+}
+
+func (s *Store) appendRec(kv KeyValue, del bool) error {
+	op := walOpPut
+	var value []byte
+	if del {
+		op = walOpDel
+	} else {
+		value = kv.Value
+		if value == nil {
+			value = []byte{}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	s.lsn++
+	frame, err := encodeWALRecord(walRec{
+		Op: op, LSN: s.lsn,
+		Row: kv.Row, Family: kv.Family, Qualifier: kv.Qualifier,
+		Value: value, Version: kv.Version,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("pool: appending to WAL: %w", err)
+	}
+	mWALAppends.Inc()
+	mWALBytes.Add(int64(len(frame)))
+	if !s.opts.NoFsync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("pool: fsyncing WAL: %w", err)
+		}
+		mWALFsyncs.Inc()
+	}
+	return nil
+}
+
+// Sync forces the WAL to stable storage — the manual durability barrier
+// for stores running with NoFsync.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("pool: fsyncing WAL: %w", err)
+	}
+	mWALFsyncs.Inc()
+	return nil
+}
+
+// Checkpoint writes the table's live state as a durable snapshot file and
+// compacts the WAL down to the suffix not covered by a retained
+// checkpoint. Safe to call concurrently with mutations.
+func (s *Store) Checkpoint() error {
+	defer tel.StartSpan("pool_checkpoint_seconds").End()
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	// Barrier: wait out in-flight journal+apply pairs so every record with
+	// LSN <= watermark is visible to the scan below. Mutations landing
+	// after the barrier may also appear in the scan — replay preserves
+	// versions, so re-applying them from the WAL is idempotent.
+	s.applyMu.Lock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.applyMu.Unlock()
+		return ErrStoreClosed
+	}
+	watermark := s.lsn
+	s.mu.Unlock()
+	s.applyMu.Unlock()
+
+	kvs := s.table.Scan(ScanOptions{})
+	name := checkpointFileName(watermark)
+	if err := writeCheckpointFile(s.dir, name, &SnapshotInfo{
+		Table: s.table.Name(), WALSeq: watermark, Cells: kvs,
+	}); err != nil {
+		mCheckpointErrors.Inc()
+		return err
+	}
+	keepFrom, err := s.pruneCheckpoints()
+	if err != nil {
+		mCheckpointErrors.Inc()
+		return err
+	}
+	if err := s.compactWAL(keepFrom); err != nil {
+		mCheckpointErrors.Inc()
+		return err
+	}
+	mCheckpoints.Inc()
+	return nil
+}
+
+// pruneCheckpoints deletes checkpoints beyond KeepCheckpoints and returns
+// the watermark of the oldest retained one — the WAL must keep every
+// record past it so any retained checkpoint can still recover.
+func (s *Store) pruneCheckpoints() (uint64, error) {
+	names, err := s.checkpointFiles()
+	if err != nil {
+		return 0, err
+	}
+	for len(names) > s.opts.KeepCheckpoints {
+		if err := os.Remove(filepath.Join(s.dir, names[0])); err != nil {
+			return 0, fmt.Errorf("pool: pruning checkpoint: %w", err)
+		}
+		names = names[1:]
+	}
+	if len(names) == 0 {
+		return 0, nil
+	}
+	m := checkpointNameRe.FindStringSubmatch(names[0])
+	wm, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pool: parsing checkpoint watermark: %w", err)
+	}
+	return wm, nil
+}
+
+// compactWAL rewrites the WAL keeping only records with LSN > watermark.
+// Appends are blocked for the duration; the suffix past a fresh
+// checkpoint is small, so the pause is bounded.
+func (s *Store) compactWAL(watermark uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	scan, err := scanWAL(s.f)
+	if err != nil {
+		return err
+	}
+	if scan.damaged > 0 {
+		// Cannot happen for frames this process wrote; refuse to rewrite a
+		// log we cannot fully read and keep the original intact.
+		return fmt.Errorf("pool: WAL damaged during compaction (%s); keeping original", scan.reason)
+	}
+	tmpPath := filepath.Join(s.dir, walFileName+".compact")
+	//lint:ignore lockio compaction swaps the append handle, so it must hold the append mutex across the rewrite; the post-checkpoint suffix is small and the pause bounded
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pool: compacting WAL: %w", err)
+	}
+	werr := func() error {
+		for _, rec := range scan.recs {
+			if rec.LSN <= watermark {
+				continue
+			}
+			frame, err := encodeWALRecord(rec)
+			if err != nil {
+				return err
+			}
+			if _, err := tmp.Write(frame); err != nil {
+				return err
+			}
+		}
+		return tmp.Sync()
+	}()
+	if werr != nil {
+		cerr := tmp.Close()
+		//lint:ignore lockio error-path cleanup of the tmp file; see the OpenFile above for why the mutex is held
+		rerr := os.Remove(tmpPath)
+		return fmt.Errorf("pool: compacting WAL: %w", errors.Join(werr, cerr, rerr))
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("pool: compacting WAL: %w", err)
+	}
+	walPath := filepath.Join(s.dir, walFileName)
+	//lint:ignore lockio the rename IS the swap appends must not interleave with; see the OpenFile above
+	if err := os.Rename(tmpPath, walPath); err != nil {
+		return fmt.Errorf("pool: swapping compacted WAL: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	//lint:ignore lockio the fresh append handle must be installed before any append can run; see the OpenFile above
+	nf, err := os.OpenFile(walPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("pool: reopening compacted WAL: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		cerr := nf.Close()
+		return errors.Join(fmt.Errorf("pool: seeking compacted WAL: %w", err), cerr)
+	}
+	old := s.f
+	s.f = nf
+	return old.Close()
+}
+
+// checkpointLoop runs periodic checkpoints until Close.
+func (s *Store) checkpointLoop() {
+	defer close(s.tickerDone)
+	ticker := time.NewTicker(s.opts.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// Errors are counted (pool_checkpoint_errors_total); the next
+			// tick retries, and the WAL alone still recovers everything.
+			_ = s.Checkpoint() //lint:ignore cryptoerr periodic checkpoint failure is retried next tick and counted in pool_checkpoint_errors_total; durability is preserved by the WAL
+		case <-s.tickerStop:
+			return
+		}
+	}
+}
+
+// Close stops the checkpoint loop, writes a final checkpoint, and closes
+// the WAL. Mutations after Close fail with ErrStoreClosed. Idempotent.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.doClose() })
+	return s.closeErr
+}
+
+func (s *Store) doClose() error {
+	if s.tickerStop != nil {
+		close(s.tickerStop)
+		<-s.tickerDone
+	}
+	ckErr := s.Checkpoint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	serr := s.f.Sync()
+	cerr := s.f.Close()
+	return errors.Join(ckErr, serr, cerr)
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// LastLSN returns the most recently assigned WAL sequence number.
+func (s *Store) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// readSnapshotFile opens and fully validates one snapshot/checkpoint file.
+func readSnapshotFile(path string) (*SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pool: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+// writeCheckpointFile atomically writes info into dir under name: tmp
+// file, fsync, rename, directory fsync — a crash leaves either the old
+// state or the complete new checkpoint, never a half-written one.
+func writeCheckpointFile(dir, name string, info *SnapshotInfo) error {
+	tmpPath := filepath.Join(dir, checkpointTmpName)
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pool: creating checkpoint: %w", err)
+	}
+	werr := writeSnapshot(tmp, info.Table, info.WALSeq, info.Cells)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if werr != nil {
+		cerr := tmp.Close()
+		rerr := os.Remove(tmpPath)
+		return errors.Join(werr, cerr, rerr)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("pool: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("pool: publishing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// WriteCheckpointFile publishes info as a durable checkpoint file in dir
+// using the store's naming scheme and returns the file's base name. It is
+// the offline restore path (`dractl snapshot restore`).
+func WriteCheckpointFile(dir string, info *SnapshotInfo) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("pool: creating data dir: %w", err)
+	}
+	name := checkpointFileName(info.WALSeq)
+	if err := writeCheckpointFile(dir, name, info); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("pool: opening data dir for sync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if err := errors.Join(serr, cerr); err != nil {
+		return fmt.Errorf("pool: fsyncing data dir: %w", err)
+	}
+	return nil
+}

@@ -83,6 +83,11 @@ type Server struct {
 	// Clock supplies timestamps; it defaults to time.Now and is injectable
 	// for deterministic tests.
 	Clock func() time.Time
+	// OnRecord, when non-nil, is called once for every appended
+	// ForwardRecord, outside the server's lock — the journaling hook
+	// cmd/dratfc uses to persist the forwarding log (and the replay guard
+	// it implies) across restarts.
+	OnRecord func(ForwardRecord)
 
 	mu      sync.Mutex
 	seen    map[string]bool
@@ -263,8 +268,7 @@ func (s *Server) Process(doc *document.Document) (*Outcome, error) {
 		out.Routed[to] = work.Clone()
 	}
 
-	s.mu.Lock()
-	s.records = append(s.records, ForwardRecord{
+	rec := ForwardRecord{
 		ProcessID:   work.ProcessID(),
 		Activity:    act.ID,
 		Iteration:   iter,
@@ -272,9 +276,28 @@ func (s *Server) Process(doc *document.Document) (*Outcome, error) {
 		Timestamp:   now,
 		Next:        next,
 		Size:        work.Size(),
-	})
+	}
+	s.mu.Lock()
+	s.records = append(s.records, rec)
 	s.mu.Unlock()
+	if s.OnRecord != nil {
+		s.OnRecord(rec)
+	}
 	return out, nil
+}
+
+// Restore preloads the forwarding log — typically read back from durable
+// storage on daemon boot — and re-arms the replay guard for every restored
+// record, so an intermediate document already processed before a restart
+// is still rejected with ErrReplay afterwards. Restore is meant to run
+// before the server takes traffic; it appends to whatever is already held.
+func (s *Server) Restore(records []ForwardRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range records {
+		s.records = append(s.records, rec)
+		s.seen[fmt.Sprintf("%s|%s|%d", rec.ProcessID, rec.Activity, rec.Iteration)] = true
+	}
 }
 
 // Records returns a copy of the forwarding log, the data source for

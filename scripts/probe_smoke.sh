@@ -1,0 +1,69 @@
+#!/bin/sh
+# probe_smoke.sh — end-to-end lifecycle check for draportal:
+#
+#   1. provision a throwaway trust bundle (drakeys)
+#   2. start draportal with a durable data dir
+#   3. poll GET /v1/readyz until it reports ready
+#   4. check GET /v1/healthz
+#   5. send SIGTERM and assert a clean exit (code 0)
+#   6. assert the final checkpoint landed in the data dir
+#
+# Run from the repository root: ./scripts/probe_smoke.sh
+set -eu
+
+WORK="$(mktemp -d)"
+PORT="${PROBE_PORT:-18080}"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/draportal" ./cmd/draportal
+go build -o "$WORK/drakeys" ./cmd/drakeys
+
+"$WORK/drakeys" -out "$WORK/deploy" -principals smoke@ci -bits 2048 >/dev/null
+
+"$WORK/draportal" \
+	-listen "127.0.0.1:$PORT" \
+	-trust "$WORK/deploy/trust.json" \
+	-data-dir "$WORK/data" \
+	-checkpoint-interval 0 \
+	-grace 10s &
+PID=$!
+
+echo "probe_smoke: waiting for readiness on port $PORT (pid $PID)"
+READY=0
+for _ in $(seq 1 50); do
+	if curl -fsS "http://127.0.0.1:$PORT/v1/readyz" >/dev/null 2>&1; then
+		READY=1
+		break
+	fi
+	if ! kill -0 "$PID" 2>/dev/null; then
+		echo "probe_smoke: FAIL: draportal died before becoming ready" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+if [ "$READY" != 1 ]; then
+	echo "probe_smoke: FAIL: /v1/readyz never reported ready" >&2
+	exit 1
+fi
+
+curl -fsS "http://127.0.0.1:$PORT/v1/healthz" >/dev/null
+echo "probe_smoke: ready and live; sending SIGTERM"
+
+kill -TERM "$PID"
+if wait "$PID"; then
+	STATUS=0
+else
+	STATUS=$?
+fi
+if [ "$STATUS" != 0 ]; then
+	echo "probe_smoke: FAIL: draportal exited with status $STATUS after SIGTERM" >&2
+	exit 1
+fi
+
+if ! ls "$WORK/data"/checkpoint-*.ckpt >/dev/null 2>&1; then
+	echo "probe_smoke: FAIL: no final checkpoint in $WORK/data" >&2
+	ls -la "$WORK/data" >&2 || true
+	exit 1
+fi
+
+echo "probe_smoke: PASS (graceful shutdown, final checkpoint written)"
