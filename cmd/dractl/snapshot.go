@@ -34,6 +34,8 @@ func cmdSnapshot(args []string) {
 // cmdSnapshotSave performs the same recovery a daemon boot would —
 // newest valid checkpoint plus intact WAL suffix, damage quarantined and
 // reported — and writes the resulting live state as one snapshot file.
+// pool.Open takes the data directory's exclusive lock, so running save
+// against a live daemon's dir fails fast instead of corrupting its WAL.
 func cmdSnapshotSave(args []string) {
 	fs := flag.NewFlagSet("snapshot save", flag.ExitOnError)
 	dataDir := fs.String("data-dir", "", "daemon data directory to recover (required)")

@@ -24,7 +24,8 @@ func seedDataDir(t *testing.T, dir string) []pool.KeyValue {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := pool.Open(table, dir, pool.StoreOptions{}); err != nil {
+	store, _, err := pool.Open(table, dir, pool.StoreOptions{})
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
@@ -36,6 +37,11 @@ func seedDataDir(t *testing.T, dir string) []pool.KeyValue {
 		}
 	}
 	if err := table.Delete("p-00", "doc", "xml"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash (not Close): the process would release the data-dir lock with
+	// its death, which snapshot save then acquires for itself.
+	if err := store.Abandon(); err != nil {
 		t.Fatal(err)
 	}
 	return table.Scan(pool.ScanOptions{})

@@ -24,6 +24,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -45,6 +47,20 @@ const (
 )
 
 func stateRow(n uint64) string { return fmt.Sprintf("rec|%020d", n) }
+
+// parseStateRow inverts stateRow, recovering the append index a persisted
+// forwarding record was stored under.
+func parseStateRow(row string) (uint64, error) {
+	digits, ok := strings.CutPrefix(row, "rec|")
+	if !ok {
+		return 0, fmt.Errorf("not a forwarding-log row")
+	}
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad index: %w", err)
+	}
+	return n, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -121,30 +137,42 @@ func main() {
 			log.Printf("WARNING: recovery quarantined damaged WAL data (%s); inspect %s", rep.DamageReason, rep.QuarantineFile)
 		}
 
+		// seq is the next free row index. It must come from the highest
+		// restored index, not the row count: a failed Put can leave a gap in
+		// the rec|NNN sequence, and counting rows across such a gap would
+		// make a future record overwrite an existing persisted row
+		// (stateFamily keeps one version) and silently drop its replay-guard
+		// entry.
 		var restored []tfc.ForwardRecord
+		var seq atomic.Uint64
 		for _, kv := range table.Scan(pool.ScanOptions{}) {
 			var rec tfc.ForwardRecord
 			if err := json.Unmarshal(kv.Value, &rec); err != nil {
 				log.Fatalf("decoding persisted record %s: %v", kv.Row, err)
 			}
 			restored = append(restored, rec)
+			idx, err := parseStateRow(kv.Row)
+			if err != nil {
+				log.Fatalf("persisted record key %s: %v", kv.Row, err)
+			}
+			if idx+1 > seq.Load() {
+				seq.Store(idx + 1)
+			}
 		}
 		server.Restore(restored)
 		if len(restored) > 0 {
 			log.Printf("restored %d forwarding records (replay guard re-armed)", len(restored))
 		}
 
-		var seq atomic.Uint64
-		seq.Store(uint64(len(restored)))
-		server.OnRecord = func(rec tfc.ForwardRecord) {
+		// A persistence failure fails the whole Process call (the client
+		// sees an error and can retry) instead of acknowledging a response
+		// whose replay guard would be disarmed by the next restart.
+		server.OnRecord = func(rec tfc.ForwardRecord) error {
 			raw, err := json.Marshal(rec)
 			if err != nil {
-				log.Printf("encoding forwarding record: %v", err)
-				return
+				return fmt.Errorf("encoding forwarding record: %w", err)
 			}
-			if err := table.Put(stateRow(seq.Add(1)-1), stateFamily, stateQual, raw); err != nil {
-				log.Printf("persisting forwarding record: %v", err)
-			}
+			return table.Put(stateRow(seq.Add(1)-1), stateFamily, stateQual, raw)
 		}
 	}
 

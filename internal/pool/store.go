@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -46,10 +47,18 @@ var (
 // leave them undurable.
 var ErrStoreClosed = errors.New("pool: durable store is closed")
 
+// ErrStoreFailed is returned for mutations after the store lost its WAL
+// append handle (the compacted WAL could not be reopened after the swap).
+// Accepting writes in that state would send them to an unlinked inode —
+// acknowledged, then gone on the next boot — so the store fails hard and
+// stays failed until the process restarts and recovers.
+var ErrStoreFailed = errors.New("pool: durable store failed: compacted WAL could not be reopened, restart to recover")
+
 // Store file names inside a data directory.
 const (
 	walFileName        = "wal.log"
 	walQuarantineName  = "wal.quarantine"
+	lockFileName       = "LOCK"
 	checkpointExt      = ".ckpt"
 	corruptSuffix      = ".corrupt"
 	checkpointTmpName  = "checkpoint.tmp"
@@ -149,10 +158,19 @@ type Store struct {
 	// compaction) against each other.
 	ckMu sync.Mutex
 
-	mu     sync.Mutex // guards f, lsn, closed
+	mu     sync.Mutex // guards f, lsn, closed, failed
 	f      *os.File
 	lsn    uint64
 	closed bool
+	// failed latches when the WAL append handle is lost (see ErrStoreFailed);
+	// mutations are refused so no acknowledged write can land on a dead file.
+	failed bool
+
+	// lockF holds the exclusive advisory lock on the data dir for the
+	// store's lifetime, keeping a second process (another daemon, or
+	// `dractl snapshot save` against a live dir) from interleaving appends
+	// and compactions on the same wal.log.
+	lockF *os.File
 
 	closeOnce sync.Once
 	closeErr  error
@@ -174,19 +192,23 @@ func Open(t *Table, dir string, opts StoreOptions) (*Store, *RecoveryReport, err
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("pool: creating data dir: %w", err)
 	}
-	s := &Store{table: t, dir: dir, opts: opts.withDefaults()}
+	lockF, err := lockDataDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{table: t, dir: dir, opts: opts.withDefaults(), lockF: lockF}
 	rep := &RecoveryReport{}
 
 	watermark, err := s.recoverCheckpoint(rep)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, errors.Join(err, unlockDataDir(lockF))
 	}
 	if err := s.recoverWAL(watermark, rep); err != nil {
-		return nil, nil, err
+		return nil, nil, errors.Join(err, unlockDataDir(lockF))
 	}
 	if err := t.attachStore(s); err != nil {
 		cerr := s.f.Close()
-		return nil, nil, errors.Join(err, cerr)
+		return nil, nil, errors.Join(err, cerr, unlockDataDir(lockF))
 	}
 	if s.opts.CheckpointInterval > 0 {
 		s.tickerStop = make(chan struct{})
@@ -314,6 +336,9 @@ func (s *Store) appendRec(kv KeyValue, del bool) error {
 	if s.closed {
 		return ErrStoreClosed
 	}
+	if s.failed {
+		return ErrStoreFailed
+	}
 	s.lsn++
 	frame, err := encodeWALRecord(walRec{
 		Op: op, LSN: s.lsn,
@@ -344,6 +369,9 @@ func (s *Store) Sync() error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrStoreClosed
+	}
+	if s.failed {
+		return ErrStoreFailed
 	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("pool: fsyncing WAL: %w", err)
@@ -429,14 +457,28 @@ func (s *Store) compactWAL(watermark uint64) error {
 	if s.closed {
 		return ErrStoreClosed
 	}
+	if s.failed {
+		return ErrStoreFailed
+	}
+	// scanWAL moves the file offset; every return that keeps the current
+	// handle must first put the offset back at EOF, or the next append
+	// would overwrite framed records mid-file.
+	restoreOffset := func() error {
+		if _, serr := s.f.Seek(0, io.SeekEnd); serr != nil {
+			return fmt.Errorf("pool: restoring WAL append offset: %w", serr)
+		}
+		return nil
+	}
 	scan, err := scanWAL(s.f)
 	if err != nil {
-		return err
+		return errors.Join(err, restoreOffset())
 	}
 	if scan.damaged > 0 {
 		// Cannot happen for frames this process wrote; refuse to rewrite a
 		// log we cannot fully read and keep the original intact.
-		return fmt.Errorf("pool: WAL damaged during compaction (%s); keeping original", scan.reason)
+		return errors.Join(
+			fmt.Errorf("pool: WAL damaged during compaction (%s); keeping original", scan.reason),
+			restoreOffset())
 	}
 	tmpPath := filepath.Join(s.dir, walFileName+".compact")
 	//lint:ignore lockio compaction swaps the append handle, so it must hold the append mutex across the rewrite; the post-checkpoint suffix is small and the pause bounded
@@ -479,11 +521,20 @@ func (s *Store) compactWAL(watermark uint64) error {
 	//lint:ignore lockio the fresh append handle must be installed before any append can run; see the OpenFile above
 	nf, err := os.OpenFile(walPath, os.O_RDWR, 0o644)
 	if err != nil {
-		return fmt.Errorf("pool: reopening compacted WAL: %w", err)
+		// The rename already happened: s.f points at the old, now-unlinked
+		// inode. Accepting appends there would acknowledge writes that
+		// vanish on the next restart, so fail the store hard — mutations
+		// return ErrStoreFailed until a restart recovers from the (intact)
+		// compacted WAL on disk.
+		s.failed = true
+		cerr := s.f.Close()
+		return errors.Join(fmt.Errorf("pool: reopening compacted WAL: %w", err), cerr, ErrStoreFailed)
 	}
 	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		s.failed = true
 		cerr := nf.Close()
-		return errors.Join(fmt.Errorf("pool: seeking compacted WAL: %w", err), cerr)
+		oerr := s.f.Close()
+		return errors.Join(fmt.Errorf("pool: seeking compacted WAL: %w", err), cerr, oerr, ErrStoreFailed)
 	}
 	old := s.f
 	s.f = nf
@@ -523,9 +574,38 @@ func (s *Store) doClose() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	if s.failed {
+		// The WAL handle was already closed when the store failed; the
+		// snapshot half of the checkpoint above still preserved live state.
+		return errors.Join(ckErr, unlockDataDir(s.lockF))
+	}
 	serr := s.f.Sync()
 	cerr := s.f.Close()
-	return errors.Join(ckErr, serr, cerr)
+	return errors.Join(ckErr, serr, cerr, unlockDataDir(s.lockF))
+}
+
+// Abandon releases the store the way a killed process would: the WAL
+// handle and the data-dir lock are dropped with no drain, no final
+// checkpoint, and no sync, so the next Open must rebuild purely from the
+// on-disk checkpoint + WAL. It exists for crash-recovery drills and
+// tests; production shutdown is Close. Further mutations are refused.
+// Shares idempotency with Close: whichever runs first wins.
+func (s *Store) Abandon() error {
+	s.closeOnce.Do(func() {
+		if s.tickerStop != nil {
+			close(s.tickerStop)
+			<-s.tickerDone
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.closed = true
+		var cerr error
+		if !s.failed { // a failed store already closed its WAL handle
+			cerr = s.f.Close()
+		}
+		s.closeErr = errors.Join(cerr, unlockDataDir(s.lockF))
+	})
+	return s.closeErr
 }
 
 // Dir returns the store's data directory.
@@ -587,6 +667,39 @@ func WriteCheckpointFile(dir string, info *SnapshotInfo) (string, error) {
 		return "", err
 	}
 	return name, nil
+}
+
+// lockDataDir takes the exclusive advisory lock guarding a data dir. Two
+// writers on one dir append to wal.log at independent offsets and both
+// truncate/rename it during quarantine and compaction — guaranteed
+// corruption — so a held lock fails fast instead of opening. The lock is
+// advisory (flock): it binds every cooperating opener (daemons and dractl
+// alike), not arbitrary file access.
+func lockDataDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pool: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		cerr := f.Close()
+		return nil, errors.Join(
+			fmt.Errorf("pool: data dir %s is locked by another process (a running daemon or dractl); refusing to open it concurrently: %w", dir, err),
+			cerr)
+	}
+	return f, nil
+}
+
+// unlockDataDir releases the advisory lock; closing the descriptor drops
+// the flock.
+func unlockDataDir(f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("pool: releasing data dir lock: %w", err)
+	}
+	return nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives power loss.

@@ -37,9 +37,19 @@ func assertSameState(t *testing.T, want, got []KeyValue) {
 	}
 }
 
+// crash abandons a store the way a killed process would: the OS releases
+// its file handles and the data-dir lock, but no final checkpoint or
+// clean shutdown runs.
+func crash(t *testing.T, s *Store) {
+	t.Helper()
+	if err := s.Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+}
+
 func TestStoreRecoversWithoutCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	tbl, _, rep := newDurableTable(t, dir, StoreOptions{})
+	tbl, s, rep := newDurableTable(t, dir, StoreOptions{})
 	if rep.Checkpoint != "" || rep.ReplayedRecords != 0 {
 		t.Fatalf("fresh dir produced recovery %+v", rep)
 	}
@@ -58,6 +68,7 @@ func TestStoreRecoversWithoutCheckpoint(t *testing.T) {
 
 	// Simulated crash: no Close, no final checkpoint — the WAL alone must
 	// rebuild the table.
+	crash(t, s)
 	tbl2, _, rep2 := newDurableTable(t, dir, StoreOptions{})
 	if rep2.ReplayedRecords != 22 {
 		t.Fatalf("replayed %d records, want 22", rep2.ReplayedRecords)
@@ -95,6 +106,7 @@ func TestStoreRecoversFromCheckpointPlusWALSuffix(t *testing.T) {
 	}
 	want := scanAll(tbl)
 
+	crash(t, s)
 	tbl2, _, rep := newDurableTable(t, dir, StoreOptions{})
 	if rep.Checkpoint == "" {
 		t.Fatal("no checkpoint loaded")
@@ -113,13 +125,14 @@ func TestStoreRecoversFromCheckpointPlusWALSuffix(t *testing.T) {
 // quarantine the torn bytes, and say so.
 func TestStoreKillMidWriteTornTail(t *testing.T) {
 	dir := t.TempDir()
-	tbl, _, _ := newDurableTable(t, dir, StoreOptions{})
+	tbl, s, _ := newDurableTable(t, dir, StoreOptions{})
 	for i := 0; i < 8; i++ {
 		if err := tbl.Put(fmt.Sprintf("row-%d", i), "doc", "xml", []byte(strings.Repeat("x", 50))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	want := scanAll(tbl)
+	crash(t, s)
 
 	// Append a torn frame: a full header promising 100 payload bytes, then
 	// only 10 of them (the fsync never happened).
@@ -138,7 +151,7 @@ func TestStoreKillMidWriteTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	tbl2, _, rep := newDurableTable(t, dir, StoreOptions{})
+	tbl2, s2, rep := newDurableTable(t, dir, StoreOptions{})
 	if rep.QuarantinedBytes != 18 {
 		t.Fatalf("quarantined %d bytes, want 18 (%s)", rep.QuarantinedBytes, rep.Summary())
 	}
@@ -156,6 +169,7 @@ func TestStoreKillMidWriteTornTail(t *testing.T) {
 
 	// The truncated WAL must now be clean: a third boot replays everything
 	// with no damage.
+	crash(t, s2)
 	tbl3, _, rep3 := newDurableTable(t, dir, StoreOptions{})
 	if rep3.QuarantinedBytes != 0 {
 		t.Fatalf("second recovery still damaged: %s", rep3.Summary())
@@ -168,7 +182,7 @@ func TestStoreKillMidWriteTornTail(t *testing.T) {
 // the intact prefix must recover exactly.
 func TestStoreBitFlippedTail(t *testing.T) {
 	dir := t.TempDir()
-	tbl, _, _ := newDurableTable(t, dir, StoreOptions{})
+	tbl, s, _ := newDurableTable(t, dir, StoreOptions{})
 	for i := 0; i < 5; i++ {
 		if err := tbl.Put(fmt.Sprintf("row-%d", i), "doc", "xml", []byte("payload")); err != nil {
 			t.Fatal(err)
@@ -181,6 +195,7 @@ func TestStoreBitFlippedTail(t *testing.T) {
 	if err := tbl.Put("victim", "doc", "xml", []byte("to be flipped")); err != nil {
 		t.Fatal(err)
 	}
+	crash(t, s)
 
 	raw, err := os.ReadFile(walPath)
 	if err != nil {
@@ -240,6 +255,7 @@ func TestStoreCorruptNewestCheckpointFallsBack(t *testing.T) {
 	if err := os.WriteFile(newest, []byte("{\"table\":\"documents\",garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	crash(t, s)
 
 	tbl2, _, rep := newDurableTable(t, dir, StoreOptions{})
 	if len(rep.SkippedCheckpoints) != 1 || rep.SkippedCheckpoints[0] != names[1] {
@@ -285,6 +301,7 @@ func TestStoreCheckpointPrunesAndCompacts(t *testing.T) {
 		t.Fatal("WAL compacted past the oldest retained checkpoint")
 	}
 	want := scanAll(tbl)
+	crash(t, s)
 	tbl2, _, _ := newDurableTable(t, dir, StoreOptions{})
 	assertSameState(t, want, scanAll(tbl2))
 }
@@ -377,6 +394,7 @@ func TestStoreConcurrentMutationsAndCheckpoints(t *testing.T) {
 	<-done
 	want := scanAll(tbl)
 
+	crash(t, s)
 	tbl2, _, rep := newDurableTable(t, dir, StoreOptions{})
 	if rep.Damaged() {
 		t.Fatalf("recovery reported damage: %s", rep.Summary())
@@ -401,6 +419,124 @@ func TestStoreSyncAndLSN(t *testing.T) {
 	}
 	if err := s.Sync(); err != ErrStoreClosed {
 		t.Fatalf("Sync after Close = %v, want ErrStoreClosed", err)
+	}
+}
+
+// TestStoreMaxBodySizedValueSurvivesRecovery round-trips the largest
+// value httpapi will accept (64 MiB) through append + crash recovery.
+// json.Marshal base64-encodes the value, inflating the WAL payload to
+// ~85.4 MiB — this is the regression test for the append bound being
+// smaller than a legal record, which acknowledged the write and then
+// quarantined it as "implausible" on the next boot.
+func TestStoreMaxBodySizedValueSurvivesRecovery(t *testing.T) {
+	const maxHTTPBody = 64 << 20 // httpapi's maxBody
+	dir := t.TempDir()
+	tbl, s, _ := newDurableTable(t, dir, StoreOptions{NoFsync: true})
+	big := bytes.Repeat([]byte{0xab}, maxHTTPBody)
+	if err := tbl.Put("doc|big", "doc", "xml", big); err != nil {
+		t.Fatalf("Put of a maxBody-sized value must be journalable: %v", err)
+	}
+	want := scanAll(tbl)
+	crash(t, s)
+
+	// Recovery must replay the large (but legal) record, not quarantine it.
+	tbl2, _, rep := newDurableTable(t, dir, StoreOptions{NoFsync: true})
+	if rep.Damaged() {
+		t.Fatalf("legal maxBody-sized record quarantined on recovery: %s", rep.Summary())
+	}
+	if rep.ReplayedRecords != 1 {
+		t.Fatalf("replayed %d records, want 1", rep.ReplayedRecords)
+	}
+	assertSameState(t, want, scanAll(tbl2))
+}
+
+// TestStoreRejectsOversizedWALRecordAtAppend: a record whose encoded
+// payload exceeds the WAL bound must fail the Put (never acked, never
+// applied) instead of being journaled and lost at the next boot.
+func TestStoreRejectsOversizedWALRecordAtAppend(t *testing.T) {
+	dir := t.TempDir()
+	tbl, s, _ := newDurableTable(t, dir, StoreOptions{NoFsync: true})
+	if err := tbl.Put("doc|ok", "doc", "xml", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	want := scanAll(tbl)
+
+	// 73 MiB raw base64-inflates past the 96 MiB payload bound.
+	huge := bytes.Repeat([]byte{0xcd}, 73<<20)
+	err := tbl.Put("doc|huge", "doc", "xml", huge)
+	if err == nil {
+		t.Fatal("oversized record was acknowledged")
+	}
+	if !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("Put error = %v, want the WAL size-limit rejection", err)
+	}
+	if _, ok := tbl.Get("doc|huge", "doc", "xml"); ok {
+		t.Fatal("rejected record reached the memstore")
+	}
+	crash(t, s)
+
+	tbl2, _, rep := newDurableTable(t, dir, StoreOptions{NoFsync: true})
+	if rep.Damaged() {
+		t.Fatalf("rejected append damaged the WAL: %s", rep.Summary())
+	}
+	assertSameState(t, want, scanAll(tbl2))
+}
+
+// TestStoreOpenRefusesLockedDataDir: two live stores on one data dir
+// would interleave appends and compactions on the same wal.log, so the
+// second Open must fail fast while the first holds the lock, and succeed
+// once it is released.
+func TestStoreOpenRefusesLockedDataDir(t *testing.T) {
+	dir := t.TempDir()
+	_, s, _ := newDurableTable(t, dir, StoreOptions{})
+	if _, _, err := Open(newTable(t, 0), dir, StoreOptions{}); err == nil {
+		t.Fatal("second Open on a locked data dir succeeded")
+	} else if !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("second Open error = %v, want the lock refusal", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := Open(newTable(t, 0), dir, StoreOptions{}); err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+}
+
+// TestStoreCheckpointOnDamagedWALKeepsAppendOffset: when compaction
+// refuses an externally damaged WAL, the append offset must be restored
+// to EOF — otherwise the next Put would overwrite framed records at the
+// spot where the compaction scan stopped.
+func TestStoreCheckpointOnDamagedWALKeepsAppendOffset(t *testing.T) {
+	dir := t.TempDir()
+	tbl, s, _ := newDurableTable(t, dir, StoreOptions{})
+	for i := 0; i < 6; i++ {
+		if err := tbl.Put(fmt.Sprintf("row-%d", i), "doc", "xml", bytes.Repeat([]byte("p"), 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walPath := filepath.Join(dir, walFileName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte early in the log so the compaction scan stops
+	// far from EOF.
+	raw[walFrameHeader+4] ^= 0x01
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := fileSize(t, walPath)
+
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint compacted a damaged WAL")
+	} else if !strings.Contains(err.Error(), "damaged") {
+		t.Fatalf("Checkpoint error = %v, want damage refusal", err)
+	}
+	if err := tbl.Put("after", "doc", "xml", []byte("appended")); err != nil {
+		t.Fatalf("Put after refused compaction: %v", err)
+	}
+	if got := fileSize(t, walPath); got <= sizeBefore {
+		t.Fatalf("WAL did not grow (size %d -> %d): append overwrote framed records mid-file", sizeBefore, got)
 	}
 }
 

@@ -28,10 +28,18 @@ import (
 // walFrameHeader is the fixed per-record prefix: length + CRC.
 const walFrameHeader = 8
 
-// maxWALRecordBytes bounds one record's payload. Documents are capped at
-// 64 MiB by httpapi; anything larger in a length field is corruption, and
-// refusing it keeps a flipped length byte from driving a giant allocation.
-const maxWALRecordBytes = 80 << 20
+// maxWALRecordBytes bounds one record's payload, enforced symmetrically:
+// encodeWALRecord rejects an oversized record before it is appended (and
+// before the mutation is acknowledged), and scanWAL treats an oversized
+// length field as corruption, keeping a flipped length byte from driving
+// a giant allocation. The bound must exceed the largest payload a legal
+// mutation can produce: httpapi caps documents at 64 MiB, json.Marshal
+// base64-encodes walRec.Value (4/3 inflation, ~85.4 MiB), and the other
+// JSON fields add a small envelope on top — so 96 MiB with headroom. If
+// the append-side bound were smaller than a legal record, the write would
+// be acknowledged and then quarantined as "implausible" on the next boot,
+// silently losing durable data.
+const maxWALRecordBytes = 96 << 20
 
 // WAL record operations.
 const (
@@ -77,6 +85,11 @@ func encodeWALRecord(rec walRec) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return nil, fmt.Errorf("pool: encoding WAL record: %w", err)
+	}
+	if len(payload) > maxWALRecordBytes {
+		// Reject before the append: a record the scanner would refuse to
+		// read back must never be acknowledged as durable.
+		return nil, fmt.Errorf("pool: WAL record payload is %d bytes, above the %d-byte limit", len(payload), maxWALRecordBytes)
 	}
 	buf := make([]byte, walFrameHeader+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))

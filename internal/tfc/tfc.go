@@ -83,11 +83,15 @@ type Server struct {
 	// Clock supplies timestamps; it defaults to time.Now and is injectable
 	// for deterministic tests.
 	Clock func() time.Time
-	// OnRecord, when non-nil, is called once for every appended
-	// ForwardRecord, outside the server's lock — the journaling hook
-	// cmd/dratfc uses to persist the forwarding log (and the replay guard
-	// it implies) across restarts.
-	OnRecord func(ForwardRecord)
+	// OnRecord, when non-nil, is called once for every ForwardRecord,
+	// outside the server's lock and before the record is appended or the
+	// outcome returned — the journaling hook cmd/dratfc uses to persist
+	// the forwarding log (and the replay guard it implies) across
+	// restarts. A non-nil error fails the whole Process call: the caller
+	// never sees an acknowledged outcome whose record is not durable, and
+	// the replay guard for the intermediate is disarmed so the client can
+	// retry once persistence recovers.
+	OnRecord func(ForwardRecord) error
 
 	mu      sync.Mutex
 	seen    map[string]bool
@@ -277,12 +281,22 @@ func (s *Server) Process(doc *document.Document) (*Outcome, error) {
 		Next:        next,
 		Size:        work.Size(),
 	}
+	// Journal before the in-memory append: the record must be durable (per
+	// the hook's policy) before the process response is acknowledged. On
+	// failure the replay guard is disarmed again — after a restart the
+	// unpersisted record would not re-arm it anyway, so keeping it armed
+	// in memory would only block a legitimate retry until then.
+	if s.OnRecord != nil {
+		if err := s.OnRecord(rec); err != nil {
+			s.mu.Lock()
+			delete(s.seen, key)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("tfc: persisting forwarding record for %s: %w", key, err)
+		}
+	}
 	s.mu.Lock()
 	s.records = append(s.records, rec)
 	s.mu.Unlock()
-	if s.OnRecord != nil {
-		s.OnRecord(rec)
-	}
 	return out, nil
 }
 

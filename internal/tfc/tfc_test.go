@@ -144,6 +144,47 @@ func TestForwardRecords(t *testing.T) {
 	}
 }
 
+// TestOnRecordFailureFailsProcess: a forwarding-record persistence
+// failure must fail the whole Process call — the contract is "journaled
+// before the process response is acknowledged" — and disarm the replay
+// guard so the client can retry once persistence recovers.
+func TestOnRecordFailureFailsProcess(t *testing.T) {
+	f := newFig9B(t)
+	persistErr := errors.New("journal unavailable")
+	f.server.OnRecord = func(ForwardRecord) error { return persistErr }
+
+	interm, err := f.agents["A"].ExecuteToTFC(f.doc, "A", aea.Inputs{"request": "req"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.server.Process(interm); !errors.Is(err, persistErr) {
+		t.Fatalf("Process with failing journal = %v, want wrapped persistErr", err)
+	}
+	if got := f.server.Records(); len(got) != 0 {
+		t.Fatalf("unjournaled record appended to the in-memory log: %v", got)
+	}
+
+	// Persistence recovers: the same intermediate must be retryable (the
+	// failed attempt must not have armed the replay guard) and journaled
+	// exactly once.
+	var journaled []ForwardRecord
+	f.server.OnRecord = func(r ForwardRecord) error { journaled = append(journaled, r); return nil }
+	if _, err := f.server.Process(interm); err != nil {
+		t.Fatalf("retry after journal recovery: %v", err)
+	}
+	if len(journaled) != 1 || journaled[0].Activity != "A" {
+		t.Fatalf("journaled records = %+v, want exactly the retried A record", journaled)
+	}
+	if len(f.server.Records()) != 1 {
+		t.Fatalf("in-memory log holds %d records, want 1", len(f.server.Records()))
+	}
+
+	// And the successful retry must arm the guard.
+	if _, err := f.server.Process(interm); !errors.Is(err, ErrReplay) {
+		t.Fatalf("second retry = %v, want ErrReplay", err)
+	}
+}
+
 func TestFig4ConcealedRouting(t *testing.T) {
 	env := testenv.Fig4(0)
 	def := wfdef.Fig4()
