@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench benchsmoke faults crash smoke
+.PHONY: check fmt vet lint build test race bench benchsmoke faults crash smoke ratchet
 
 # check is the CI gate: formatting, static analysis (go vet plus the
 # repo's own dralint rules), build, the benchmark smoke run for the
@@ -18,9 +18,17 @@ crash:
 
 # smoke boots a real draportal with a durable data dir, waits for
 # /v1/readyz, and asserts SIGTERM drains cleanly (exit 0) and writes a
-# final checkpoint.
+# final checkpoint, then drives a workflow step and asserts the trace
+# ring exposes a multi-tier trace at /v1/traces.
 smoke:
 	./scripts/probe_smoke.sh
+
+# ratchet compares the two newest BENCH_<n>.json trajectories in the
+# repo root and fails on >10% regressions in the recorded α/β/γ timings
+# (record runs with `drabench -json`). CI runs the same comparator on
+# two fresh scratch runs with a looser threshold.
+ratchet:
+	$(GO) run ./cmd/drabench -compare
 
 # benchsmoke compiles and runs every dsig/xmltree benchmark once, so the
 # fast-path benchmarks (BenchmarkVerifyAll, BenchmarkCanonicalMemo) cannot

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dra4wfms/internal/bench"
+)
+
+// writeBenchFile marshals traj to dir/BENCH_<n>.json.
+func writeBenchFile(t *testing.T, dir string, n int, traj *trajectory) {
+	t.Helper()
+	data, err := json.Marshal(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "BENCH_"+itoa(n)+".json")
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func sampleTrajectory(alpha time.Duration, sigma int) *trajectory {
+	return &trajectory{
+		Bits: 2048, Reps: 1, Experiment: "table1",
+		Table1: []bench.Table1Row{
+			{Doc: "X_A(0)", SigsVerified: 1, CERs: 1, Alpha: alpha, Beta: 2 * alpha, Sigma: sigma},
+		},
+		Cascade: []bench.CascadeRow{
+			{CERs: 4, VerifyTime: 40 * time.Millisecond, WarmVerifyTime: 4 * time.Millisecond, ScopeTime: time.Millisecond},
+		},
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := sampleTrajectory(100*time.Millisecond, 1000)
+	cand := sampleTrajectory(150*time.Millisecond, 1000) // 50% slower
+
+	report, regressions := compareTrajectories(base, cand, 0.10, 5*time.Millisecond)
+	if regressions == 0 {
+		t.Fatalf("50%% slowdown not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("report missing REGRESSION marker:\n%s", report)
+	}
+	if !strings.Contains(report, "table1/X_A(0)/alpha") {
+		t.Fatalf("report missing metric name:\n%s", report)
+	}
+
+	// Within threshold: clean.
+	cand2 := sampleTrajectory(105*time.Millisecond, 1000) // 5% slower
+	report, regressions = compareTrajectories(base, cand2, 0.10, 5*time.Millisecond)
+	if regressions != 0 {
+		t.Fatalf("5%% slowdown flagged at a 10%% threshold:\n%s", report)
+	}
+}
+
+func TestCompareFloorDampsNoise(t *testing.T) {
+	// 100µs → 200µs is +100%, but both sit below the 5ms floor: noise.
+	base := sampleTrajectory(100*time.Microsecond, 1000)
+	cand := sampleTrajectory(200*time.Microsecond, 1000)
+	report, regressions := compareTrajectories(base, cand, 0.10, 5*time.Millisecond)
+	if regressions != 0 {
+		t.Fatalf("sub-floor delta flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "below floor") {
+		t.Fatalf("report missing the noise annotation:\n%s", report)
+	}
+
+	// Document sizes are deterministic: growth counts even below any floor.
+	cand2 := sampleTrajectory(100*time.Microsecond, 2000)
+	_, regressions = compareTrajectories(base, cand2, 0.10, 5*time.Millisecond)
+	if regressions == 0 {
+		t.Fatal("doubled document size not flagged (sizes must ignore the noise floor)")
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	// Fewer than two trajectories: nothing to compare, exit 0.
+	if code := runCompare(dir, 0.10, 5*time.Millisecond); code != 0 {
+		t.Fatalf("empty dir exit = %d, want 0", code)
+	}
+	writeBenchFile(t, dir, 1, sampleTrajectory(100*time.Millisecond, 1000))
+	if code := runCompare(dir, 0.10, 5*time.Millisecond); code != 0 {
+		t.Fatalf("single-file exit = %d, want 0", code)
+	}
+
+	// Two files, newest regressed: exit 1; the two HIGHEST-numbered files
+	// are chosen (the clean n=2 run must be skipped as stale).
+	writeBenchFile(t, dir, 2, sampleTrajectory(90*time.Millisecond, 1000))
+	writeBenchFile(t, dir, 3, sampleTrajectory(10*time.Millisecond, 1000))
+	writeBenchFile(t, dir, 10, sampleTrajectory(200*time.Millisecond, 1000))
+	if code := runCompare(dir, 0.10, 5*time.Millisecond); code != 1 {
+		t.Fatalf("regressed candidate exit = %d, want 1", code)
+	}
+
+	// Newest now improves on its baseline: exit 0 again.
+	writeBenchFile(t, dir, 11, sampleTrajectory(20*time.Millisecond, 1000))
+	if code := runCompare(dir, 0.10, 5*time.Millisecond); code != 0 {
+		t.Fatalf("improved candidate exit = %d, want 0", code)
+	}
+
+	// Corrupt candidate: I/O error, exit 2.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_12.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare(dir, 0.10, 5*time.Millisecond); code != 2 {
+		t.Fatalf("corrupt candidate exit = %d, want 2", code)
+	}
+}

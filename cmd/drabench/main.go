@@ -10,6 +10,7 @@
 //	drabench [-experiment all|table1|table2|cascade|verifycache|elementwise|
 //	          multirecipient|tfc|scalability|dos|engine|poolscale|pool|faults]
 //	         [-bits 2048] [-reps 5] [-json] [-faults]
+//	drabench -compare [-bench-dir DIR] [-threshold 0.10] [-floor 5ms]
 //
 // After the experiments it prints the run's telemetry — crypto op counts
 // and latency histograms accumulated by the instrumented packages — as a
@@ -41,9 +42,16 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions to average over (tables)")
 	jsonOut := flag.Bool("json", false, "emit the closing telemetry snapshot as JSON on stdout (tables move to stderr)")
 	faultsOnly := flag.Bool("faults", false, "shorthand for -experiment faults")
+	compare := flag.Bool("compare", false, "compare the two newest BENCH_<n>.json trajectories instead of running experiments; exits 1 on regression")
+	benchDir := flag.String("bench-dir", ".", "directory holding the BENCH_<n>.json trajectories (-compare)")
+	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression (-compare; 0.10 = 10%)")
+	floor := flag.Duration("floor", 5*time.Millisecond, "ignore regressions whose absolute times are both below this (-compare noise damping)")
 	flag.Parse()
 	if *faultsOnly {
 		*experiment = "faults"
+	}
+	if *compare {
+		os.Exit(runCompare(*benchDir, *threshold, *floor))
 	}
 
 	// With -json, stdout must stay machine-readable: divert the human

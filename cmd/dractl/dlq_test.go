@@ -37,11 +37,11 @@ func TestDLQListAndRequeue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	live, _, err := ob.Append("http://portal.example", "store", "key-live", []byte("<doc/>"))
+	live, _, err := ob.Append("http://portal.example", "store", "key-live", "", []byte("<doc/>"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	dead, _, err := ob.Append("http://tfc.example", "process", "key-dead", []byte("<doc2/>"))
+	dead, _, err := ob.Append("http://tfc.example", "process", "key-dead", "", []byte("<doc2/>"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestDLQDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, _, err := ob.Append("http://portal.example", "store", "k", []byte("x"))
+	e, _, err := ob.Append("http://portal.example", "store", "k", "", []byte("x"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 //	dractl scope   FILE.xml CER-ID
 //	dractl cers    FILE.xml
 //	dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b] [-out FILE]
+//	dractl trace   TRACE-ID|PROCESS-ID [-portal URL] [-tfc URL] [-json]
 //	dractl metrics [-url URL] [-filter PREFIX] [-raw]
 //	dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
 //	dractl snapshot save -data-dir DIR -out FILE | restore -data-dir DIR -in FILE | inspect FILE
@@ -52,6 +53,8 @@ func main() {
 		cmdCERs(os.Args[2:])
 	case "remote":
 		cmdRemote(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
 	case "metrics":
 		cmdMetrics(os.Args[2:])
 	case "dlq":
@@ -80,6 +83,7 @@ func usage() {
   dractl scope   FILE.xml CER-ID
   dractl cers    FILE.xml
   dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b]
+  dractl trace   TRACE-ID|PROCESS-ID [-portal URL] [-tfc URL] [-json]
   dractl metrics [-url URL] [-filter PREFIX] [-raw]
   dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
   dractl snapshot save -data-dir DIR -out FILE | restore -data-dir DIR -in FILE | inspect FILE

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -12,6 +13,7 @@ import (
 	"dra4wfms/internal/document"
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/pki"
+	"dra4wfms/internal/trace"
 	"dra4wfms/internal/wfdef"
 	"dra4wfms/internal/xmlenc"
 )
@@ -84,12 +86,20 @@ func cmdRemote(args []string) {
 	}
 	pid := doc.ProcessID()
 
+	// The drive is the trace root: every HTTP hop below carries its
+	// traceparent, so the whole cascade lands under one trace ID that
+	// `dractl trace` can assemble afterwards.
+	ctx, rootSpan := trace.Default().StartRoot(context.Background(), "client", "client_remote_drive_seconds")
+	rootSpan.SetAttr("workflow", *workflow)
+	defer rootSpan.End()
+	traceID := rootSpan.Context().TraceID.String()
+
 	designerClient := httpapi.NewClient(*portalURL, designerKeys)
-	notes, err := designerClient.StoreInitial(doc)
+	notes, err := designerClient.StoreInitialCtx(ctx, doc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("started %s; notified %v\n", pid, notes)
+	fmt.Printf("started %s (trace %s); notified %v\n", pid, traceID, notes)
 
 	inputs := map[string]aea.Inputs{
 		"A":  {"request": "purchase 10 servers", "attachment": "quote.pdf"},
@@ -110,7 +120,7 @@ func cmdRemote(args []string) {
 		}
 		fmt.Printf("[%s] %s worklist: %d item(s)\n", act, participant, len(items))
 
-		cur, err := cli.Retrieve(pid)
+		cur, err := cli.RetrieveCtx(ctx, pid)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -121,12 +131,12 @@ func cmdRemote(args []string) {
 				log.Fatal(err)
 			}
 			tfcClient := httpapi.NewClient(*tfcURL, keys)
-			pr, outDoc, err := tfcClient.ProcessViaTFC(interm)
+			pr, outDoc, err := tfcClient.ProcessViaTFCCtx(ctx, interm)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("[%s] TFC stamped %s, routed to %v\n", act, pr.Timestamp.Format(time.RFC3339), pr.Next)
-			if _, err := cli.Store(outDoc); err != nil {
+			if _, err := cli.StoreCtx(ctx, outDoc); err != nil {
 				log.Fatal(err)
 			}
 		} else {
@@ -135,7 +145,7 @@ func cmdRemote(args []string) {
 				log.Fatal(err)
 			}
 			fmt.Printf("[%s] routed to %v\n", act, out.Next)
-			if _, err := cli.Store(out.Doc); err != nil {
+			if _, err := cli.StoreCtx(ctx, out.Doc); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -155,6 +165,7 @@ func cmdRemote(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("retrieved final document: %d bytes, %d signatures verify\n", final.Size(), n)
+	fmt.Printf("inspect the cascade: dractl trace %s -portal %s -tfc %s\n", traceID, *portalURL, *tfcURL)
 	if *out != "" {
 		if err := os.WriteFile(*out, final.Bytes(), 0o644); err != nil {
 			log.Fatal(err)

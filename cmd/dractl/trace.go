@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dra4wfms/internal/httpapi"
+	"dra4wfms/internal/trace"
+)
+
+// cmdTrace fetches the span rings of the portal and (optionally) TFC
+// tiers, merges the spans of one distributed trace, and renders the
+// assembled tree as a waterfall with per-tier timing attribution. The
+// argument may be a 32-hex trace ID or a workflow instance (process) ID;
+// the latter is resolved through the portal's instance→trace binding.
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	portalURL := fs.String("portal", "http://localhost:8080", "portal base URL")
+	tfcURL := fs.String("tfc", "", "TFC base URL; empty skips the TFC tier")
+	jsonOut := fs.Bool("json", false, "print the merged spans as JSON instead of a waterfall")
+	// Flags are accepted on either side of the positional ID (flag.Parse
+	// stops at the first non-flag argument, so the remainder is re-parsed
+	// after peeling the ID off).
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		log.Fatal("usage: dractl trace <trace-id|process-id> [-portal URL] [-tfc URL] [-json]")
+	}
+	id := rest[0]
+	fs.Parse(rest[1:])
+	if fs.NArg() != 0 {
+		log.Fatal("usage: dractl trace <trace-id|process-id> [-portal URL] [-tfc URL] [-json]")
+	}
+
+	portalClient := httpapi.NewClient(*portalURL, nil)
+	traceID := id
+	if !isHexTraceID(id) {
+		// Not a trace ID: resolve as a workflow instance through the
+		// portal's bindings.
+		all, err := portalClient.Traces("")
+		if err != nil {
+			log.Fatalf("fetching portal bindings: %v", err)
+		}
+		tid, ok := all.Bindings[id]
+		if !ok {
+			log.Fatalf("%q is neither a 32-hex trace ID nor a process ID the portal has a trace binding for", id)
+		}
+		traceID = tid
+	}
+
+	spans := fetchTier(portalClient, "portal", traceID)
+	if *tfcURL != "" {
+		spans = append(spans, fetchTier(httpapi.NewClient(*tfcURL, nil), "tfc", traceID)...)
+	}
+	if len(spans) == 0 {
+		log.Fatalf("no spans recorded for trace %s (ring evicted, unsampled, or wrong servers?)", traceID)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spans); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	trace.Waterfall(os.Stdout, trace.Assemble(spans))
+}
+
+// fetchTier pulls one service's spans for the trace; a tier being down is
+// reported but not fatal, so a partial waterfall still renders.
+func fetchTier(c *httpapi.Client, label, traceID string) []trace.FinishedSpan {
+	resp, err := c.Traces(traceID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dractl: warning: fetching %s spans: %v\n", label, err)
+		return nil
+	}
+	return resp.Spans
+}
+
+// isHexTraceID reports whether s looks like a 128-bit trace ID.
+func isHexTraceID(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

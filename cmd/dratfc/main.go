@@ -36,6 +36,7 @@ import (
 	"dra4wfms/internal/pool"
 	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/tfc"
+	"dra4wfms/internal/trace"
 )
 
 // The persisted forwarding log lives in one durable pool table: one row
@@ -76,9 +77,25 @@ func main() {
 	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
 	verifyWorkers := flag.Int("verify-workers", 0, "max concurrent signature verifications per document (0 = all cores, 1 = serial)")
 	verifyCache := flag.Int("verify-cache", dsig.DefaultCacheSize, "verified-prefix cache entries (0 disables the cache)")
+	traceOut := flag.String("trace-out", "", "append finished trace spans to this file as JSONL (empty disables the export; GET /v1/traces always serves the in-memory ring)")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of locally rooted traces to record, 0..1; hops continuing an inbound traceparent honor its sampled flag instead")
 	flag.Parse()
 
 	dsig.Configure(*verifyWorkers, *verifyCache)
+	if *traceSample < 1 {
+		trace.Default().SetSampler(trace.RatioSample(*traceSample))
+		log.Printf("sampling %.0f%% of trace roots", *traceSample*100)
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening -trace-out: %v", err)
+		}
+		traceFile = f
+		trace.Default().SetOutput(f)
+		log.Printf("exporting trace spans to %s", *traceOut)
+	}
 	if *slowOps > 0 {
 		telemetry.Default().SetSlowOpThreshold(*slowOps)
 		telemetry.Default().SetSlowOpLogger(log.Default())
@@ -198,6 +215,12 @@ func main() {
 			log.Fatalf("final checkpoint: %v", err)
 		}
 		log.Printf("final checkpoint written to %s", store.Dir())
+	}
+	if traceFile != nil {
+		trace.Default().SetOutput(nil)
+		if err := traceFile.Close(); err != nil {
+			log.Printf("closing trace export: %v", err)
+		}
 	}
 	log.Print("shutdown complete")
 }

@@ -24,6 +24,7 @@
 package aea
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -116,10 +117,20 @@ type Session struct {
 // Open verifies the received document and prepares the participant's view
 // (the paper's α phase: decrypt cipher data and verify digital signatures).
 func (a *AEA) Open(doc *document.Document, activityID string) (*Session, error) {
-	defer tel.StartSpan("aea_open_seconds").End()
+	return a.OpenCtx(context.Background(), doc, activityID)
+}
+
+// OpenCtx is Open carrying the caller's trace context: inside a sampled
+// distributed trace the verify and decrypt phases land as aea-tier
+// spans.
+func (a *AEA) OpenCtx(ctx context.Context, doc *document.Document, activityID string) (*Session, error) {
+	ctx, span := tel.StartSpanCtx(ctx, "aea_open_seconds")
+	defer span.End()
+	span.Trace().SetAttr("process", doc.ProcessID())
+	span.Trace().SetAttr("activity", activityID)
 	work := doc.Clone()
-	verifySpan := tel.StartSpan("aea_verify_cascade_seconds")
-	nsigs, err := work.VerifyAll(a.Registry)
+	vctx, verifySpan := tel.StartSpanCtx(ctx, "aea_verify_cascade_seconds")
+	nsigs, err := work.VerifyAllCtx(vctx, a.Registry)
 	verifySpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("aea: document verification failed after %d valid signatures: %w", nsigs, err)
@@ -165,7 +176,7 @@ func (a *AEA) Open(doc *document.Document, activityID string) (*Session, error) 
 	}
 
 	view := work.Clone()
-	decryptSpan := tel.StartSpan("aea_decrypt_view_seconds")
+	_, decryptSpan := tel.StartSpanCtx(ctx, "aea_decrypt_view_seconds")
 	ndec, err := xmlenc.DecryptVisible(view.Root, a.Keys)
 	decryptSpan.End()
 	if err != nil {
@@ -224,7 +235,16 @@ type Outcome struct {
 // inputs, element-wise encrypt them per the security policy, decide the
 // routing, and append the cascade-signed CER.
 func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
-	defer tel.StartSpan("aea_complete_seconds").End()
+	return s.CompleteCtx(context.Background(), inputs, now)
+}
+
+// CompleteCtx is Complete carrying the caller's trace context (see
+// AEA.OpenCtx).
+func (s *Session) CompleteCtx(ctx context.Context, inputs Inputs, now time.Time) (*Outcome, error) {
+	ctx, span := tel.StartSpanCtx(ctx, "aea_complete_seconds")
+	defer span.End()
+	span.Trace().SetAttr("process", s.work.ProcessID())
+	span.Trace().SetAttr("activity", s.act.ID)
 	if s.def.Policy.ConcealFlow {
 		return nil, ErrAdvancedRequired
 	}
@@ -235,7 +255,7 @@ func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	encryptSpan := tel.StartSpan("aea_encrypt_result_seconds")
+	_, encryptSpan := tel.StartSpanCtx(ctx, "aea_encrypt_result_seconds")
 	fields, err := secpol.EncryptFields(s.def, s.aea.Registry, s.act.ID, s.iter, inputs)
 	encryptSpan.End()
 	if err != nil {
@@ -245,7 +265,7 @@ func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	signSpan := tel.StartSpan("aea_sign_seconds")
+	_, signSpan := tel.StartSpanCtx(ctx, "aea_sign_seconds")
 	cer, err := s.work.AppendCER(document.AppendSpec{
 		ActivityID:     s.act.ID,
 		Iteration:      s.iter,
@@ -280,7 +300,16 @@ func (s *Session) Complete(inputs Inputs, now time.Time) (*Outcome, error) {
 // returned document must be sent to the TFC for policy encryption,
 // timestamping and forwarding.
 func (s *Session) CompleteToTFC(inputs Inputs) (*document.Document, error) {
-	defer tel.StartSpan("aea_complete_tfc_seconds").End()
+	return s.CompleteToTFCCtx(context.Background(), inputs)
+}
+
+// CompleteToTFCCtx is CompleteToTFC carrying the caller's trace context
+// (see AEA.OpenCtx).
+func (s *Session) CompleteToTFCCtx(ctx context.Context, inputs Inputs) (*document.Document, error) {
+	ctx, span := tel.StartSpanCtx(ctx, "aea_complete_tfc_seconds")
+	defer span.End()
+	span.Trace().SetAttr("process", s.work.ProcessID())
+	span.Trace().SetAttr("activity", s.act.ID)
 	tfcID := s.def.TFCFor(s.act.ID)
 	if tfcID == "" {
 		return nil, errors.New("aea: definition names no TFC server")
@@ -310,7 +339,7 @@ func (s *Session) CompleteToTFC(inputs Inputs) (*document.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	signSpan := tel.StartSpan("aea_sign_seconds")
+	_, signSpan := tel.StartSpanCtx(ctx, "aea_sign_seconds")
 	_, err = s.work.AppendCER(document.AppendSpec{
 		ActivityID:     s.act.ID,
 		Iteration:      s.iter,
@@ -331,20 +360,30 @@ func (s *Session) CompleteToTFC(inputs Inputs) (*document.Document, error) {
 
 // Execute is the one-shot convenience: Open followed by Complete.
 func (a *AEA) Execute(doc *document.Document, activityID string, inputs Inputs, now time.Time) (*Outcome, error) {
-	s, err := a.Open(doc, activityID)
+	return a.ExecuteCtx(context.Background(), doc, activityID, inputs, now)
+}
+
+// ExecuteCtx is Execute carrying the caller's trace context.
+func (a *AEA) ExecuteCtx(ctx context.Context, doc *document.Document, activityID string, inputs Inputs, now time.Time) (*Outcome, error) {
+	s, err := a.OpenCtx(ctx, doc, activityID)
 	if err != nil {
 		return nil, err
 	}
-	return s.Complete(inputs, now)
+	return s.CompleteCtx(ctx, inputs, now)
 }
 
 // ExecuteToTFC is the one-shot convenience for the advanced model.
 func (a *AEA) ExecuteToTFC(doc *document.Document, activityID string, inputs Inputs) (*document.Document, error) {
-	s, err := a.Open(doc, activityID)
+	return a.ExecuteToTFCCtx(context.Background(), doc, activityID, inputs)
+}
+
+// ExecuteToTFCCtx is ExecuteToTFC carrying the caller's trace context.
+func (a *AEA) ExecuteToTFCCtx(ctx context.Context, doc *document.Document, activityID string, inputs Inputs) (*document.Document, error) {
+	s, err := a.OpenCtx(ctx, doc, activityID)
 	if err != nil {
 		return nil, err
 	}
-	return s.CompleteToTFC(inputs)
+	return s.CompleteToTFCCtx(ctx, inputs)
 }
 
 func (s *Session) validateInputs(inputs Inputs) error {

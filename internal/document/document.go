@@ -23,6 +23,7 @@
 package document
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -475,6 +476,13 @@ func (d *Document) VerifyAll(resolver dsig.KeyResolver) (int, error) {
 	return d.VerifyAllWith(dsig.DefaultVerifier(), resolver)
 }
 
+// VerifyAllCtx is VerifyAll carrying the caller's trace context, so the
+// signature-cascade verification shows up as a dsig-tier span inside a
+// sampled distributed trace.
+func (d *Document) VerifyAllCtx(ctx context.Context, resolver dsig.KeyResolver) (int, error) {
+	return d.verifyAllWithCtx(ctx, dsig.DefaultVerifier(), resolver)
+}
+
 // VerifyAllWith is VerifyAll with an explicit verifier, letting callers
 // (benchmarks, ablations, servers with custom knobs) pick the worker count
 // and prefix cache instead of the process-wide default.
@@ -484,6 +492,10 @@ func (d *Document) VerifyAll(resolver dsig.KeyResolver) (int, error) {
 // returned count is the number of signatures that did verify (it excludes
 // the failing one).
 func (d *Document) VerifyAllWith(v *dsig.Verifier, resolver dsig.KeyResolver) (int, error) {
+	return d.verifyAllWithCtx(context.Background(), v, resolver)
+}
+
+func (d *Document) verifyAllWithCtx(ctx context.Context, v *dsig.Verifier, resolver dsig.KeyResolver) (int, error) {
 	ds := d.DesignerSignature()
 	if ds == nil {
 		return 0, errors.New("document: missing designer signature")
@@ -527,7 +539,7 @@ func (d *Document) VerifyAllWith(v *dsig.Verifier, resolver dsig.KeyResolver) (i
 		}
 		sigs = append(sigs, sig)
 	}
-	n, idx, err := v.VerifyBatch(d.Root, sigs, resolver)
+	n, idx, err := v.VerifyBatchCtx(ctx, d.Root, sigs, resolver)
 	if err != nil {
 		if idx == 0 {
 			return n, fmt.Errorf("document: designer signature: %w", err)

@@ -31,6 +31,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -231,8 +232,15 @@ func Configure(workers, cacheSize int) {
 // that verified; on failure that count excludes the failing signature, and
 // the error names the failing signature's Id.
 func (v *Verifier) VerifyAll(root, container *xmltree.Node, resolver KeyResolver) (int, error) {
+	return v.VerifyAllCtx(context.Background(), root, container, resolver)
+}
+
+// VerifyAllCtx is VerifyAll carrying the caller's trace context: inside
+// a sampled distributed trace the batch verification lands as a
+// dsig-tier span — the RSA wall of the paper's α column, attributed.
+func (v *Verifier) VerifyAllCtx(ctx context.Context, root, container *xmltree.Node, resolver KeyResolver) (int, error) {
 	sigs := container.FindAll(SignatureElem)
-	n, idx, err := v.VerifyBatch(root, sigs, resolver)
+	n, idx, err := v.VerifyBatchCtx(ctx, root, sigs, resolver)
 	if err != nil {
 		return n, fmt.Errorf("signature %s: %w", sigLabel(sigs[idx], idx), err)
 	}
@@ -254,11 +262,18 @@ func sigLabel(sig *xmltree.Node, idx int) string {
 // the index of the failing signature (the lowest failing index when several
 // fail) so callers can attribute the error; failedIdx is -1 on success.
 func (v *Verifier) VerifyBatch(root *xmltree.Node, sigs []*xmltree.Node, resolver KeyResolver) (verified int, failedIdx int, err error) {
+	return v.VerifyBatchCtx(context.Background(), root, sigs, resolver)
+}
+
+// VerifyBatchCtx is VerifyBatch carrying the caller's trace context
+// (see VerifyAllCtx).
+func (v *Verifier) VerifyBatchCtx(tctx context.Context, root *xmltree.Node, sigs []*xmltree.Node, resolver KeyResolver) (verified int, failedIdx int, err error) {
 	if len(sigs) == 0 {
 		return 0, -1, nil
 	}
-	span := telemetry.Default().StartSpan("dsig_verify_all_seconds")
+	_, span := telemetry.Default().StartSpanCtx(tctx, "dsig_verify_all_seconds")
 	defer span.End()
+	span.Trace().SetAttr("sigs", strconv.Itoa(len(sigs)))
 
 	ix := newDigestIndex(root)
 	workers := v.Workers

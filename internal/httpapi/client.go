@@ -16,6 +16,7 @@ import (
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/portal"
 	"dra4wfms/internal/tfc"
+	"dra4wfms/internal/trace"
 	"dra4wfms/internal/wfdef"
 	"dra4wfms/internal/xmltree"
 )
@@ -69,6 +70,11 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) (*
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", ContentXML)
+	}
+	// Propagate the caller's trace context (if any) so the server joins
+	// the same trace instead of rooting a new one.
+	if tp := trace.TraceparentFromContext(ctx); tp != "" {
+		req.Header.Set(TraceparentHeader, tp)
 	}
 	clock := c.Clock
 	if clock == nil {
@@ -304,6 +310,52 @@ func (c *Client) Metrics() (string, error) {
 		return "", fmt.Errorf("httpapi: GET /v1/metrics: %s: %s", resp.Status, bytes.TrimSpace(body))
 	}
 	return string(body), nil
+}
+
+// Traces fetches the service's span ring, filtered to one trace when
+// traceID is non-empty. Like Metrics, the endpoint is unauthenticated,
+// so the plain GET works without Keys — dractl trace uses it to pull
+// spans from every tier.
+func (c *Client) Traces(traceID string) (*TracesResponse, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	path := "/v1/traces"
+	if traceID != "" {
+		path += "?trace=" + url.QueryEscape(traceID)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: GET /v1/traces: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var tr TracesResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return nil, fmt.Errorf("httpapi: decoding traces: %w", err)
+	}
+	return &tr, nil
 }
 
 // TFCRecords fetches the TFC forwarding log (optionally for one process).

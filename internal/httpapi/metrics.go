@@ -1,11 +1,13 @@
 package httpapi
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 
 	"dra4wfms/internal/telemetry"
+	"dra4wfms/internal/trace"
 )
 
 // Runtime telemetry: every route registered through instrument records a
@@ -22,6 +24,13 @@ var (
 // MetricsContentType is the Prometheus text exposition content type
 // served by GET /v1/metrics.
 const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// TraceparentHeader carries trace context across HTTP hops in the W3C
+// trace-context format (version 00): 00-<traceid>-<spanid>-<flags>.
+// It is deliberately excluded from request signatures (auth.go signs
+// method, path, date, nonce, and body only), so intermediaries and
+// retries may rewrite the span ID without invalidating the request.
+const TraceparentHeader = "traceparent"
 
 // statusWriter captures the response status for the request counter.
 type statusWriter struct {
@@ -44,9 +53,25 @@ func instrument(route string, next http.HandlerFunc) http.HandlerFunc {
 	bodyBytes := tel.Counter("http_request_body_bytes_total", "route", route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// A valid inbound traceparent makes this request a mid-trace hop:
+		// continue that trace, honoring its sampled flag. Otherwise this
+		// server is the trace root and samples exactly once, here.
+		ctx := r.Context()
+		var tspan *trace.Span
+		if sc, ok := trace.ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+			ctx = trace.ContextWith(ctx, sc)
+			ctx, tspan = trace.Default().StartSpan(ctx, "http_request_seconds")
+		} else {
+			ctx, tspan = trace.Default().StartRoot(ctx, "http", "http_request_seconds")
+		}
+		tspan.SetAttr("route", route)
 		span := tel.StartSpan("http_request_seconds", "route", route)
-		next(sw, r)
+		next(sw, r.WithContext(ctx))
 		span.End()
+		if sw.status >= 400 {
+			tspan.SetStatus(fmt.Sprintf("http %d", sw.status))
+		}
+		tspan.End()
 		tel.Counter("http_requests_total", "route", route, "code", fmt.Sprintf("%dxx", sw.status/100)).Inc()
 		if r.ContentLength > 0 {
 			bodyBytes.Add(r.ContentLength)
@@ -63,11 +88,53 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = telemetry.Default().WritePrometheus(w)
 }
 
-// registerObservability wires GET /v1/metrics, the lifecycle probes
-// (GET /v1/healthz, GET /v1/readyz) and, when pprof is enabled, the
-// /debug/pprof/* handlers onto mux.
+// TracesResponse is the JSON envelope of GET /v1/traces.
+type TracesResponse struct {
+	// TraceID echoes the resolved trace filter (set when ?trace= was
+	// given or ?process= resolved through an instance binding).
+	TraceID string `json:"trace_id,omitempty"`
+	// Bindings maps workflow instance IDs to trace IDs; present only on
+	// unfiltered listings.
+	Bindings map[string]string `json:"bindings,omitempty"`
+	// Spans are the finished spans, oldest first.
+	Spans []trace.FinishedSpan `json:"spans"`
+}
+
+// handleTraces serves the process-local span ring. Query parameters:
+// ?trace=<32 hex> filters to one trace; ?process=<instance id> resolves
+// through the portal's instance→trace binding first. Unauthenticated for
+// the same reason as /v1/metrics: spans hold timing and identifiers,
+// never document contents.
+func handleTraces(w http.ResponseWriter, r *http.Request) {
+	col := trace.Default()
+	var resp TracesResponse
+	q := r.URL.Query()
+	switch {
+	case q.Get("trace") != "":
+		resp.TraceID = q.Get("trace")
+	case q.Get("process") != "":
+		tid, ok := col.InstanceTrace(q.Get("process"))
+		if !ok {
+			http.Error(w, "no trace bound to process "+q.Get("process"), http.StatusNotFound)
+			return
+		}
+		resp.TraceID = tid
+	default:
+		resp.Bindings = col.Bindings()
+	}
+	resp.Spans = col.Spans(resp.TraceID)
+	w.Header().Set("Content-Type", ContentJSON)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// registerObservability wires GET /v1/metrics, GET /v1/traces, the
+// lifecycle probes (GET /v1/healthz, GET /v1/readyz) and, when pprof is
+// enabled, the /debug/pprof/* handlers onto mux.
 func registerObservability(mux *http.ServeMux, enablePprof bool, probes *Probes) {
 	mux.HandleFunc("GET /v1/metrics", handleMetrics)
+	mux.HandleFunc("GET /v1/traces", handleTraces)
 	mux.HandleFunc("GET /v1/healthz", handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", readyzHandler(probes))
 	if enablePprof {

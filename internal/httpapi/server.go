@@ -79,6 +79,7 @@ func (s *PortalServer) EnableWebhooksAt(keys *pki.KeyPair, walPath string) *Webh
 	s.Webhooks = NewWebhookDispatcher(keys)
 	s.Webhooks.WALPath = walPath
 	s.Portal.OnNotify = s.Webhooks.Notify
+	s.Portal.OnNotifyCtx = s.Webhooks.NotifyCtx
 	return s.Webhooks
 }
 
@@ -215,7 +216,7 @@ func (s *PortalServer) handleStoreInitial(w http.ResponseWriter, r *http.Request
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	notes, err := s.Portal.StoreInitial(doc)
+	notes, err := s.Portal.StoreInitialCtx(r.Context(), doc)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -229,7 +230,7 @@ func (s *PortalServer) handleStore(w http.ResponseWriter, r *http.Request, princ
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	notes, err := s.Portal.Store(doc)
+	notes, err := s.Portal.StoreCtx(r.Context(), doc)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -238,7 +239,7 @@ func (s *PortalServer) handleStore(w http.ResponseWriter, r *http.Request, princ
 }
 
 func (s *PortalServer) handleRetrieve(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
-	doc, err := s.Portal.Retrieve(principal, r.PathValue("pid"))
+	doc, err := s.Portal.RetrieveCtx(r.Context(), principal, r.PathValue("pid"))
 	if err != nil {
 		httpStatusError(w, err)
 		return
@@ -248,7 +249,7 @@ func (s *PortalServer) handleRetrieve(w http.ResponseWriter, r *http.Request, pr
 }
 
 func (s *PortalServer) handleWorklist(w http.ResponseWriter, r *http.Request, principal string, _ []byte) {
-	items, err := s.Portal.Worklist(principal)
+	items, err := s.Portal.WorklistCtx(r.Context(), principal)
 	if err != nil {
 		httpStatusError(w, err)
 		return
@@ -380,7 +381,7 @@ func (s *TFCServer) handleProcess(w http.ResponseWriter, r *http.Request, princi
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	out, err := s.Server.Process(doc)
+	out, err := s.Server.ProcessCtx(r.Context(), doc)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return

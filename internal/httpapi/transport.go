@@ -15,6 +15,7 @@ import (
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/portal"
 	"dra4wfms/internal/relay"
+	"dra4wfms/internal/trace"
 )
 
 // Relay delivery kinds the HTTP transport understands. Dest is the
@@ -84,6 +85,12 @@ func (t *HTTPTransport) Deliver(ctx context.Context, e relay.Entry) error {
 	req.Header.Set("Content-Type", contentType)
 	if e.Key != "" {
 		req.Header.Set(HeaderIdempotencyKey, e.Key)
+	}
+	// The relay put the entry's persisted trace context into ctx; forward
+	// it so the receiving tier joins the same trace. Signature-safe:
+	// SignRequest covers method, path, date, nonce, and body only.
+	if tp := trace.TraceparentFromContext(ctx); tp != "" {
+		req.Header.Set(TraceparentHeader, tp)
 	}
 	clock := t.Clock
 	if clock == nil {
@@ -236,7 +243,7 @@ func (f *Forwarder) send(ctx context.Context, kind, dest string, payload []byte)
 	}
 	f.waiters[key] = ch
 	f.mu.Unlock()
-	_, dup, err := f.r.Enqueue(dest, kind, key, payload)
+	_, dup, err := f.r.EnqueueTraced(dest, kind, key, trace.TraceparentFromContext(ctx), payload)
 	if err != nil || dup {
 		f.mu.Lock()
 		delete(f.waiters, key)

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/portal"
 	"dra4wfms/internal/relay"
+	"dra4wfms/internal/trace"
 )
 
 // Webhook notification delivery — the paper's "after a resulting DRA4WfMS
@@ -133,6 +135,14 @@ func (d *WebhookDispatcher) ensureRelay() (*relay.Relay, error) {
 // worklist remains the source of truth; webhooks are a latency
 // optimization.
 func (d *WebhookDispatcher) Notify(n portal.Notification) {
+	d.NotifyCtx(context.Background(), n)
+}
+
+// NotifyCtx is Notify carrying the triggering request's trace context:
+// the delivery is journaled with ctx's traceparent, so the asynchronous
+// webhook POST (and any retry of it) appears as a relay span of the
+// store that enabled the activity.
+func (d *WebhookDispatcher) NotifyCtx(ctx context.Context, n portal.Notification) {
 	target, ok := d.URL(n.Participant)
 	if !ok {
 		return
@@ -151,7 +161,7 @@ func (d *WebhookDispatcher) Notify(n portal.Notification) {
 	keyed := append(strconv.AppendUint(nil, d.seq.Add(1), 10), '|')
 	keyed = append(keyed, body...)
 	//lint:ignore cryptoerr webhook dispatch is fire-and-forget by contract: an enqueue failure (closed relay, journal write error) must not fail the document store that triggered the notification, and the worklist remains the source of truth
-	_, _, _ = rly.Enqueue(target, KindWebhook, relay.IdempotencyKey(KindWebhook, target, keyed), body)
+	_, _, _ = rly.EnqueueTraced(target, KindWebhook, relay.IdempotencyKey(KindWebhook, target, keyed), trace.TraceparentFromContext(ctx), body)
 }
 
 // Wait blocks until all accepted deliveries have settled.

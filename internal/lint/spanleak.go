@@ -14,14 +14,20 @@ import (
 // watching. The safe patterns are `defer tel.StartSpan("x").End()` and
 // ending a named span before any return can occur.
 //
+// The same lifecycle rule covers the context-aware starters that return
+// a (ctx, span) pair — telemetry.StartSpanCtx and the trace collector's
+// StartSpan/StartRoot: a leaked pair span additionally drops its node
+// from the distributed trace tree, orphaning every child started under
+// the returned context.
+//
 // The check is lexical, not a full CFG: a named span must be ended (or
 // defer-ended) with no return statement between StartSpan and the first
 // End; spans that escape the function (stored, passed, captured by a
 // closure) are not tracked.
 var SpanLeak = &Analyzer{
 	Name: "spanleak",
-	Doc: "reports telemetry.StartSpan results that are dropped or not ended " +
-		"before an early return; defer the End call or end before returning",
+	Doc: "reports telemetry.StartSpan/StartSpanCtx and trace span results that are " +
+		"dropped or not ended before an early return; defer the End call or end before returning",
 	Run: runSpanLeak,
 }
 
@@ -73,16 +79,39 @@ func (p *Pass) analyzeSpanScope(file *ast.File, body *ast.BlockStmt) {
 			returnPos = append(returnPos, st.Pos())
 		case *ast.DeferStmt:
 			deferCalls[st.Call] = true
-			if callee, ok := p.CalleeOf(file, st.Call); ok && isStartSpan(callee) {
-				p.Reportf(st.Pos(), "deferred StartSpan starts the span at function exit and never ends it")
+			if callee, ok := p.CalleeOf(file, st.Call); ok && (isStartSpan(callee) || isSpanPairStart(callee)) {
+				p.Reportf(st.Pos(), "deferred %s starts the span at function exit and never ends it", callee.Name)
 			}
 		case *ast.ExprStmt:
 			if call, ok := st.X.(*ast.CallExpr); ok {
-				if callee, ok := p.CalleeOf(file, call); ok && isStartSpan(callee) {
-					p.Reportf(call.Pos(), "result of StartSpan is discarded; the span is never ended")
+				if callee, ok := p.CalleeOf(file, call); ok && (isStartSpan(callee) || isSpanPairStart(callee)) {
+					p.Reportf(call.Pos(), "result of %s is discarded; the span is never ended", callee.Name)
 				}
 			}
 		case *ast.AssignStmt:
+			// The pair starters (StartSpanCtx, trace StartSpan/StartRoot)
+			// return (ctx, span): the span is the second value of a
+			// two-variable assignment from a single call.
+			if len(st.Rhs) == 1 && len(st.Lhs) == 2 {
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee, ok := p.CalleeOf(file, call)
+				if !ok || !isSpanPairStart(callee) {
+					return true
+				}
+				id, ok := st.Lhs[1].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if id.Name == "_" {
+					p.Reportf(id.Pos(), "span result of %s is discarded; the span is never ended", callee.Name)
+					return true
+				}
+				spans = append(spans, &spanVar{name: id.Name, obj: p.identObj(id), assignPos: id.Pos()})
+				return true
+			}
 			if len(st.Lhs) != len(st.Rhs) {
 				return true
 			}
@@ -117,6 +146,20 @@ func (p *Pass) analyzeSpanScope(file *ast.File, body *ast.BlockStmt) {
 
 func isStartSpan(c Callee) bool {
 	return c.Name == "StartSpan" && (c.PkgPath == "" || c.InPkg("internal/telemetry"))
+}
+
+// isSpanPairStart matches the context-aware starters returning a
+// (ctx, span) pair. Trace's StartSpan shares its name with telemetry's
+// single-result form, so it matches only with resolved type information;
+// the two-variable assignment shape does the rest of the disambiguation.
+func isSpanPairStart(c Callee) bool {
+	switch c.Name {
+	case "StartSpanCtx":
+		return c.PkgPath == "" || c.InPkg("internal/telemetry")
+	case "StartSpan", "StartRoot":
+		return c.InPkg("internal/trace")
+	}
+	return false
 }
 
 // checkSpanVar verifies that sv is ended before any return following its

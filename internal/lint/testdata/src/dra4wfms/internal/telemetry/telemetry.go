@@ -2,7 +2,10 @@
 // API surface for analyzer tests.
 package telemetry
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Registry mirrors telemetry.Registry.
 type Registry struct{}
@@ -24,4 +27,10 @@ func (s *Span) End() time.Duration {
 		return 0
 	}
 	return time.Since(s.start)
+}
+
+// StartSpanCtx mirrors telemetry.(*Registry).StartSpanCtx: the
+// context-aware starter returning a (ctx, span) pair.
+func (r *Registry) StartSpanCtx(ctx context.Context, name string, labels ...string) (context.Context, *Span) {
+	return ctx, &Span{start: time.Now()}
 }

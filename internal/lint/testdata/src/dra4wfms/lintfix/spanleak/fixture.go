@@ -3,9 +3,11 @@
 package spanleak
 
 import (
+	"context"
 	"errors"
 
 	"dra4wfms/internal/telemetry"
+	"dra4wfms/internal/trace"
 )
 
 var tel = telemetry.Default()
@@ -77,5 +79,60 @@ func work(fail bool) error {
 	if fail {
 		return errors.New("work failed")
 	}
+	return nil
+}
+
+// ---- context-aware pair starters (StartSpanCtx, trace StartSpan/StartRoot) ----
+
+var col = trace.Default()
+
+func goodCtxDeferred(ctx context.Context) error {
+	ctx, span := tel.StartSpanCtx(ctx, "good_ctx_seconds")
+	defer span.End()
+	return use(ctx)
+}
+
+func goodTraceRoot(ctx context.Context) error {
+	ctx, root := col.StartRoot(ctx, "client", "drive_seconds")
+	defer root.End()
+	return use(ctx)
+}
+
+func leakCtxEarlyReturn(ctx context.Context, fail bool) error {
+	ctx, span := tel.StartSpanCtx(ctx, "leak_ctx_seconds")
+	if fail {
+		return errors.New("early") // want "return leaks telemetry span span"
+	}
+	span.End()
+	return use(ctx)
+}
+
+// neverEndedTrace starts a traced span and forgets it entirely: besides
+// the lost observation, its node vanishes from the distributed trace
+// tree, orphaning children started under the returned context.
+func neverEndedTrace(ctx context.Context) error {
+	ctx, span := col.StartSpan(ctx, "never_trace_seconds") // want "never ended"
+	return use(ctx)
+}
+
+func droppedCtx(ctx context.Context) {
+	_, _ = tel.StartSpanCtx(ctx, "dropped_ctx_seconds") // want "discarded"
+	tel.StartSpanCtx(ctx, "stmt_ctx_seconds")           // want "discarded"
+}
+
+// escapesCtx passes the pair span onward (SetStatus is a use): the
+// analyzer leaves ownership to the reader.
+func escapesCtx(ctx context.Context, fail bool) error {
+	ctx, span := col.StartSpan(ctx, "escape_ctx_seconds")
+	defer span.End()
+	if fail {
+		span.SetStatus("error")
+		return errors.New("fail")
+	}
+	return use(ctx)
+}
+
+func use(ctx context.Context) error {
+	_ = ctx
 	return nil
 }

@@ -24,6 +24,7 @@ package pool
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -468,7 +469,14 @@ func (t *Table) Regions() []*Region {
 
 // Put stores value at (row, family, qualifier) with a fresh version.
 func (t *Table) Put(row, family, qualifier string, value []byte) error {
-	defer tel.StartSpan("pool_put_seconds").End()
+	return t.PutCtx(context.Background(), row, family, qualifier, value)
+}
+
+// PutCtx is Put carrying the caller's trace context: inside a sampled
+// distributed trace the pool write lands as a pool-tier span.
+func (t *Table) PutCtx(ctx context.Context, row, family, qualifier string, value []byte) error {
+	_, span := tel.StartSpanCtx(ctx, "pool_put_seconds")
+	defer span.End()
 	if row == "" {
 		return ErrEmptyRow
 	}
@@ -518,7 +526,13 @@ func (t *Table) Delete(row, family, qualifier string) error {
 
 // Get returns the newest live value at (row, family, qualifier).
 func (t *Table) Get(row, family, qualifier string) ([]byte, bool) {
-	defer tel.StartSpan("pool_get_seconds").End()
+	return t.GetCtx(context.Background(), row, family, qualifier)
+}
+
+// GetCtx is Get carrying the caller's trace context (see PutCtx).
+func (t *Table) GetCtx(ctx context.Context, row, family, qualifier string) ([]byte, bool) {
+	_, span := tel.StartSpanCtx(ctx, "pool_get_seconds")
+	defer span.End()
 	if row == "" {
 		return nil, false
 	}
@@ -603,7 +617,13 @@ type ScanOptions struct {
 // Scan returns live cells in (row, family, qualifier) order across all
 // regions, applying the options.
 func (t *Table) Scan(opts ScanOptions) []KeyValue {
-	defer tel.StartSpan("pool_scan_seconds").End()
+	return t.ScanCtx(context.Background(), opts)
+}
+
+// ScanCtx is Scan carrying the caller's trace context (see PutCtx).
+func (t *Table) ScanCtx(ctx context.Context, opts ScanOptions) []KeyValue {
+	_, span := tel.StartSpanCtx(ctx, "pool_scan_seconds")
+	defer span.End()
 	var scanned int64
 	defer func() { mScannedCells.Add(scanned) }()
 	var out []KeyValue

@@ -18,6 +18,7 @@
 package portal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/pool"
 	"dra4wfms/internal/telemetry"
+	"dra4wfms/internal/trace"
 	"dra4wfms/internal/wfdef"
 	"dra4wfms/internal/xmltree"
 )
@@ -97,6 +99,11 @@ type Portal struct {
 	// paper's "notify the subsequent participants" hook. It is called
 	// outside the portal's lock; implementations deliver asynchronously.
 	OnNotify func(Notification)
+	// OnNotifyCtx is OnNotify carrying the trace context of the store
+	// that produced the notification, so asynchronous webhook deliveries
+	// continue the originating trace. When both hooks are set,
+	// OnNotifyCtx wins.
+	OnNotifyCtx func(context.Context, Notification)
 
 	mu sync.Mutex
 }
@@ -122,15 +129,27 @@ func (p *Portal) Authenticate(principal string) error {
 // result, refreshes the worklist index, and returns notifications for the
 // participants of the now-enabled activities.
 func (p *Portal) Store(doc *document.Document) ([]Notification, error) {
-	defer tel.StartSpan("portal_store_seconds").End()
-	if nsigs, err := doc.VerifyAll(p.Registry); err != nil {
+	return p.StoreCtx(context.Background(), doc)
+}
+
+// StoreCtx is Store carrying the caller's trace context: inside a
+// sampled distributed trace the verification/merge/persist work lands as
+// a portal-tier span (with the process ID and CER count as attributes),
+// pool writes nest under it, and notifications dispatched to OnNotifyCtx
+// continue the same trace through the webhook relay.
+func (p *Portal) StoreCtx(ctx context.Context, doc *document.Document) ([]Notification, error) {
+	ctx, span := tel.StartSpanCtx(ctx, "portal_store_seconds")
+	defer span.End()
+	span.Trace().SetAttr("process", doc.ProcessID())
+	if nsigs, err := doc.VerifyAllCtx(ctx, p.Registry); err != nil {
+		span.Trace().SetStatus("error")
 		return nil, fmt.Errorf("portal: rejecting document (%d signatures verified before failure): %w", nsigs, err)
 	}
 	notes, err := func() ([]Notification, error) {
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		merged := doc
-		if existing, err := p.retrieve(doc.ProcessID()); err == nil {
+		if existing, err := p.retrieve(ctx, doc.ProcessID()); err == nil {
 			merged, err = document.Merge(existing, doc)
 			if err != nil {
 				return nil, err
@@ -138,29 +157,36 @@ func (p *Portal) Store(doc *document.Document) ([]Notification, error) {
 		} else if !errors.Is(err, ErrUnknownProcess) {
 			return nil, err
 		}
-		return p.persist(merged)
+		span.Trace().SetAttr("cers", strconv.Itoa(len(merged.FinalCERs())))
+		return p.persist(ctx, merged)
 	}()
 	if err != nil {
+		span.Trace().SetStatus("error")
 		return nil, err
 	}
-	p.dispatch(notes)
+	p.dispatch(ctx, notes)
 	return notes, nil
 }
 
-// dispatch fans notifications out to OnNotify. Must be called without p.mu.
-func (p *Portal) dispatch(notes []Notification) {
+// dispatch fans notifications out to OnNotifyCtx/OnNotify. Must be
+// called without p.mu.
+func (p *Portal) dispatch(ctx context.Context, notes []Notification) {
 	mNotifications.Add(int64(len(notes)))
-	if p.OnNotify == nil {
-		return
-	}
-	for _, n := range notes {
-		p.OnNotify(n)
+	switch {
+	case p.OnNotifyCtx != nil:
+		for _, n := range notes {
+			p.OnNotifyCtx(ctx, n)
+		}
+	case p.OnNotify != nil:
+		for _, n := range notes {
+			p.OnNotify(n)
+		}
 	}
 }
 
 // persist writes the merged document and its metadata/index and computes
 // notifications. Caller holds p.mu.
-func (p *Portal) persist(doc *document.Document) ([]Notification, error) {
+func (p *Portal) persist(ctx context.Context, doc *document.Document) ([]Notification, error) {
 	def, err := doc.Definition()
 	if err != nil {
 		return nil, err
@@ -170,17 +196,17 @@ func (p *Portal) persist(doc *document.Document) ([]Notification, error) {
 		return nil, err
 	}
 	row := doc.ProcessID()
-	if err := p.Table.Put(row, "doc", "content", doc.Bytes()); err != nil {
+	if err := p.Table.PutCtx(ctx, row, "doc", "content", doc.Bytes()); err != nil {
 		return nil, err
 	}
 	state := "running"
 	if completed {
 		state = "completed"
 	}
-	p.Table.Put(row, "meta", "definition", []byte(def.Name))
-	p.Table.Put(row, "meta", "state", []byte(state))
-	p.Table.Put(row, "meta", "cers", []byte(strconv.Itoa(len(doc.FinalCERs()))))
-	p.Table.Put(row, "meta", "updated", []byte(p.Clock().UTC().Format(time.RFC3339Nano)))
+	p.Table.PutCtx(ctx, row, "meta", "definition", []byte(def.Name))
+	p.Table.PutCtx(ctx, row, "meta", "state", []byte(state))
+	p.Table.PutCtx(ctx, row, "meta", "cers", []byte(strconv.Itoa(len(doc.FinalCERs()))))
+	p.Table.PutCtx(ctx, row, "meta", "updated", []byte(p.Clock().UTC().Format(time.RFC3339Nano)))
 
 	// Rebuild the worklist index: one idx cell per assignee with their
 	// enabled activities; stale cells from prior states are deleted.
@@ -209,7 +235,7 @@ func (p *Portal) persist(doc *document.Document) ([]Notification, error) {
 	var notes []Notification
 	for participant, acts := range byParticipant {
 		sort.Strings(acts)
-		p.Table.Put(row, "idx", participant, []byte(strings.Join(acts, ",")))
+		p.Table.PutCtx(ctx, row, "idx", participant, []byte(strings.Join(acts, ",")))
 		for _, a := range acts {
 			notes = append(notes, Notification{Participant: participant, ProcessID: row, Activity: a})
 		}
@@ -227,22 +253,37 @@ func (p *Portal) persist(doc *document.Document) ([]Notification, error) {
 // starting the process instance. It fails if the instance already exists
 // (process ids are unique; re-posting an initial document is a replay).
 func (p *Portal) StoreInitial(doc *document.Document) ([]Notification, error) {
-	defer tel.StartSpan("portal_store_initial_seconds").End()
-	if nsigs, err := doc.VerifyAll(p.Registry); err != nil {
+	return p.StoreInitialCtx(context.Background(), doc)
+}
+
+// StoreInitialCtx is StoreInitial carrying the caller's trace context.
+// Besides the portal-tier span, it binds the new workflow instance ID to
+// the trace ID in the process trace collector, so the whole cascade's
+// journey is queryable by either handle (GET /v1/traces?process=...).
+func (p *Portal) StoreInitialCtx(ctx context.Context, doc *document.Document) ([]Notification, error) {
+	ctx, span := tel.StartSpanCtx(ctx, "portal_store_initial_seconds")
+	defer span.End()
+	span.Trace().SetAttr("process", doc.ProcessID())
+	if sc, ok := trace.FromContext(ctx); ok {
+		trace.Default().BindInstance(doc.ProcessID(), sc.TraceID)
+	}
+	if nsigs, err := doc.VerifyAllCtx(ctx, p.Registry); err != nil {
+		span.Trace().SetStatus("error")
 		return nil, fmt.Errorf("portal: rejecting initial document (%d signatures verified before failure): %w", nsigs, err)
 	}
 	notes, err := func() ([]Notification, error) {
 		p.mu.Lock()
 		defer p.mu.Unlock()
-		if _, ok := p.Table.Get(doc.ProcessID(), "doc", "content"); ok {
+		if _, ok := p.Table.GetCtx(ctx, doc.ProcessID(), "doc", "content"); ok {
 			return nil, fmt.Errorf("portal: process %s already exists (replayed initial document?)", doc.ProcessID())
 		}
-		return p.persist(doc)
+		return p.persist(ctx, doc)
 	}()
 	if err != nil {
+		span.Trace().SetStatus("error")
 		return nil, err
 	}
-	p.dispatch(notes)
+	p.dispatch(ctx, notes)
 	return notes, nil
 }
 
@@ -250,17 +291,26 @@ func (p *Portal) StoreInitial(doc *document.Document) ([]Notification, error) {
 // principal. Confidentiality does not depend on this check — documents are
 // element-wise encrypted — but unauthenticated scraping is still refused.
 func (p *Portal) Retrieve(principal, processID string) (*document.Document, error) {
-	defer tel.StartSpan("portal_retrieve_seconds").End()
+	return p.RetrieveCtx(context.Background(), principal, processID)
+}
+
+// RetrieveCtx is Retrieve carrying the caller's trace context (see
+// StoreCtx).
+func (p *Portal) RetrieveCtx(ctx context.Context, principal, processID string) (*document.Document, error) {
+	ctx, span := tel.StartSpanCtx(ctx, "portal_retrieve_seconds")
+	defer span.End()
+	span.Trace().SetAttr("process", processID)
 	if err := p.Authenticate(principal); err != nil {
+		span.Trace().SetStatus("error")
 		return nil, err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.retrieve(processID)
+	return p.retrieve(ctx, processID)
 }
 
-func (p *Portal) retrieve(processID string) (*document.Document, error) {
-	raw, ok := p.Table.Get(processID, "doc", "content")
+func (p *Portal) retrieve(ctx context.Context, processID string) (*document.Document, error) {
+	raw, ok := p.Table.GetCtx(ctx, processID, "doc", "content")
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownProcess, processID)
 	}
@@ -275,8 +325,16 @@ const rolePrefix = "role:"
 // assigned to any role their registered identity holds — sorted by process
 // id then activity.
 func (p *Portal) Worklist(principal string) ([]WorkItem, error) {
-	defer tel.StartSpan("portal_worklist_seconds").End()
+	return p.WorklistCtx(context.Background(), principal)
+}
+
+// WorklistCtx is Worklist carrying the caller's trace context (see
+// StoreCtx).
+func (p *Portal) WorklistCtx(ctx context.Context, principal string) ([]WorkItem, error) {
+	ctx, span := tel.StartSpanCtx(ctx, "portal_worklist_seconds")
+	defer span.End()
 	if err := p.Authenticate(principal); err != nil {
+		span.Trace().SetStatus("error")
 		return nil, err
 	}
 	id, err := p.Registry.Identity(principal)
@@ -293,11 +351,11 @@ func (p *Portal) Worklist(principal string) ([]WorkItem, error) {
 		return false
 	}
 	var items []WorkItem
-	for _, kv := range p.Table.Scan(pool.ScanOptions{Family: "idx"}) {
+	for _, kv := range p.Table.ScanCtx(ctx, pool.ScanOptions{Family: "idx"}) {
 		if !match(kv.Qualifier) {
 			continue
 		}
-		defName, _ := p.Table.Get(kv.Row, "meta", "definition")
+		defName, _ := p.Table.GetCtx(ctx, kv.Row, "meta", "definition")
 		for _, act := range strings.Split(string(kv.Value), ",") {
 			if act == "" {
 				continue
@@ -400,7 +458,7 @@ func (p *Portal) Templates() map[string]string {
 // Enabled recomputes the enabled activities of a stored instance.
 func (p *Portal) Enabled(processID string) ([]string, bool, error) {
 	p.mu.Lock()
-	doc, err := p.retrieve(processID)
+	doc, err := p.retrieve(context.Background(), processID)
 	p.mu.Unlock()
 	if err != nil {
 		return nil, false, err

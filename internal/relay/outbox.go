@@ -39,6 +39,7 @@ type walRecord struct {
 	Payload  []byte `json:"payload,omitempty"`
 	Attempts int    `json:"attempts,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	Trace    string `json:"trace,omitempty"`
 }
 
 // Entry is one delivery tracked by the outbox.
@@ -61,6 +62,10 @@ type Entry struct {
 	Attempts int
 	// Reason records why the entry was dead-lettered (empty while live).
 	Reason string
+	// Trace is the W3C traceparent of the hop that enqueued the delivery
+	// (empty when the hop was untraced). Persisted in the WAL so a retry —
+	// even one after a crash and replay — continues the originating trace.
+	Trace string
 }
 
 // compactEvery bounds journal garbage: after this many acks since the
@@ -180,7 +185,7 @@ func (o *Outbox) apply(rec walRecord) {
 	switch rec.Op {
 	case "enq":
 		e := &Entry{Seq: rec.Seq, Dest: rec.Dest, Kind: rec.Kind, Key: rec.Key,
-			Payload: rec.Payload, Attempts: rec.Attempts}
+			Payload: rec.Payload, Attempts: rec.Attempts, Trace: rec.Trace}
 		o.pending[e.Seq] = e
 		if e.Key != "" {
 			o.liveKeys[e.Key] = e.Seq
@@ -259,8 +264,9 @@ func (o *Outbox) write(rec walRecord) error {
 // Append enqueues a delivery. If key is non-empty and already pending,
 // dead, or recently acknowledged, the enqueue is a duplicate: Append
 // returns the existing entry (zero Entry for acked keys) with dup=true
-// and writes nothing.
-func (o *Outbox) Append(dest, kind, key string, payload []byte) (Entry, bool, error) {
+// and writes nothing. trace is the enqueuing hop's traceparent ("" when
+// untraced); it is journaled with the entry.
+func (o *Outbox) Append(dest, kind, key, trace string, payload []byte) (Entry, bool, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if key != "" {
@@ -276,9 +282,9 @@ func (o *Outbox) Append(dest, kind, key string, payload []byte) (Entry, bool, er
 			return Entry{}, true, nil
 		}
 	}
-	e := &Entry{Seq: o.nextSeq, Dest: dest, Kind: kind, Key: key,
+	e := &Entry{Seq: o.nextSeq, Dest: dest, Kind: kind, Key: key, Trace: trace,
 		Payload: append([]byte(nil), payload...)}
-	rec := walRecord{Op: "enq", Seq: e.Seq, Dest: dest, Kind: kind, Key: key, Payload: e.Payload}
+	rec := walRecord{Op: "enq", Seq: e.Seq, Dest: dest, Kind: kind, Key: key, Payload: e.Payload, Trace: trace}
 	if err := o.write(rec); err != nil {
 		return Entry{}, false, err
 	}
@@ -440,13 +446,13 @@ func (o *Outbox) compactLocked() error {
 	for _, e := range sortedCopies(o.pending) {
 		if fail == nil {
 			fail = writeRec(walRecord{Op: "enq", Seq: e.Seq, Dest: e.Dest, Kind: e.Kind,
-				Key: e.Key, Payload: e.Payload, Attempts: e.Attempts})
+				Key: e.Key, Payload: e.Payload, Attempts: e.Attempts, Trace: e.Trace})
 		}
 	}
 	for _, e := range sortedCopies(o.dead) {
 		if fail == nil {
 			fail = writeRec(walRecord{Op: "enq", Seq: e.Seq, Dest: e.Dest, Kind: e.Kind,
-				Key: e.Key, Payload: e.Payload, Attempts: e.Attempts})
+				Key: e.Key, Payload: e.Payload, Attempts: e.Attempts, Trace: e.Trace})
 		}
 		if fail == nil {
 			fail = writeRec(walRecord{Op: "dead", Seq: e.Seq, Reason: e.Reason})

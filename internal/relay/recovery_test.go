@@ -149,7 +149,7 @@ func TestOutboxTornTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, _, err := o.Append("d", "store", fmt.Sprintf("k%d", i), []byte("p")); err != nil {
+		if _, _, err := o.Append("d", "store", fmt.Sprintf("k%d", i), "", []byte("p")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -174,7 +174,7 @@ func TestOutboxTornTailRecovery(t *testing.T) {
 		t.Fatalf("counts after torn-tail replay = (%d,%d), want (3,0)", p, d)
 	}
 	// The file must be clean for new appends.
-	if _, _, err := o2.Append("d", "store", "k3", []byte("p")); err != nil {
+	if _, _, err := o2.Append("d", "store", "k3", "", []byte("p")); err != nil {
 		t.Fatal(err)
 	}
 	if err := o2.Close(); err != nil {

@@ -23,9 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dra4wfms/internal/trace"
 )
 
 // ErrClosed is returned by Enqueue after Close.
@@ -231,13 +234,21 @@ func (r *Relay) poke() {
 // acknowledged makes the enqueue a duplicate — nothing is written and
 // dup is true.
 func (r *Relay) Enqueue(dest, kind, key string, payload []byte) (Entry, bool, error) {
+	return r.EnqueueTraced(dest, kind, key, "", payload)
+}
+
+// EnqueueTraced is Enqueue with the enqueuing hop's traceparent attached.
+// The trace string is persisted in the outbox WAL alongside the payload,
+// so every delivery attempt — including retries after a crash — is
+// recorded as a span of the originating trace.
+func (r *Relay) EnqueueTraced(dest, kind, key, trace string, payload []byte) (Entry, bool, error) {
 	r.mu.Lock()
 	if r.stopped {
 		r.mu.Unlock()
 		return Entry{}, false, ErrClosed
 	}
 	r.mu.Unlock()
-	e, dup, err := r.ob.Append(dest, kind, key, payload)
+	e, dup, err := r.ob.Append(dest, kind, key, trace, payload)
 	if err != nil {
 		return Entry{}, false, err
 	}
@@ -306,12 +317,27 @@ func (r *Relay) worker() {
 	}
 }
 
-// attempt runs one timed delivery attempt.
+// attempt runs one timed delivery attempt. When the entry carries a
+// traceparent the attempt is recorded as a span of that trace, so an
+// async hop — even one replayed from the WAL after a crash — shows up
+// under the request that caused it.
 func (r *Relay) attempt(e Entry) error {
-	defer tel.StartSpan("relay_delivery_seconds").End()
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.AttemptTimeout)
+	ctx := context.Background()
+	if sc, ok := trace.ParseTraceparent(e.Trace); ok {
+		ctx = trace.ContextWith(ctx, sc)
+	}
+	ctx, span := tel.StartSpanCtx(ctx, "relay_delivery_seconds")
+	defer span.End()
+	span.Trace().SetAttr("kind", e.Kind)
+	span.Trace().SetAttr("dest", e.Dest)
+	span.Trace().SetAttr("attempt", strconv.Itoa(e.Attempts+1))
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
 	defer cancel()
-	return r.tr.Deliver(ctx, e)
+	err := r.tr.Deliver(ctx, e)
+	if err != nil {
+		span.Trace().SetStatus("error")
+	}
+	return err
 }
 
 // process drives one popped entry to ack, retry, or the DLQ.

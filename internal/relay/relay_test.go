@@ -100,11 +100,11 @@ func TestOutboxLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, dup, err := o.Append("d1", "store", "k1", []byte("p1"))
+	e, dup, err := o.Append("d1", "store", "k1", "", []byte("p1"))
 	if err != nil || dup {
 		t.Fatalf("Append = %v dup=%v", err, dup)
 	}
-	if _, dup, _ := o.Append("d1", "store", "k1", []byte("p1")); !dup {
+	if _, dup, _ := o.Append("d1", "store", "k1", "", []byte("p1")); !dup {
 		t.Fatal("second append of live key should be a duplicate")
 	}
 	if n, _ := o.Fail(e.Seq); n != 1 {
@@ -113,17 +113,17 @@ func TestOutboxLifecycle(t *testing.T) {
 	if err := o.Ack(e.Seq); err != nil {
 		t.Fatal(err)
 	}
-	if _, dup, _ := o.Append("d1", "store", "k1", []byte("p1")); !dup {
+	if _, dup, _ := o.Append("d1", "store", "k1", "", []byte("p1")); !dup {
 		t.Fatal("append of an acked key should be a duplicate")
 	}
-	e2, _, _ := o.Append("d2", "store", "k2", []byte("p2"))
+	e2, _, _ := o.Append("d2", "store", "k2", "", []byte("p2"))
 	if err := o.DeadLetter(e2.Seq, "boom"); err != nil {
 		t.Fatal(err)
 	}
 	if p, d := o.Counts(); p != 0 || d != 1 {
 		t.Fatalf("Counts = (%d,%d), want (0,1)", p, d)
 	}
-	if _, dup, _ := o.Append("d2", "store", "k2", nil); !dup {
+	if _, dup, _ := o.Append("d2", "store", "k2", "", nil); !dup {
 		t.Fatal("append of a dead-lettered key should be a duplicate")
 	}
 	if err := o.Requeue(e2.Seq); err != nil {
@@ -380,7 +380,7 @@ func TestOutboxCompaction(t *testing.T) {
 	}
 	var keepSeq uint64
 	for i := 0; i < 50; i++ {
-		e, _, err := o.Append("d", "store", fmt.Sprintf("k%d", i), []byte("payload"))
+		e, _, err := o.Append("d", "store", fmt.Sprintf("k%d", i), "", []byte("payload"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -409,7 +409,7 @@ func TestOutboxCompaction(t *testing.T) {
 		t.Fatalf("pending after compaction = %+v, want seq %d", got, keepSeq)
 	}
 	// Sequence numbers keep advancing past compaction.
-	e, _, err := o2.Append("d", "store", "fresh", nil)
+	e, _, err := o2.Append("d", "store", "fresh", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelEscaping pins the exposition-format escaping rules:
+// backslash, double quote, and newline in label VALUES must come out as
+// \\, \", and \n — an unescaped newline splits a sample line in two and
+// silently corrupts the whole scrape.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // the rendered label assignment
+	}{
+		{"backslash", `C:\temp\doc`, `route="C:\\temp\\doc"`},
+		{"quote", `say "hi"`, `route="say \"hi\""`},
+		{"newline", "line1\nline2", `route="line1\nline2"`},
+		{"mixed", "a\\\"b\nc", `route="a\\\"b\nc"`},
+		{"backslash-n-literal", `already\n`, `route="already\\n"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New()
+			r.Counter("requests_total", "route", tc.value).Inc()
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("exposition output missing %s:\n%s", tc.want, out)
+			}
+			// Exactly the TYPE line and the sample line: escapes must not
+			// introduce extra physical lines.
+			if got := strings.Count(strings.TrimRight(out, "\n"), "\n") + 1; got != 2 {
+				t.Errorf("output has %d lines, want 2 (escaped newline leaked?):\n%q", got, out)
+			}
+		})
+	}
+}
+
+// TestPrometheusEscapingRoundTrip feeds every escaped value through the
+// inverse mapping and requires the original back; escaping must be
+// unambiguous, not merely scrape-parseable.
+func TestPrometheusEscapingRoundTrip(t *testing.T) {
+	unescape := func(s string) string {
+		var b strings.Builder
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i])
+				}
+				continue
+			}
+			b.WriteByte(s[i])
+		}
+		return b.String()
+	}
+	for _, v := range []string{
+		`plain`, `back\slash`, `"quoted"`, "new\nline", `trailing\`, "\n", `\n`, `\\n`, "",
+	} {
+		if got := unescape(escapeLabelValue(v)); got != v {
+			t.Errorf("escape(%q) = %q does not round-trip: got %q", v, escapeLabelValue(v), got)
+		}
+	}
+}
+
+// TestPrometheusEmptyRegistry pins the degenerate scrape: a registry
+// with no metric families renders as the empty string, not a stray
+// header or error.
+func TestPrometheusEmptyRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := New().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Errorf("empty registry rendered %q, want empty output", sb.String())
+	}
+}
+
+// TestPrometheusHistogramLabelEscaping covers the histogram expansion:
+// the escaped label value must survive into the _bucket, _sum, and
+// _count series, and the appended le label must not disturb it.
+func TestPrometheusHistogramLabelEscaping(t *testing.T) {
+	r := New()
+	r.Histogram("latency_seconds", []float64{0.1, 1}, "route", "GET /v1/\"odd\"\npath").Observe(0.05)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `route="GET /v1/\"odd\"\npath"`
+	for _, series := range []string{"latency_seconds_bucket", "latency_seconds_sum", "latency_seconds_count"} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, series) && strings.Contains(line, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s series missing escaped label %s:\n%s", series, want, out)
+		}
+	}
+	if strings.Contains(out, "\npath\"") {
+		t.Errorf("raw newline from label value leaked into output:\n%q", out)
+	}
+}

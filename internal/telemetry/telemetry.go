@@ -18,6 +18,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -25,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dra4wfms/internal/trace"
 )
 
 // --- bucket layouts ----------------------------------------------------------
@@ -346,6 +349,9 @@ type Span struct {
 	name   string
 	labels []string
 	start  time.Time
+	// tspan is the distributed-trace twin when the span was started via
+	// StartSpanCtx inside a sampled trace; nil otherwise (nil is inert).
+	tspan *trace.Span
 }
 
 // StartSpan begins timing an operation. End records the duration, in
@@ -364,6 +370,33 @@ func (r *Registry) StartSpan(name string, labels ...string) *Span {
 	}
 }
 
+// StartSpanCtx begins timing an operation inside the trace carried by
+// ctx. The histogram side is identical to StartSpan; additionally, when
+// ctx belongs to a sampled distributed trace, a child trace span with
+// the same name lands in the process trace ring on End. The returned
+// context carries the new span as parent — pass it to downstream calls
+// so their spans nest correctly. When ctx carries no trace (or an
+// unsampled one) only the histogram records; no trace root is created
+// here, because sampling is decided once at the root. Usage:
+//
+//	ctx, span := telemetry.Default().StartSpanCtx(ctx, "portal_store_seconds")
+//	defer span.End()
+func (r *Registry) StartSpanCtx(ctx context.Context, name string, labels ...string) (context.Context, *Span) {
+	s := r.StartSpan(name, labels...)
+	ctx, s.tspan = trace.Default().StartSpan(ctx, name)
+	return ctx, s
+}
+
+// Trace returns the span's distributed-trace twin, or nil when the span
+// was started outside a sampled trace. The result is safe to use even
+// when nil (trace.Span methods are nil-tolerant).
+func (s *Span) Trace() *trace.Span {
+	if s == nil {
+		return nil
+	}
+	return s.tspan
+}
+
 // End stops the span, records its duration, and returns it. Safe to call
 // on a nil span (no-op, returns 0).
 func (s *Span) End() time.Duration {
@@ -372,6 +405,7 @@ func (s *Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	s.h.ObserveDuration(d)
+	s.tspan.End()
 	if slow := s.reg.slowNanos.Load(); slow > 0 && int64(d) >= slow {
 		s.reg.logMu.RLock()
 		l := s.reg.logger

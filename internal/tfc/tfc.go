@@ -24,6 +24,7 @@
 package tfc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -134,10 +135,19 @@ type Outcome struct {
 
 // Process handles one intermediate document end to end.
 func (s *Server) Process(doc *document.Document) (*Outcome, error) {
-	defer tel.StartSpan("tfc_process_seconds").End()
+	return s.ProcessCtx(context.Background(), doc)
+}
+
+// ProcessCtx is Process carrying the caller's trace context: inside a
+// sampled distributed trace the TFC's verify/route/encrypt/sign work
+// lands as a tfc-tier span with the process and activity as attributes.
+func (s *Server) ProcessCtx(ctx context.Context, doc *document.Document) (*Outcome, error) {
+	_, span := tel.StartSpanCtx(ctx, "tfc_process_seconds")
+	defer span.End()
+	span.Trace().SetAttr("process", doc.ProcessID())
 	verifyStart := time.Now()
 	work := doc.Clone()
-	nsigs, err := work.VerifyAll(s.Registry)
+	nsigs, err := work.VerifyAllCtx(ctx, s.Registry)
 	if err != nil {
 		return nil, fmt.Errorf("tfc: document verification failed after %d valid signatures: %w", nsigs, err)
 	}
@@ -156,6 +166,7 @@ func (s *Server) Process(doc *document.Document) (*Outcome, error) {
 	if act == nil {
 		return nil, fmt.Errorf("tfc: intermediate CER names unknown activity %q", pending.ActivityID())
 	}
+	span.Trace().SetAttr("activity", act.ID)
 	if responsible := def.TFCFor(act.ID); responsible != s.Keys.Owner {
 		return nil, fmt.Errorf("%w: activity %s is assigned to %q, this server is %q",
 			ErrNotResponsible, act.ID, responsible, s.Keys.Owner)

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one span in an assembled trace tree.
+type Node struct {
+	Span     FinishedSpan
+	Children []*Node
+}
+
+// Assemble builds trace trees from a flat span set (typically the merged
+// /v1/traces responses of several tiers). Spans whose parent is absent
+// from the set — the true root, or an orphan whose parent fell out of a
+// ring — become roots. Duplicate span IDs (the same span fetched from
+// two tiers) are collapsed. Children and roots are ordered by start
+// time.
+func Assemble(spans []FinishedSpan) []*Node {
+	nodes := make(map[string]*Node, len(spans))
+	order := make([]string, 0, len(spans))
+	for _, fs := range spans {
+		if _, dup := nodes[fs.SpanID]; dup {
+			continue
+		}
+		nodes[fs.SpanID] = &Node{Span: fs}
+		order = append(order, fs.SpanID)
+	}
+	var roots []*Node
+	for _, id := range order {
+		n := nodes[id]
+		if p, ok := nodes[n.Span.ParentID]; ok && n.Span.ParentID != id {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(ns []*Node) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].Span.Start.Before(ns[j].Span.Start) })
+	}
+	byStart(roots)
+	for _, n := range nodes {
+		byStart(n.Children)
+	}
+	return roots
+}
+
+// Walk visits every node of the trees depth-first, parents before
+// children, with the node's depth.
+func Walk(roots []*Node, visit func(n *Node, depth int)) {
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		visit(n, depth)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		rec(r, 0)
+	}
+}
+
+// TierTotals sums span durations per tier. Parent and child spans both
+// count — the totals attribute where time was spent per tier, not
+// exclusive self-time — so the per-tier numbers can exceed the trace's
+// wall-clock extent.
+func TierTotals(spans []FinishedSpan) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, fs := range spans {
+		out[fs.Tier] += fs.Duration
+	}
+	return out
+}
+
+// waterfallWidth is the character width of the timing bar column.
+const waterfallWidth = 32
+
+// Waterfall renders the assembled trees as an indented waterfall: one
+// line per span with tier, name, start offset from the trace's first
+// span, duration, and a proportional timing bar, followed by a per-tier
+// attribution summary.
+func Waterfall(w io.Writer, roots []*Node) {
+	var all []FinishedSpan
+	Walk(roots, func(n *Node, _ int) { all = append(all, n.Span) })
+	if len(all) == 0 {
+		fmt.Fprintln(w, "trace: no spans")
+		return
+	}
+	t0 := all[0].Start
+	end := all[0].End()
+	for _, fs := range all {
+		if fs.Start.Before(t0) {
+			t0 = fs.Start
+		}
+		if fs.End().After(end) {
+			end = fs.End()
+		}
+	}
+	extent := end.Sub(t0)
+	if extent <= 0 {
+		extent = time.Nanosecond
+	}
+
+	tiers := TierTotals(all)
+	fmt.Fprintf(w, "trace %s: %d spans, %d tiers, %v wall clock\n",
+		all[0].TraceID, len(all), len(tiers), extent.Round(time.Microsecond))
+
+	nameWidth := 0
+	Walk(roots, func(n *Node, depth int) {
+		if l := 2*depth + len(n.Span.Name); l > nameWidth {
+			nameWidth = l
+		}
+	})
+
+	Walk(roots, func(n *Node, depth int) {
+		fs := n.Span
+		offset := fs.Start.Sub(t0)
+		lo := int(float64(waterfallWidth) * float64(offset) / float64(extent))
+		hi := int(float64(waterfallWidth) * float64(offset+fs.Duration) / float64(extent))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > waterfallWidth {
+			hi = waterfallWidth
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("█", hi-lo) + strings.Repeat(" ", waterfallWidth-hi)
+		name := strings.Repeat("  ", depth) + fs.Name
+		status := ""
+		if fs.Status != "" && fs.Status != "ok" {
+			status = " [" + fs.Status + "]"
+		}
+		attrs := ""
+		if len(fs.Attrs) > 0 {
+			keys := make([]string, 0, len(fs.Attrs))
+			for k := range fs.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			pairs := make([]string, len(keys))
+			for i, k := range keys {
+				pairs[i] = k + "=" + fs.Attrs[k]
+			}
+			attrs = " {" + strings.Join(pairs, " ") + "}"
+		}
+		fmt.Fprintf(w, "  %-6s %-*s |%s| +%-10v %10v%s%s\n",
+			fs.Tier, nameWidth, name, bar,
+			offset.Round(time.Microsecond), fs.Duration.Round(time.Microsecond), status, attrs)
+	})
+
+	fmt.Fprintln(w, "per-tier span time (overlapping spans double-count):")
+	names := make([]string, 0, len(tiers))
+	for t := range tiers {
+		names = append(names, t)
+	}
+	sort.Slice(names, func(i, j int) bool { return tiers[names[i]] > tiers[names[j]] })
+	for _, t := range names {
+		d := tiers[t]
+		pct := 100 * float64(d) / float64(extent)
+		fmt.Fprintf(w, "  %-6s %10v  (%.0f%% of wall clock)\n", t, d.Round(time.Microsecond), pct)
+	}
+}

@@ -1,0 +1,348 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// FinishedSpan is one completed span as kept in the ring, served by
+// GET /v1/traces, and written to the JSONL export.
+type FinishedSpan struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// Tier attributes the span to an architectural tier (portal, tfc,
+	// aea, pool, relay, dsig, http, client).
+	Tier     string            `json:"tier"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Status   string            `json:"status,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// End returns the span's completion instant.
+func (f FinishedSpan) End() time.Time { return f.Start.Add(f.Duration) }
+
+// tierOf derives the architectural tier from a span name. Metric-style
+// span names here are uniformly "<tier>_<operation>_seconds", so the
+// first underscore-delimited token attributes the span; StartRoot and
+// SetTier override for spans that do not follow the convention.
+func tierOf(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '_' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Span is one in-flight traced operation. A nil *Span is valid and
+// inert — unsampled traces and trace-free contexts produce nil spans so
+// call sites never branch.
+type Span struct {
+	c      *Collector
+	ctx    SpanContext
+	parent SpanID
+	start  time.Time
+
+	mu     sync.Mutex
+	name   string
+	tier   string
+	status string
+	attrs  map[string]string
+	ended  bool
+}
+
+// Context returns the span's SpanContext (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// SetTier overrides the tier derived from the span name.
+func (s *Span) SetTier(tier string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tier = tier
+	s.mu.Unlock()
+}
+
+// SetAttr attaches one key/value attribute (document IDs, CER counts,
+// relay attempt numbers — metadata only, never document contents).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetStatus records the span outcome ("ok" is implied when unset).
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.status = status
+	s.mu.Unlock()
+}
+
+// End finishes the span and lands it in the collector ring (and the
+// JSONL export, when configured). Safe on nil spans; second and later
+// calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	fs := FinishedSpan{
+		TraceID:  s.ctx.TraceID.String(),
+		SpanID:   s.ctx.SpanID.String(),
+		Name:     s.name,
+		Tier:     s.tier,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Status:   s.status,
+	}
+	if !s.parent.IsZero() {
+		fs.ParentID = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		fs.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			fs.Attrs[k] = v
+		}
+	}
+	s.mu.Unlock()
+	s.c.add(fs)
+}
+
+// maxBindings bounds the instance→trace table; oldest bindings are
+// evicted first.
+const maxBindings = 1024
+
+// Collector keeps a bounded ring of finished spans plus the workflow
+// instance → trace ID bindings registered by the portal. All methods
+// are safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	ring    []FinishedSpan
+	next    int
+	wrapped bool
+
+	sampler Sampler
+
+	bindings  map[string]string // workflow instance (process) ID → trace ID
+	bindOrder []string
+
+	outMu sync.Mutex
+	out   io.Writer
+	enc   *json.Encoder
+}
+
+// DefaultCapacity is the ring size of the package-wide Default
+// collector: enough for several full Fig-9 cascades per tier without
+// unbounded growth.
+const DefaultCapacity = 4096
+
+// NewCollector creates a collector with a ring of the given capacity
+// (minimum 1) that samples every trace until SetSampler says otherwise.
+func NewCollector(capacity int) *Collector {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Collector{
+		ring:     make([]FinishedSpan, capacity),
+		sampler:  AlwaysSample(),
+		bindings: map[string]string{},
+	}
+}
+
+var defaultCollector = NewCollector(DefaultCapacity)
+
+// Default returns the process-wide collector every instrumented package
+// records into.
+func Default() *Collector { return defaultCollector }
+
+// SetSampler installs the root sampling policy. Only trace roots
+// consult it; mid-trace hops honor the propagated sampled flag.
+func (c *Collector) SetSampler(s Sampler) {
+	if s == nil {
+		s = AlwaysSample()
+	}
+	c.mu.Lock()
+	c.sampler = s
+	c.mu.Unlock()
+}
+
+// SetOutput streams every finished span to w as one JSON object per
+// line, in addition to the ring. nil disables the export.
+func (c *Collector) SetOutput(w io.Writer) {
+	c.outMu.Lock()
+	c.out = w
+	if w != nil {
+		c.enc = json.NewEncoder(w)
+	} else {
+		c.enc = nil
+	}
+	c.outMu.Unlock()
+}
+
+func (c *Collector) add(fs FinishedSpan) {
+	c.mu.Lock()
+	c.ring[c.next] = fs
+	c.next++
+	if c.next == len(c.ring) {
+		c.next = 0
+		c.wrapped = true
+	}
+	c.mu.Unlock()
+
+	c.outMu.Lock()
+	if c.enc != nil {
+		_ = c.enc.Encode(fs)
+	}
+	c.outMu.Unlock()
+}
+
+// StartRoot begins a new trace: it draws a fresh trace ID, consults the
+// sampler exactly once, and returns ctx carrying the new SpanContext.
+// The returned span is nil when the sampler declines (the context still
+// propagates, with the sampled flag clear, so downstream hops stay
+// consistent). tier labels the root's architectural tier.
+func (c *Collector) StartRoot(ctx context.Context, tier, name string) (context.Context, *Span) {
+	tid, err := newTraceID()
+	if err != nil {
+		return ctx, nil
+	}
+	sid, err := newSpanID()
+	if err != nil {
+		return ctx, nil
+	}
+	c.mu.Lock()
+	sampled := c.sampler.Sample(tid)
+	c.mu.Unlock()
+	sc := SpanContext{TraceID: tid, SpanID: sid, Sampled: sampled}
+	ctx = ContextWith(ctx, sc)
+	if !sampled {
+		return ctx, nil
+	}
+	return ctx, &Span{c: c, ctx: sc, start: time.Now(), name: name, tier: tier}
+}
+
+// StartSpan continues the trace carried by ctx with a child span. When
+// ctx carries no trace — or carries one the root chose not to sample —
+// it returns (ctx, nil): this package never promotes a mid-path
+// operation to a trace root, and never resamples.
+func (c *Collector) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, ok := FromContext(ctx)
+	if !ok || !parent.Sampled {
+		return ctx, nil
+	}
+	sid, err := newSpanID()
+	if err != nil {
+		return ctx, nil
+	}
+	sc := SpanContext{TraceID: parent.TraceID, SpanID: sid, Sampled: true}
+	ctx = ContextWith(ctx, sc)
+	return ctx, &Span{c: c, ctx: sc, parent: parent.SpanID, start: time.Now(), name: name, tier: tierOf(name)}
+}
+
+// BindInstance records that workflow instance (process) ID belongs to
+// the given trace, so a whole cascade is queryable by either handle.
+func (c *Collector) BindInstance(processID string, t TraceID) {
+	if processID == "" || t.IsZero() {
+		return
+	}
+	c.mu.Lock()
+	if _, exists := c.bindings[processID]; !exists {
+		c.bindOrder = append(c.bindOrder, processID)
+		if len(c.bindOrder) > maxBindings {
+			delete(c.bindings, c.bindOrder[0])
+			c.bindOrder = c.bindOrder[1:]
+		}
+	}
+	c.bindings[processID] = t.String()
+	c.mu.Unlock()
+}
+
+// InstanceTrace resolves a workflow instance ID to its trace ID.
+func (c *Collector) InstanceTrace(processID string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.bindings[processID]
+	return t, ok
+}
+
+// Bindings returns a copy of the instance→trace table.
+func (c *Collector) Bindings() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.bindings))
+	for k, v := range c.bindings {
+		out[k] = v
+	}
+	return out
+}
+
+// Spans returns finished spans in arrival order (oldest first),
+// filtered to the given trace ID when traceID is non-empty.
+func (c *Collector) Spans(traceID string) []FinishedSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ordered []FinishedSpan
+	if c.wrapped {
+		ordered = append(ordered, c.ring[c.next:]...)
+	}
+	ordered = append(ordered, c.ring[:c.next]...)
+	if traceID == "" {
+		return ordered
+	}
+	out := ordered[:0:0]
+	for _, fs := range ordered {
+		if fs.TraceID == traceID {
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
+// Len reports how many finished spans the ring currently holds.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wrapped {
+		return len(c.ring)
+	}
+	return c.next
+}
+
+// Reset discards all finished spans and bindings (test helper).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.next = 0
+	c.wrapped = false
+	for i := range c.ring {
+		c.ring[i] = FinishedSpan{}
+	}
+	c.bindings = map[string]string{}
+	c.bindOrder = nil
+	c.mu.Unlock()
+}

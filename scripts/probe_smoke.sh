@@ -1,24 +1,34 @@
 #!/bin/sh
-# probe_smoke.sh — end-to-end lifecycle check for draportal:
+# probe_smoke.sh — end-to-end lifecycle check for draportal + dratfc:
 #
 #   1. provision a throwaway trust bundle (drakeys)
-#   2. start draportal with a durable data dir
-#   3. poll GET /v1/readyz until it reports ready
+#   2. start draportal and dratfc with durable data dirs
+#   3. poll GET /v1/readyz until both report ready
 #   4. check GET /v1/healthz
-#   5. send SIGTERM and assert a clean exit (code 0)
-#   6. assert the final checkpoint landed in the data dir
+#   5. drive one Figure 9B workflow through both servers (dractl remote)
+#   6. scrape GET /v1/traces on both tiers and assert the drive produced
+#      one complete multi-tier distributed trace (http, portal, pool,
+#      dsig spans on the portal; tfc spans on the TFC) bound to the
+#      workflow instance
+#   7. send SIGTERM and assert a clean exit (code 0)
+#   8. assert the final checkpoint landed in the data dir
 #
 # Run from the repository root: ./scripts/probe_smoke.sh
 set -eu
 
 WORK="$(mktemp -d)"
 PORT="${PROBE_PORT:-18080}"
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+TFC_PORT="${PROBE_TFC_PORT:-18081}"
+trap 'kill "$PID" 2>/dev/null || true; kill "$TFC_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/draportal" ./cmd/draportal
+go build -o "$WORK/dratfc" ./cmd/dratfc
 go build -o "$WORK/drakeys" ./cmd/drakeys
+go build -o "$WORK/dractl" ./cmd/dractl
 
-"$WORK/drakeys" -out "$WORK/deploy" -principals smoke@ci -bits 2048 >/dev/null
+"$WORK/drakeys" -out "$WORK/deploy" \
+	-principals designer@acme,alice@acme,bob@acme,betty@bolt,carol@bolt,dave@acme,tfc@cloud \
+	-bits 2048 >/dev/null
 
 "$WORK/draportal" \
 	-listen "127.0.0.1:$PORT" \
@@ -28,26 +38,79 @@ go build -o "$WORK/drakeys" ./cmd/drakeys
 	-grace 10s &
 PID=$!
 
-echo "probe_smoke: waiting for readiness on port $PORT (pid $PID)"
-READY=0
-for _ in $(seq 1 50); do
-	if curl -fsS "http://127.0.0.1:$PORT/v1/readyz" >/dev/null 2>&1; then
-		READY=1
-		break
-	fi
-	if ! kill -0 "$PID" 2>/dev/null; then
-		echo "probe_smoke: FAIL: draportal died before becoming ready" >&2
-		exit 1
-	fi
-	sleep 0.2
-done
-if [ "$READY" != 1 ]; then
-	echo "probe_smoke: FAIL: /v1/readyz never reported ready" >&2
+"$WORK/dratfc" \
+	-listen "127.0.0.1:$TFC_PORT" \
+	-trust "$WORK/deploy/trust.json" \
+	-key "$WORK/deploy/keys/tfc@cloud.pem" \
+	-grace 10s &
+TFC_PID=$!
+
+wait_ready() {
+	_port=$1
+	_pid=$2
+	_name=$3
+	echo "probe_smoke: waiting for $_name readiness on port $_port (pid $_pid)"
+	for _ in $(seq 1 50); do
+		if curl -fsS "http://127.0.0.1:$_port/v1/readyz" >/dev/null 2>&1; then
+			return 0
+		fi
+		if ! kill -0 "$_pid" 2>/dev/null; then
+			echo "probe_smoke: FAIL: $_name died before becoming ready" >&2
+			exit 1
+		fi
+		sleep 0.2
+	done
+	echo "probe_smoke: FAIL: $_name /v1/readyz never reported ready" >&2
 	exit 1
-fi
+}
+
+wait_ready "$PORT" "$PID" draportal
+wait_ready "$TFC_PORT" "$TFC_PID" dratfc
 
 curl -fsS "http://127.0.0.1:$PORT/v1/healthz" >/dev/null
-echo "probe_smoke: ready and live; sending SIGTERM"
+echo "probe_smoke: both tiers ready and live; driving one fig9b workflow"
+
+"$WORK/dractl" remote \
+	-portal "http://127.0.0.1:$PORT" \
+	-tfc "http://127.0.0.1:$TFC_PORT" \
+	-deploy "$WORK/deploy" \
+	-workflow fig9b >/dev/null
+
+echo "probe_smoke: drive complete; scraping /v1/traces on both tiers"
+curl -fsS "http://127.0.0.1:$PORT/v1/traces" >"$WORK/portal_traces.json"
+curl -fsS "http://127.0.0.1:$TFC_PORT/v1/traces" >"$WORK/tfc_traces.json"
+
+python3 - "$WORK/portal_traces.json" "$WORK/tfc_traces.json" <<'PYEOF'
+import json, sys
+
+portal = json.load(open(sys.argv[1]))
+tfc = json.load(open(sys.argv[2]))
+
+bindings = portal.get("bindings") or {}
+if not bindings:
+    sys.exit("probe_smoke: FAIL: portal has no instance->trace bindings after the drive")
+trace_id = next(iter(bindings.values()))
+
+portal_tiers = {s["tier"] for s in portal.get("spans") or [] if s["trace_id"] == trace_id}
+tfc_tiers = {s["tier"] for s in tfc.get("spans") or [] if s["trace_id"] == trace_id}
+
+# The client-tier root span lives in the dractl process's own ring, so
+# the portal can only ever hold the server-side tiers.
+missing = {"http", "portal", "pool", "dsig"} - portal_tiers
+if missing:
+    sys.exit(f"probe_smoke: FAIL: portal trace {trace_id} missing tiers {sorted(missing)} (got {sorted(portal_tiers)})")
+if "tfc" not in tfc_tiers:
+    sys.exit(f"probe_smoke: FAIL: TFC recorded no tfc-tier spans for trace {trace_id} (got {sorted(tfc_tiers)})")
+print(f"probe_smoke: trace {trace_id} spans portal tiers {sorted(portal_tiers)} + tfc tiers {sorted(tfc_tiers)}")
+PYEOF
+
+echo "probe_smoke: multi-tier trace verified; sending SIGTERM"
+
+kill -TERM "$TFC_PID"
+if ! wait "$TFC_PID"; then
+	echo "probe_smoke: FAIL: dratfc exited with nonzero status after SIGTERM" >&2
+	exit 1
+fi
 
 kill -TERM "$PID"
 if wait "$PID"; then
@@ -66,4 +129,4 @@ if ! ls "$WORK/data"/checkpoint-*.ckpt >/dev/null 2>&1; then
 	exit 1
 fi
 
-echo "probe_smoke: PASS (graceful shutdown, final checkpoint written)"
+echo "probe_smoke: PASS (multi-tier trace, graceful shutdown, final checkpoint written)"
