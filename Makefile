@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench benchsmoke faults crash smoke ratchet
+.PHONY: check fmt vet lint lintdefs build test race bench benchsmoke faults crash smoke ratchet
 
 # check is the CI gate: formatting, static analysis (go vet plus the
-# repo's own dralint rules), build, the benchmark smoke run for the
+# repo's own dralint rules and the workflow-definition lint over every
+# shipped definition), build, the benchmark smoke run for the
 # verification fast path, the relay reliability gate, the pool
 # crash-recovery gate, the daemon lifecycle smoke, and the full test
 # suite under the race detector.
-check: fmt vet lint build benchsmoke faults crash smoke race
+check: fmt vet lint build lintdefs benchsmoke faults crash smoke race
 
 # crash is the pool durability gate: kill-mid-write recovery (torn and
 # bit-flipped WAL tails), checkpoint fallback, and concurrent
@@ -49,6 +50,12 @@ faults:
 # analysis".
 lint:
 	$(GO) run ./cmd/dralint ./...
+
+# lintdefs runs the workflow-definition lint — control-flow, security
+# policy, and the information-flow (concealment) pass — over every
+# definition shipped with the examples. Errors fail the gate.
+lintdefs:
+	$(GO) run ./cmd/dractl lint fig9a fig9b fig4 leave-request expense-approval
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -9,30 +9,38 @@ import (
 	"dra4wfms/internal/xmltree"
 )
 
-// cmdLint statically checks a workflow definition — a fixture name or a
-// WorkflowDefinition XML file — and prints every finding, graded
-// error/warning/info. Unlike `dractl validate`, which stops at the first
-// hard error, lint reports everything it can see: control-flow problems
-// (dead cycles, unreachable activities, XOR-splits with no default) and
-// security-policy problems (variables displayed to participants who hold
-// no key for them, read grants to principals outside the workflow).
-// Exits 1 when any error-severity finding (or a Validate failure) is
-// present.
+// cmdLint statically checks one or more workflow definitions — fixture
+// names or WorkflowDefinition XML files — and prints every finding,
+// graded error/warning/info. Unlike `dractl validate`, which stops at
+// the first hard error, lint reports everything it can see:
+// control-flow problems (dead cycles, unreachable activities,
+// XOR-splits with no default), security-policy problems (read grants to
+// principals outside the workflow), and information-flow problems
+// (concealed variables reaching non-readers, with the leaking activity
+// path). Exits 1 when any definition has an error-severity finding (or
+// a Validate failure).
 func cmdLint(args []string) {
-	if len(args) != 1 {
+	if len(args) == 0 {
 		usage()
 	}
 
-	var def *wfdef.Definition
-	switch args[0] {
-	case "fig9a":
-		def = wfdef.Fig9A()
-	case "fig9b":
-		def = wfdef.Fig9B()
-	case "fig4":
-		def = wfdef.Fig4()
-	default:
-		raw, err := os.ReadFile(args[0])
+	failed := false
+	for _, arg := range args {
+		if !lintOne(arg) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lintOne lints a single fixture name or definition file and reports
+// whether it is free of error-severity findings.
+func lintOne(arg string) bool {
+	def, ok := defByName(arg)
+	if !ok {
+		raw, err := os.ReadFile(arg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,10 +70,11 @@ func cmdLint(args []string) {
 	switch {
 	case errors > 0:
 		fmt.Printf("%s: %d finding(s), %d error(s)\n", def.Name, len(findings), errors)
-		os.Exit(1)
+		return false
 	case len(findings) > 0:
 		fmt.Printf("%s: %d finding(s), no errors\n", def.Name, len(findings))
 	default:
 		fmt.Printf("%s: clean\n", def.Name)
 	}
+	return true
 }

@@ -14,10 +14,13 @@
 //	dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
 //	dractl snapshot save -data-dir DIR -out FILE | restore -data-dir DIR -in FILE | inspect FILE
 //	dractl audit   -trust trust.json FILE.xml
-//	dractl dot     fig9a|fig9b|fig4|FILE.xml
-//	dractl export-def fig9a|fig9b|fig4
+//	dractl dot     NAME|FILE.xml
+//	dractl export-def NAME
 //	dractl validate DEFINITION.xml
-//	dractl lint     fig9a|fig9b|fig4|DEFINITION.xml
+//	dractl lint     NAME|DEFINITION.xml ...
+//
+// NAME is a built-in fixture: fig9a, fig9b, fig4, leave-request, or
+// expense-approval.
 package main
 
 import (
@@ -88,10 +91,12 @@ func usage() {
   dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
   dractl snapshot save -data-dir DIR -out FILE | restore -data-dir DIR -in FILE | inspect FILE
   dractl audit   -trust trust.json FILE.xml
-  dractl dot     fig9a|fig9b|fig4|FILE.xml
-  dractl export-def fig9a|fig9b|fig4
+  dractl dot     NAME|FILE.xml
+  dractl export-def NAME
   dractl validate DEFINITION.xml
-  dractl lint     fig9a|fig9b|fig4|DEFINITION.xml`)
+  dractl lint     NAME|DEFINITION.xml ...
+
+NAME is a built-in fixture: `+fixtureNames)
 	os.Exit(2)
 }
 
@@ -185,6 +190,27 @@ func cmdDemo(args []string) {
 	}
 }
 
+// defByName resolves the built-in workflow fixtures — the definitions
+// shipped with the examples — by CLI name.
+func defByName(name string) (*wfdef.Definition, bool) {
+	switch name {
+	case "fig9a":
+		return wfdef.Fig9A(), true
+	case "fig9b":
+		return wfdef.Fig9B(), true
+	case "fig4":
+		return wfdef.Fig4(), true
+	case "leave-request":
+		return wfdef.LeaveRequest(), true
+	case "expense-approval":
+		return wfdef.ExpenseApproval(), true
+	}
+	return nil, false
+}
+
+// fixtureNames is the usage-string list of defByName's names.
+const fixtureNames = "fig9a|fig9b|fig4|leave-request|expense-approval"
+
 func loadDoc(path string) *document.Document {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -250,21 +276,16 @@ func cmdDot(args []string) {
 	if len(args) != 1 {
 		usage()
 	}
-	switch args[0] {
-	case "fig9a":
-		fmt.Print(wfdef.Fig9A().DOT())
-	case "fig9b":
-		fmt.Print(wfdef.Fig9B().DOT())
-	case "fig4":
-		fmt.Print(wfdef.Fig4().DOT())
-	default:
-		doc := loadDoc(args[0])
-		def, err := doc.Definition()
-		if err != nil {
-			log.Fatal(err)
-		}
+	if def, ok := defByName(args[0]); ok {
 		fmt.Print(def.DOT())
+		return
 	}
+	doc := loadDoc(args[0])
+	def, err := doc.Definition()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(def.DOT())
 }
 
 // cmdExportDef writes a fixture workflow definition as XML (for editing
@@ -273,16 +294,9 @@ func cmdExportDef(args []string) {
 	if len(args) != 1 {
 		usage()
 	}
-	var def *wfdef.Definition
-	switch args[0] {
-	case "fig9a":
-		def = wfdef.Fig9A()
-	case "fig9b":
-		def = wfdef.Fig9B()
-	case "fig4":
-		def = wfdef.Fig4()
-	default:
-		log.Fatalf("unknown fixture %q (fig9a|fig9b|fig4)", args[0])
+	def, ok := defByName(args[0])
+	if !ok {
+		log.Fatalf("unknown fixture %q (%s)", args[0], fixtureNames)
 	}
 	fmt.Println(def.ToXML().Indent())
 }

@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	dralint [-json] [-rules LIST] [-tests=false] [-v] [packages]
+//	dralint [-json|-sarif] [-rules LIST] [-importer MODE] [-tests=false] [-v] [packages]
 //
 // Packages default to ./... relative to the enclosing module root.
 // Findings print as file:line:col: [rule] message; a //lint:ignore
 // directive with a reason suppresses a finding (suppressed findings are
-// listed with -v and counted in -json output).
+// listed with -v and counted in -json and -sarif output).
+//
+// -sarif emits a SARIF 2.1.0 log on stdout for GitHub code-scanning
+// upload, with file URIs relative to the module root. -importer picks
+// how standard-library imports type-check: auto (export data, source
+// fallback), gc, or source — CI runs the suite under both concrete
+// modes.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -27,12 +33,14 @@ import (
 func main() {
 	fs := flag.NewFlagSet("dralint", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout (for code-scanning upload)")
 	rules := fs.String("rules", "", "comma-separated analyzer subset (default: all)")
+	importerMode := fs.String("importer", "auto", "stdlib importer: auto, gc, or source")
 	withTests := fs.Bool("tests", true, "also load _test.go files (per-rule exemptions still apply)")
 	verbose := fs.Bool("v", false, "list suppressed findings and type-check warnings")
 	list := fs.Bool("list", false, "print the available analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dralint [-json] [-rules LIST] [-tests=false] [-v] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: dralint [-json|-sarif] [-rules LIST] [-importer MODE] [-tests=false] [-v] [packages]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -62,6 +70,7 @@ func main() {
 		fatal(err)
 	}
 	loader.IncludeTests = *withTests
+	loader.Importer = *importerMode
 
 	patterns := fs.Args()
 	pkgs, err := loader.Load(patterns...)
@@ -81,13 +90,18 @@ func main() {
 
 	res := lint.Run(pkgs, analyzers)
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, res, analyzers, root); err != nil {
+			fatal(err)
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		for _, d := range res.Diagnostics {
 			fmt.Println(d)
 		}

@@ -48,19 +48,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	def := wfdef.NewBuilder("expense-approval", "designer@corp").
-		Activity("file", "File expense", "emma@eng").
-		Response("amount", "number", true).
-		Response("receipt", "file", true).Done().
-		Activity("approve", "Approve expense", "").Role("approver").
-		Request("amount").Request("receipt").
-		Response("approved", "bool", true).Done().
-		Activity("payout", "Record payout", "finance@corp").
-		Request("amount").Request("approved").
-		Response("paid", "bool", true).Done().
-		Start("file").Edge("file", "approve").Edge("approve", "payout").End("payout").
-		DefaultReaders("emma@eng", "mgr-north@corp", "mgr-south@corp", "finance@corp").
-		MustBuild()
+	// The shared fixture keeps this example and `dractl lint
+	// expense-approval` on one definition.
+	def := wfdef.ExpenseApproval()
 
 	// --- 1. the designer publishes the signed template --------------------
 	tpl, err := document.SignTemplate(def, designer)

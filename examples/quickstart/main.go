@@ -52,27 +52,11 @@ func main() {
 	}
 
 	// --- the workflow definition ----------------------------------------
-	def, err := wfdef.NewBuilder("leave-request", "designer@hr").
-		Activity("request", "File leave request", "emma@eng").
-		Response("days", "number", true).
-		Response("reason", "string", true).Done().
-		Activity("approve", "Manager approval", "manager@eng").
-		Request("days").Request("reason").
-		Response("approved", "bool", true).Done().
-		Activity("record", "HR records the decision", "hr@corp").
-		Request("days").Request("approved").
-		Response("recorded", "bool", true).Done().
-		Start("request").
-		Edge("request", "approve").
-		Edge("approve", "record").
-		End("record").
-		DefaultReaders("emma@eng", "manager@eng", "hr@corp").
-		// The reason is personal: only the manager may read it.
-		ReadRule("reason", "manager@eng").
-		Build()
-	if err != nil {
-		log.Fatal(err)
-	}
+	// The shared fixture keeps this example, `dractl lint leave-request`,
+	// and the information-flow lint tests on one definition. The reason
+	// field is personal: a ReadRule conceals it from everyone but the
+	// manager.
+	def := wfdef.LeaveRequest()
 	fmt.Println("=== workflow ===")
 	fmt.Print(def)
 

@@ -670,6 +670,18 @@ func Parse(src string) (*Expr, error) {
 	return &Expr{root: root, src: src}, nil
 }
 
+// VariablesOf parses source text and returns the variables it references,
+// in first-appearance order. It is the one-shot form of Parse().Variables()
+// used by static analyses (wfdef condition collection, the IFC lint) that
+// care about a condition's information sources, not its value.
+func VariablesOf(src string) ([]string, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Variables(), nil
+}
+
 // MustParse is Parse for static expressions in tests and fixtures; it
 // panics on error.
 func MustParse(src string) *Expr {

@@ -1,0 +1,389 @@
+package lint
+
+// cfg.go builds an intraprocedural control-flow graph over a function
+// body. The lexical scans of the original analyzers (spanleak's
+// "no return between Start and End") answer ordering questions only for
+// straight-line code; the ackorder and ctxprop analyzers need real
+// path-sensitivity — "can an acknowledgement execute before the WAL
+// append on SOME path?", "can the parent context reach a call while the
+// derived span is still open?" — which is a reachability query over this
+// graph.
+//
+// The graph is statement-granular: every basic block holds an ordered
+// list of ast.Nodes — simple statements plus the condition/tag
+// expressions of the control statements that terminate a block. Composite
+// statements (if/for/switch/select) are decomposed into blocks and edges
+// rather than stored, so each node appears in exactly one block and
+// ordering queries are well-defined.
+//
+// Modeling choices, all conservative for the existential queries the
+// analyzers ask (a missing edge can only hide a finding, never invent
+// one):
+//
+//   - goto jumps to the synthetic exit block (the repo bans goto in
+//     practice; the edge just keeps the graph connected);
+//   - panics and process exits are not modeled — a node's successors are
+//     its syntactic continuations;
+//   - function literals are opaque expressions: their bodies contribute no
+//     blocks. Analyzers scan closures separately (a closure owns the
+//     lifetimes it captures).
+
+import "go/ast"
+
+// A Block is a maximal straight-line node sequence of a CFG. Execution
+// enters at Nodes[0], runs the nodes in order, and continues at one of
+// Succs.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (creation order;
+	// deterministic across runs).
+	Index int
+	// Nodes are the simple statements and branch conditions of the block,
+	// in execution order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block, entry first.
+	Blocks []*Block
+	// Entry is the block execution starts in.
+	Entry *Block
+	// Exit is the synthetic, empty block every return and fall-off-the-end
+	// path reaches.
+	Exit *Block
+}
+
+// A Point addresses one node of a CFG: Block.Nodes[Index]. Index -1
+// addresses the block's entry edge (before its first node) — the form
+// EntryPoint returns.
+type Point struct {
+	Block *Block
+	Index int
+}
+
+// EntryPoint is the point just before the first node of the entry block;
+// PathExists from it asks "can execution reach ... from function entry".
+func (c *CFG) EntryPoint() Point {
+	return Point{Block: c.Entry, Index: -1}
+}
+
+// PointOf locates the CFG node containing n (by position range) and
+// returns its point. The innermost containing node wins, so a call in an
+// if-condition maps to the condition expression, not the surrounding
+// statement. The second result is false when n is outside every block —
+// e.g. inside a function literal, which contributes no blocks.
+func (c *CFG) PointOf(n ast.Node) (Point, bool) {
+	var (
+		best     Point
+		bestSpan = -1
+		found    bool
+	)
+	for _, b := range c.Blocks {
+		for i, node := range b.Nodes {
+			if node.Pos() > n.Pos() || node.End() < n.End() {
+				continue
+			}
+			span := int(node.End() - node.Pos())
+			if !found || span < bestSpan {
+				best, bestSpan, found = Point{Block: b, Index: i}, span, true
+			}
+		}
+	}
+	return best, found
+}
+
+// PathExists reports whether execution can flow from the point after
+// `from` to `to` without first executing a node for which stop returns
+// true. The nodes at from and to themselves are not tested against stop;
+// a nil stop never blocks. Loops are followed, so the query is "on at
+// least one (possibly cyclic) execution path".
+func (c *CFG) PathExists(from, to Point, stop func(ast.Node) bool) bool {
+	blocked := func(n ast.Node) bool { return stop != nil && stop(n) }
+
+	// scan walks b.Nodes[start:], returning (reached, fellThrough).
+	scan := func(b *Block, start int) (bool, bool) {
+		for i := start; i < len(b.Nodes); i++ {
+			if b == to.Block && i == to.Index {
+				return true, false
+			}
+			if blocked(b.Nodes[i]) {
+				return false, false
+			}
+		}
+		return false, true
+	}
+
+	reached, fell := scan(from.Block, from.Index+1)
+	if reached {
+		return true
+	}
+	if !fell {
+		return false
+	}
+	visited := map[*Block]bool{}
+	frontier := append([]*Block(nil), from.Block.Succs...)
+	for len(frontier) > 0 {
+		b := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if visited[b] {
+			continue
+		}
+		visited[b] = true
+		reached, fell := scan(b, 0)
+		if reached {
+			return true
+		}
+		if fell {
+			frontier = append(frontier, b.Succs...)
+		}
+	}
+	return false
+}
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	last := b.stmtList(b.cfg.Entry, body.List)
+	b.edge(last, b.cfg.Exit) // fall off the end
+	return b.cfg
+}
+
+type loopFrame struct {
+	label     string
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	cfg   *CFG
+	loops []loopFrame
+	// pendingLabel names the labeled statement being built, so the loop it
+	// labels registers the label for targeted break/continue.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge adds cur → next unless cur is nil (unreachable continuation).
+func (b *cfgBuilder) edge(cur, next *Block) {
+	if cur == nil || next == nil {
+		return
+	}
+	for _, s := range cur.Succs {
+		if s == next {
+			return
+		}
+	}
+	cur.Succs = append(cur.Succs, next)
+}
+
+// stmtList threads the statements through cur, returning the block the
+// list falls out of (nil when every path diverted — returned, broke,
+// continued).
+func (b *cfgBuilder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// append records a simple node in cur; a nil cur (dead code after
+// return/break) swallows it.
+func (b *cfgBuilder) append(cur *Block, n ast.Node) {
+	if cur != nil && n != nil {
+		cur.Nodes = append(cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	if cur == nil {
+		// Dead code still needs blocks (a label could re-enter it in
+		// principle); keep it simple and give it an unreachable block so
+		// its nodes exist for PointOf.
+		cur = b.newBlock()
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, st.List)
+
+	case *ast.IfStmt:
+		b.append(cur, st.Init)
+		b.append(cur, st.Cond)
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		thenEnd := b.stmtList(thenB, st.Body.List)
+		b.edge(thenEnd, after)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			b.edge(b.stmt(elseB, st.Else), after)
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		b.append(cur, st.Init)
+		label := b.takeLabel()
+		cond := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.edge(cur, cond)
+		b.append(cond, st.Cond)
+		b.edge(cond, body)
+		if st.Cond != nil {
+			b.edge(cond, after)
+		}
+		b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: post})
+		bodyEnd := b.stmtList(body, st.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(bodyEnd, post)
+		b.append(post, st.Post)
+		b.edge(post, cond)
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(cur, head)
+		b.append(head, st.X)
+		b.edge(head, body)
+		b.edge(head, after) // empty collection
+		b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: head})
+		bodyEnd := b.stmtList(body, st.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(bodyEnd, head)
+		return after
+
+	case *ast.SwitchStmt:
+		b.append(cur, st.Init)
+		b.append(cur, st.Tag)
+		return b.caseClauses(cur, st.Body.List, true)
+
+	case *ast.TypeSwitchStmt:
+		b.append(cur, st.Init)
+		b.append(cur, st.Assign)
+		return b.caseClauses(cur, st.Body.List, true)
+
+	case *ast.SelectStmt:
+		return b.caseClauses(cur, st.Body.List, false)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = st.Label.Name
+		next := b.stmt(cur, st.Stmt)
+		b.pendingLabel = ""
+		return next
+
+	case *ast.ReturnStmt:
+		b.append(cur, st)
+		b.edge(cur, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		b.append(cur, st)
+		b.edge(cur, b.branchTarget(st))
+		return nil
+
+	default:
+		// Simple statements: assignments, expressions, defers, go, send,
+		// inc/dec, declarations.
+		b.append(cur, s)
+		return cur
+	}
+}
+
+// caseClauses wires switch/select clause bodies: every clause is a
+// successor of cur; a defaultless switch can fall through to after.
+func (b *cfgBuilder) caseClauses(cur *Block, clauses []ast.Stmt, breakable bool) *Block {
+	after := b.newBlock()
+	if breakable {
+		b.loops = append(b.loops, loopFrame{label: b.takeLabel(), brk: after, cont: nil})
+		defer func() { b.loops = b.loops[:len(b.loops)-1] }()
+	}
+	hasDefault := false
+	var prevEnd *Block // a fallthrough-terminated previous clause
+	for _, cs := range clauses {
+		blk := b.newBlock()
+		b.edge(cur, blk)
+		var list []ast.Stmt
+		switch clause := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range clause.List {
+				b.append(blk, e)
+			}
+			if clause.List == nil {
+				hasDefault = true
+			}
+			list = clause.Body
+		case *ast.CommClause:
+			b.append(blk, clause.Comm)
+			if clause.Comm == nil {
+				hasDefault = true
+			}
+			list = clause.Body
+		}
+		// A trailing fallthrough in the previous clause continues here.
+		if prevEnd != nil {
+			b.edge(prevEnd, blk)
+		}
+		end := b.stmtList(blk, list)
+		prevEnd = nil
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				prevEnd = end
+			}
+		}
+		if prevEnd == nil {
+			b.edge(end, after)
+		}
+	}
+	// A select blocks until a comm fires; a switch without a default can
+	// match nothing and fall through.
+	if !hasDefault {
+		b.edge(cur, after)
+	}
+	return after
+}
+
+// takeLabel consumes the pending statement label, if any.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// branchTarget resolves break/continue/goto to a block.
+func (b *cfgBuilder) branchTarget(st *ast.BranchStmt) *Block {
+	tok := st.Tok.String()
+	if tok == "goto" || tok == "fallthrough" {
+		// goto: unmodeled, route to exit (conservative for existential
+		// queries). fallthrough is handled by caseClauses; a stray one
+		// (invalid Go) also routes to exit.
+		return b.cfg.Exit
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		fr := b.loops[i]
+		if st.Label != nil && fr.label != st.Label.Name {
+			continue
+		}
+		if tok == "continue" {
+			if fr.cont == nil {
+				continue // a switch frame: continue targets the enclosing loop
+			}
+			return fr.cont
+		}
+		return fr.brk
+	}
+	return b.cfg.Exit
+}

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of the first
+// function declaration.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return fn.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// callPoint finds the call to name in the CFG and returns its point.
+func callPoint(t *testing.T, cfg *CFG, body *ast.BlockStmt, name string) Point {
+	t.Helper()
+	var target *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+			target = call
+			return false
+		}
+		return true
+	})
+	if target == nil {
+		t.Fatalf("no call to %s in source", name)
+	}
+	pt, ok := cfg.PointOf(target)
+	if !ok {
+		t.Fatalf("PointOf(%s) not found in CFG", name)
+	}
+	return pt
+}
+
+// isCallTo reports whether n contains a call to name.
+func isCallTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+func TestCFGStraightLineOrder(t *testing.T) {
+	body := parseBody(t, `package p
+func f() { a(); b(); c() }
+func a(); func b(); func c()`)
+	cfg := NewCFG(body)
+	a, b, c := callPoint(t, cfg, body, "a"), callPoint(t, cfg, body, "b"), callPoint(t, cfg, body, "c")
+
+	if !cfg.PathExists(a, b, nil) || !cfg.PathExists(a, c, nil) {
+		t.Error("a should reach b and c")
+	}
+	if cfg.PathExists(c, a, nil) {
+		t.Error("c must not reach a (no loop)")
+	}
+	if cfg.PathExists(a, c, isCallTo("b")) {
+		t.Error("a → c must be blocked by b on the only path")
+	}
+}
+
+func TestCFGBranches(t *testing.T) {
+	body := parseBody(t, `package p
+func f(x bool) {
+	a()
+	if x {
+		b()
+	} else {
+		d()
+	}
+	c()
+}
+func a(); func b(); func c(); func d()`)
+	cfg := NewCFG(body)
+	a, b, c := callPoint(t, cfg, body, "a"), callPoint(t, cfg, body, "b"), callPoint(t, cfg, body, "c")
+
+	if !cfg.PathExists(a, c, isCallTo("b")) {
+		t.Error("the else path from a to c avoids b")
+	}
+	if cfg.PathExists(a, c, func(n ast.Node) bool { return isCallTo("b")(n) || isCallTo("d")(n) }) {
+		t.Error("every path from a to c passes b or d")
+	}
+	if cfg.PathExists(b, a, nil) {
+		t.Error("b must not reach a")
+	}
+	if !cfg.PathExists(b, c, nil) {
+		t.Error("b should reach c")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	body := parseBody(t, `package p
+func f(xs []int) {
+	for range xs {
+		a()
+		b()
+	}
+	c()
+}
+func a(); func b(); func c()`)
+	cfg := NewCFG(body)
+	a, b, c := callPoint(t, cfg, body, "a"), callPoint(t, cfg, body, "b"), callPoint(t, cfg, body, "c")
+
+	if !cfg.PathExists(b, a, nil) {
+		t.Error("b reaches a around the loop back edge")
+	}
+	if cfg.PathExists(b, b, isCallTo("a")) {
+		// b can only re-reach itself by looping through the body, which
+		// runs a first.
+		t.Error("b → b around the loop must be blocked by a")
+	}
+	if !cfg.PathExists(a, c, nil) {
+		t.Error("a should reach c after the loop")
+	}
+	// From function entry, c is reachable without ever running a (empty
+	// slice), but a is never reachable without entering the loop body.
+	if !cfg.PathExists(cfg.EntryPoint(), c, isCallTo("a")) {
+		t.Error("empty-range path to c avoids a")
+	}
+}
+
+func TestCFGEarlyReturnAndSwitch(t *testing.T) {
+	body := parseBody(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		a()
+		return
+	case 2:
+		b()
+	}
+	c()
+}
+func a(); func b(); func c()`)
+	cfg := NewCFG(body)
+	a, b, c := callPoint(t, cfg, body, "a"), callPoint(t, cfg, body, "b"), callPoint(t, cfg, body, "c")
+
+	if cfg.PathExists(a, c, nil) {
+		t.Error("case 1 returns: a must not reach c")
+	}
+	if !cfg.PathExists(b, c, nil) {
+		t.Error("case 2 falls out of the switch to c")
+	}
+	if !cfg.PathExists(cfg.EntryPoint(), c, func(n ast.Node) bool {
+		return isCallTo("a")(n) || isCallTo("b")(n)
+	}) {
+		t.Error("the no-case-matches path reaches c without a or b")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	body := parseBody(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		if x < 0 {
+			break
+		}
+		a()
+	}
+	c()
+}
+func a(); func c()`)
+	cfg := NewCFG(body)
+	a, c := callPoint(t, cfg, body, "a"), callPoint(t, cfg, body, "c")
+
+	if !cfg.PathExists(cfg.EntryPoint(), c, isCallTo("a")) {
+		t.Error("break/continue/empty paths reach c without a")
+	}
+	if !cfg.PathExists(a, a, nil) {
+		t.Error("a reaches itself around the loop")
+	}
+	if !cfg.PathExists(a, c, nil) {
+		t.Error("a reaches c when the loop finishes")
+	}
+}
+
+func TestCFGPointOfInnermost(t *testing.T) {
+	body := parseBody(t, `package p
+func f() bool {
+	if a() {
+		return true
+	}
+	return false
+}
+func a() bool`)
+	cfg := NewCFG(body)
+	pt := callPoint(t, cfg, body, "a")
+	// The call lives in the if-condition node, which must appear in the
+	// entry chain before the return nodes.
+	if _, ok := pt.Block.Nodes[pt.Index].(*ast.CallExpr); !ok {
+		t.Errorf("PointOf(a()) node = %T, want the condition expression", pt.Block.Nodes[pt.Index])
+	}
+}
+
+func TestCFGDeterministicBlockOrder(t *testing.T) {
+	src := `package p
+func f(x int) {
+	if x > 0 {
+		a()
+	}
+	for x > 0 {
+		b()
+		x--
+	}
+}
+func a(); func b()`
+	shape := func() []int {
+		var out []int
+		for _, b := range NewCFG(parseBody(t, src)).Blocks {
+			out = append(out, len(b.Nodes), len(b.Succs))
+			for _, s := range b.Succs {
+				out = append(out, s.Index)
+			}
+		}
+		return out
+	}
+	first := shape()
+	for i := 0; i < 3; i++ {
+		if again := shape(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("CFG shape differs across builds:\n%v\n%v", first, again)
+		}
+	}
+}

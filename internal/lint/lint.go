@@ -45,8 +45,10 @@ type Analyzer struct {
 // All returns the default analyzer set, sorted by name.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AckOrder,
 		ConstTime,
 		CryptoErr,
+		CtxProp,
 		LockIO,
 		NonDeterminism,
 		SpanLeak,

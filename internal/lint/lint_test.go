@@ -123,6 +123,8 @@ func TestGolden(t *testing.T) {
 		{NonDeterminism, []string{"./internal/tfc", "./lintfix/gen", "./internal/pool"}, 2},
 		{SpanLeak, []string{"./lintfix/spanleak"}, 1},
 		{LockIO, []string{"./lintfix/lockio"}, 1},
+		{AckOrder, []string{"./lintfix/ackorder"}, 1},
+		{CtxProp, []string{"./lintfix/ctxprop"}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -58,6 +58,13 @@ type Loader struct {
 	// IncludeTests adds _test.go files (and external test packages) to the
 	// analysis units.
 	IncludeTests bool
+	// Importer selects how non-module (standard library) imports resolve:
+	// "" or "auto" tries compiler export data first and falls back to
+	// source; "gc" uses export data only (fast, requires an installed
+	// toolchain of the running version); "source" type-checks the library
+	// from source only (slow, but independent of stale export data — CI
+	// runs the suite both ways).
+	Importer string
 	// Fset receives all parsed positions; NewLoader allocates one.
 	Fset *token.FileSet
 
@@ -285,12 +292,23 @@ func (l *Loader) typeCheck(importPath, dir string, names, libNames, cgoNames []s
 // loaderImporter adapts Loader to types.Importer for dependency imports.
 type loaderImporter Loader
 
-// Import resolves module-internal paths by source and everything else via
-// the gc importer (export data), falling back to the source importer.
+// Import resolves module-internal paths by source and everything else
+// per the Loader.Importer mode: export data with source fallback
+// (default), or one of the two exclusively.
 func (li *loaderImporter) Import(path string) (*types.Package, error) {
 	l := (*Loader)(li)
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		return l.importModulePkg(path)
+	}
+	switch l.Importer {
+	case "gc":
+		return l.gcImporter.Import(path)
+	case "source":
+		return l.srcImporter.Import(path)
+	case "", "auto":
+		// fall through to the default chain below
+	default:
+		return nil, fmt.Errorf("lint: unknown importer mode %q (want auto, gc or source)", l.Importer)
 	}
 	pkg, err := l.gcImporter.Import(path)
 	if err == nil {

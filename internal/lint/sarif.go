@@ -1,0 +1,147 @@
+package lint
+
+// sarif.go renders a Result as a SARIF 2.1.0 log — the interchange
+// format GitHub code scanning ingests, so dralint findings surface as
+// pull-request annotations instead of a failed build log to dig through.
+// The writer covers the slice of the (large) SARIF schema that code
+// scanning actually reads: tool.driver with per-rule metadata, one
+// result per diagnostic with a physical location, and suppression
+// records for //lint:ignore'd findings (uploaded suppressions keep the
+// annotation history honest without re-flagging acknowledged sites).
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// WriteSARIF renders res as a SARIF 2.1.0 log on w. The analyzers
+// provide per-rule metadata (every rule is listed, found or not, so the
+// code-scanning rule index is stable across runs); root, when non-empty,
+// relativizes file URIs so annotations land on repository paths.
+// Suppressed findings are included as suppressed results — code scanning
+// shows them as dismissed rather than re-opening them.
+func WriteSARIF(w io.Writer, res Result, analyzers []*Analyzer, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	index := map[string]int{}
+	for i, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		index[a.Name] = i
+	}
+
+	results := make([]sarifResult, 0, len(res.Diagnostics)+len(res.Suppressed))
+	add := func(d Diagnostic, supp []sarifSuppression) {
+		ri := -1
+		if i, ok := index[d.Rule]; ok {
+			ri = i
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: ri,
+			Level:     "error", // every active finding fails the build
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: sarifURI(d.Position.Filename, root)},
+				Region:           sarifRegion{StartLine: d.Position.Line, StartColumn: d.Position.Column},
+			}}},
+			Suppressions: supp,
+		})
+	}
+	for _, d := range res.Diagnostics {
+		add(d, nil)
+	}
+	for _, d := range res.Suppressed {
+		add(d, []sarifSuppression{{Kind: "inSource", Justification: d.SuppressReason}})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dralint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a finding path as a forward-slash URI, relative to
+// root when the file lies under it.
+func sarifURI(filename, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,111 @@
+// Package ackorder seeds ack-before-durable orderings for the ackorder
+// analyzer's golden test. The bad shapes are frozen from the PR 5
+// "acked then lost" bugs: the TFC record endpoint wrote its success
+// response before the replay-guard journal append, and a compaction
+// path acknowledged with the WAL work skipped.
+package ackorder
+
+import (
+	"errors"
+
+	"dra4wfms/internal/pool"
+	"dra4wfms/internal/relay"
+)
+
+// responder stands in for the HTTP layer that promises success to the
+// submitting AEA.
+type responder struct{}
+
+func (responder) respond(status int, msg string) {}
+func (responder) notifyProgress(percent int)     {}
+func (responder) replyRecorded(seq uint64) error { return nil }
+
+var resp responder
+
+var errEmpty = errors.New("empty payload")
+
+// badAckThenJournal freezes the PR 5 TFC-record shape: the success
+// response leaves the process before the record reaches the journal; a
+// crash in the gap loses a write the sender believes is recorded.
+func badAckThenJournal(o *relay.Outbox, payload []byte) error {
+	resp.respond(200, "recorded") // want "acknowledges success before (relay.Outbox).Append"
+	_, _, err := o.Append("tfc", "record", "k", payload)
+	return err
+}
+
+// badAckBeforeSync appends first but acknowledges before the sync that
+// makes the append crash-proof.
+func badAckBeforeSync(s *pool.Store, o *relay.Outbox, payload []byte) error {
+	if _, _, err := o.Append("tfc", "record", "k", payload); err != nil {
+		return err
+	}
+	if err := resp.replyRecorded(1); err != nil { // want "acknowledges success before (pool.Store).Sync"
+		return err
+	}
+	return s.Sync()
+}
+
+// badSkippedBranch freezes the second PR 5 shape: on the not-dirty
+// branch the acknowledgement runs with no journal work behind it while
+// the sync is still ahead.
+func badSkippedBranch(s *pool.Store, dirty bool) error {
+	if dirty {
+		if err := s.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	resp.respond(200, "compacted") // want "acknowledges success before"
+	return s.Sync()
+}
+
+// goodJournalFirst is the protocol order: append → sync → ack. The
+// failure NACKs respond after the durable call on their path and promise
+// nothing further.
+func goodJournalFirst(o *relay.Outbox, s *pool.Store, payload []byte) error {
+	if _, _, err := o.Append("tfc", "record", "k", payload); err != nil {
+		resp.respond(500, "journal append failed")
+		return err
+	}
+	if err := s.Sync(); err != nil {
+		resp.respond(500, "journal sync failed")
+		return err
+	}
+	resp.respond(200, "recorded")
+	return nil
+}
+
+// goodErrorNack responds before any journaling — but only on the
+// validation path, which returns without ever promising durability.
+func goodErrorNack(o *relay.Outbox, payload []byte) error {
+	if len(payload) == 0 {
+		resp.respond(400, "empty payload")
+		return errEmpty
+	}
+	if _, _, err := o.Append("tfc", "record", "k", payload); err != nil {
+		return err
+	}
+	resp.respond(200, "recorded")
+	return nil
+}
+
+// goodLoopAckAfterAppend acknowledges each batch after its append; the
+// loop back edge must not read as "ack before the next iteration's
+// append".
+func goodLoopAckAfterAppend(o *relay.Outbox, batches [][]byte) error {
+	for _, b := range batches {
+		if _, _, err := o.Append("tfc", "record", "k", b); err != nil {
+			return err
+		}
+		resp.respond(200, "recorded")
+	}
+	return nil
+}
+
+// notifyFirstByDesign sends a progress notification before the append:
+// an ack-shaped call that deliberately promises nothing durable.
+func notifyFirstByDesign(o *relay.Outbox, payload []byte) error {
+	//lint:ignore ackorder fixture demo: progress notification, not a durability promise
+	resp.notifyProgress(50)
+	_, _, err := o.Append("tfc", "record", "k", payload)
+	return err
+}

@@ -18,23 +18,23 @@ import (
 )
 
 // Recipients resolves the reader list of variable to encryption recipients.
-// The wfdef.TFCReader pseudo-principal resolves to the definition's TFC
-// server. Unregistered readers are an error: encrypting to an unknown key
-// would make the value unrecoverable or, worse, silently skip a reader.
+// Reader resolution — including the wfdef.TFCReader pseudo-principal
+// mapping to the definition's TFC server — is delegated to
+// wfdef.ResolvedReaders, the same source of truth the static IFC lint
+// reasons over, so the set a value is encrypted for and the set the lint
+// proves it can reach never drift apart. Unregistered readers are an
+// error: encrypting to an unknown key would make the value unrecoverable
+// or, worse, silently skip a reader.
 func Recipients(def *wfdef.Definition, reg *pki.Registry, variable string) ([]xmlenc.Recipient, error) {
-	readers := def.Readers(variable)
+	readers, err := def.ResolvedReaders(variable)
+	if err != nil {
+		return nil, fmt.Errorf("secpol: %w", err)
+	}
 	if len(readers) == 0 {
 		return nil, fmt.Errorf("secpol: variable %q has no readers (neither a rule nor default readers)", variable)
 	}
 	var out []xmlenc.Recipient
-	for _, r := range readers {
-		id := r
-		if r == wfdef.TFCReader {
-			if def.Policy.TFC == "" {
-				return nil, fmt.Errorf("secpol: variable %q names the TFC reader but the definition has no TFC", variable)
-			}
-			id = def.Policy.TFC
-		}
+	for _, id := range readers {
 		pub, err := reg.PublicKey(id)
 		if err != nil {
 			return nil, fmt.Errorf("secpol: reader %q of variable %q: %w", id, variable, err)

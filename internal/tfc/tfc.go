@@ -142,7 +142,7 @@ func (s *Server) Process(doc *document.Document) (*Outcome, error) {
 // sampled distributed trace the TFC's verify/route/encrypt/sign work
 // lands as a tfc-tier span with the process and activity as attributes.
 func (s *Server) ProcessCtx(ctx context.Context, doc *document.Document) (*Outcome, error) {
-	_, span := tel.StartSpanCtx(ctx, "tfc_process_seconds")
+	ctx, span := tel.StartSpanCtx(ctx, "tfc_process_seconds")
 	defer span.End()
 	span.Trace().SetAttr("process", doc.ProcessID())
 	verifyStart := time.Now()

@@ -80,6 +80,51 @@ func fig9(advanced bool) *Definition {
 	return b.MustBuild()
 }
 
+// LeaveRequest builds the quickstart example's three-step HR workflow:
+// Emma files a leave request, her manager approves it, HR records the
+// decision. The "reason" variable is personal and readable by the manager
+// alone — HR records the outcome without ever holding a key for the
+// reason, which the IFC lint proves cannot reach them.
+func LeaveRequest() *Definition {
+	return NewBuilder("leave-request", "designer@hr").
+		Activity("request", "File leave request", "emma@eng").
+		Response("days", "number", true).
+		Response("reason", "string", true).Done().
+		Activity("approve", "Manager approval", "manager@eng").
+		Request("days").Request("reason").
+		Response("approved", "bool", true).Done().
+		Activity("record", "HR records the decision", "hr@corp").
+		Request("days").Request("approved").
+		Response("recorded", "bool", true).Done().
+		Start("request").
+		Edge("request", "approve").
+		Edge("approve", "record").
+		End("record").
+		DefaultReaders("emma@eng", "manager@eng", "hr@corp").
+		// The reason is personal: only the manager may read it.
+		ReadRule("reason", "manager@eng").
+		MustBuild()
+}
+
+// ExpenseApproval builds the expenseflow example's workflow: Emma files an
+// expense with a binary receipt attachment, any principal holding the
+// "approver" role claims the approval, and finance records the payout.
+func ExpenseApproval() *Definition {
+	return NewBuilder("expense-approval", "designer@corp").
+		Activity("file", "File expense", "emma@eng").
+		Response("amount", "number", true).
+		Response("receipt", "file", true).Done().
+		Activity("approve", "Approve expense", "").Role("approver").
+		Request("amount").Request("receipt").
+		Response("approved", "bool", true).Done().
+		Activity("payout", "Record payout", "finance@corp").
+		Request("amount").Request("approved").
+		Response("paid", "bool", true).Done().
+		Start("file").Edge("file", "approve").Edge("approve", "payout").End("payout").
+		DefaultReaders("emma@eng", "mgr-north@corp", "mgr-south@corp", "finance@corp").
+		MustBuild()
+}
+
 // Fig4Participants names the principals of the Figure 4 concealment
 // scenario.
 var Fig4Participants = struct {

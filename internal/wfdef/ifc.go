@@ -1,0 +1,335 @@
+package wfdef
+
+// ifc.go is the static information-flow-control pass of Lint, after
+// Bauereiss & Hutter's possibilistic IFC for workflow management systems.
+// The concealment policy of a definition (the per-variable reader sets of
+// the security section) is only meaningful if the *control structure*
+// cannot move a concealed value — or information about it — in front of a
+// principal outside its reader set. The signature cascade proves who did
+// what after the fact; this pass proves before deployment that the
+// definition cannot leak in the first place, or produces a concrete
+// counterexample: the activity chain the value travels and the principal
+// who ends up seeing it.
+//
+// Taint lattice. Each variable's label is its resolved reader set, a
+// point in the powerset lattice of workflow principals ordered by ⊇
+// (more readers = lower = more public). A variable is *concealed* when
+// its label excludes at least one participant of the workflow. Flows
+// checked, per concealed variable v:
+//
+//   - display flow: an activity Requests v; its participant must carry
+//     v's label (be a reader).
+//   - condition read: a visible guard mentions v; the guard's evaluator
+//     (the source activity's participant under the basic model) reads v
+//     to route. Concealed flow hands evaluation to the TFC, whose read
+//     grant Validate enforces.
+//   - implicit flow: a visible guard mentioning v selects between
+//     branches with different downstream participant sets. A participant
+//     who receives work on one branch but not another observes the
+//     guard's outcome — one bit of v — without ever holding its key
+//     (possibilistic interference). Under concealed flow the guard text
+//     is vaulted for the TFC, so an activation reveals no predicate on v
+//     and the flow is accepted (the paper's Figure 4 relies on this).
+//
+// Soundness assumptions (see DESIGN.md "IFC taint lattice"):
+//
+//   - authorized readers are trusted declassifiers: what a participant
+//     produces after legitimately reading v carries the participant's
+//     judgment, not v's label (otherwise every approval workflow would
+//     be a leak);
+//   - role-based activities resolve their principal at runtime, so
+//     display flows into them are not statically decidable and are
+//     skipped;
+//   - carrying an encrypted field through a non-reader is not a flow:
+//     element-wise encryption is exactly the mechanism that makes
+//     routing-without-reading safe.
+
+import (
+	"fmt"
+	"strings"
+
+	"dra4wfms/internal/expr"
+)
+
+// IFC rule identifiers.
+const (
+	// RuleIFCFlow marks direct flows of a concealed variable (display or
+	// visible-condition read) to a principal outside its reader set.
+	RuleIFCFlow = "ifc-flow"
+	// RuleIFCImplicit marks implicit flows: branch selection on a visible
+	// guard observable by a non-reader of a guard variable.
+	RuleIFCImplicit = "ifc-implicit-flow"
+)
+
+// lintIFC runs the information-flow pass and reports findings through add.
+func lintIFC(d *Definition, add addFunc) {
+	participants := map[string]bool{}
+	for _, a := range d.Activities {
+		if a.Participant != "" {
+			participants[a.Participant] = true
+		}
+	}
+
+	for _, v := range d.Variables() {
+		label := readerLabel(d, v)
+		if !isConcealed(label, participants) {
+			continue // public within the workflow: nothing to prove
+		}
+		checkDisplayFlows(d, v, label, add)
+		checkConditionFlows(d, v, label, add)
+	}
+}
+
+// readerLabel resolves the variable's reader set to concrete principals
+// (TFCReader → the definition's TFC server). An unresolvable TFCReader is
+// dropped here; Validate reports it as a hard error.
+func readerLabel(d *Definition, variable string) map[string]bool {
+	label := map[string]bool{}
+	for _, r := range d.Readers(variable) {
+		if r == TFCReader {
+			if d.Policy.TFC == "" {
+				continue
+			}
+			r = d.Policy.TFC
+		}
+		label[r] = true
+	}
+	return label
+}
+
+// isConcealed reports whether the label excludes any workflow participant.
+func isConcealed(label, participants map[string]bool) bool {
+	for p := range participants {
+		if !label[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDisplayFlows verifies every Request of v against v's label.
+func checkDisplayFlows(d *Definition, v string, label map[string]bool, add addFunc) {
+	for _, a := range d.Activities {
+		if a.Participant == "" {
+			continue // role-resolved at runtime: statically undecidable
+		}
+		for _, req := range a.Requests {
+			if req.Variable != v || label[a.Participant] {
+				continue
+			}
+			add(SevError, RuleIFCFlow,
+				"concealed variable %q flows to %s, participant of activity %s, who is outside its reader set; flow path: %s",
+				v, a.Participant, a.ID, flowPath(d, v, a.ID))
+		}
+	}
+}
+
+// checkConditionFlows verifies visible guards mentioning v: the evaluator
+// must read v, and branch selection must not be observable by non-readers
+// (implicit flow). Concealed flow vaults the guard for the TFC and the
+// whole family of checks does not apply.
+func checkConditionFlows(d *Definition, v string, label map[string]bool, add addFunc) {
+	if d.Policy.ConcealFlow {
+		return
+	}
+	for _, t := range d.Transitions {
+		if t.Condition == "" || t.Concealed {
+			continue
+		}
+		vars, err := expr.VariablesOf(t.Condition)
+		if err != nil {
+			continue // Validate reports the syntax error
+		}
+		if !containsString(vars, v) {
+			continue
+		}
+		src := d.Activity(t.From)
+		if src == nil {
+			continue // StartID guard: no evaluator to check
+		}
+		if src.Participant != "" && !label[src.Participant] {
+			add(SevError, RuleIFCFlow,
+				"concealed variable %q flows to %s, who evaluates the guard of transition %s at activity %s without being a reader; flow path: %s",
+				v, src.Participant, t.ID, src.ID, flowPath(d, v, src.ID))
+		}
+		if src.Split == SplitXOR {
+			checkImplicitFlow(d, v, label, src, add)
+		}
+	}
+}
+
+// checkImplicitFlow reports participants who can distinguish which branch
+// of the XOR-split at src fired — they appear downstream of one branch but
+// not of another — without being readers of the guard variable v.
+func checkImplicitFlow(d *Definition, v string, label map[string]bool, src *Activity, add addFunc) {
+	branches := d.Outgoing(src.ID)
+	if len(branches) < 2 {
+		return
+	}
+	// Downstream participant sets per branch.
+	type branchView struct {
+		t         Transition
+		observers map[string]bool
+	}
+	views := make([]branchView, 0, len(branches))
+	for _, b := range branches {
+		views = append(views, branchView{t: b, observers: downstreamParticipants(d, b.To)})
+	}
+
+	reported := map[string]bool{}
+	for i, seen := range views {
+		for p := range seen.observers {
+			if label[p] || reported[p] || p == src.Participant {
+				continue // readers may observe; the evaluator is checked above
+			}
+			distinguishes := false
+			for j, other := range views {
+				if j != i && !other.observers[p] {
+					distinguishes = true
+					break
+				}
+			}
+			if !distinguishes {
+				continue // present on every branch: activation reveals nothing
+			}
+			reported[p] = true
+			add(SevWarning, RuleIFCImplicit,
+				"XOR-split at %s branches on concealed variable %q; %s receives work on branch %s but not on every branch and so observes the guard's outcome without being a reader; flow path: %s",
+				src.ID, v, p, seen.t.ID, implicitPath(d, v, src.ID, seen.t, p))
+		}
+	}
+}
+
+// downstreamParticipants collects the participants of every activity
+// reachable from id (inclusive), following transitions.
+func downstreamParticipants(d *Definition, id string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]bool{}
+	frontier := []string{id}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, cur := range frontier {
+			if cur == EndID || seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			if a := d.Activity(cur); a != nil && a.Participant != "" {
+				out[a.Participant] = true
+			}
+			for _, t := range d.Outgoing(cur) {
+				next = append(next, t.To)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// flowPath renders the activity chain a value of v travels to reach
+// target: the shortest transition path from any activity producing v.
+// When no producer reaches target (the variable is unproduced, or target
+// precedes every producer) the path degrades to the target alone.
+func flowPath(d *Definition, v, target string) string {
+	var producers []string
+	for _, a := range d.Activities {
+		for _, r := range a.Responses {
+			if r.Variable == v {
+				producers = append(producers, a.ID)
+			}
+		}
+	}
+	best := shortestPath(d, producers, target)
+	if best == nil {
+		return fmt.Sprintf("%s (shown at %s)", v, target)
+	}
+	parts := make([]string, 0, len(best))
+	for i, id := range best {
+		if i == 0 {
+			parts = append(parts, fmt.Sprintf("%s (produces %s)", id, v))
+			continue
+		}
+		parts = append(parts, id)
+	}
+	return strings.Join(parts, " → ")
+}
+
+// implicitPath renders split → branch → first downstream activity whose
+// participant is p.
+func implicitPath(d *Definition, v, split string, branch Transition, p string) string {
+	// BFS from the branch target to the nearest activity executed by p.
+	type hop struct {
+		id   string
+		prev *hop
+	}
+	seen := map[string]bool{}
+	queue := []*hop{{id: branch.To}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.id == EndID || seen[cur.id] {
+			continue
+		}
+		seen[cur.id] = true
+		if a := d.Activity(cur.id); a != nil && a.Participant == p {
+			var chain []string
+			for h := cur; h != nil; h = h.prev {
+				chain = append(chain, h.id)
+			}
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			return fmt.Sprintf("%s (branches on %s) → %s", split, v, strings.Join(chain, " → "))
+		}
+		for _, t := range d.Outgoing(cur.id) {
+			queue = append(queue, &hop{id: t.To, prev: cur})
+		}
+	}
+	return fmt.Sprintf("%s (branches on %s) → %s", split, v, branch.To)
+}
+
+// shortestPath returns the shortest activity chain from any of sources to
+// target over the transition graph, or nil when unreachable. A source
+// equal to target returns the single-element chain.
+func shortestPath(d *Definition, sources []string, target string) []string {
+	type hop struct {
+		id   string
+		prev *hop
+	}
+	seen := map[string]bool{}
+	var queue []*hop
+	for _, s := range sources {
+		queue = append(queue, &hop{id: s})
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur.id] || cur.id == EndID {
+			continue
+		}
+		seen[cur.id] = true
+		if cur.id == target {
+			var chain []string
+			for h := cur; h != nil; h = h.prev {
+				chain = append(chain, h.id)
+			}
+			// Reverse into source → target order.
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			return chain
+		}
+		for _, t := range d.Outgoing(cur.id) {
+			queue = append(queue, &hop{id: t.To, prev: cur})
+		}
+	}
+	return nil
+}
+
+func containsString(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package wfdef
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// leakyDisplay builds a definition where "salary" is concealed from the
+// clerk but the final activity displays it to the clerk anyway — the
+// explicit display flow with the chain A1 → A2 → A3.
+func leakyDisplay() *Definition {
+	return &Definition{
+		Name:     "leaky-display",
+		Designer: "designer@x",
+		Activities: []Activity{
+			{ID: "A1", Participant: "hr@x", Responses: []Response{{Variable: "salary"}}},
+			{ID: "A2", Participant: "manager@x",
+				Requests:  []Request{{Variable: "salary"}},
+				Responses: []Response{{Variable: "approved"}}},
+			{ID: "A3", Participant: "clerk@x", Requests: []Request{{Variable: "salary"}}},
+		},
+		Transitions: []Transition{
+			{ID: "t0", From: StartID, To: "A1"},
+			{ID: "t1", From: "A1", To: "A2"},
+			{ID: "t2", From: "A2", To: "A3"},
+			{ID: "t3", From: "A3", To: EndID},
+		},
+		Policy: SecurityPolicy{
+			DefaultReaders: []string{"hr@x", "manager@x", "clerk@x"},
+			Rules:          []ReadRule{{Variable: "salary", Readers: []string{"hr@x", "manager@x"}}},
+		},
+	}
+}
+
+func findRule(fs []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestIFCDisplayLeakWithPath(t *testing.T) {
+	fs := Lint(leakyDisplay())
+	flows := findRule(fs, RuleIFCFlow)
+	if len(flows) != 1 {
+		t.Fatalf("ifc-flow findings = %d, want 1\nall: %v", len(flows), fs)
+	}
+	f := flows[0]
+	if f.Severity != SevError {
+		t.Errorf("ifc-flow severity = %s, want error", f.Severity)
+	}
+	for _, want := range []string{"salary", "clerk@x", "A1 (produces salary) → A2 → A3"} {
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("ifc-flow message %q misses %q", f.Message, want)
+		}
+	}
+}
+
+// leakyCondition routes on a variable its evaluator cannot read and whose
+// branch outcome an unauthorized downstream participant can observe.
+func leakyCondition() *Definition {
+	return &Definition{
+		Name:     "leaky-condition",
+		Designer: "designer@x",
+		Activities: []Activity{
+			{ID: "A1", Participant: "alice@x", Responses: []Response{{Variable: "score"}}},
+			{ID: "A2", Participant: "bob@x", Split: SplitXOR,
+				Requests:  []Request{},
+				Responses: []Response{{Variable: "routed"}}},
+			{ID: "HI", Participant: "eve@x"},
+			{ID: "LO", Participant: "lowell@x"},
+			{ID: "A5", Participant: "alice@x", Join: JoinXOR},
+		},
+		Transitions: []Transition{
+			{ID: "t0", From: StartID, To: "A1"},
+			{ID: "t1", From: "A1", To: "A2"},
+			{ID: "t2", From: "A2", To: "HI", Condition: "score > 700"},
+			{ID: "t3", From: "A2", To: "LO"},
+			{ID: "t4", From: "HI", To: "A5"},
+			{ID: "t5", From: "LO", To: "A5"},
+			{ID: "t6", From: "A5", To: EndID},
+		},
+		Policy: SecurityPolicy{
+			DefaultReaders: []string{"alice@x", "bob@x", "eve@x", "lowell@x"},
+			Rules:          []ReadRule{{Variable: "score", Readers: []string{"alice@x"}}},
+		},
+	}
+}
+
+func TestIFCConditionAndImplicitLeaks(t *testing.T) {
+	fs := Lint(leakyCondition())
+
+	flows := findRule(fs, RuleIFCFlow)
+	if len(flows) != 1 {
+		t.Fatalf("ifc-flow findings = %d, want 1 (bob evaluates t2)\nall: %v", len(flows), fs)
+	}
+	for _, want := range []string{"score", "bob@x", "transition t2", "A1 (produces score) → A2"} {
+		if !strings.Contains(flows[0].Message, want) {
+			t.Errorf("ifc-flow message %q misses %q", flows[0].Message, want)
+		}
+	}
+
+	// eve and lowell each appear on exactly one branch and neither reads
+	// "score": both observe the guard outcome. alice (A5, both branches and
+	// a reader) must not be flagged.
+	implicit := findRule(fs, RuleIFCImplicit)
+	var who []string
+	for _, f := range implicit {
+		if f.Severity != SevWarning {
+			t.Errorf("ifc-implicit-flow severity = %s, want warning", f.Severity)
+		}
+		if !strings.Contains(f.Message, "A2 (branches on score)") {
+			t.Errorf("implicit message %q misses the split path prefix", f.Message)
+		}
+		for _, p := range []string{"eve@x", "lowell@x", "alice@x", "bob@x"} {
+			if strings.Contains(f.Message, p+" receives work") {
+				who = append(who, p)
+			}
+		}
+	}
+	if len(implicit) != 2 || len(who) != 2 || who[0] == who[1] {
+		t.Fatalf("ifc-implicit-flow = %v, want exactly eve@x and lowell@x\nall: %v", who, fs)
+	}
+}
+
+// Concealed flow vaults the guard for the TFC: neither the evaluator-side
+// nor the implicit-observation check applies (the paper's Figure 4 shape).
+func TestIFCConcealedFlowExemptsConditions(t *testing.T) {
+	d := leakyCondition()
+	d.Policy.ConcealFlow = true
+	d.Policy.TFC = "tfc@cloud"
+	d.Policy.Rules[0].Readers = append(d.Policy.Rules[0].Readers, TFCReader)
+	fs := Lint(d)
+	if n := len(findRule(fs, RuleIFCFlow)) + len(findRule(fs, RuleIFCImplicit)); n != 0 {
+		t.Fatalf("concealed flow should silence condition IFC findings, got %d: %v", n, fs)
+	}
+}
+
+// A role-based activity has no static principal: display flows into it are
+// skipped rather than guessed at.
+func TestIFCSkipsRoleActivities(t *testing.T) {
+	d := leakyDisplay()
+	d.Activities[2].Participant = ""
+	d.Activities[2].Role = "clerks"
+	if n := len(findRule(Lint(d), RuleIFCFlow)); n != 0 {
+		t.Fatalf("role-based display should not be flagged, got %d findings", n)
+	}
+}
+
+// The shipped fixtures — the definitions every example runs — must be
+// fully IFC-clean, not merely free of error findings.
+func TestIFCBuiltinsClean(t *testing.T) {
+	for name, def := range map[string]*Definition{
+		"fig9a":            Fig9A(),
+		"fig9b":            Fig9B(),
+		"fig4":             Fig4(),
+		"leave-request":    LeaveRequest(),
+		"expense-approval": ExpenseApproval(),
+	} {
+		fs := Lint(def)
+		if n := len(findRule(fs, RuleIFCFlow)) + len(findRule(fs, RuleIFCImplicit)); n != 0 {
+			t.Errorf("%s: IFC findings on a shipped definition: %v", name, fs)
+		}
+	}
+}
+
+// Finding aggregation: when several analyzers report on the same activity
+// the results arrive in the documented stable order with every finding
+// preserved — lintPolicy's unreadable-request and the IFC pass both fire
+// on A3 here, and repeated runs agree exactly.
+func TestLintAggregationStableNoDedupLoss(t *testing.T) {
+	d := leakyDisplay()
+	first := Lint(d)
+
+	// Both rules report on activity A3 / variable salary: no dedup loss.
+	if n := len(findRule(first, "unreadable-request")); n != 1 {
+		t.Errorf("unreadable-request findings = %d, want 1 alongside ifc-flow\nall: %v", n, first)
+	}
+	if n := len(findRule(first, RuleIFCFlow)); n != 1 {
+		t.Errorf("ifc-flow findings = %d, want 1 alongside unreadable-request\nall: %v", n, first)
+	}
+
+	// Stable order: errors before warnings before info, rule-sorted within.
+	lastRank, lastRule, lastMsg := -1, "", ""
+	for _, f := range first {
+		r := severityRank(f.Severity)
+		if r < lastRank {
+			t.Fatalf("severity order violated at %v\nall: %v", f, first)
+		}
+		if r == lastRank {
+			if f.Rule < lastRule {
+				t.Fatalf("rule order violated at %v\nall: %v", f, first)
+			}
+			if f.Rule == lastRule && f.Message < lastMsg {
+				t.Fatalf("message order violated at %v\nall: %v", f, first)
+			}
+		}
+		lastRank, lastRule, lastMsg = r, f.Rule, f.Message
+	}
+
+	// Deterministic across runs.
+	for i := 0; i < 5; i++ {
+		if again := Lint(leakyDisplay()); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs:\nfirst: %v\nagain: %v", i, first, again)
+		}
+	}
+}
+
+func TestResolvedReaders(t *testing.T) {
+	d := Fig4()
+	got, err := d.ResolvedReaders("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{Fig4Participants.Amy, "tfc@cloud"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ResolvedReaders(X) = %v, want %v", got, want)
+	}
+
+	d.Policy.TFC = ""
+	if _, err := d.ResolvedReaders("X"); err == nil {
+		t.Fatal("ResolvedReaders with unresolvable TFCReader: expected error")
+	}
+}

@@ -49,6 +49,19 @@ func (f Finding) String() string {
 // validate. Error-severity findings indicate the process will misbehave at
 // runtime; warnings are probable mistakes; info findings are notable but
 // legitimate structure.
+//
+// Beyond the structural and policy checks, Lint runs the static
+// information-flow-control pass of ifc.go: for every concealed variable
+// (one whose reader set excludes a workflow participant) it either proves
+// no flow — display, visible-condition read, or implicit branch
+// observation — can put the variable in front of a non-reader, or reports
+// the concrete counterexample path.
+//
+// Findings are returned in a stable, documented order — severity
+// (errors, then warnings, then info), then rule, then message — so that
+// repeated runs over the same definition, and analyzers reporting on the
+// same activity, aggregate deterministically with nothing deduplicated
+// away.
 func Lint(d *Definition) []Finding {
 	var out []Finding
 	add := func(sev Severity, rule, format string, args ...any) {
@@ -65,7 +78,37 @@ func Lint(d *Definition) []Finding {
 	lintSplits(d, add)
 	lintPolicy(d, add)
 	lintVariables(d, add)
+	lintIFC(d, add)
+	sortFindings(out)
 	return out
+}
+
+// severityRank orders severities for reporting: errors first.
+func severityRank(s Severity) int {
+	switch s {
+	case SevError:
+		return 0
+	case SevWarning:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// sortFindings applies the documented stable ordering. The sort is stable
+// and the key includes the full message, so two analyzers reporting
+// distinct findings on the same activity both survive, in a fixed order.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if ra, rb := severityRank(a.Severity), severityRank(b.Severity); ra != rb {
+			return ra < rb
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
 }
 
 type addFunc func(sev Severity, rule, format string, args ...any)
@@ -252,9 +295,13 @@ func lintPolicy(d *Definition, add addFunc) {
 	if d.Designer != "" {
 		holders[d.Designer] = true
 	}
+	var roles []string
 	for _, a := range d.Activities {
 		if a.Participant != "" {
 			holders[a.Participant] = true
+		}
+		if a.Participant == "" && a.Role != "" {
+			roles = append(roles, a.Role)
 		}
 	}
 	for _, id := range d.TFCs() {
@@ -268,10 +315,19 @@ func lintPolicy(d *Definition, add addFunc) {
 			continue
 		}
 		for _, r := range readers {
-			if !holders[r] {
-				add(SevWarning, "orphan-reader", "variable %q grants read access to %q, who participates nowhere in the workflow and holds no key for it",
-					v, r)
+			if holders[r] {
+				continue
 			}
+			if len(roles) > 0 {
+				// A role-based activity resolves its participant at
+				// runtime; the grant may name a role holder the
+				// definition cannot enumerate.
+				add(SevInfo, "possible-role-reader", "variable %q grants read access to %q, who is not a declared participant; assuming a runtime holder of role %q",
+					v, r, roles[0])
+				continue
+			}
+			add(SevWarning, "orphan-reader", "variable %q grants read access to %q, who participates nowhere in the workflow and holds no key for it",
+				v, r)
 		}
 	}
 

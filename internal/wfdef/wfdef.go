@@ -255,6 +255,26 @@ func (d *Definition) Readers(variable string) []string {
 	return d.Policy.DefaultReaders
 }
 
+// ResolvedReaders returns the concrete principal IDs able to decrypt the
+// variable: Readers with the TFCReader pseudo-principal resolved to the
+// definition's TFC server. Naming TFCReader in a definition without a TFC
+// is an error — encrypting "for the TFC" with no TFC configured would
+// silently drop a reader.
+func (d *Definition) ResolvedReaders(variable string) ([]string, error) {
+	readers := d.Readers(variable)
+	out := make([]string, 0, len(readers))
+	for _, r := range readers {
+		if r == TFCReader {
+			if d.Policy.TFC == "" {
+				return nil, fmt.Errorf("wfdef: variable %q names the TFC reader but the definition has no TFC", variable)
+			}
+			r = d.Policy.TFC
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // TFCFor returns the TFC server responsible for the activity under the
 // advanced model: its per-activity assignment if one exists, else the
 // policy default ("" when the definition runs the basic model).
@@ -293,11 +313,11 @@ func (d *Definition) ConditionVariables() ([]string, error) {
 		if t.Condition == "" {
 			continue
 		}
-		e, err := expr.Parse(t.Condition)
+		vars, err := expr.VariablesOf(t.Condition)
 		if err != nil {
 			return nil, fmt.Errorf("wfdef: transition %s: %w", t.ID, err)
 		}
-		for _, v := range e.Variables() {
+		for _, v := range vars {
 			set[v] = true
 		}
 	}

@@ -35,6 +35,13 @@ type Options struct {
 	// TFC, when non-empty, declares a TFC server so the workflow can run
 	// under the advanced operational model.
 	TFC string
+	// Leaks seeds that many deliberate concealment leaks: a producer
+	// activity emits a secret readable by everyone EXCEPT one participant,
+	// and a following activity displays the secret to exactly that
+	// participant. The information-flow lint must report each one with a
+	// counterexample path — the adversarial corpus for the IFC pass.
+	// Requires at least two participants.
+	Leaks int
 }
 
 func (o *Options) defaults() {
@@ -60,8 +67,24 @@ type Generated struct {
 	// LoopVars is the subset of DecisionVars guarding loop back edges;
 	// executors should eventually set them "false" to terminate.
 	LoopVars map[string]bool
+	// Leaks records the concealment leaks seeded by Options.Leaks, so a
+	// property test can assert the IFC lint finds every one.
+	Leaks []SeededLeak
 	// Activities counts generated activities.
 	Activities int
+}
+
+// SeededLeak is one deliberately planted information-flow violation.
+type SeededLeak struct {
+	// Variable is the concealed variable.
+	Variable string
+	// Producer is the activity producing it.
+	Producer string
+	// Reader is the activity that wrongly displays it.
+	Reader string
+	// Participant executes Reader and is excluded from the variable's
+	// reader set.
+	Participant string
 }
 
 type gen struct {
@@ -78,6 +101,9 @@ func Generate(r *rand.Rand, opts Options) (*Generated, error) {
 	if len(opts.Participants) == 0 {
 		return nil, fmt.Errorf("wfgen: no participants")
 	}
+	if opts.Leaks > 0 && len(opts.Participants) < 2 {
+		return nil, fmt.Errorf("wfgen: seeding leaks needs at least two participants (one reader, one excluded)")
+	}
 	g := &gen{
 		r:    r,
 		opts: opts,
@@ -85,6 +111,9 @@ func Generate(r *rand.Rand, opts Options) (*Generated, error) {
 		out:  &Generated{DecisionVars: map[string]string{}, LoopVars: map[string]bool{}},
 	}
 	entry, exit := g.block(opts.MaxDepth)
+	for i := 0; i < opts.Leaks; i++ {
+		exit = g.seedLeak(exit)
+	}
 	g.b = g.b.Start(entry).End(exit)
 	g.b = g.b.DefaultReaders(opts.Participants...)
 	if opts.TFC != "" {
@@ -214,6 +243,39 @@ func (g *gen) xorBlock(depth int) (string, string) {
 	g.b = g.b.Edge(xTrue, join)
 	g.b = g.b.Edge(xFalse, join)
 	return split, join
+}
+
+// seedLeak appends a producer/leaker pair after exit: the producer emits
+// a secret whose readers are every participant except one, and the
+// leaker — executed by exactly that excluded participant — displays it.
+// Returns the new exit (the leaker).
+func (g *gen) seedLeak(exit string) string {
+	excluded := g.participant()
+	var readers []string
+	for _, p := range g.opts.Participants {
+		if p != excluded {
+			readers = append(readers, p)
+		}
+	}
+	producer := readers[g.r.Intn(len(readers))]
+
+	g.seq++
+	pid := fmt.Sprintf("S%03d", g.seq)
+	secret := fmt.Sprintf("s%03d", g.seq)
+	g.b = g.b.Activity(pid, "secret "+pid, producer).
+		Response(secret, "string", true).Done()
+
+	g.seq++
+	lid := fmt.Sprintf("L%03d", g.seq)
+	g.b = g.b.Activity(lid, "leak "+lid, excluded).
+		Request(secret).
+		Response(fmt.Sprintf("v%03d", g.seq), "string", true).Done()
+
+	g.b = g.b.Edge(exit, pid).Edge(pid, lid).ReadRule(secret, readers...)
+	g.out.Leaks = append(g.out.Leaks, SeededLeak{
+		Variable: secret, Producer: pid, Reader: lid, Participant: excluded,
+	})
+	return lid
 }
 
 // loopBlock: body block → decision activity; "true" loops back to the

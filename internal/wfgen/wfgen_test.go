@@ -1,7 +1,9 @@
 package wfgen
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/testenv"
 	"dra4wfms/internal/tfc"
+	"dra4wfms/internal/wfdef"
 	"dra4wfms/internal/xmltree"
 )
 
@@ -154,6 +157,54 @@ func TestPropRandomTamperDetected(t *testing.T) {
 func TestGenerateValidation(t *testing.T) {
 	if _, err := Generate(rand.New(rand.NewSource(1)), Options{}); err == nil {
 		t.Fatal("no participants accepted")
+	}
+	if _, err := Generate(rand.New(rand.NewSource(1)),
+		Options{Participants: []string{"solo@gen"}, Leaks: 1}); err == nil {
+		t.Fatal("leak seeding with a single participant accepted")
+	}
+}
+
+// TestPropSeededLeaksDetected is the negative corpus for the
+// information-flow lint: every definition generated with Options.Leaks
+// still validates, and the IFC pass reports EACH seeded leak as an
+// error-severity finding that names the concealed variable, the excluded
+// participant, and a concrete counterexample path through the leaking
+// activity.
+func TestPropSeededLeaksDetected(t *testing.T) {
+	for seed := int64(400); seed < 440; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		o := opts(seed%2 == 0)
+		o.Leaks = 1 + int(seed%3)
+		g, err := Generate(r, o)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(g.Leaks) != o.Leaks {
+			t.Fatalf("seed %d: seeded %d leaks, recorded %d", seed, o.Leaks, len(g.Leaks))
+		}
+		if err := g.Def.Validate(); err != nil {
+			t.Fatalf("seed %d: leaky definition must still validate: %v\n%s", seed, err, g.Def)
+		}
+		findings := wfdef.Lint(g.Def)
+		for _, leak := range g.Leaks {
+			found := false
+			for _, f := range findings {
+				if f.Rule != wfdef.RuleIFCFlow || f.Severity != wfdef.SevError {
+					continue
+				}
+				if strings.Contains(f.Message, fmt.Sprintf("%q", leak.Variable)) &&
+					strings.Contains(f.Message, leak.Participant) &&
+					strings.Contains(f.Message, leak.Reader) &&
+					strings.Contains(f.Message, "→") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("seed %d: seeded leak of %q to %s at %s not reported\nfindings: %v",
+					seed, leak.Variable, leak.Participant, leak.Reader, findings)
+			}
+		}
 	}
 }
 
