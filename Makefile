@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet lint lintdefs build test race bench benchsmoke faults crash smoke ratchet
+.PHONY: check fmt vet lint lintdefs build test race bench benchsmoke faults crash smoke clustersmoke ratchet
 
 # check is the CI gate: formatting, static analysis (go vet plus the
 # repo's own dralint rules and the workflow-definition lint over every
 # shipped definition), build, the benchmark smoke run for the
 # verification fast path, the relay reliability gate, the pool
-# crash-recovery gate, the daemon lifecycle smoke, and the full test
-# suite under the race detector.
-check: fmt vet lint build lintdefs benchsmoke faults crash smoke race
+# crash-recovery gate, the daemon lifecycle smokes (single-node and
+# clustered failover), and the full test suite under the race detector.
+check: fmt vet lint build lintdefs benchsmoke faults crash smoke clustersmoke race
 
 # crash is the pool durability gate: kill-mid-write recovery (torn and
 # bit-flipped WAL tails), checkpoint fallback, and concurrent
@@ -23,6 +23,13 @@ crash:
 # ring exposes a multi-tier trace at /v1/traces.
 smoke:
 	./scripts/probe_smoke.sh
+
+# clustersmoke is the failover drill: three drapool nodes behind a
+# clustered draportal (race builds), kill -9 the primary of an upcoming
+# row's region mid-load, and assert no acknowledged write is lost, readyz
+# converges back to ready-or-degraded, and shutdown stays clean.
+clustersmoke:
+	./scripts/cluster_smoke.sh
 
 # ratchet compares the two newest BENCH_<n>.json trajectories in the
 # repo root and fails on >10% regressions in the recorded α/β/γ timings

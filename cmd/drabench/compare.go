@@ -64,6 +64,16 @@ func metricsOf(traj *trajectory) []benchMetric {
 		add(fmt.Sprintf("verifycache/cers=%d/cold_fast", r.CERs), r.ColdFast)
 		add(fmt.Sprintf("verifycache/cers=%d/warm_hop", r.CERs), r.WarmHop)
 	}
+	for _, r := range traj.PoolScale {
+		base := fmt.Sprintf("poolscale/servers=%d,docs=%d", r.Servers, r.Documents)
+		add(base+"/store_doc", time.Duration(r.StoreMicrosPerDoc*float64(time.Microsecond)))
+		add(base+"/query_doc", time.Duration(r.QueryMicrosPerDoc*float64(time.Microsecond)))
+	}
+	if f := traj.PoolFailover; f != nil {
+		add("poolfailover/failover_write", f.FailoverLatency)
+		add("poolfailover/max_stall", f.MaxStall)
+		add("poolfailover/mean_write", f.MeanWrite)
+	}
 	return out
 }
 

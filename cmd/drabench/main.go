@@ -246,6 +246,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		traj.PoolScale = rows
 		fmt.Printf("%8s %10s %8s %12s %12s %12s %12s\n",
 			"servers", "docs", "regions", "store/doc", "query/doc", "monitor", "stats(MR)")
 		for _, r := range rows {
@@ -255,6 +256,22 @@ func main() {
 		}
 		fmt.Println("expected shape: store/query ~flat with pool size (region routing);")
 		fmt.Println("statistics linear in documents but parallelized by the MR layer.")
+
+		fmt.Println("\nFailover — clustered pool, kill a node's primary mid-run")
+		fmt.Println("(3 pool nodes, 2 replicas/region; every write must stay acknowledged)")
+		fo, err := bench.RunPoolFailover(3, 2000)
+		if err != nil {
+			return err
+		}
+		traj.PoolFailover = fo
+		fmt.Printf("killed %s (primary of %s) at write %d/%d: %d acked, %d lost\n",
+			fo.KilledNode, fo.KilledRegion, fo.AckedWrites/2, fo.AckedWrites,
+			fo.AckedWrites, fo.LostWrites)
+		fmt.Printf("failover write %v   max stall %v   mean write %v\n",
+			fo.FailoverLatency.Round(time.Microsecond), fo.MaxStall.Round(time.Microsecond),
+			fo.MeanWrite.Round(time.Microsecond))
+		fmt.Println("expected shape: zero lost acknowledged writes; exactly one write pays the")
+		fmt.Println("failover stall (failure detection + primary promotion, inline).")
 		return nil
 	})
 
@@ -320,6 +337,12 @@ type trajectory struct {
 	Table2      []bench.Table2Row      `json:"table2,omitempty"`
 	Cascade     []bench.CascadeRow     `json:"cascade,omitempty"`
 	VerifyCache []bench.VerifyCacheRow `json:"verifycache,omitempty"`
+	// PoolScale/PoolFailover record the clustered-pool experiments: the
+	// scale-out table and the kill-a-node run (zero acked-write loss plus
+	// its failover latency). Baselines without these fields compare
+	// cleanly: metricsOf skips metrics the baseline lacks.
+	PoolScale    []bench.PoolScaleRow      `json:"poolscale,omitempty"`
+	PoolFailover *bench.PoolFailoverResult `json:"poolfailover,omitempty"`
 }
 
 // writeTrajectory writes traj to BENCH_<n>.json in the current directory,

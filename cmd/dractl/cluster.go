@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"dra4wfms/internal/poolcluster"
+)
+
+// cmdCluster inspects and steers a clustered document pool.
+//
+//	dractl cluster status    [-url PORTAL] [-data-dir DIR] [-row ROW]
+//	dractl cluster rebalance [-url PORTAL]
+//
+// status renders the region directory — region → node placement, epochs,
+// and per-replica applied/lag in WAL records — from a live portal's
+// GET /v1/cluster/status or, with -data-dir, offline from the
+// cluster.json snapshot the coordinator persists (-cluster-status).
+// With -row it instead prints "REGION NODE" for the row's current
+// primary, which is how the failover drill picks its kill target.
+// rebalance asks the portal to spread region leadership evenly and
+// prints the migrations performed.
+func cmdCluster(args []string) {
+	if len(args) < 1 {
+		usage()
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	base := fs.String("url", "", "portal base URL serving /v1/cluster/*")
+	dataDir := fs.String("data-dir", "", "read the persisted cluster.json snapshot instead of a live portal (status only)")
+	row := fs.String("row", "", "print the region and primary node owning ROW instead of the full directory (status only)")
+	fs.Parse(args[1:])
+
+	switch sub {
+	case "status":
+		st := loadClusterStatus(*base, *dataDir)
+		if *row != "" {
+			region, node := primaryForRow(st, *row)
+			if region == "" {
+				log.Fatalf("no region covers row %q", *row)
+			}
+			if node == "" {
+				log.Fatalf("region %s currently has no primary", region)
+			}
+			fmt.Printf("%s %s\n", region, node)
+			return
+		}
+		fmt.Print(st.Render())
+	case "rebalance":
+		if *base == "" {
+			log.Fatal("rebalance needs -url (a live portal)")
+		}
+		resp, err := http.Post(strings.TrimRight(*base, "/")+"/v1/cluster/rebalance", "application/json", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var reb struct {
+			Moves []poolcluster.Move `json:"moves"`
+			Error string             `json:"error"`
+		}
+		if err := json.Unmarshal(body, &reb); err != nil {
+			log.Fatalf("POST /v1/cluster/rebalance: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		for _, m := range reb.Moves {
+			fmt.Printf("moved %s: %s -> %s\n", m.Region, m.From, m.To)
+		}
+		if reb.Error != "" {
+			log.Fatalf("rebalance stopped: %s", reb.Error)
+		}
+		if len(reb.Moves) == 0 {
+			fmt.Println("already balanced")
+		}
+	default:
+		usage()
+	}
+}
+
+// loadClusterStatus fetches the directory from a live portal or reads
+// the offline snapshot.
+func loadClusterStatus(base, dataDir string) poolcluster.ClusterStatus {
+	switch {
+	case base != "":
+		u := strings.TrimRight(base, "/") + "/v1/cluster/status"
+		resp, err := http.Get(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("GET /v1/cluster/status: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		var st poolcluster.ClusterStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			log.Fatalf("decoding cluster status: %v", err)
+		}
+		return st
+	case dataDir != "":
+		st, err := poolcluster.ReadStatusFile(dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	default:
+		log.Fatal("cluster status needs -url or -data-dir")
+		panic("unreachable")
+	}
+}
+
+// primaryForRow resolves which region's span covers row and which node
+// the directory snapshot says leads it. Works on both live and offline
+// snapshots, so the kill-target lookup does not need a special endpoint.
+func primaryForRow(st poolcluster.ClusterStatus, row string) (region, node string) {
+	for _, r := range st.Regions {
+		if (r.Start == "" || row >= r.Start) && (r.End == "" || row < r.End) {
+			for _, rv := range r.Replicas {
+				if rv.Primary {
+					return r.ID, rv.Node
+				}
+			}
+			return r.ID, ""
+		}
+	}
+	return "", ""
+}

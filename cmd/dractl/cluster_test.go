@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dra4wfms/internal/poolcluster"
+)
+
+// testStatus is a frozen three-node, three-region directory snapshot of
+// the shape a coordinator persists to its -cluster-status file.
+func testStatus() poolcluster.ClusterStatus {
+	return poolcluster.ClusterStatus{
+		AsOf:     time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC),
+		Replicas: 2,
+		Nodes: []poolcluster.NodeView{
+			{ID: "n1", Alive: true, Primaries: 2, Backups: 1},
+			{ID: "n2", Alive: true, Primaries: 1, Backups: 1},
+			{ID: "n3", Alive: false},
+		},
+		Regions: []poolcluster.RegionView{
+			{ID: "region-0000", Start: "", End: "h", Epoch: 1, Seq: 40, Replicas: []poolcluster.ReplicaView{
+				{Node: "n1", Primary: true, Alive: true, Applied: 40},
+				{Node: "n2", Alive: true, Applied: 38, Lag: 2},
+			}},
+			{ID: "region-0001", Start: "h", End: "q", Epoch: 3, Seq: 12, Replicas: []poolcluster.ReplicaView{
+				{Node: "n2", Primary: true, Alive: true, Applied: 12},
+				{Node: "n1", Alive: true, Applied: 12},
+			}},
+			// A failed-over region: the old primary n3 is gone and the
+			// promoted replica has not been topped back up yet.
+			{ID: "region-0002", Start: "q", End: "", Epoch: 5, Seq: 7, Replicas: []poolcluster.ReplicaView{
+				{Node: "n1", Primary: true, Alive: true, Applied: 7},
+			}},
+		},
+	}
+}
+
+func TestPrimaryForRow(t *testing.T) {
+	st := testStatus()
+	cases := []struct {
+		row, region, node string
+	}{
+		{"a-0001", "region-0000", "n1"},    // first span, open start
+		{"h", "region-0001", "n2"},         // boundary row lands in the right-hand span
+		{"proc-0001", "region-0001", "n2"}, // 'p' sorts below the "q" boundary
+		{"q", "region-0002", "n1"},         // last span, open end
+		{"zzz", "region-0002", "n1"},
+	}
+	for _, c := range cases {
+		region, node := primaryForRow(st, c.row)
+		if region != c.region || node != c.node {
+			t.Errorf("primaryForRow(%q) = %s %s, want %s %s", c.row, region, node, c.region, c.node)
+		}
+	}
+}
+
+func TestPrimaryForRowLeaderless(t *testing.T) {
+	st := testStatus()
+	// Strip the primary flag from region-0001: the row still resolves to
+	// its region, with no leader.
+	st.Regions[1].Replicas[0].Primary = false
+	region, node := primaryForRow(st, "k-0001")
+	if region != "region-0001" || node != "" {
+		t.Fatalf("leaderless lookup = %q %q, want region-0001 with no node", region, node)
+	}
+}
+
+// TestOfflineStatusFile pins the offline path end to end: a persisted
+// cluster.json round-trips through ReadStatusFile and renders the same
+// operator table a live portal would produce.
+func TestOfflineStatusFile(t *testing.T) {
+	dir := t.TempDir()
+	raw, err := json.MarshalIndent(testStatus(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, poolcluster.StatusFileName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := loadClusterStatus("", dir)
+	if st.Replicas != 2 || len(st.Nodes) != 3 || len(st.Regions) != 3 {
+		t.Fatalf("snapshot did not round-trip: %+v", st)
+	}
+
+	out := st.Render()
+	for _, want := range []string{
+		"replicas=2",
+		"n3", "false", // the dead node shows up dead
+		"region-0002", "[q, ∅)", // open-ended span renders with the empty marker
+		"n2=backup(38/2)",  // lag is visible per replica
+		"n1=primary(40/0)", // caught-up primary
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered status missing %q:\n%s", want, out)
+		}
+	}
+
+	// The kill-target lookup the failover drill scripts use works on the
+	// same offline snapshot.
+	region, node := primaryForRow(st, "proc-00000042")
+	if region != "region-0001" || node != "n2" {
+		t.Fatalf("offline kill-target lookup = %s %s, want region-0001 n2", region, node)
+	}
+}

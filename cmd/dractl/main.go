@@ -11,6 +11,7 @@
 //	dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b] [-out FILE]
 //	dractl trace   TRACE-ID|PROCESS-ID [-portal URL] [-tfc URL] [-json]
 //	dractl metrics [-url URL] [-filter PREFIX] [-raw]
+//	dractl cluster status [-url PORTAL|-data-dir DIR] [-row ROW] | rebalance -url PORTAL
 //	dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
 //	dractl snapshot save -data-dir DIR -out FILE | restore -data-dir DIR -in FILE | inspect FILE
 //	dractl audit   -trust trust.json FILE.xml
@@ -60,6 +61,8 @@ func main() {
 		cmdTrace(os.Args[2:])
 	case "metrics":
 		cmdMetrics(os.Args[2:])
+	case "cluster":
+		cmdCluster(os.Args[2:])
 	case "dlq":
 		cmdDLQ(os.Args[2:])
 	case "snapshot":
@@ -88,6 +91,7 @@ func usage() {
   dractl remote  [-portal URL] [-tfc URL] [-deploy DIR] [-workflow fig9a|fig9b]
   dractl trace   TRACE-ID|PROCESS-ID [-portal URL] [-tfc URL] [-json]
   dractl metrics [-url URL] [-filter PREFIX] [-raw]
+  dractl cluster status [-url PORTAL|-data-dir DIR] [-row ROW] | rebalance -url PORTAL
   dractl dlq     -wal FILE list|requeue SEQ|all|drop SEQ
   dractl snapshot save -data-dir DIR -out FILE | restore -data-dir DIR -in FILE | inspect FILE
   dractl audit   -trust trust.json FILE.xml

@@ -1,0 +1,116 @@
+// drapool runs one node of a clustered DRA4WfMS document pool: it hosts
+// a single documents table and serves the cluster-internal replication
+// and read endpoints (/v1/cluster/*) a draportal or dratfc coordinator
+// drives through -cluster-nodes. See DESIGN.md "Clustered pool".
+//
+// Usage:
+//
+//	drapool -listen :9201 -node-id n1 [-data-dir ./pool-n1]
+//	        [-fsync=true] [-checkpoint-interval 5m] [-grace 15s]
+//
+// The node's table declares the union of the families every coordinator
+// uses — the portal's documents families (doc, meta, idx) plus the TFC's
+// forwarding-log family (rec). Portal rows ("proc-…", "tpl#…") and TFC
+// rows ("rec|…") share the clustered key space with disjoint prefixes,
+// so one drapool fleet can back both tiers.
+//
+// The /v1/cluster/* endpoints are unauthenticated by design (see
+// internal/httpapi): deploy drapool on the private cluster network only.
+//
+// With -data-dir the node's table is crash-safe (WAL + checkpoints, same
+// machinery as draportal -data-dir); GET /v1/readyz reports 200 only
+// after recovery completes. On SIGINT/SIGTERM the node drains, writes a
+// final checkpoint, and exits 0 — rejoin is then just restarting it: the
+// coordinator's repair loop replays whatever the node missed.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dra4wfms/internal/httpapi"
+	"dra4wfms/internal/pool"
+	"dra4wfms/internal/poolcluster"
+	"dra4wfms/internal/portal"
+	"dra4wfms/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drapool: ")
+	listen := flag.String("listen", ":9201", "listen address")
+	nodeID := flag.String("node-id", "", "cluster-unique node ID (required; must match the coordinator's -cluster-nodes entry)")
+	dataDir := flag.String("data-dir", "", "durable table directory (WAL + checkpoints); empty keeps the node memory-only")
+	fsync := flag.Bool("fsync", true, "fsync the WAL on every mutation (requires -data-dir; disable only for benchmarks)")
+	ckInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint interval (0 disables periodic checkpoints)")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
+	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
+	flag.Parse()
+
+	if *nodeID == "" {
+		log.Fatal("missing -node-id")
+	}
+	if *slowOps > 0 {
+		telemetry.Default().SetSlowOpThreshold(*slowOps)
+		telemetry.Default().SetSlowOpLogger(log.Default())
+	}
+
+	cluster, err := pool.NewCluster([]string{*nodeID + "-rs"}, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	families := append(append([]pool.FamilySpec{}, portal.Families...),
+		pool.FamilySpec{Name: "rec", MaxVersions: 1})
+	table, err := cluster.CreateTable(portal.TableName, families...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var store *pool.Store
+	if *dataDir != "" {
+		var rep *pool.RecoveryReport
+		store, rep, err = pool.Open(table, *dataDir, pool.StoreOptions{
+			NoFsync:            !*fsync,
+			CheckpointInterval: *ckInterval,
+		})
+		if err != nil {
+			log.Fatalf("opening durable table in %s: %v", *dataDir, err)
+		}
+		log.Printf("durable table in %s: %s", *dataDir, rep.Summary())
+		if rep.Damaged() {
+			log.Printf("WARNING: recovery quarantined damaged WAL data (%s); inspect %s", rep.DamageReason, rep.QuarantineFile)
+		}
+	}
+
+	node := poolcluster.NewNode(*nodeID, table)
+	srv := httpapi.NewPoolNodeServer(node)
+	srv.EnablePprof = *pprofOn
+	probes := httpapi.NewProbes()
+	srv.Probes = probes
+	probes.SetReady(true)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("pool node %s serving on %s", *nodeID, *listen)
+	if err := httpapi.Serve(ctx, *listen, srv.Handler(), *grace, func() {
+		log.Printf("shutdown requested, draining in-flight requests (grace %s)", *grace)
+		probes.StartDraining()
+	}); err != nil {
+		log.Fatalf("serving: %v", err)
+	}
+
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Fatalf("final checkpoint: %v", err)
+		}
+		log.Printf("final checkpoint written to %s", store.Dir())
+	}
+	log.Print("shutdown complete")
+}

@@ -8,6 +8,8 @@
 //	draportal -listen :8080 -trust deploy/trust.json [-servers 3]
 //	          [-data-dir ./data] [-fsync=true] [-checkpoint-interval 5m]
 //	          [-grace 15s]
+//	          [-cluster-nodes n1=http://…,n2=http://…] [-replicas 2]
+//	          [-cluster-wal FILE] [-cluster-status FILE]
 //
 // With -data-dir the document pool is crash-safe: every mutation is
 // journaled to a checksummed WAL before it is acknowledged, checkpoints
@@ -17,10 +19,12 @@
 // in-flight requests, flushes the webhook outbox, writes a final
 // checkpoint, and exits 0.
 //
-// Note: each draportal process hosts its own pool. Pointing several
-// portals at one shared pool service would require the pool to be a
-// networked service of its own — internal/pool models the store, the
-// cross-process protocol is out of scope for this binary.
+// By default each draportal process hosts its own pool. With
+// -cluster-nodes the portal instead coordinates a fleet of drapool
+// processes: writes replicate across -replicas nodes, the portal's reads
+// are read-your-writes, and killing a pool node loses no acknowledged
+// write (see DESIGN.md "Clustered pool"). -cluster-nodes is mutually
+// exclusive with -data-dir — durability then lives on the drapool nodes.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"dra4wfms/internal/monitor"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/pool"
+	"dra4wfms/internal/poolcluster"
 	"dra4wfms/internal/portal"
 	"dra4wfms/internal/relay"
 	"dra4wfms/internal/telemetry"
@@ -48,6 +53,11 @@ import (
 // reports unready (delivery is falling behind; stop routing new work).
 const maxRelayBacklog = 10_000
 
+// maxReplicaLag is the backup replication lag (in WAL records) past
+// which /v1/readyz reports *degraded* — still 200, the primary serves,
+// but the shrinking failover safety margin is surfaced.
+const maxReplicaLag = 1_000
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("draportal: ")
@@ -57,6 +67,10 @@ func main() {
 	keyPath := flag.String("key", "", "portal private-key PEM; enables signed webhook notifications")
 	webhookWAL := flag.String("webhook-wal", "", "outbox WAL file for webhook deliveries; pending notifications survive restarts (requires -key)")
 	dataDir := flag.String("data-dir", "", "durable pool directory (WAL + checkpoints); empty keeps the pool memory-only")
+	clusterNodes := flag.String("cluster-nodes", "", "clustered pool: comma-separated id=url list of drapool nodes (mutually exclusive with -data-dir)")
+	replicas := flag.Int("replicas", 2, "copies of each region across the drapool fleet, primary included (requires -cluster-nodes)")
+	clusterWAL := flag.String("cluster-wal", "", "replication outbox WAL file; journaled replication intents survive portal restarts (requires -cluster-nodes)")
+	clusterStatus := flag.String("cluster-status", "", "file receiving the region-directory snapshot on every topology change, for offline `dractl cluster status -data-dir` (requires -cluster-nodes)")
 	fsync := flag.Bool("fsync", true, "fsync the pool WAL on every mutation (requires -data-dir; disable only for benchmarks)")
 	ckInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic pool checkpoint interval (0 disables periodic checkpoints)")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
@@ -102,42 +116,74 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ids := make([]string, *servers)
-	for i := range ids {
-		ids[i] = fmt.Sprintf("rs-%d", i+1)
-	}
-	cluster, err := pool.NewCluster(ids, 1<<20)
-	if err != nil {
-		log.Fatal(err)
-	}
-	table, err := portal.CreateTable(cluster)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Durable pool: recover before taking traffic, so readyz gates on a
-	// fully replayed table.
+	// The documents table: a local in-process pool (optionally durable via
+	// -data-dir) or a read-your-writes session over a drapool fleet.
+	var docs pool.DocTable
 	var store *pool.Store
-	if *dataDir != "" {
-		var rep *pool.RecoveryReport
-		store, rep, err = pool.Open(table, *dataDir, pool.StoreOptions{
-			NoFsync:            !*fsync,
-			CheckpointInterval: *ckInterval,
+	var pc *poolcluster.Cluster
+	if *clusterNodes != "" {
+		if *dataDir != "" {
+			log.Fatal("-cluster-nodes and -data-dir are mutually exclusive: with a clustered pool, durability lives on the drapool nodes")
+		}
+		refs, err := httpapi.ParseClusterNodes(*clusterNodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pc, err = poolcluster.New(refs, poolcluster.Config{
+			Replicas:   *replicas,
+			RelayDir:   *clusterWAL,
+			StatusPath: *clusterStatus,
 		})
 		if err != nil {
-			log.Fatalf("opening durable pool in %s: %v", *dataDir, err)
+			log.Fatalf("joining pool cluster: %v", err)
 		}
-		log.Printf("durable pool in %s: %s", *dataDir, rep.Summary())
-		if rep.Damaged() {
-			log.Printf("WARNING: recovery quarantined damaged WAL data (%s); inspect %s", rep.DamageReason, rep.QuarantineFile)
+		docs = pc.NewSession()
+		log.Printf("clustered pool: %d nodes, %d replicas per region", len(refs), pc.Replicas())
+	} else {
+		ids := make([]string, *servers)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("rs-%d", i+1)
+		}
+		cluster, err := pool.NewCluster(ids, 1<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := portal.CreateTable(cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs = table
+
+		// Durable pool: recover before taking traffic, so readyz gates on
+		// a fully replayed table.
+		if *dataDir != "" {
+			var rep *pool.RecoveryReport
+			store, rep, err = pool.Open(table, *dataDir, pool.StoreOptions{
+				NoFsync:            !*fsync,
+				CheckpointInterval: *ckInterval,
+			})
+			if err != nil {
+				log.Fatalf("opening durable pool in %s: %v", *dataDir, err)
+			}
+			log.Printf("durable pool in %s: %s", *dataDir, rep.Summary())
+			if rep.Damaged() {
+				log.Printf("WARNING: recovery quarantined damaged WAL data (%s); inspect %s", rep.DamageReason, rep.QuarantineFile)
+			}
 		}
 	}
 
-	p := portal.New("portal", reg, table, time.Now)
-	srv := httpapi.NewPortalServer(p, monitor.New(table), httpapi.NewAuthenticator(reg, time.Now))
+	p := portal.New("portal", reg, docs, time.Now)
+	srv := httpapi.NewPortalServer(p, monitor.New(docs), httpapi.NewAuthenticator(reg, time.Now))
 	srv.EnablePprof = *pprofOn
+	srv.Cluster = pc
 	probes := httpapi.NewProbes()
 	srv.Probes = probes
+	if pc != nil {
+		// A region without a live primary cannot accept writes: unready.
+		// A lagging backup still serves: degraded, stays in rotation.
+		probes.AddCheck("cluster", pc.HealthCheck)
+		probes.AddDegradedCheck("replication-lag", pc.LagCheck(maxReplicaLag))
+	}
 	if *keyPath != "" {
 		keyPEM, err := os.ReadFile(*keyPath)
 		if err != nil {
@@ -179,6 +225,19 @@ func main() {
 	if srv.Webhooks != nil {
 		if err := srv.Webhooks.Close(); err != nil {
 			log.Printf("flushing webhook outbox: %v", err)
+		}
+	}
+	if pc != nil {
+		// Best-effort convergence before handoff; unjournaled nothing is
+		// at stake (intents are already durable), this just shortens the
+		// next coordinator's catch-up.
+		qctx, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := pc.Quiesce(qctx); err != nil {
+			log.Printf("cluster quiesce: %v", err)
+		}
+		qcancel()
+		if err := pc.Close(); err != nil {
+			log.Printf("closing cluster coordinator: %v", err)
 		}
 	}
 	if store != nil {

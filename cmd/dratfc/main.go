@@ -7,6 +7,7 @@
 //	dratfc -listen :8081 -trust deploy/trust.json -key deploy/keys/tfc@cloud.pem
 //	       [-data-dir ./tfc-data] [-fsync=true] [-checkpoint-interval 5m]
 //	       [-grace 15s]
+//	       [-cluster-nodes n1=http://…,n2=http://…] [-replicas 2] [-cluster-wal FILE]
 //
 // With -data-dir the forwarding log — and with it the replay guard — is
 // persisted through the crash-safe pool store: every ForwardRecord is
@@ -34,6 +35,7 @@ import (
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/pool"
+	"dra4wfms/internal/poolcluster"
 	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/tfc"
 	"dra4wfms/internal/trace"
@@ -70,6 +72,9 @@ func main() {
 	trust := flag.String("trust", "deploy/trust.json", "trust bundle path")
 	keyPath := flag.String("key", "", "this server's private-key PEM")
 	dataDir := flag.String("data-dir", "", "durable state directory (WAL + checkpoints) for the forwarding log; empty keeps it memory-only")
+	clusterNodes := flag.String("cluster-nodes", "", "store the forwarding log on a clustered pool: comma-separated id=url list of drapool nodes (mutually exclusive with -data-dir)")
+	replicas := flag.Int("replicas", 2, "copies of each region across the drapool fleet, primary included (requires -cluster-nodes)")
+	clusterWAL := flag.String("cluster-wal", "", "replication outbox WAL file; journaled replication intents survive restarts (requires -cluster-nodes)")
 	fsync := flag.Bool("fsync", true, "fsync the state WAL on every record (requires -data-dir)")
 	ckInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic state checkpoint interval (0 disables periodic checkpoints)")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
@@ -130,9 +135,30 @@ func main() {
 
 	// Durable forwarding log: recover, restore into the server (re-arming
 	// the replay guard), then journal every new record before the HTTP
-	// response leaves the process.
+	// response leaves the process. The log lives either in a local
+	// crash-safe store (-data-dir) or on a clustered pool (-cluster-nodes),
+	// where it shares the drapool fleet's table under the "rec|" prefix.
 	var store *pool.Store
-	if *dataDir != "" {
+	var pc *poolcluster.Cluster
+	var stateTab pool.DocTable
+	if *clusterNodes != "" {
+		if *dataDir != "" {
+			log.Fatal("-cluster-nodes and -data-dir are mutually exclusive: with a clustered pool, durability lives on the drapool nodes")
+		}
+		refs, err := httpapi.ParseClusterNodes(*clusterNodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pc, err = poolcluster.New(refs, poolcluster.Config{
+			Replicas: *replicas,
+			RelayDir: *clusterWAL,
+		})
+		if err != nil {
+			log.Fatalf("joining pool cluster: %v", err)
+		}
+		stateTab = pc.NewSession()
+		log.Printf("clustered forwarding log: %d nodes, %d replicas per region", len(refs), pc.Replicas())
+	} else if *dataDir != "" {
 		cluster, err := pool.NewCluster([]string{"tfc-rs"}, 0)
 		if err != nil {
 			log.Fatal(err)
@@ -153,7 +179,9 @@ func main() {
 		if rep.Damaged() {
 			log.Printf("WARNING: recovery quarantined damaged WAL data (%s); inspect %s", rep.DamageReason, rep.QuarantineFile)
 		}
-
+		stateTab = table
+	}
+	if stateTab != nil {
 		// seq is the next free row index. It must come from the highest
 		// restored index, not the row count: a failed Put can leave a gap in
 		// the rec|NNN sequence, and counting rows across such a gap would
@@ -162,7 +190,9 @@ func main() {
 		// entry.
 		var restored []tfc.ForwardRecord
 		var seq atomic.Uint64
-		for _, kv := range table.Scan(pool.ScanOptions{}) {
+		// The prefix scan matters on a clustered pool, where the table is
+		// shared with portal document rows.
+		for _, kv := range stateTab.Scan(pool.ScanOptions{Prefix: "rec|", Family: stateFamily}) {
 			var rec tfc.ForwardRecord
 			if err := json.Unmarshal(kv.Value, &rec); err != nil {
 				log.Fatalf("decoding persisted record %s: %v", kv.Row, err)
@@ -189,7 +219,7 @@ func main() {
 			if err != nil {
 				return fmt.Errorf("encoding forwarding record: %w", err)
 			}
-			return table.Put(stateRow(seq.Add(1)-1), stateFamily, stateQual, raw)
+			return stateTab.Put(stateRow(seq.Add(1)-1), stateFamily, stateQual, raw)
 		}
 	}
 
@@ -197,6 +227,10 @@ func main() {
 	srv.EnablePprof = *pprofOn
 	probes := httpapi.NewProbes()
 	srv.Probes = probes
+	if pc != nil {
+		probes.AddCheck("cluster", pc.HealthCheck)
+		probes.AddDegradedCheck("replication-lag", pc.LagCheck(1_000))
+	}
 	probes.SetReady(true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -210,6 +244,16 @@ func main() {
 		log.Fatalf("serving: %v", err)
 	}
 
+	if pc != nil {
+		qctx, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := pc.Quiesce(qctx); err != nil {
+			log.Printf("cluster quiesce: %v", err)
+		}
+		qcancel()
+		if err := pc.Close(); err != nil {
+			log.Printf("closing cluster coordinator: %v", err)
+		}
+	}
 	if store != nil {
 		if err := store.Close(); err != nil {
 			log.Fatalf("final checkpoint: %v", err)

@@ -369,3 +369,24 @@ func TestRunPoolScale(t *testing.T) {
 		t.Fatalf("query cost exploded with pool size: %v -> %v", q200, q1000)
 	}
 }
+
+func TestRunPoolFailover(t *testing.T) {
+	res, err := RunPoolFailover(3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline guarantee: every write acknowledged, none lost.
+	if res.AckedWrites != 300 || res.LostWrites != 0 {
+		t.Fatalf("acked=%d lost=%d, want 300/0", res.AckedWrites, res.LostWrites)
+	}
+	if res.KilledNode == "" || res.KilledRegion == "" {
+		t.Fatalf("no kill target recorded: %+v", res)
+	}
+	if res.FailoverLatency <= 0 || res.MaxStall < res.FailoverLatency || res.MeanWrite <= 0 {
+		t.Fatalf("latencies inconsistent: failover=%v stall=%v mean=%v",
+			res.FailoverLatency, res.MaxStall, res.MeanWrite)
+	}
+	if res.Nodes != 3 || res.Replicas != 2 || res.Regions != 5 {
+		t.Fatalf("topology = %+v", res)
+	}
+}

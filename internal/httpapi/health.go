@@ -21,6 +21,14 @@ import (
 //	server is not draining for shutdown. Route traffic elsewhere when this
 //	fails; do not restart.
 //
+// readyz distinguishes a third state between ready and unready:
+// *degraded* (200 with {"status":"degraded"} and a reason). Degraded
+// checks report conditions the server can serve through — a backup
+// replica lagging behind a healthy primary, say — where flapping to 503
+// would make load balancers evict a perfectly serviceable instance.
+// Orchestrators keep routing on 200; operators see the reason in the
+// body and the "degraded" status.
+//
 // Both endpoints are unauthenticated by design: probes cannot sign
 // requests, and the responses carry only liveness state.
 
@@ -31,8 +39,9 @@ type Probes struct {
 	ready    atomic.Bool
 	draining atomic.Bool
 
-	mu     sync.RWMutex
-	checks map[string]func() error
+	mu       sync.RWMutex
+	checks   map[string]func() error
+	degraded map[string]func() error
 }
 
 // NewProbes returns a Probes in the not-ready state.
@@ -65,28 +74,73 @@ func (p *Probes) AddCheck(name string, check func() error) {
 	p.checks[name] = check
 }
 
+// AddDegradedCheck registers a named soft check: a non-nil error marks
+// the server *degraded* — readyz stays 200 (the server can serve) but
+// the body reports {"status":"degraded"} with the check's error, so the
+// condition is visible without evicting the instance from rotation.
+func (p *Probes) AddDegradedCheck(name string, check func() error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.degraded == nil {
+		p.degraded = make(map[string]func() error)
+	}
+	p.degraded[name] = check
+}
+
 // Ready reports the current readiness verdict and, when unready, why.
+// Degraded conditions still count as ready here; use Status for the
+// three-state verdict.
 func (p *Probes) Ready() (bool, string) {
+	state, reason := p.Status()
+	if state == StateUnready {
+		return false, reason
+	}
+	return true, ""
+}
+
+// Readiness states, in the order readyz reports them.
+const (
+	StateReady    = "ready"
+	StateDegraded = "degraded"
+	StateUnready  = "unready"
+)
+
+// Status reports the three-state readiness verdict: unready (hard check
+// failed, not recovered, or draining), degraded (all hard checks pass
+// but a soft check fails), or ready. The reason names the first failing
+// check in sorted-name order.
+func (p *Probes) Status() (state, reason string) {
 	if p.draining.Load() {
-		return false, "draining: shutdown in progress"
+		return StateUnready, "draining: shutdown in progress"
 	}
 	if !p.ready.Load() {
-		return false, "starting: recovery not complete"
+		return StateUnready, "starting: recovery not complete"
 	}
 	p.mu.RLock()
-	names := make([]string, 0, len(p.checks))
-	for name := range p.checks {
+	defer p.mu.RUnlock()
+	if name, err := firstFailing(p.checks); err != nil {
+		return StateUnready, fmt.Sprintf("check %s: %v", name, err)
+	}
+	if name, err := firstFailing(p.degraded); err != nil {
+		return StateDegraded, fmt.Sprintf("check %s: %v", name, err)
+	}
+	return StateReady, ""
+}
+
+// firstFailing consults checks in sorted-name order (deterministic
+// reasons) and returns the first failure.
+func firstFailing(checks map[string]func() error) (string, error) {
+	names := make([]string, 0, len(checks))
+	for name := range checks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := p.checks[name](); err != nil {
-			p.mu.RUnlock()
-			return false, fmt.Sprintf("check %s: %v", name, err)
+		if err := checks[name](); err != nil {
+			return name, err
 		}
 	}
-	p.mu.RUnlock()
-	return true, ""
+	return "", nil
 }
 
 // handleHealthz is the liveness endpoint: reachable means alive.
@@ -103,13 +157,20 @@ func readyzHandler(p *Probes) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ContentJSON)
 		if p != nil {
-			if ok, reason := p.Ready(); !ok {
+			state, reason := p.Status()
+			switch state {
+			case StateUnready:
 				w.WriteHeader(http.StatusServiceUnavailable)
-				_ = json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": reason})
+				_ = json.NewEncoder(w).Encode(map[string]string{"status": StateUnready, "reason": reason})
+				return
+			case StateDegraded:
+				// Deliberately 200: the server serves; the condition is
+				// surfaced, not used to evict the instance.
+				_ = json.NewEncoder(w).Encode(map[string]string{"status": StateDegraded, "reason": reason})
 				return
 			}
 		}
-		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": StateReady})
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"dra4wfms/internal/document"
 	"dra4wfms/internal/monitor"
 	"dra4wfms/internal/pki"
+	"dra4wfms/internal/poolcluster"
 	"dra4wfms/internal/portal"
 	"dra4wfms/internal/relay"
 	"dra4wfms/internal/tfc"
@@ -54,6 +55,11 @@ type PortalServer struct {
 	// Probes, when non-nil, gates GET /v1/readyz on recovery completion
 	// and registered checks; nil leaves the endpoint always-ready.
 	Probes *Probes
+	// Cluster, when the portal runs over a clustered pool, additionally
+	// serves GET /v1/cluster/status (the region directory, consumed by
+	// `dractl cluster status`) and POST /v1/cluster/rebalance. Both are
+	// unauthenticated observability-plane routes like /v1/metrics.
+	Cluster *poolcluster.Cluster
 
 	// dedup caches the responses of applied idempotency keys so a
 	// redelivered store is answered, not re-applied.
@@ -102,8 +108,40 @@ func (s *PortalServer) Handler() http.Handler {
 	route("GET /v1/templates", s.handleListTemplates)
 	route("GET /v1/templates/{name}", s.handleGetTemplate)
 	route("PUT /v1/webhook", s.handleWebhook)
+	if s.Cluster != nil {
+		mux.HandleFunc("GET /v1/cluster/status", instrument("GET /v1/cluster/status", s.handleClusterStatus))
+		mux.HandleFunc("POST /v1/cluster/rebalance", instrument("POST /v1/cluster/rebalance", s.handleClusterRebalance))
+	}
 	registerObservability(mux, s.EnablePprof, s.Probes)
 	return mux
+}
+
+// handleClusterStatus serves the live region directory. With ?row=KEY it
+// instead reports which region owns the row and which node leads it —
+// the hook the failover drill uses to pick its kill target.
+func (s *PortalServer) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if row := r.URL.Query().Get("row"); row != "" {
+		region, node := s.Cluster.PrimaryFor(row)
+		writeJSON(w, map[string]string{"row": row, "region": region, "primary": node})
+		return
+	}
+	writeJSON(w, s.Cluster.Status())
+}
+
+// handleClusterRebalance spreads region leadership evenly across live
+// nodes and reports the migrations performed.
+func (s *PortalServer) handleClusterRebalance(w http.ResponseWriter, r *http.Request) {
+	moves, err := s.Cluster.Rebalance()
+	if moves == nil {
+		moves = []poolcluster.Move{}
+	}
+	if err != nil {
+		w.Header().Set("Content-Type", ContentJSON)
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{"error": err.Error(), "moves": moves})
+		return
+	}
+	writeJSON(w, map[string]interface{}{"moves": moves})
 }
 
 // handlerFunc is an authenticated handler: principal is the verified

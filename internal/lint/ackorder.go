@@ -12,6 +12,7 @@ import (
 // rule works on testdata fixture modules too.
 var ackDurablePkgs = []string{
 	"internal/pool",
+	"internal/poolcluster",
 	"internal/relay",
 	"internal/tfc",
 }
@@ -62,8 +63,8 @@ var ackWords = map[string]bool{
 var AckOrder = &Analyzer{
 	Name: "ackorder",
 	Doc: "reports paths where a success acknowledgement executes before the " +
-		"corresponding pool/relay/tfc WAL append or sync; journal first, then ack " +
-		"(exempt in _test.go files)",
+		"corresponding pool/poolcluster/relay/tfc WAL append or sync; journal " +
+		"first, then ack (exempt in _test.go files)",
 	Run: runAckOrder,
 }
 

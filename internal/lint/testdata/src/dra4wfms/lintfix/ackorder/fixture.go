@@ -9,6 +9,7 @@ import (
 	"errors"
 
 	"dra4wfms/internal/pool"
+	"dra4wfms/internal/poolcluster"
 	"dra4wfms/internal/relay"
 )
 
@@ -99,6 +100,36 @@ func goodLoopAckAfterAppend(o *relay.Outbox, batches [][]byte) error {
 		resp.respond(200, "recorded")
 	}
 	return nil
+}
+
+// badAckBeforeReplicationJournal freezes the clustered-pool shape: the
+// coordinator applies the mutation on the primary and acknowledges the
+// write before journaling the backup's replication intent. A coordinator
+// crash in the gap acknowledges a write that exists on exactly one node —
+// kill that node next and the "acknowledged" write is gone.
+func badAckBeforeReplicationJournal(c *poolcluster.Coordinator, frame []byte) error {
+	if err := c.ApplyPrimary("region-0002", frame); err != nil {
+		return err
+	}
+	if err := resp.replyRecorded(7); err != nil { // want "acknowledges success before (poolcluster.Coordinator).JournalReplication"
+		return err
+	}
+	return c.JournalReplication("region-0002", "n2", frame)
+}
+
+// goodReplicationJournalFirst is the clustered protocol order: primary
+// apply → journal every backup's intent → ack. Redelivery after a crash
+// starts from the journal, so the ack survives any single node loss.
+func goodReplicationJournalFirst(c *poolcluster.Coordinator, frame []byte, backups []string) error {
+	if err := c.ApplyPrimary("region-0002", frame); err != nil {
+		return err
+	}
+	for _, b := range backups {
+		if err := c.JournalReplication("region-0002", b, frame); err != nil {
+			return err
+		}
+	}
+	return resp.replyRecorded(7)
 }
 
 // notifyFirstByDesign sends a progress notification before the append:

@@ -28,8 +28,8 @@ type ReduceFunc func(key string, values []string) string
 
 // Job describes one map-reduce run.
 type Job struct {
-	// Table is the input table.
-	Table *pool.Table
+	// Table is the input table, local or clustered.
+	Table pool.DocTable
 	// Scan selects the input cells.
 	Scan pool.ScanOptions
 	// Map is the mapper (required).
@@ -175,7 +175,7 @@ func shard(key string, n int) int {
 // Count is a convenience job: it maps every selected cell through keyOf
 // (skipping cells mapped to "") and returns how many cells produced each
 // key — the workhorse of workflow monitoring statistics.
-func Count(t *pool.Table, scan pool.ScanOptions, keyOf func(pool.KeyValue) string) (map[string]int, error) {
+func Count(t pool.DocTable, scan pool.ScanOptions, keyOf func(pool.KeyValue) string) (map[string]int, error) {
 	j := &Job{
 		Table: t,
 		Scan:  scan,

@@ -57,12 +57,13 @@ type Statistics struct {
 
 // Monitor reads the portal's documents table.
 type Monitor struct {
-	// Table is the shared documents table (see package portal for layout).
-	Table *pool.Table
+	// Table is the shared documents table (see package portal for
+	// layout), local or clustered.
+	Table pool.DocTable
 }
 
 // New creates a monitor over the documents table.
-func New(table *pool.Table) *Monitor { return &Monitor{Table: table} }
+func New(table pool.DocTable) *Monitor { return &Monitor{Table: table} }
 
 // InstanceStatus reconstructs the status of one process instance from its
 // stored document.

@@ -1,0 +1,22 @@
+package pool
+
+import "context"
+
+// DocTable is the read/write surface the upper tiers (portal, monitor,
+// mapreduce, the daemons) need from a document table. Both the
+// in-process *Table and a clustered session (internal/poolcluster)
+// implement it, so a portal can be pointed at a local pool or a multi-node
+// clustered pool without changing any call site.
+type DocTable interface {
+	Put(row, family, qualifier string, value []byte) error
+	PutCtx(ctx context.Context, row, family, qualifier string, value []byte) error
+	Delete(row, family, qualifier string) error
+	Get(row, family, qualifier string) ([]byte, bool)
+	GetCtx(ctx context.Context, row, family, qualifier string) ([]byte, bool)
+	GetVersions(row, family, qualifier string) []Cell
+	GetRow(row string) []KeyValue
+	Scan(opts ScanOptions) []KeyValue
+	ScanCtx(ctx context.Context, opts ScanOptions) []KeyValue
+}
+
+var _ DocTable = (*Table)(nil)

@@ -1,0 +1,121 @@
+package pool
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Replication support: the clustered pool (internal/poolcluster) ships
+// mutations between nodes as the exact CRC-framed records the durable
+// store appends to its WAL, so the wire format, the corruption checks,
+// and the size bound are shared with crash recovery instead of being a
+// second, subtly different codec. A frame carries the coordinator's
+// replication sequence number in the LSN slot and the coordinator's
+// version-clock value in Version, so every replica that applies it ends
+// up with a byte-identical cell — latest-wins conflict resolution then
+// needs no per-node tie-breaking.
+
+// Mutation is one table write in transportable form: a Put of KV, or,
+// when Del is set, a tombstone at KV's coordinates.
+type Mutation struct {
+	Del bool
+	KV  KeyValue
+}
+
+// EncodeMutationFrame frames m as a checksummed WAL record carrying seq
+// as its sequence number. The frame is self-validating: DecodeMutationFrame
+// (and store recovery's scanner) refuse it on any header, length, or
+// checksum damage.
+func EncodeMutationFrame(seq uint64, m Mutation) ([]byte, error) {
+	op := walOpPut
+	if m.Del {
+		op = walOpDel
+	}
+	rec := walRec{
+		Op:        op,
+		LSN:       seq,
+		Row:       m.KV.Row,
+		Family:    m.KV.Family,
+		Qualifier: m.KV.Qualifier,
+		Version:   m.KV.Version,
+	}
+	if !m.Del {
+		v := m.KV.Value
+		if v == nil {
+			v = []byte{}
+		}
+		rec.Value = v
+	}
+	return encodeWALRecord(rec)
+}
+
+// DecodeMutationFrame validates and decodes one replication frame,
+// returning the sequence number it was encoded with. The checks mirror
+// scanWAL: framed length, CRC-32 of the payload, JSON shape, known op.
+func DecodeMutationFrame(frame []byte) (uint64, Mutation, error) {
+	if len(frame) < walFrameHeader {
+		return 0, Mutation{}, fmt.Errorf("pool: replication frame too short (%d bytes)", len(frame))
+	}
+	length := binary.LittleEndian.Uint32(frame[0:4])
+	sum := binary.LittleEndian.Uint32(frame[4:8])
+	if length > maxWALRecordBytes {
+		return 0, Mutation{}, fmt.Errorf("pool: replication frame declares implausible length %d", length)
+	}
+	payload := frame[walFrameHeader:]
+	if int(length) != len(payload) {
+		return 0, Mutation{}, fmt.Errorf("pool: replication frame length %d does not match payload %d", length, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, Mutation{}, fmt.Errorf("pool: replication frame checksum mismatch")
+	}
+	var rec walRec
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, Mutation{}, fmt.Errorf("pool: undecodable replication frame: %w", err)
+	}
+	if rec.Op != walOpPut && rec.Op != walOpDel {
+		return 0, Mutation{}, fmt.Errorf("pool: replication frame has unknown op %q", rec.Op)
+	}
+	return rec.LSN, Mutation{Del: rec.Op == walOpDel, KV: rec.keyValue()}, nil
+}
+
+// ApplyReplicated applies a mutation that carries a coordinator-assigned
+// version: the table's logical clock is advanced past it (so locally
+// minted versions can never collide with replicated ones) and the cell
+// is stored with its version preserved — replicas converge to identical
+// state regardless of apply order, because latest-wins resolves by
+// version. When the table has a durable store attached the mutation is
+// journaled to the local WAL before this call returns, exactly like a
+// local Put.
+func (t *Table) ApplyReplicated(m Mutation) error {
+	if m.KV.Row == "" {
+		return ErrEmptyRow
+	}
+	if _, ok := t.families[m.KV.Family]; !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoFamily, t.name, m.KV.Family)
+	}
+	t.mu.Lock()
+	if m.KV.Version > t.seq {
+		t.seq = m.KV.Version
+	}
+	t.mu.Unlock()
+	if !m.Del && m.KV.Value == nil {
+		m.KV.Value = []byte{}
+	}
+	region, err := t.applyDurable(m.KV, m.Del)
+	if err != nil {
+		return err
+	}
+	t.maybeSplit(region)
+	return nil
+}
+
+// VersionClock returns the table's current logical version clock. A
+// cluster coordinator seeds its global clock from the maximum across its
+// nodes on startup, so versions keep ascending across restarts.
+func (t *Table) VersionClock() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.seq
+}

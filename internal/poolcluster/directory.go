@@ -1,0 +1,133 @@
+package poolcluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Region placement is a range directory, not a consistent-hash ring: an
+// explicit ordered table of key spans, each mapping to a primary node
+// and its backups — the same shape as HBase's META table, which the
+// paper's Fig. 7 pool inherits. The choice (documented in DESIGN.md) is
+// deliberate: the pool's readers are range scans (worklists, process
+// listings, the monitoring map-reduce), and a hash ring would scatter
+// every scan across all nodes, while a range directory keeps each scan
+// span on one node and makes migration an explicit, observable unit
+// (one directory entry) instead of an implicit token-ownership change.
+//
+// Boundaries are fixed at cluster creation; what moves is the entry →
+// node assignment. Entry pointers are therefore stable for the cluster's
+// lifetime, and per-entry mutexes serialize writes (and migrations)
+// per region without a global write lock.
+
+// regionEntry is one row of the range directory. The mutex guards every
+// mutable field and serializes the region's write path: a writer holds
+// it across the primary apply, so the primary's applied sequence is
+// always contiguous and equal to Seq between writes.
+type regionEntry struct {
+	mu sync.Mutex
+
+	id    string
+	start string // inclusive; "" at the first entry
+	end   string // exclusive; "" at the last entry
+
+	// epoch increments on every ownership change (failover, migration);
+	// it lets operators correlate directory snapshots over time.
+	epoch uint64
+	// seq is the last replication sequence number issued for the region.
+	seq uint64
+	// primary applies writes synchronously; backups receive the same
+	// records through the relay.
+	primary string
+	backups []string
+}
+
+// holders returns primary + backups (the current replica set).
+func (e *regionEntry) holders() []string {
+	out := make([]string, 0, 1+len(e.backups))
+	out = append(out, e.primary)
+	out = append(out, e.backups...)
+	return out
+}
+
+func (e *regionEntry) isHolder(node string) bool {
+	if e.primary == node {
+		return true
+	}
+	for _, b := range e.backups {
+		if b == node {
+			return true
+		}
+	}
+	return false
+}
+
+// buildEntries lays out the directory from sorted interior boundaries:
+// n+1 entries covering ["", "") end to end.
+func buildEntries(boundaries []string) []*regionEntry {
+	entries := make([]*regionEntry, 0, len(boundaries)+1)
+	start := ""
+	for i := 0; i <= len(boundaries); i++ {
+		end := ""
+		if i < len(boundaries) {
+			end = boundaries[i]
+		}
+		entries = append(entries, &regionEntry{
+			id:    fmt.Sprintf("region-%04d", i),
+			start: start,
+			end:   end,
+		})
+		start = end
+	}
+	return entries
+}
+
+// DefaultBoundaries spreads n regions uniformly over the single-byte
+// keyspace. It is a generic default — deployments whose rows cluster
+// under one prefix (e.g. the portal's "proc-" process IDs) should pass
+// explicit boundaries tuned to their key distribution instead.
+func DefaultBoundaries(n int) []string {
+	if n <= 1 {
+		return nil
+	}
+	out := make([]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, string([]byte{byte(i * 256 / n)}))
+	}
+	return out
+}
+
+// validateBoundaries checks strict ascending order and no empty strings
+// (the empty string is the implicit table start/end).
+func validateBoundaries(bs []string) error {
+	for i, b := range bs {
+		if b == "" {
+			return fmt.Errorf("poolcluster: boundary %d is empty", i)
+		}
+		if i > 0 && bs[i-1] >= b {
+			return fmt.Errorf("poolcluster: boundaries not strictly ascending at %d (%q >= %q)", i, bs[i-1], b)
+		}
+	}
+	return nil
+}
+
+// entryFor routes a row to its directory entry. Entries are immutable in
+// count and bounds, so no lock is needed for the lookup itself.
+func (c *Cluster) entryFor(row string) *regionEntry {
+	i := sort.Search(len(c.entries), func(i int) bool {
+		e := c.entries[i]
+		return e.end == "" || row < e.end
+	})
+	return c.entries[i]
+}
+
+// entryByID resolves a region by directory id.
+func (c *Cluster) entryByID(id string) (*regionEntry, bool) {
+	for _, e := range c.entries {
+		if e.id == id {
+			return e, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,353 @@
+package poolcluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Failover ordering (see DESIGN.md): when a node is declared dead, each
+// region it owned promotes the live backup with the highest applied
+// sequence, drops the dead node from the replica set, and seeds a
+// replacement backup from the new primary. Zero acknowledged-write loss
+// holds because every acknowledged record was (a) applied on the old
+// primary and (b) durably journaled in the coordinator's outbox for
+// every backup — including the one being promoted — so relay redelivery
+// plus the repair loop close any gap the promotee had at promotion time.
+
+// suspect marks a node dead (idempotently) and repairs ownership of
+// every region it held. Called from the write path on a failed primary
+// apply, from read routing, and from the repair loop's health probes.
+func (c *Cluster) suspect(id string) {
+	c.mu.Lock()
+	m := c.members[id]
+	if m == nil || !m.alive {
+		c.mu.Unlock()
+		return
+	}
+	m.alive = false
+	c.mu.Unlock()
+	mFailovers.Inc()
+	for _, e := range c.entries {
+		c.repairOwnership(e)
+	}
+	c.persistStatus()
+}
+
+// FailNode administratively declares a node dead and fails its regions
+// over. Idempotent.
+func (c *Cluster) FailNode(id string) error {
+	if c.anyRef(id) == nil {
+		return fmt.Errorf("poolcluster: unknown node %s", id)
+	}
+	c.suspect(id)
+	return nil
+}
+
+// Rejoin readmits a previously failed node. Its table may be arbitrarily
+// stale: it rejoins holding no regions and becomes eligible as a
+// migration target and replacement backup; catch-up happens through
+// snapshot seeding and the repair loop, never by trusting its stale
+// state.
+func (c *Cluster) Rejoin(id string) error {
+	c.mu.Lock()
+	m := c.members[id]
+	if m == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("poolcluster: unknown node %s", id)
+	}
+	m.alive = true
+	c.mu.Unlock()
+	// Top up any region running below its replica target now that a
+	// candidate is available again.
+	for _, e := range c.entries {
+		c.repairOwnership(e)
+	}
+	c.persistStatus()
+	return nil
+}
+
+// AddNode joins a new node to the cluster. It starts empty; call
+// Rebalance to move regions onto it.
+func (c *Cluster) AddNode(ref NodeRef) error {
+	id := ref.ID()
+	if id == "" {
+		return fmt.Errorf("poolcluster: node with empty ID")
+	}
+	c.mu.Lock()
+	if _, dup := c.members[id]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("poolcluster: duplicate node ID %s", id)
+	}
+	c.members[id] = &member{ref: ref, alive: true}
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+	for _, e := range c.entries {
+		c.repairOwnership(e)
+	}
+	c.persistStatus()
+	return nil
+}
+
+// RemoveNode drains a node gracefully: every region it leads is migrated
+// to another live node (a clean, lossless handoff), then the node is
+// marked dead so backup sets re-form without it.
+func (c *Cluster) RemoveNode(id string) error {
+	if c.anyRef(id) == nil {
+		return fmt.Errorf("poolcluster: unknown node %s", id)
+	}
+	for _, e := range c.entries {
+		e.mu.Lock()
+		leads := e.primary == id
+		region := e.id
+		e.mu.Unlock()
+		if !leads {
+			continue
+		}
+		dst := c.pickTarget(region, id)
+		if dst == "" {
+			return fmt.Errorf("poolcluster: no target node to drain %s from %s", region, id)
+		}
+		if err := c.MigrateRegion(region, dst); err != nil {
+			return err
+		}
+	}
+	c.suspect(id)
+	return nil
+}
+
+// repairOwnership restores a region's invariants after a membership
+// change: a live primary (promoting the most caught-up live backup when
+// the primary is dead), no dead backups, and the replica set topped back
+// up to the configured count with a snapshot-seeded replacement.
+func (c *Cluster) repairOwnership(e *regionEntry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	changed := false
+	if c.aliveRef(e.primary) == nil {
+		if !c.promoteLocked(e) {
+			// No live backup to promote: the region is unavailable
+			// until one rejoins. Writes time out rather than accept
+			// a lossy promotion from stale state.
+			return
+		}
+		changed = true
+	}
+	var kept []string
+	for _, b := range e.backups {
+		if c.aliveRef(b) != nil {
+			kept = append(kept, b)
+		} else {
+			changed = true
+		}
+	}
+	e.backups = kept
+	if c.topUpBackupsLocked(e) {
+		changed = true
+	}
+	if changed {
+		e.epoch++
+	}
+}
+
+// promoteLocked promotes the live backup with the highest applied
+// sequence to primary. Any live backup preserves zero-loss (every acked
+// record is journaled for it); the most caught-up one minimizes the gap
+// the relay must redeliver before new reads see their writes.
+func (c *Cluster) promoteLocked(e *regionEntry) bool {
+	best := ""
+	var bestSeq uint64
+	for _, b := range e.backups {
+		ref := c.aliveRef(b)
+		if ref == nil {
+			continue
+		}
+		applied, err := ref.AppliedSeq(e.id)
+		if err != nil {
+			continue
+		}
+		if best == "" || applied > bestSeq {
+			best, bestSeq = b, applied
+		}
+	}
+	if best == "" {
+		return false
+	}
+	var rest []string
+	for _, b := range e.backups {
+		if b != best {
+			rest = append(rest, b)
+		}
+	}
+	e.primary = best
+	e.backups = rest
+	return true
+}
+
+// topUpBackupsLocked seeds replacement backups until the replica set is
+// back at the configured size (or candidates run out). The seed is a
+// snapshot of the current primary; any suffix the primary itself is
+// still missing (a fresh promotee waiting on relay redelivery) reaches
+// the new backup through the repair loop once the primary has it.
+func (c *Cluster) topUpBackupsLocked(e *regionEntry) bool {
+	changed := false
+	for 1+len(e.backups) < c.cfg.Replicas {
+		cand := ""
+		for _, id := range c.aliveIDs() {
+			if !e.isHolder(id) {
+				cand = id
+				break
+			}
+		}
+		if cand == "" {
+			break
+		}
+		ref := c.aliveRef(cand)
+		p := c.aliveRef(e.primary)
+		if ref == nil || p == nil {
+			break
+		}
+		kvs, snapSeq, err := p.Snapshot(e.id, e.start, e.end)
+		if err != nil {
+			break
+		}
+		if err := ref.Import(e.id, kvs, snapSeq); err != nil {
+			break
+		}
+		e.backups = append(e.backups, cand)
+		changed = true
+	}
+	return changed
+}
+
+// pickTarget chooses the live node (excluding `not`) leading the fewest
+// regions — the migration destination for drains and rebalancing.
+func (c *Cluster) pickTarget(region, not string) string {
+	counts := c.primaryCounts()
+	best := ""
+	bestN := int(^uint(0) >> 1)
+	for _, id := range c.aliveIDs() {
+		if id == not {
+			continue
+		}
+		if n := counts[id]; n < bestN {
+			best, bestN = id, n
+		}
+	}
+	_ = region
+	return best
+}
+
+// primaryCounts tallies how many regions each node currently leads.
+func (c *Cluster) primaryCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, e := range c.entries {
+		e.mu.Lock()
+		counts[e.primary]++
+		e.mu.Unlock()
+	}
+	return counts
+}
+
+// repairLoop is the anti-entropy pacemaker.
+func (c *Cluster) repairLoop(interval time.Duration) {
+	defer c.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.repairOnce()
+		}
+	}
+}
+
+// repairOnce walks every region once: probes holder health (feeding the
+// failure detector), re-applies missing records to lagging live backups
+// directly from their primary (idempotent — nodes dedupe by sequence),
+// and reseeds backups whose gap outran the primary's bounded catch-up
+// log. Returns the total remaining lag in records across all live
+// replicas; zero means every live replica has applied every acknowledged
+// write. Convergence deliberately does not depend on the relay alone:
+// redelivery handles the common case, repair guarantees the bound.
+func (c *Cluster) repairOnce() uint64 {
+	var total, maxLag uint64
+	for _, e := range c.entries {
+		e.mu.Lock()
+		region, primary, want := e.id, e.primary, e.seq
+		backups := append([]string(nil), e.backups...)
+		start, end := e.start, e.end
+		e.mu.Unlock()
+
+		p := c.aliveRef(primary)
+		if p == nil {
+			// Dead primary discovered outside the write path (e.g. no
+			// writes flowing): promote now and re-read the entry.
+			c.repairOwnership(e)
+			e.mu.Lock()
+			region, primary, want = e.id, e.primary, e.seq
+			backups = append([]string(nil), e.backups...)
+			e.mu.Unlock()
+			if p = c.aliveRef(primary); p == nil {
+				total += want // unavailable region: count it as lag
+				continue
+			}
+		}
+		pApplied, err := p.AppliedSeq(region)
+		if err != nil {
+			c.suspect(primary)
+			total++
+			continue
+		}
+		if pApplied < want {
+			// The primary itself (a fresh promotee) is waiting on relay
+			// redelivery of its gap.
+			lag := want - pApplied
+			total += lag
+			if lag > maxLag {
+				maxLag = lag
+			}
+		}
+		for _, b := range backups {
+			ref := c.aliveRef(b)
+			if ref == nil {
+				continue
+			}
+			bApplied, err := ref.AppliedSeq(region)
+			if err != nil {
+				c.suspect(b)
+				total++
+				continue
+			}
+			if bApplied >= want {
+				continue
+			}
+			lag := want - bApplied
+			total += lag
+			if lag > maxLag {
+				maxLag = lag
+			}
+			recs, complete, err := p.RecordsSince(region, bApplied)
+			if err != nil {
+				continue
+			}
+			if !complete {
+				// The primary's log no longer reaches back: reseed.
+				kvs, snapSeq, err := p.Snapshot(region, start, end)
+				if err == nil {
+					_ = ref.Import(region, kvs, snapSeq)
+				}
+				continue
+			}
+			for _, rec := range recs {
+				if err := ref.Apply(context.Background(), rec); err != nil {
+					break
+				}
+			}
+		}
+	}
+	gMaxLag.Set(float64(maxLag))
+	return total
+}

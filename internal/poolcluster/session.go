@@ -1,0 +1,265 @@
+package poolcluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dra4wfms/internal/pool"
+)
+
+// Session is a read-your-writes handle onto the cluster, implementing
+// pool.DocTable so the portal and monitor run over a clustered pool
+// unchanged. Each write records the replication sequence it produced;
+// each read routes to a replica — primary preferred — that has applied
+// at least the session's own high-water mark for that region, waiting
+// (bounded by Config.ReadTimeout) for catch-up rather than serving the
+// session a state older than its own writes.
+type Session struct {
+	c *Cluster
+
+	mu   sync.Mutex
+	seen map[string]uint64 // region ID → highest seq this session wrote
+}
+
+// NewSession opens a read-your-writes session. Sessions are cheap and
+// safe for concurrent use; one per server instance is typical.
+func (c *Cluster) NewSession() *Session {
+	return &Session{c: c, seen: make(map[string]uint64)}
+}
+
+func (s *Session) noteWrite(region string, seq uint64) {
+	s.mu.Lock()
+	if seq > s.seen[region] {
+		s.seen[region] = seq
+	}
+	s.mu.Unlock()
+}
+
+func (s *Session) need(region string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen[region]
+}
+
+// Put stores value at (row, family, qualifier) through the replicated
+// write path.
+func (s *Session) Put(row, family, qualifier string, value []byte) error {
+	return s.PutCtx(context.Background(), row, family, qualifier, value)
+}
+
+// PutCtx is Put carrying the caller's trace context; the replication
+// intents inherit the traceparent, so the cross-node fan-out shows up
+// as one trace.
+func (s *Session) PutCtx(ctx context.Context, row, family, qualifier string, value []byte) error {
+	if value == nil {
+		value = []byte{}
+	}
+	region, seq, err := s.c.write(ctx, row, family, qualifier, value, false)
+	if err != nil {
+		return err
+	}
+	s.noteWrite(region, seq)
+	return nil
+}
+
+// Delete writes a tombstone through the replicated write path.
+func (s *Session) Delete(row, family, qualifier string) error {
+	region, seq, err := s.c.write(context.Background(), row, family, qualifier, nil, true)
+	if err != nil {
+		return err
+	}
+	s.noteWrite(region, seq)
+	return nil
+}
+
+// replicaFor picks a live replica of row's region that has applied at
+// least this session's own writes, preferring the primary. When none
+// has caught up yet it waits (the failover window), and past the read
+// timeout it degrades to the most caught-up live replica rather than
+// failing the read outright.
+func (s *Session) replicaFor(row string) (NodeRef, bool) {
+	e := s.c.entryFor(row)
+	need := s.need(e.id)
+	deadline := time.Now().Add(s.c.cfg.ReadTimeout)
+	for {
+		e.mu.Lock()
+		holders := e.holders()
+		e.mu.Unlock()
+		var best NodeRef
+		var bestApplied uint64
+		for _, id := range holders {
+			ref := s.c.aliveRef(id)
+			if ref == nil {
+				continue
+			}
+			applied, err := ref.AppliedSeq(e.id)
+			if err != nil {
+				s.c.suspect(id)
+				continue
+			}
+			if applied >= need {
+				return ref, true
+			}
+			if best == nil || applied > bestApplied {
+				best, bestApplied = ref, applied
+			}
+		}
+		if time.Now().After(deadline) {
+			if best != nil {
+				return best, true
+			}
+			return nil, false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Get returns the newest value at (row, family, qualifier).
+func (s *Session) Get(row, family, qualifier string) ([]byte, bool) {
+	return s.GetCtx(context.Background(), row, family, qualifier)
+}
+
+// GetCtx is Get carrying the caller's trace context.
+func (s *Session) GetCtx(ctx context.Context, row, family, qualifier string) ([]byte, bool) {
+	if row == "" {
+		return nil, false
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		ref, ok := s.replicaFor(row)
+		if !ok {
+			return nil, false
+		}
+		v, found, err := ref.Get(ctx, row, family, qualifier)
+		if err == nil {
+			return v, found
+		}
+		s.c.suspect(ref.ID())
+	}
+	return nil, false
+}
+
+// GetRow returns every live cell of a row.
+func (s *Session) GetRow(row string) []pool.KeyValue {
+	if row == "" {
+		return nil
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		ref, ok := s.replicaFor(row)
+		if !ok {
+			return nil
+		}
+		kvs, err := ref.GetRow(row)
+		if err == nil {
+			return kvs
+		}
+		s.c.suspect(ref.ID())
+	}
+	return nil
+}
+
+// GetVersions returns the retained versions of a cell, newest first.
+func (s *Session) GetVersions(row, family, qualifier string) []pool.Cell {
+	if row == "" {
+		return nil
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		ref, ok := s.replicaFor(row)
+		if !ok {
+			return nil
+		}
+		cells, err := ref.GetVersions(row, family, qualifier)
+		if err == nil {
+			return cells
+		}
+		s.c.suspect(ref.ID())
+	}
+	return nil
+}
+
+// Scan merges per-region scans in directory order, which is global row
+// order — the range directory's payoff: each scan span touches only the
+// nodes owning it. Filter and Limit are applied client-side (a filter
+// function cannot cross the wire to a remote node); the per-region
+// bounds and family/prefix filters are pushed down.
+func (s *Session) Scan(opts pool.ScanOptions) []pool.KeyValue {
+	return s.ScanCtx(context.Background(), opts)
+}
+
+// ScanCtx is Scan carrying the caller's trace context.
+func (s *Session) ScanCtx(ctx context.Context, opts pool.ScanOptions) []pool.KeyValue {
+	var out []pool.KeyValue
+	for _, e := range s.c.entries {
+		if opts.EndRow != "" && e.start != "" && e.start >= opts.EndRow {
+			break
+		}
+		if e.end != "" && opts.StartRow != "" && opts.StartRow >= e.end {
+			continue
+		}
+		remote := pool.ScanOptions{
+			StartRow: maxKey(opts.StartRow, e.start),
+			EndRow:   minEnd(opts.EndRow, e.end),
+			Prefix:   opts.Prefix,
+			Family:   opts.Family,
+		}
+		if opts.Filter == nil && opts.Limit > 0 {
+			remote.Limit = opts.Limit - len(out)
+		}
+		kvs := s.scanEntry(ctx, e, remote)
+		for _, kv := range kvs {
+			if opts.Filter != nil && !opts.Filter(kv) {
+				continue
+			}
+			out = append(out, kv)
+			if opts.Limit > 0 && len(out) >= opts.Limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// scanEntry runs one region's scan against a caught-up replica.
+func (s *Session) scanEntry(ctx context.Context, e *regionEntry, opts pool.ScanOptions) []pool.KeyValue {
+	// Route by any row inside the region; the start key is in-region by
+	// construction.
+	row := e.start
+	if row == "" {
+		row = "\x00"
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		ref, ok := s.replicaFor(row)
+		if !ok {
+			return nil
+		}
+		kvs, err := ref.Scan(ctx, opts)
+		if err == nil {
+			return kvs
+		}
+		s.c.suspect(ref.ID())
+	}
+	return nil
+}
+
+func maxKey(a, b string) string {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// minEnd picks the tighter exclusive end bound, where "" means +∞.
+func minEnd(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ pool.DocTable = (*Session)(nil)

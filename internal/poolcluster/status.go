@@ -1,0 +1,241 @@
+package poolcluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// StatusFileName is the directory snapshot a cluster persists into its
+// StatusPath directory on every topology change, and the file
+// `dractl cluster status -data-dir` reads offline.
+const StatusFileName = "cluster.json"
+
+// ReplicaView is one replica's standing within a region.
+type ReplicaView struct {
+	Node    string `json:"node"`
+	Primary bool   `json:"primary,omitempty"`
+	Alive   bool   `json:"alive"`
+	// Applied is the replica's contiguous applied sequence; Lag is the
+	// region sequence minus Applied (0 = fully caught up). Both are
+	// zero for a dead (unreachable) node.
+	Applied uint64 `json:"applied"`
+	Lag     uint64 `json:"lag"`
+}
+
+// RegionView is one directory row.
+type RegionView struct {
+	ID       string        `json:"id"`
+	Start    string        `json:"start"`
+	End      string        `json:"end"`
+	Epoch    uint64        `json:"epoch"`
+	Seq      uint64        `json:"seq"`
+	Replicas []ReplicaView `json:"replicas"`
+}
+
+// NodeView summarizes one node's membership.
+type NodeView struct {
+	ID        string `json:"id"`
+	Alive     bool   `json:"alive"`
+	Primaries int    `json:"primaries"`
+	Backups   int    `json:"backups"`
+}
+
+// ClusterStatus is a point-in-time view of the region directory.
+type ClusterStatus struct {
+	AsOf     time.Time    `json:"as_of"`
+	Replicas int          `json:"replicas"`
+	Nodes    []NodeView   `json:"nodes"`
+	Regions  []RegionView `json:"regions"`
+}
+
+// Status assembles the live directory view, probing each replica's
+// applied sequence.
+func (c *Cluster) Status() ClusterStatus {
+	st := ClusterStatus{AsOf: time.Now(), Replicas: c.cfg.Replicas}
+	primaries := make(map[string]int)
+	backups := make(map[string]int)
+	for _, e := range c.entries {
+		e.mu.Lock()
+		rv := RegionView{ID: e.id, Start: e.start, End: e.end, Epoch: e.epoch, Seq: e.seq}
+		holders := e.holders()
+		seq := e.seq
+		e.mu.Unlock()
+		for i, id := range holders {
+			isPrimary := i == 0
+			if isPrimary {
+				primaries[id]++
+			} else {
+				backups[id]++
+			}
+			view := ReplicaView{Node: id, Primary: isPrimary}
+			if ref := c.aliveRef(id); ref != nil {
+				if applied, err := ref.AppliedSeq(rv.ID); err == nil {
+					view.Alive = true
+					view.Applied = applied
+					if seq > applied {
+						view.Lag = seq - applied
+					}
+				}
+			}
+			rv.Replicas = append(rv.Replicas, view)
+		}
+		st.Regions = append(st.Regions, rv)
+	}
+	c.mu.RLock()
+	for _, id := range c.order {
+		m := c.members[id]
+		st.Nodes = append(st.Nodes, NodeView{
+			ID:        id,
+			Alive:     m.alive,
+			Primaries: primaries[id],
+			Backups:   backups[id],
+		})
+	}
+	c.mu.RUnlock()
+	return st
+}
+
+// PrimaryFor reports which region owns row and which node currently
+// leads it — the hook `dractl cluster status -row` and the failover
+// drill use to find the node to kill.
+func (c *Cluster) PrimaryFor(row string) (region, node string) {
+	e := c.entryFor(row)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.id, e.primary
+}
+
+// HealthCheck is the hard readiness check a clustered portal registers:
+// it fails when any region currently has no live primary, i.e. writes to
+// that key span would stall. Backup lag does NOT fail this check — see
+// LagCheck.
+func (c *Cluster) HealthCheck() error {
+	for _, e := range c.entries {
+		e.mu.Lock()
+		id, primary := e.id, e.primary
+		e.mu.Unlock()
+		if c.aliveRef(primary) == nil {
+			return fmt.Errorf("region %s has no live primary", id)
+		}
+	}
+	return nil
+}
+
+// LagCheck returns a *degraded* readiness check: it fails when any
+// replica of a region with a healthy primary trails the acknowledged
+// sequence by more than maxLag records (a dead replica counts as fully
+// lagging). The portal stays in rotation — the primary serves — but
+// readyz reports {"status":"degraded"} until the repair loop catches the
+// replica up.
+func (c *Cluster) LagCheck(maxLag uint64) func() error {
+	return func() error {
+		worst, worstRegion, worstNode := uint64(0), "", ""
+		for _, e := range c.entries {
+			e.mu.Lock()
+			id, seq, backups := e.id, e.seq, append([]string(nil), e.backups...)
+			e.mu.Unlock()
+			for _, b := range backups {
+				lag := seq // a dead or unreachable replica is fully behind
+				if ref := c.aliveRef(b); ref != nil {
+					if applied, err := ref.AppliedSeq(id); err == nil {
+						lag = 0
+						if seq > applied {
+							lag = seq - applied
+						}
+					}
+				}
+				if lag > worst {
+					worst, worstRegion, worstNode = lag, id, b
+				}
+			}
+		}
+		if worst > maxLag {
+			return fmt.Errorf("replica %s of %s lags %d records (threshold %d)", worstNode, worstRegion, worst, maxLag)
+		}
+		return nil
+	}
+}
+
+// persistStatus atomically writes the directory snapshot next to the
+// coordinator's data (tmp + rename), so an offline `dractl cluster
+// status` sees the last committed topology, never a torn file.
+func (c *Cluster) persistStatus() {
+	if c.cfg.StatusPath == "" {
+		return
+	}
+	st := c.Status()
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return
+	}
+	path := c.cfg.StatusPath
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// ReadStatusFile loads a persisted directory snapshot. path may be the
+// snapshot file itself or a directory containing StatusFileName.
+func ReadStatusFile(path string) (ClusterStatus, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, StatusFileName)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return ClusterStatus{}, err
+	}
+	var st ClusterStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return ClusterStatus{}, fmt.Errorf("poolcluster: decoding %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// Render formats the status as the operator-facing table dractl prints.
+func (s ClusterStatus) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster status as of %s (replicas=%d)\n\n", s.AsOf.Format(time.RFC3339), s.Replicas)
+	fmt.Fprintf(&b, "%-8s %-7s %-10s %-8s\n", "node", "alive", "primaries", "backups")
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "%-8s %-7v %-10d %-8d\n", n.ID, n.Alive, n.Primaries, n.Backups)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-12s %-24s %-6s %-8s %s\n", "region", "range", "epoch", "seq", "replicas (applied/lag)")
+	for _, r := range s.Regions {
+		rng := fmt.Sprintf("[%s, %s)", renderKey(r.Start), renderKey(r.End))
+		var reps []string
+		for _, rv := range r.Replicas {
+			role := "backup"
+			if rv.Primary {
+				role = "primary"
+			}
+			state := fmt.Sprintf("%d/%d", rv.Applied, rv.Lag)
+			if !rv.Alive {
+				state = "dead"
+			}
+			reps = append(reps, fmt.Sprintf("%s=%s(%s)", rv.Node, role, state))
+		}
+		fmt.Fprintf(&b, "%-12s %-24s %-6d %-8d %s\n", r.ID, rng, r.Epoch, r.Seq, strings.Join(reps, " "))
+	}
+	return b.String()
+}
+
+// renderKey makes range boundaries printable (boundaries may be raw
+// bytes from DefaultBoundaries).
+func renderKey(k string) string {
+	if k == "" {
+		return "∅"
+	}
+	for _, r := range k {
+		if r < 0x20 || r > 0x7e {
+			return fmt.Sprintf("%q", k)
+		}
+	}
+	return k
+}

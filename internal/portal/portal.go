@@ -90,8 +90,10 @@ type Portal struct {
 	ID string
 	// Registry authenticates principals and verifies document signatures.
 	Registry *pki.Registry
-	// Table is the shared documents table.
-	Table *pool.Table
+	// Table is the shared documents table: a single-process *pool.Table
+	// or a clustered poolcluster.Session — the portal cannot tell them
+	// apart.
+	Table pool.DocTable
 	// Clock supplies meta timestamps (defaults to time.Now).
 	Clock func() time.Time
 	// OnNotify, when set, receives every notification produced by Store
@@ -109,7 +111,7 @@ type Portal struct {
 }
 
 // New creates a portal server.
-func New(id string, reg *pki.Registry, table *pool.Table, clock func() time.Time) *Portal {
+func New(id string, reg *pki.Registry, table pool.DocTable, clock func() time.Time) *Portal {
 	if clock == nil {
 		clock = time.Now
 	}

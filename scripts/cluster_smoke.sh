@@ -1,0 +1,175 @@
+#!/bin/sh
+# cluster_smoke.sh — failover drill for the clustered document pool:
+#
+#   1. provision a throwaway trust bundle (drakeys)
+#   2. start three drapool nodes and a draportal coordinating them with
+#      -cluster-nodes (2 replicas per region), all race-detector builds
+#   3. poll GET /v1/readyz until the whole fleet reports ready
+#   4. drive Figure 9B workflows through the clustered portal
+#   5. ask `dractl cluster status -row` which node leads the region of an
+#      upcoming row, and kill -9 exactly that node mid-load
+#   6. keep driving: every post-kill run must succeed — acknowledged
+#      writes keep flowing and nothing previously acked is lost (the
+#      drives re-read their own documents through the portal)
+#   7. assert the portal's /v1/readyz converges back to ready-or-degraded
+#      and the directory shows the dead node demoted everywhere
+#   8. SIGTERM the portal and surviving nodes; all must exit 0
+#
+# Run from the repository root: ./scripts/cluster_smoke.sh
+set -eu
+
+WORK="$(mktemp -d)"
+PORT="${CLUSTER_PORT:-19080}"
+P1="${CLUSTER_POOL1_PORT:-19301}"
+P2="${CLUSTER_POOL2_PORT:-19302}"
+P3="${CLUSTER_POOL3_PORT:-19303}"
+trap 'kill "$PORTAL_PID" "$N1_PID" "$N2_PID" "$N3_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PORTAL_PID=""; N1_PID=""; N2_PID=""; N3_PID=""
+
+# Race-detector builds: the drill doubles as a concurrency gate for the
+# coordinator's write/repair paths under real process churn.
+go build -race -o "$WORK/drapool" ./cmd/drapool
+go build -race -o "$WORK/draportal" ./cmd/draportal
+go build -o "$WORK/drakeys" ./cmd/drakeys
+go build -o "$WORK/dractl" ./cmd/dractl
+
+"$WORK/drakeys" -out "$WORK/deploy" \
+	-principals designer@acme,alice@acme,bob@acme,betty@bolt,carol@bolt,dave@acme,tfc@cloud \
+	-bits 2048 >/dev/null
+
+"$WORK/drapool" -listen "127.0.0.1:$P1" -node-id n1 -grace 5s &
+N1_PID=$!
+"$WORK/drapool" -listen "127.0.0.1:$P2" -node-id n2 -grace 5s &
+N2_PID=$!
+"$WORK/drapool" -listen "127.0.0.1:$P3" -node-id n3 -grace 5s &
+N3_PID=$!
+
+wait_ready() {
+	_port=$1
+	_pid=$2
+	_name=$3
+	echo "cluster_smoke: waiting for $_name readiness on port $_port (pid $_pid)"
+	for _ in $(seq 1 50); do
+		if curl -fsS "http://127.0.0.1:$_port/v1/readyz" >/dev/null 2>&1; then
+			return 0
+		fi
+		if ! kill -0 "$_pid" 2>/dev/null; then
+			echo "cluster_smoke: FAIL: $_name died before becoming ready" >&2
+			exit 1
+		fi
+		sleep 0.2
+	done
+	echo "cluster_smoke: FAIL: $_name /v1/readyz never reported ready" >&2
+	exit 1
+}
+
+wait_ready "$P1" "$N1_PID" "drapool n1"
+wait_ready "$P2" "$N2_PID" "drapool n2"
+wait_ready "$P3" "$N3_PID" "drapool n3"
+
+# The coordinator joins only once the fleet answers: its readyz gates on
+# every region having a live primary.
+"$WORK/draportal" \
+	-listen "127.0.0.1:$PORT" \
+	-trust "$WORK/deploy/trust.json" \
+	-cluster-nodes "n1=http://127.0.0.1:$P1,n2=http://127.0.0.1:$P2,n3=http://127.0.0.1:$P3" \
+	-replicas 2 \
+	-cluster-wal "$WORK/replication-outbox.wal" \
+	-cluster-status "$WORK/cluster.json" \
+	-grace 10s &
+PORTAL_PID=$!
+wait_ready "$PORT" "$PORTAL_PID" draportal
+
+drive() {
+	"$WORK/dractl" remote \
+		-portal "http://127.0.0.1:$PORT" \
+		-deploy "$WORK/deploy" \
+		-workflow fig9a >/dev/null
+}
+
+echo "cluster_smoke: fleet ready; driving pre-kill load"
+drive
+drive
+
+# Pick the kill target the way an adversarial operator would: ask the
+# directory which node leads the region documents land in.
+TARGET="$("$WORK/dractl" cluster status -url "http://127.0.0.1:$PORT" -row "proc-upcoming" | awk '{print $2}')"
+case "$TARGET" in
+n1) TARGET_PID=$N1_PID ;;
+n2) TARGET_PID=$N2_PID ;;
+n3) TARGET_PID=$N3_PID ;;
+*)
+	echo "cluster_smoke: FAIL: could not resolve kill target (got '$TARGET')" >&2
+	exit 1
+	;;
+esac
+
+echo "cluster_smoke: killing pool node $TARGET (pid $TARGET_PID) with SIGKILL mid-load"
+kill -9 "$TARGET_PID"
+
+# Acknowledged writes must keep flowing with the primary dead: each drive
+# stores documents and re-reads them through the portal, so a lost acked
+# write or a stalled region fails the run.
+drive
+drive
+drive
+echo "cluster_smoke: post-kill drives succeeded (no acknowledged write lost)"
+
+# readyz must converge back to 200 — ready, or degraded while the repair
+# loop re-replicates, never stuck unready.
+READY=""
+for _ in $(seq 1 50); do
+	if BODY="$(curl -fsS "http://127.0.0.1:$PORT/v1/readyz" 2>/dev/null)"; then
+		READY="$BODY"
+		break
+	fi
+	sleep 0.2
+done
+case "$READY" in
+*ready* | *degraded*) echo "cluster_smoke: portal readyz converged: $READY" ;;
+*)
+	echo "cluster_smoke: FAIL: portal readyz did not converge after the kill (last: '$READY')" >&2
+	exit 1
+	;;
+esac
+
+# The directory must show the dead node demoted everywhere: not alive,
+# leading nothing, backing nothing it could serve.
+curl -fsS "http://127.0.0.1:$PORT/v1/cluster/status" >"$WORK/status.json"
+python3 - "$WORK/status.json" "$TARGET" <<'PYEOF'
+import json, sys
+
+st = json.load(open(sys.argv[1]))
+target = sys.argv[2]
+
+dead = {n["id"]: n for n in st["nodes"]}[target]
+if dead.get("alive"):
+    sys.exit(f"cluster_smoke: FAIL: killed node {target} still marked alive")
+if dead.get("primaries", 0) != 0:
+    sys.exit(f"cluster_smoke: FAIL: killed node {target} still leads {dead['primaries']} region(s)")
+for r in st["regions"]:
+    leaders = [v["node"] for v in r["replicas"] if v.get("primary")]
+    if not leaders:
+        sys.exit(f"cluster_smoke: FAIL: region {r['id']} has no primary after failover")
+    if leaders[0] == target:
+        sys.exit(f"cluster_smoke: FAIL: region {r['id']} still led by the dead node")
+print(f"cluster_smoke: directory converged — {target} demoted, every region has a live primary")
+PYEOF
+
+echo "cluster_smoke: sending SIGTERM to the portal and surviving nodes"
+kill -TERM "$PORTAL_PID"
+if ! wait "$PORTAL_PID"; then
+	echo "cluster_smoke: FAIL: draportal exited with nonzero status after SIGTERM" >&2
+	exit 1
+fi
+
+for SURVIVOR in "$N1_PID" "$N2_PID" "$N3_PID"; do
+	[ "$SURVIVOR" = "$TARGET_PID" ] && continue
+	kill -TERM "$SURVIVOR"
+	if ! wait "$SURVIVOR"; then
+		echo "cluster_smoke: FAIL: a surviving drapool exited with nonzero status after SIGTERM" >&2
+		exit 1
+	fi
+done
+
+echo "cluster_smoke: PASS (kill -9 of $TARGET lost no acknowledged write; fleet converged and shut down cleanly)"
