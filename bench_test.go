@@ -393,3 +393,27 @@ func BenchmarkPortalLifecycle(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCryptoSuites regenerates the crypto-throughput ablation: one
+// op = the full suite × seed/cold/warm hop sweep on the Figure 9A
+// cascade, reporting the headline hops (see EXPERIMENTS.md).
+func BenchmarkCryptoSuites(b *testing.B) {
+	var rows []bench.CryptoRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunCrypto(benchBits, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch {
+		case r.Suite == "rsa-sha256" && r.Mode == "seed":
+			b.ReportMetric(float64(r.Hop.Microseconds()), "rsaSeedHop_us")
+		case r.Suite == "rsa-sha256" && r.Mode == "warm":
+			b.ReportMetric(float64(r.Hop.Microseconds()), "rsaWarmHop_us")
+		case r.Suite == "ed25519" && r.Mode == "warm":
+			b.ReportMetric(float64(r.Hop.Microseconds()), "edWarmHop_us")
+		}
+	}
+}

@@ -69,6 +69,11 @@ func metricsOf(traj *trajectory) []benchMetric {
 		add(base+"/store_doc", time.Duration(r.StoreMicrosPerDoc*float64(time.Microsecond)))
 		add(base+"/query_doc", time.Duration(r.QueryMicrosPerDoc*float64(time.Microsecond)))
 	}
+	for _, r := range traj.Crypto {
+		add(fmt.Sprintf("crypto/%s/%s_hop", r.Suite, r.Mode), r.Hop)
+		add(fmt.Sprintf("crypto/%s/%s_verify", r.Suite, r.Mode), r.Verify)
+		add(fmt.Sprintf("crypto/%s/%s_sign", r.Suite, r.Mode), r.Sign)
+	}
 	if f := traj.PoolFailover; f != nil {
 		add("poolfailover/failover_write", f.FailoverLatency)
 		add("poolfailover/max_stall", f.MaxStall)

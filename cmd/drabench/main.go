@@ -225,6 +225,36 @@ func main() {
 		return nil
 	})
 
+	run("crypto", func() error {
+		fmt.Println("Ablation — signature-suite crypto throughput on the Figure 9A hop")
+		fmt.Printf("(median of %d reps; hop = verify full cascade (alpha) + sign next CER (beta);\n", *reps)
+		fmt.Println("seed = serial verify, no prefix cache, cache-less CA-re-verifying resolver)")
+		rows, err := bench.RunCrypto(*bits, *reps)
+		if err != nil {
+			return err
+		}
+		traj.Crypto = rows
+		fmt.Printf("%-12s %6s %6s %12s %12s %12s %10s\n",
+			"suite", "mode", "sigs", "verify", "sign", "hop", "docs/s")
+		var seedHop time.Duration
+		for _, r := range rows {
+			if r.Mode == "seed" {
+				seedHop = r.Hop
+			}
+			speedup := ""
+			if seedHop > 0 && r.Mode != "seed" {
+				speedup = fmt.Sprintf("  (%.1fx vs seed)", float64(seedHop)/float64(r.Hop))
+			}
+			fmt.Printf("%-12s %6s %6d %12v %12v %12v %10.0f%s\n",
+				r.Suite, r.Mode, r.Sigs,
+				r.Verify.Round(time.Microsecond), r.Sign.Round(time.Microsecond),
+				r.Hop.Round(time.Microsecond), r.DocsPerSecond(), speedup)
+		}
+		fmt.Println("expected shape: warm verify ~flat (prefix cache); ed25519 sign ~50x cheaper")
+		fmt.Println("than RSA-2048, so ed25519 hops are sign-bound no longer.")
+		return nil
+	})
+
 	run("engine", func() error {
 		fmt.Println("Comparison — wall-clock cost and tamper detectability, engine vs DRA4WfMS")
 		res, err := bench.RunEngineVsDRA(*bits, 5)
@@ -343,6 +373,9 @@ type trajectory struct {
 	// cleanly: metricsOf skips metrics the baseline lacks.
 	PoolScale    []bench.PoolScaleRow      `json:"poolscale,omitempty"`
 	PoolFailover *bench.PoolFailoverResult `json:"poolfailover,omitempty"`
+	// Crypto records the signature-suite throughput ablation: per suite,
+	// the seed/cold/warm hop cost on the Figure 9A cascade.
+	Crypto []bench.CryptoRow `json:"crypto,omitempty"`
 }
 
 // writeTrajectory writes traj to BENCH_<n>.json in the current directory,

@@ -72,7 +72,7 @@ func main() {
 		if at := strings.IndexByte(id, '@'); at >= 0 {
 			org = id[at+1:]
 		}
-		cert, err := ca.Issue(pki.Identity{ID: id, DisplayName: id, Org: org}, kp.Public(), now, *validity)
+		cert, err := ca.IssueKeys(pki.Identity{ID: id, DisplayName: id, Org: org}, kp, now, *validity)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -78,11 +78,15 @@ func main() {
 	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
 	verifyWorkers := flag.Int("verify-workers", 0, "max concurrent signature verifications per document (0 = all cores, 1 = serial)")
 	verifyCache := flag.Int("verify-cache", dsig.DefaultCacheSize, "verified-prefix cache entries (0 disables the cache)")
+	suite := flag.String("suite", dsig.SignatureAlg, "signature suite for locally produced signatures; verification always honors each signature's recorded algorithm")
 	traceOut := flag.String("trace-out", "", "append finished trace spans to this file as JSONL (empty disables the export; GET /v1/traces always serves the in-memory ring)")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of locally rooted traces to record, 0..1; hops continuing an inbound traceparent honor its sampled flag instead")
 	flag.Parse()
 
 	dsig.Configure(*verifyWorkers, *verifyCache)
+	if err := dsig.ConfigureSuite(*suite); err != nil {
+		log.Fatalf("-suite: %v", err)
+	}
 	if *traceSample < 1 {
 		trace.Default().SetSampler(trace.RatioSample(*traceSample))
 		log.Printf("sampling %.0f%% of trace roots", *traceSample*100)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dra4wfms/internal/document"
+	"dra4wfms/internal/dsig"
 	"dra4wfms/internal/expr"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/secpol"
@@ -86,6 +87,9 @@ type AEA struct {
 	Keys *pki.KeyPair
 	// Registry resolves and trusts other principals' public keys.
 	Registry *pki.Registry
+	// Suite selects the signature suite for CERs this AEA signs; nil uses
+	// the process-wide default (dsig.DefaultSuite).
+	Suite dsig.Suite
 
 	mu   sync.Mutex
 	seen map[string]bool
@@ -275,6 +279,7 @@ func (s *Session) CompleteCtx(ctx context.Context, inputs Inputs, now time.Time)
 		Next:           next,
 		PredSigIDs:     preds,
 		Signer:         s.aea.Keys,
+		Suite:          s.aea.Suite,
 	})
 	signSpan.End()
 	if err != nil {
@@ -348,6 +353,7 @@ func (s *Session) CompleteToTFCCtx(ctx context.Context, inputs Inputs) (*documen
 		ResultChildren: []*xmltree.Node{enc},
 		PredSigIDs:     preds,
 		Signer:         s.aea.Keys,
+		Suite:          s.aea.Suite,
 	})
 	signSpan.End()
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dra4wfms/internal/document"
+	"dra4wfms/internal/dsig"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/testenv"
 	"dra4wfms/internal/wfdef"
@@ -382,5 +383,29 @@ func TestExecuteToTFCConvenience(t *testing.T) {
 	out, err := peter.ExecuteToTFC(doc, "A1", Inputs{"X": "10"})
 	if err != nil || len(out.CERs()) != 1 {
 		t.Fatalf("ExecuteToTFC: %v", err)
+	}
+}
+
+// TestEd25519AgentsInterop runs the full Figure 9A workflow with every AEA
+// signing under the Ed25519 suite while the designer signature stays RSA:
+// suites are selected per signature by the recorded algorithm, so a mixed
+// cascade verifies end to end against the same registry.
+func TestEd25519AgentsInterop(t *testing.T) {
+	f := newFixture(t)
+	for _, a := range f.agents {
+		a.Suite, _ = dsig.SuiteFor(dsig.SignatureAlgEd25519)
+	}
+	outD := f.runIteration(t, f.doc, true)
+	if !outD.Completed {
+		t.Fatal("ed25519-signed pass should complete the process")
+	}
+	if n, err := outD.Doc.VerifyAll(f.env.Registry); err != nil || n != 6 {
+		t.Fatalf("VerifyAll = %d, %v", n, err)
+	}
+	for _, cer := range outD.Doc.FinalCERs() {
+		alg := cer.Signature().Child("SignedInfo").Child("SignatureMethod").AttrDefault("Algorithm", "")
+		if alg != dsig.SignatureAlgEd25519 {
+			t.Fatalf("CER signature algorithm = %q, want %s", alg, dsig.SignatureAlgEd25519)
+		}
 	}
 }

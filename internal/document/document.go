@@ -378,6 +378,10 @@ type AppendSpec struct {
 	PredSigIDs []string
 	// Signer signs the CER (the participant's AEA, or the TFC server).
 	Signer *pki.KeyPair
+	// Suite selects the signature suite for this CER's signature; nil
+	// uses the process-wide default (dsig.DefaultSuite). Verification is
+	// unaffected — it honors each signature's recorded algorithm.
+	Suite dsig.Suite
 }
 
 // AppendCER builds, attaches and signs a CER according to spec. The
@@ -452,7 +456,7 @@ func (d *Document) AppendCER(spec AppendSpec) (CER, error) {
 
 	// Attach before signing so the references resolve within the document.
 	d.resultsEl().AppendChild(cer)
-	sig, err := dsig.Sign(d.Root, refs, spec.Signer, sigID)
+	sig, err := dsig.SignWith(spec.Suite, d.Root, refs, spec.Signer, sigID)
 	if err != nil {
 		d.resultsEl().RemoveChild(cer)
 		return CER{}, err

@@ -28,6 +28,7 @@
 package dsig
 
 import (
+	"crypto"
 	"crypto/rsa"
 	"crypto/subtle"
 	"encoding/base64"
@@ -89,18 +90,29 @@ var ErrDigestMismatch = errors.New("dsig: digest mismatch (referenced element wa
 var ErrBadSignature = errors.New("dsig: signature value invalid")
 
 // Sign creates a Signature element covering the elements of root whose Id
-// attributes appear in refIDs (order preserved). The signature is labeled
+// attributes appear in refIDs (order preserved), signing under the
+// process-wide default suite (see ConfigureSuite). The signature is labeled
 // sigID via its own Id attribute so later signatures can reference it, and
 // names key.Owner in KeyInfo/KeyName. The returned element is NOT attached
 // to root; callers append it where their format requires.
 func Sign(root *xmltree.Node, refIDs []string, key *pki.KeyPair, sigID string) (*xmltree.Node, error) {
+	return SignWith(nil, root, refIDs, key, sigID)
+}
+
+// SignWith is Sign under an explicit signature suite; nil selects the
+// process-wide default. The suite's algorithm identifier is recorded in
+// SignedInfo/SignatureMethod, inside the signed bytes.
+func SignWith(suite Suite, root *xmltree.Node, refIDs []string, key *pki.KeyPair, sigID string) (*xmltree.Node, error) {
 	if len(refIDs) == 0 {
 		return nil, errors.New("dsig: no references to sign")
+	}
+	if suite == nil {
+		suite = DefaultSuite()
 	}
 	ix := newDigestIndex(root)
 	signedInfo := xmltree.NewElement(signedInfoElem)
 	signedInfo.Elem(c14nMethodElem, "").SetAttr("Algorithm", CanonicalizationAlg)
-	signedInfo.Elem(signatureMethodElem, "").SetAttr("Algorithm", SignatureAlg)
+	signedInfo.Elem(signatureMethodElem, "").SetAttr("Algorithm", suite.Alg())
 	for _, id := range refIDs {
 		digest, err := ix.digest(id)
 		if err != nil {
@@ -114,7 +126,7 @@ func Sign(root *xmltree.Node, refIDs []string, key *pki.KeyPair, sigID string) (
 	}
 
 	canon := signedInfo.Canonical()
-	sigValue, err := key.Sign(canon)
+	sigValue, err := suite.Sign(key, canon)
 	if err != nil {
 		return nil, err
 	}
@@ -162,19 +174,23 @@ func References(sig *xmltree.Node) []string {
 var errMissingKeyName = errors.New("dsig: signature has no KeyName")
 
 // checkStructure validates a Signature element's shape and algorithm
-// identifiers and returns its SignedInfo.
-func checkStructure(sig *xmltree.Node) (*xmltree.Node, error) {
+// identifiers and returns its SignedInfo plus the signature suite the
+// recorded SignatureMethod selects. Only registered suites pass — an
+// unknown or empty algorithm fails closed, so there is no downgrade path.
+func checkStructure(sig *xmltree.Node) (*xmltree.Node, Suite, error) {
 	si := sig.Child(signedInfoElem)
 	if si == nil {
-		return nil, errors.New("dsig: Signature has no SignedInfo")
+		return nil, nil, errors.New("dsig: Signature has no SignedInfo")
 	}
 	if alg := algorithmOf(si, c14nMethodElem); alg != CanonicalizationAlg {
-		return nil, fmt.Errorf("dsig: unsupported canonicalization %q", alg)
+		return nil, nil, fmt.Errorf("dsig: unsupported canonicalization %q", alg)
 	}
-	if alg := algorithmOf(si, signatureMethodElem); alg != SignatureAlg {
-		return nil, fmt.Errorf("dsig: unsupported signature method %q", alg)
+	alg := algorithmOf(si, signatureMethodElem)
+	suite, ok := SuiteFor(alg)
+	if !ok {
+		return nil, nil, fmt.Errorf("dsig: unsupported signature method %q", alg)
 	}
-	return si, nil
+	return si, suite, nil
 }
 
 // checkReferences recomputes every Reference digest against the current
@@ -214,16 +230,16 @@ func checkReferences(ix *digestIndex, si *xmltree.Node) error {
 	return nil
 }
 
-// checkSignatureValue verifies the RSA signature over SignedInfo's
+// checkSignatureValue verifies the suite signature over SignedInfo's
 // canonical bytes under the resolved public key.
-func checkSignatureValue(si, sig *xmltree.Node, signer string, pub *rsa.PublicKey) error {
+func checkSignatureValue(si, sig *xmltree.Node, signer string, pub crypto.PublicKey, suite Suite) error {
 	sigValue, err := base64.StdEncoding.DecodeString(sig.ChildText(signatureValueElem))
 	if err != nil {
 		return fmt.Errorf("dsig: corrupt SignatureValue: %w", err)
 	}
 	canon := si.Canonical()
-	if err := pki.Verify(pub, canon, sigValue); err != nil {
-		return fmt.Errorf("%w (signer %s)", ErrBadSignature, signer)
+	if err := suite.Verify(pub, canon, sigValue); err != nil {
+		return fmt.Errorf("%w (signer %s, suite %s)", ErrBadSignature, signer, suite.Alg())
 	}
 	mVerifyOps.Inc()
 	mVerifyBytes.Add(int64(len(canon)))

@@ -1,0 +1,140 @@
+package dsig
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"dra4wfms/internal/telemetry"
+)
+
+// Process-wide verify pool. Before this existed, every VerifyBatch call
+// spun up its own worker goroutines and tore them down again — fine for
+// one request, wasteful when a portal, a TFC server, and a dozen AEA
+// sessions verify cascades concurrently: each batch fans out to
+// GOMAXPROCS workers and they all fight. The VerifyPool inverts that: one
+// fixed set of workers sized to the machine, fed by every in-flight batch
+// through a small admission queue. Saturation is handled by the callers
+// themselves — when the queue is full, TrySubmit refuses and the caller
+// runs the verification inline on its own goroutine, so the pool can
+// never deadlock on its own backpressure and total parallelism stays
+// bounded by workers + in-flight requests.
+
+// Pool telemetry: queue depth, time-in-queue, and how work was placed.
+var (
+	mPoolDepth     = telemetry.Default().Gauge("dsig_verify_pool_depth")
+	mPoolWait      = telemetry.Default().Histogram("dsig_verify_pool_queue_wait_seconds", telemetry.LatencyBuckets)
+	mPoolSubmitted = telemetry.Default().Counter("dsig_verify_pool_submitted_total")
+	mPoolInline    = telemetry.Default().Counter("dsig_verify_pool_inline_total")
+)
+
+// verifyTask is one unit of pool work. Tasks are self-contained — they
+// signal their batch's WaitGroup themselves and never submit further
+// tasks, which is what makes inline execution on a saturated submit safe.
+type verifyTask func()
+
+// VerifyPool is a fixed-size worker pool shared by all in-flight
+// verification batches. The zero value is not usable; construct with
+// NewVerifyPool. Safe for concurrent use.
+type VerifyPool struct {
+	tasks chan queuedTask
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+type queuedTask struct {
+	run verifyTask
+	at  time.Time
+}
+
+// NewVerifyPool starts a pool with the given number of workers (0 =
+// GOMAXPROCS) and admission-queue capacity (0 = 4× workers). The queue is
+// deliberately small: it exists to smooth bursts, not to buffer load —
+// sustained oversubscription should push work back onto request
+// goroutines, not grow a queue without bound.
+func NewVerifyPool(workers, queue int) *VerifyPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	p := &VerifyPool{
+		tasks: make(chan queuedTask, queue),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *VerifyPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			p.execute(t)
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func (p *VerifyPool) execute(t queuedTask) {
+	mPoolDepth.Add(-1)
+	//lint:ignore nondeterminism queue-wait telemetry only; the verification outcome does not depend on the clock
+	mPoolWait.Observe(time.Since(t.at).Seconds())
+	t.run()
+}
+
+// TrySubmit offers a task to the pool. It returns false — and runs
+// nothing — when the admission queue is full or the pool is closed; the
+// caller then executes the task inline. Submission happens under a read
+// lock ordered before Close's write lock, so a task admitted here is
+// always either executed by a worker or drained by Close — never lost.
+func (p *VerifyPool) TrySubmit(t verifyTask) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	//lint:ignore nondeterminism admission timestamp feeds the queue-wait histogram, not the verification result
+	case p.tasks <- queuedTask{run: t, at: time.Now()}:
+		mPoolDepth.Add(1)
+		mPoolSubmitted.Inc()
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops the workers and runs any still-queued tasks to completion
+// on the calling goroutine, so batches that admitted work before the
+// close can never hang on their WaitGroup. Close is idempotent. It is
+// used when Configure retires a previous pool; in-flight batches holding
+// the old pool fall back to inline execution once it is closed.
+func (p *VerifyPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
+	for {
+		select {
+		case t := <-p.tasks:
+			p.execute(t)
+		default:
+			return
+		}
+	}
+}

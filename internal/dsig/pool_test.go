@@ -1,0 +1,144 @@
+package dsig
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestVerifyPoolBatchMatchesSerial(t *testing.T) {
+	root, resolver := buildCascade(t, 12)
+	pool := NewVerifyPool(2, 2)
+	defer pool.Close()
+	for _, v := range []*Verifier{
+		{Workers: 4, Pool: pool},
+		{Workers: 4, Pool: pool, Cache: NewCache(64)},
+		{Workers: 0, Pool: pool},
+	} {
+		n, err := v.VerifyAll(root, root, resolver)
+		if err != nil || n != 12 {
+			t.Fatalf("pooled VerifyAll = %d, %v", n, err)
+		}
+	}
+}
+
+func TestVerifyPoolFailFastAttribution(t *testing.T) {
+	root, resolver := buildCascade(t, 8)
+	root.FindByID("p3").SetText("tampered")
+	pool := NewVerifyPool(2, 2)
+	defer pool.Close()
+	v := &Verifier{Workers: 4, Pool: pool}
+	if _, err := v.VerifyAll(root, root, resolver); err == nil || !strings.Contains(err.Error(), "sig3") {
+		t.Fatalf("pooled error does not name sig3: %v", err)
+	}
+}
+
+// TestVerifyPoolSaturationRunsInline drives a batch through a pool whose
+// single worker is blocked: every signature must still verify because the
+// submitting goroutine runs refused tasks itself (the saturating design).
+func TestVerifyPoolSaturationRunsInline(t *testing.T) {
+	root, resolver := buildCascade(t, 8)
+	pool := NewVerifyPool(1, 1)
+	defer pool.Close()
+
+	// Wedge the lone worker and fill the queue so every TrySubmit from the
+	// batch below is refused.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wedge sync.WaitGroup
+	wedge.Add(1)
+	if !pool.TrySubmit(func() { defer wedge.Done(); close(started); <-block }) {
+		t.Fatal("wedge task refused")
+	}
+	<-started
+	wedge.Add(1)
+	if !pool.TrySubmit(func() { wedge.Done() }) {
+		t.Fatal("queue-filling task refused")
+	}
+
+	v := &Verifier{Workers: 4, Pool: pool}
+	n, err := v.VerifyAll(root, root, resolver)
+	if err != nil || n != 8 {
+		t.Fatalf("saturated pool VerifyAll = %d, %v", n, err)
+	}
+	close(block)
+	wedge.Wait()
+}
+
+// TestVerifyPoolCloseDrains proves the Close contract: tasks admitted
+// before the close run to completion, and submissions after it are
+// refused — so no batch can lose work or hang on a retired pool.
+func TestVerifyPoolCloseDrains(t *testing.T) {
+	pool := NewVerifyPool(1, 8)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !pool.TrySubmit(func() { close(started); <-block }) {
+		t.Fatal("wedge task refused")
+	}
+	<-started
+
+	var ran atomic.Int32
+	for i := 0; i < 5; i++ {
+		if !pool.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("task %d refused with queue space free", i)
+		}
+	}
+	done := make(chan struct{})
+	go func() { pool.Close(); close(done) }()
+	close(block)
+	<-done
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("%d of 5 admitted tasks ran after Close", got)
+	}
+	if pool.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted work on a closed pool")
+	}
+	pool.Close() // idempotent
+}
+
+// TestConfigureWhileVerifying reconfigures the process-wide verifier while
+// package-level verifications are in flight — the satellite race fix. Run
+// with -race: the old pools are retired concurrently with batches still
+// holding them, which must degrade to inline execution, never to a hang,
+// a lost task, or a data race.
+func TestConfigureWhileVerifying(t *testing.T) {
+	orig := DefaultVerifier()
+	defer func() {
+		old := defaultVerifier.Swap(orig)
+		if old != nil && old.Pool != nil && old.Pool != orig.Pool {
+			old.Pool.Close()
+		}
+	}()
+
+	root, resolver := buildCascade(t, 6)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n, err := VerifyAll(root, root, resolver); err != nil || n != 6 {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		Configure(1+i%4, 16)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("verification failed during reconfiguration: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package dsig
+
+import (
+	"crypto"
+	"crypto/ed25519"
+	"crypto/rsa"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dra4wfms/internal/pki"
+)
+
+// Signature suites. The cascade construction (Algorithm 1 of the paper) is
+// agnostic to the signature primitive: a Signature element records its
+// SignatureMethod Algorithm, the signer's KeyName resolves to key material
+// of the matching type, and everything else — canonicalization, Reference
+// digests, the verified-prefix cache — is shared. A Suite bundles the
+// primitive-specific pieces so cascades can be built and verified under
+// RSA-2048/SHA-256 (the paper's prototype) or Ed25519 interchangeably.
+//
+// Verification never trusts the default suite: each signature's recorded
+// algorithm selects the suite from the fixed registry, and unknown
+// algorithms fail closed, so there is no downgrade path — forging a
+// cascade under a different suite still requires the signer's registered
+// key of that type.
+
+// Suite is one signature algorithm: how to sign SignedInfo bytes, how to
+// verify them, which algorithm identifier the wire format records, and
+// which half of a principal's key material it consumes.
+type Suite interface {
+	// Alg returns the SignatureMethod Algorithm identifier.
+	Alg() string
+	// KeyType names the key material the suite needs (pki.KeyRSA, …).
+	KeyType() string
+	// Sign signs msg (canonical SignedInfo bytes) with key.
+	Sign(key *pki.KeyPair, msg []byte) ([]byte, error)
+	// Verify checks sig over msg under pub, which must be of KeyType.
+	Verify(pub crypto.PublicKey, msg, sig []byte) error
+}
+
+// SignatureAlgEd25519 is the SignatureMethod identifier of the Ed25519
+// suite (SignatureAlg is the RSA default).
+const SignatureAlgEd25519 = "ed25519"
+
+// rsaSuite is RSASSA-PKCS1-v1_5 over SHA-256 — the default, matching the
+// paper's Java XML-DSig prototype.
+type rsaSuite struct{}
+
+func (rsaSuite) Alg() string     { return SignatureAlg }
+func (rsaSuite) KeyType() string { return pki.KeyRSA }
+
+func (rsaSuite) Sign(key *pki.KeyPair, msg []byte) ([]byte, error) {
+	return key.Sign(msg)
+}
+
+func (rsaSuite) Verify(pub crypto.PublicKey, msg, sig []byte) error {
+	rsaPub, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("dsig: %s suite given %T key", SignatureAlg, pub)
+	}
+	return pki.Verify(rsaPub, msg, sig)
+}
+
+// edSuite is Ed25519. Signing is ~50x cheaper than RSA-2048, verification
+// comparable; see DESIGN.md "Signature-suite substitution".
+type edSuite struct{}
+
+func (edSuite) Alg() string     { return SignatureAlgEd25519 }
+func (edSuite) KeyType() string { return pki.KeyEd25519 }
+
+func (edSuite) Sign(key *pki.KeyPair, msg []byte) ([]byte, error) {
+	return key.SignEd(msg)
+}
+
+func (edSuite) Verify(pub crypto.PublicKey, msg, sig []byte) error {
+	edPub, ok := pub.(ed25519.PublicKey)
+	if !ok {
+		return fmt.Errorf("dsig: %s suite given %T key", SignatureAlgEd25519, pub)
+	}
+	return pki.VerifyEd(edPub, msg, sig)
+}
+
+// suiteRegistry maps algorithm identifiers to registered suites. It is
+// append-only; verification consults it per signature.
+var (
+	suiteMu sync.RWMutex
+	suites  = map[string]Suite{}
+)
+
+// RegisterSuite adds a suite to the verification registry. Registering a
+// second suite under an existing algorithm identifier is an error: the
+// identifier is part of the signed bytes, so its meaning must never change.
+func RegisterSuite(s Suite) error {
+	suiteMu.Lock()
+	defer suiteMu.Unlock()
+	if _, dup := suites[s.Alg()]; dup {
+		return fmt.Errorf("dsig: suite %q already registered", s.Alg())
+	}
+	suites[s.Alg()] = s
+	return nil
+}
+
+// SuiteFor returns the registered suite for an algorithm identifier.
+func SuiteFor(alg string) (Suite, bool) {
+	suiteMu.RLock()
+	defer suiteMu.RUnlock()
+	s, ok := suites[alg]
+	return s, ok
+}
+
+// Suites returns the registered algorithm identifiers, sorted.
+func Suites() []string {
+	suiteMu.RLock()
+	defer suiteMu.RUnlock()
+	out := make([]string, 0, len(suites))
+	for alg := range suites {
+		out = append(out, alg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// suiteBox wraps a Suite so atomic.Value always stores one concrete type
+// regardless of which suite implementation is selected.
+type suiteBox struct{ s Suite }
+
+// defaultSuite is the suite Sign uses when the caller does not pick one;
+// swapped atomically by ConfigureSuite (daemon -suite flags).
+var defaultSuite atomic.Value // holds suiteBox
+
+func init() {
+	if err := RegisterSuite(rsaSuite{}); err != nil {
+		panic(err)
+	}
+	if err := RegisterSuite(edSuite{}); err != nil {
+		panic(err)
+	}
+	defaultSuite.Store(suiteBox{rsaSuite{}})
+}
+
+// DefaultSuite returns the process-wide signing suite.
+func DefaultSuite() Suite { return defaultSuite.Load().(suiteBox).s }
+
+// ConfigureSuite selects the process-wide signing suite by algorithm
+// identifier. Verification is unaffected: it always honors the algorithm
+// recorded in each signature.
+func ConfigureSuite(alg string) error {
+	s, ok := SuiteFor(alg)
+	if !ok {
+		return fmt.Errorf("dsig: unknown signature suite %q (have %v)", alg, Suites())
+	}
+	defaultSuite.Store(suiteBox{s})
+	return nil
+}

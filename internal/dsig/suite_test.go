@@ -1,0 +1,184 @@
+package dsig
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/xmltree"
+)
+
+// registryFor issues dual-key certificates for the owners into a fresh
+// pki.Registry — the resolver shape production uses, satisfying
+// SuiteKeyResolver so both suites can resolve keys.
+func registryFor(t testing.TB, owners ...string) *pki.Registry {
+	t.Helper()
+	ca, err := pki.NewCA("ca@test", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := pki.NewRegistry(ca)
+	now := time.Now()
+	for _, o := range owners {
+		cert, err := ca.IssueKeys(pki.Identity{ID: o, DisplayName: o}, cache.MustGet(o), now, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(cert, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func TestSignWithEd25519RoundTrip(t *testing.T) {
+	suite, ok := SuiteFor(SignatureAlgEd25519)
+	if !ok {
+		t.Fatal("ed25519 suite not registered")
+	}
+	root := buildDoc()
+	reg := registryFor(t, "alice")
+	sig, err := SignWith(suite, root, []string{"p1", "p2"}, cache.MustGet("alice"), "sig-ed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.AppendChild(sig)
+	if got := sig.Child(signedInfoElem).Child(signatureMethodElem).AttrDefault("Algorithm", ""); got != SignatureAlgEd25519 {
+		t.Fatalf("SignatureMethod = %q, want %q", got, SignatureAlgEd25519)
+	}
+	if err := Verify(root, sig, reg); err != nil {
+		t.Fatalf("ed25519 signature rejected: %v", err)
+	}
+
+	// Tamper detection is suite-independent.
+	root.FindByID("p1").SetText("altered")
+	if err := Verify(root, sig, reg); err == nil {
+		t.Fatal("tampered payload accepted under ed25519 suite")
+	}
+}
+
+// TestMixedSuiteCascade interleaves RSA and Ed25519 signatures in one
+// cascade: verification honors each signature's own recorded algorithm,
+// so Algorithm 1 is suite-agnostic end to end.
+func TestMixedSuiteCascade(t *testing.T) {
+	edS, _ := SuiteFor(SignatureAlgEd25519)
+	rsaS, _ := SuiteFor(SignatureAlg)
+	owners := []string{"u0", "u1", "u2", "u3"}
+	reg := registryFor(t, owners...)
+
+	root := xmltree.NewElement("Doc")
+	prevSig := ""
+	for i, owner := range owners {
+		p := root.Elem("Payload", "result")
+		pid := "p" + owner
+		p.SetAttr("Id", pid)
+		refs := []string{pid}
+		if prevSig != "" {
+			refs = append(refs, prevSig)
+		}
+		suite := rsaS
+		if i%2 == 1 {
+			suite = edS
+		}
+		sigID := "sig" + owner
+		sig, err := SignWith(suite, root, refs, cache.MustGet(owner), sigID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.AppendChild(sig)
+		prevSig = sigID
+	}
+
+	for _, v := range []*Verifier{{Workers: 1, Cache: NewCache(16)}, {Workers: 4}} {
+		n, err := v.VerifyAll(root, root, reg)
+		if err != nil || n != 4 {
+			t.Fatalf("mixed-suite cascade: VerifyAll = %d, %v", n, err)
+		}
+	}
+}
+
+// TestSuiteConfusionRejected re-labels an RSA signature as ed25519: the
+// SignatureMethod is inside the signed bytes, so flipping it invalidates
+// the signature rather than reinterpreting it under another primitive.
+func TestSuiteConfusionRejected(t *testing.T) {
+	root := buildDoc()
+	reg := registryFor(t, "alice")
+	sig, err := Sign(root, []string{"p1"}, cache.MustGet("alice"), "sig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.AppendChild(sig)
+	sig.Child(signedInfoElem).Child(signatureMethodElem).SetAttr("Algorithm", SignatureAlgEd25519)
+	if err := Verify(root, sig, reg); err == nil {
+		t.Fatal("suite-confused signature accepted")
+	}
+}
+
+func TestLegacyResolverCannotServeEd25519(t *testing.T) {
+	edS, _ := SuiteFor(SignatureAlgEd25519)
+	root := buildDoc()
+	sig, err := SignWith(edS, root, []string{"p1"}, cache.MustGet("alice"), "sig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.AppendChild(sig)
+	// mapResolver implements only the legacy RSA PublicKey method.
+	err = Verify(root, sig, resolverFor("alice"))
+	if err == nil || !strings.Contains(err.Error(), "cannot supply ed25519") {
+		t.Fatalf("legacy resolver served an ed25519 signature: %v", err)
+	}
+}
+
+func TestConfigureSuite(t *testing.T) {
+	if DefaultSuite().Alg() != SignatureAlg {
+		t.Fatalf("default suite = %q, want %q", DefaultSuite().Alg(), SignatureAlg)
+	}
+	defer func() {
+		if err := ConfigureSuite(SignatureAlg); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := ConfigureSuite(SignatureAlgEd25519); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultSuite().Alg() != SignatureAlgEd25519 {
+		t.Fatal("ConfigureSuite did not switch the default")
+	}
+	if err := ConfigureSuite("dsa-sha1"); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+
+	// Sign (no explicit suite) must follow the configured default.
+	root := buildDoc()
+	reg := registryFor(t, "bob")
+	sig, err := Sign(root, []string{"p1"}, cache.MustGet("bob"), "sig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.AppendChild(sig)
+	if got := sig.Child(signedInfoElem).Child(signatureMethodElem).AttrDefault("Algorithm", ""); got != SignatureAlgEd25519 {
+		t.Fatalf("Sign used %q, want configured default %q", got, SignatureAlgEd25519)
+	}
+	if err := Verify(root, sig, reg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuitesRegistry(t *testing.T) {
+	algs := Suites()
+	want := map[string]bool{SignatureAlg: false, SignatureAlgEd25519: false}
+	for _, a := range algs {
+		if _, ok := want[a]; ok {
+			want[a] = true
+		}
+	}
+	for a, seen := range want {
+		if !seen {
+			t.Fatalf("suite %q not listed in %v", a, algs)
+		}
+	}
+	if err := RegisterSuite(rsaSuite{}); err == nil {
+		t.Fatal("duplicate suite registration accepted")
+	}
+}

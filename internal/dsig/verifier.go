@@ -26,6 +26,7 @@ package dsig
 import (
 	"container/list"
 	"context"
+	"crypto"
 	"crypto/rsa"
 	"crypto/sha256"
 	"encoding/binary"
@@ -35,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dra4wfms/internal/pki"
 	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/xmltree"
 )
@@ -196,16 +198,20 @@ func (c *Cache) Len() int {
 	return len(c.items)
 }
 
-// Verifier verifies signature batches with a bounded worker pool and an
+// Verifier verifies signature batches through a shared worker pool and an
 // optional verified-prefix cache. The zero value verifies serially with no
-// cache; the package-level default (see Configure) uses all cores and a
-// shared cache.
+// cache; the package-level default (see Configure) feeds the process-wide
+// pool and a shared cache.
 type Verifier struct {
 	// Workers bounds concurrent signature verifications in a batch.
 	// 0 means GOMAXPROCS; 1 forces serial verification.
 	Workers int
 	// Cache is the verified-prefix cache; nil disables it.
 	Cache *Cache
+	// Pool is the shared verify pool batches submit to. nil with
+	// Workers != 1 falls back to a per-batch goroutine fan-out (the
+	// pre-pool behavior, kept for standalone Verifier values).
+	Pool *VerifyPool
 }
 
 // defaultVerifier is what package-level VerifyAll uses; replaced atomically
@@ -213,18 +219,35 @@ type Verifier struct {
 var defaultVerifier atomic.Pointer[Verifier]
 
 func init() {
-	defaultVerifier.Store(&Verifier{Cache: NewCache(DefaultCacheSize)})
+	defaultVerifier.Store(&Verifier{
+		Cache: NewCache(DefaultCacheSize),
+		Pool:  NewVerifyPool(0, 0),
+	})
 }
 
 // DefaultVerifier returns the process-wide verifier used by VerifyAll.
 func DefaultVerifier() *Verifier { return defaultVerifier.Load() }
 
-// Configure replaces the process-wide verifier: workers bounds the pool
-// (0 = GOMAXPROCS, 1 = serial) and cacheSize sizes a fresh verified-prefix
-// cache (0 disables caching). Binaries expose these as -verify-workers and
-// -verify-cache flags.
+// Configure replaces the process-wide verifier: workers sizes the shared
+// verify pool (0 = GOMAXPROCS, 1 = serial, no pool) and cacheSize sizes a
+// fresh verified-prefix cache (0 disables caching). Binaries expose these
+// as -verify-workers and -verify-cache flags.
+//
+// Reconfiguration is safe while verifications are in flight: the new
+// verifier is swapped in atomically, and the previous pool is retired
+// asynchronously — its queued work is drained to completion, and batches
+// still holding it simply fall back to inline execution once it refuses
+// submissions. Concurrent Configure calls each retire exactly the
+// verifier they displaced.
 func Configure(workers, cacheSize int) {
-	defaultVerifier.Store(&Verifier{Workers: workers, Cache: NewCache(cacheSize)})
+	v := &Verifier{Workers: workers, Cache: NewCache(cacheSize)}
+	if workers != 1 {
+		v.Pool = NewVerifyPool(workers, 0)
+	}
+	old := defaultVerifier.Swap(v)
+	if old != nil && old.Pool != nil {
+		go old.Pool.Close()
+	}
 }
 
 // VerifyAll verifies every Signature element found in the subtree rooted at
@@ -293,61 +316,127 @@ func (v *Verifier) VerifyBatchCtx(tctx context.Context, root *xmltree.Node, sigs
 		return len(sigs), -1, nil
 	}
 
-	// Parallel fan-out: workers pull indices from an atomic counter and the
-	// first failure cancels the rest. When several signatures fail in the
-	// same batch, the lowest index wins so error attribution is stable.
+	// Parallel path. Each signature becomes one task; the first failure
+	// cancels the rest, and when several signatures fail in the same batch
+	// the lowest index wins so error attribution is stable.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var (
-		next    atomic.Int64
 		okCount atomic.Int64
 		mu      sync.Mutex
 		wg      sync.WaitGroup
 	)
-	next.Store(-1)
 	failedIdx = -1
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(sigs) {
-					return
-				}
+	record := func(i int, verr error) {
+		if verr == nil {
+			okCount.Add(1)
+			return
+		}
+		mu.Lock()
+		if failedIdx == -1 || i < failedIdx {
+			failedIdx, err = i, verr
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	if v.Pool != nil {
+		// Shared-pool path: offer every signature to the process-wide
+		// pool; when the admission queue is saturated (or the pool was
+		// retired by a concurrent Configure) the batch goroutine lends
+		// itself and runs the task inline, so total parallelism degrades
+		// gracefully instead of queueing without bound.
+		for i := range sigs {
+			if ctx.Err() != nil {
+				break // fail-fast: stop feeding a failed batch
+			}
+			i := i
+			wg.Add(1)
+			task := func() {
+				defer wg.Done()
 				select {
 				case <-ctx.Done():
 					return
 				default:
 				}
-				if verr := verifyWith(ix, sigs[i], resolver, v.Cache); verr != nil {
-					mu.Lock()
-					if failedIdx == -1 || i < failedIdx {
-						failedIdx, err = i, verr
-					}
-					mu.Unlock()
-					cancel()
-					return
-				}
-				okCount.Add(1)
+				record(i, verifyWith(ix, sigs[i], resolver, v.Cache))
 			}
-		}()
+			if !v.Pool.TrySubmit(task) {
+				mPoolInline.Inc()
+				task()
+			}
+		}
+		wg.Wait()
+	} else {
+		// Standalone fan-out: workers pull indices from an atomic counter.
+		var next atomic.Int64
+		next.Store(-1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(sigs) {
+						return
+					}
+					select {
+					case <-ctx.Done():
+						return
+					default:
+					}
+					if verr := verifyWith(ix, sigs[i], resolver, v.Cache); verr != nil {
+						record(i, verr)
+						return
+					}
+					okCount.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	if err != nil {
 		return int(okCount.Load()), failedIdx, err
 	}
 	return len(sigs), -1, nil
 }
 
+// SuiteKeyResolver is the resolver fast path: it returns the parsed public
+// key of the requested type together with a precomputed fingerprint, so
+// the hot loop neither re-parses key material nor re-hashes it per
+// signature. *pki.Registry satisfies it via its per-principal
+// resolved-key cache; resolvers that don't are served through the legacy
+// RSA-only PublicKey method.
+type SuiteKeyResolver interface {
+	SuiteKey(id, keyType string) (crypto.PublicKey, [sha256.Size]byte, error)
+}
+
+// resolveSignerKey resolves signer to key material matching the suite,
+// plus the fingerprint that binds verified-prefix cache entries to the
+// resolved key.
+func resolveSignerKey(resolver KeyResolver, signer string, suite Suite) (crypto.PublicKey, [sha256.Size]byte, error) {
+	if sr, ok := resolver.(SuiteKeyResolver); ok {
+		return sr.SuiteKey(signer, suite.KeyType())
+	}
+	// Legacy resolvers only know RSA keys.
+	if suite.KeyType() != pki.KeyRSA {
+		return nil, [sha256.Size]byte{}, fmt.Errorf("dsig: resolver %T cannot supply %s keys", resolver, suite.KeyType())
+	}
+	pub, err := resolver.PublicKey(signer)
+	if err != nil {
+		return nil, [sha256.Size]byte{}, err
+	}
+	return pub, keyFingerprint(signer, pub), nil
+}
+
 // verifyWith performs the full verification of one signature: structural
 // and algorithm checks, every Reference digest recomputed against the
-// current document through the shared index, and the RSA signature over
+// current document through the shared index, and the suite signature over
 // SignedInfo — the last skipped on a verified-prefix cache hit, since the
 // hit proves the identical signature bytes already verified under the same
 // resolved key.
 func verifyWith(ix *digestIndex, sig *xmltree.Node, resolver KeyResolver, cache *Cache) error {
-	si, err := checkStructure(sig)
+	si, suite, err := checkStructure(sig)
 	if err != nil {
 		return err
 	}
@@ -359,14 +448,14 @@ func verifyWith(ix *digestIndex, sig *xmltree.Node, resolver KeyResolver, cache 
 	if signer == "" {
 		return errMissingKeyName
 	}
-	pub, err := resolver.PublicKey(signer)
+	pub, fp, err := resolveSignerKey(resolver, signer, suite)
 	if err != nil {
 		return fmt.Errorf("dsig: resolving signer %q: %w", signer, err)
 	}
 
 	var key cacheKey
 	if cache != nil {
-		key = cacheKey{sig: sha256.Sum256(sig.Canonical()), key: keyFingerprint(signer, pub)}
+		key = cacheKey{sig: sha256.Sum256(sig.Canonical()), key: fp}
 		if cache.contains(key) {
 			mCacheHits.Inc()
 			return nil
@@ -374,7 +463,7 @@ func verifyWith(ix *digestIndex, sig *xmltree.Node, resolver KeyResolver, cache 
 		mCacheMisses.Inc()
 	}
 
-	if err := checkSignatureValue(si, sig, signer, pub); err != nil {
+	if err := checkSignatureValue(si, sig, signer, pub, suite); err != nil {
 		return err
 	}
 	cache.add(key)

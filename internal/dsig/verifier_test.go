@@ -218,6 +218,7 @@ func BenchmarkVerifyAll(b *testing.B) {
 	root, resolver := buildCascade(b, 32)
 	bench := func(v *Verifier) func(*testing.B) {
 		return func(b *testing.B) {
+			b.ReportAllocs()
 			if n, err := v.VerifyAll(root, root, resolver); err != nil || n != 32 {
 				b.Fatalf("VerifyAll = %d, %v", n, err) // also warms the cache
 			}
@@ -249,4 +250,26 @@ func BenchmarkCanonicalMemo(b *testing.B) {
 			_ = root.Clone().Canonical()
 		}
 	})
+}
+
+// TestWarmVerifyAllocsBounded is the dsig half of the allocation ratchet
+// (BenchmarkVerifyAll reports the numbers; this pins them). A warm serial
+// re-verify hits the prefix cache and canonical memos, so per-signature
+// work is Reference digest checks over memoized bytes plus a cache probe —
+// a small constant number of allocations per signature, not O(bytes).
+func TestWarmVerifyAllocsBounded(t *testing.T) {
+	const sigs = 8
+	root, resolver := buildCascade(t, sigs)
+	v := &Verifier{Workers: 1, Cache: NewCache(64)}
+	if n, err := v.VerifyAll(root, root, resolver); err != nil || n != sigs {
+		t.Fatalf("prime VerifyAll = %d, %v", n, err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := v.VerifyAll(root, root, resolver); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perSig := allocs / sigs; perSig > 20 {
+		t.Fatalf("warm VerifyAll allocates %.1f objects per signature, want <= 20", perSig)
+	}
 }

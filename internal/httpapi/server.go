@@ -256,7 +256,7 @@ func (s *PortalServer) handleStoreInitial(w http.ResponseWriter, r *http.Request
 	}
 	notes, err := s.Portal.StoreInitialCtx(r.Context(), doc)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		http.Error(w, err.Error(), verifyFailureStatus(err))
 		return
 	}
 	writeJSON(w, notes)
@@ -270,7 +270,7 @@ func (s *PortalServer) handleStore(w http.ResponseWriter, r *http.Request, princ
 	}
 	notes, err := s.Portal.StoreCtx(r.Context(), doc)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		http.Error(w, err.Error(), verifyFailureStatus(err))
 		return
 	}
 	writeJSON(w, notes)
@@ -358,12 +358,34 @@ func httpStatusError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	msg := err.Error()
 	switch {
+	case errors.Is(err, pki.ErrUnknownPrincipal):
+		status = http.StatusUnauthorized
+	case errors.Is(err, pki.ErrMalformedKey):
+		status = http.StatusUnprocessableEntity
 	case strings.Contains(msg, "unknown process"):
 		status = http.StatusNotFound
 	case strings.Contains(msg, "unknown principal"):
 		status = http.StatusUnauthorized
 	}
 	http.Error(w, msg, status)
+}
+
+// verifyFailureStatus maps a failed document store/process to an HTTP
+// status. Tampered cascades and replays are conflicts (409), but
+// key-resolution failures are the client's problem, not the server's: a
+// signature by an unregistered or revoked principal is 401, and key
+// material that cannot be parsed is 422. pki classifies the two
+// (ErrUnknownPrincipal vs ErrMalformedKey) precisely so these surface as
+// 4xx instead of a blanket 409 — and never as 500.
+func verifyFailureStatus(err error) int {
+	switch {
+	case errors.Is(err, pki.ErrUnknownPrincipal):
+		return http.StatusUnauthorized
+	case errors.Is(err, pki.ErrMalformedKey):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusConflict
+	}
 }
 
 // --- TFC server ------------------------------------------------------------------
@@ -421,7 +443,7 @@ func (s *TFCServer) handleProcess(w http.ResponseWriter, r *http.Request, princi
 	}
 	out, err := s.Server.ProcessCtx(r.Context(), doc)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		http.Error(w, err.Error(), verifyFailureStatus(err))
 		return
 	}
 	writeJSON(w, ProcessResponse{

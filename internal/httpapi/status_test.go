@@ -1,0 +1,91 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dra4wfms/internal/document"
+	"dra4wfms/internal/pki"
+	"dra4wfms/internal/testenv"
+	"dra4wfms/internal/wfdef"
+)
+
+// wrapResolve reproduces the error chain a key-resolution failure travels:
+// pki classifies it, dsig wraps it per signer, the verifier per signature,
+// the portal per document — all with %w, so errors.Is sees through.
+func wrapResolve(err error) error {
+	return fmt.Errorf("portal: rejecting document (3 signatures verified before failure): %w",
+		fmt.Errorf("signature sig-final-A-0: %w",
+			fmt.Errorf("dsig: resolving signer %q: %w", "x@y", err)))
+}
+
+// Key-resolution failures must surface as precise client errors, never a
+// blanket 409 (and never 500): an unregistered or revoked signer is 401,
+// unparseable registered key material is 422, and only genuine document
+// problems (tampering, replay) remain conflicts.
+func TestVerifyFailureStatusClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"unknown principal", wrapResolve(fmt.Errorf("%w: x@y", pki.ErrUnknownPrincipal)), http.StatusUnauthorized},
+		{"malformed key", wrapResolve(fmt.Errorf("%w: bad ed25519 point", pki.ErrMalformedKey)), http.StatusUnprocessableEntity},
+		{"tampered cascade", fmt.Errorf("signature sig3: reference #p3: digest mismatch"), http.StatusConflict},
+		{"replay", fmt.Errorf("portal: process already stored"), http.StatusConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := verifyFailureStatus(tc.err); got != tc.want {
+				t.Fatalf("verifyFailureStatus(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHTTPStatusErrorClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"unknown principal", wrapResolve(fmt.Errorf("%w: x@y", pki.ErrUnknownPrincipal)), http.StatusUnauthorized},
+		{"malformed key", wrapResolve(fmt.Errorf("%w: truncated modulus", pki.ErrMalformedKey)), http.StatusUnprocessableEntity},
+		{"unknown process", fmt.Errorf("portal: unknown process: p-404"), http.StatusNotFound},
+		{"unclassified", fmt.Errorf("pool: region server down"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			httpStatusError(rec, tc.err)
+			if rec.Code != tc.want {
+				t.Fatalf("httpStatusError(%v) wrote %d, want %d", tc.err, rec.Code, tc.want)
+			}
+		})
+	}
+}
+
+// End to end: a document whose designer certificate has been revoked is a
+// 401 over the wire — the store fails during signature verification with
+// pki.ErrUnknownPrincipal, and that classification survives every wrap up
+// to the HTTP layer.
+func TestRevokedSignerIs401OverHTTP(t *testing.T) {
+	w := newWorld(t)
+	doc, err := document.New(wfdef.Fig9A(), w.env.KeyOf("designer@acme"), testenv.ProcessID(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.env.Registry.Revoke("designer@acme")
+
+	cli := w.clientFor(t, wfdef.Fig9Participants["A"])
+	_, err = cli.StoreInitial(doc)
+	if err == nil {
+		t.Fatal("initial document with revoked designer stored")
+	}
+	if !strings.Contains(err.Error(), "401") {
+		t.Fatalf("revoked signer surfaced as %v, want HTTP 401", err)
+	}
+}

@@ -39,3 +39,36 @@ func good(digest []byte, sigValue, signer string, payload, copyOf []byte) bool {
 func constantTimeEqual(a, b []byte) bool {
 	return subtle.ConstantTimeCompare(a, b) == 1
 }
+
+// macSuite is a toy dsig.Suite-shaped implementation; suite Verify
+// methods are exactly where variable-time signature comparisons creep in.
+type macSuite struct{}
+
+func (macSuite) Alg() string { return "toy-mac" }
+
+func (macSuite) Sign(key any, msg []byte) ([]byte, error) { return msg, nil }
+
+func (macSuite) Verify(pub any, msg, presentedSig []byte) error {
+	recomputedSig := append([]byte(nil), msg...)
+	if !bytes.Equal(recomputedSig, presentedSig) { // want "bytes.Equal on recomputedSig"
+		return errBadSig
+	}
+	return nil
+}
+
+// okSuite is the remediation: the same check through subtle.
+type okSuite struct{ macSuite }
+
+func (okSuite) Verify(pub any, msg, presentedSig []byte) error {
+	recomputedSig := append([]byte(nil), msg...)
+	if !constantTimeEqual(recomputedSig, presentedSig) {
+		return errBadSig
+	}
+	return nil
+}
+
+var errBadSig = errorString("bad signature")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

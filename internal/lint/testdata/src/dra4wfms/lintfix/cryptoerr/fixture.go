@@ -46,3 +46,22 @@ func checked(msg, sig []byte) error {
 func signerName(sig []byte) string {
 	return dsig.SignerOf(sig)
 }
+
+// suiteBad exercises the pluggable-suite surface: Sign/Verify reached
+// through the dsig.Suite interface are the same trust boundary as the
+// package-level functions, so their errors are equally unignorable.
+func suiteBad(s dsig.Suite, pub any, msg, sig []byte) {
+	s.Verify(pub, msg, sig)    // want "error returned by (dsig.Suite).Verify is unchecked"
+	out, _ := s.Sign(pub, msg) // want "error returned by (dsig.Suite).Sign is assigned to _"
+	_ = out
+	_, _ = dsig.SignWith(s, msg) // want "error returned by dsig.SignWith is assigned to _"
+	go s.Verify(pub, msg, sig)   // want "error returned by (dsig.Suite).Verify is unchecked"
+}
+
+// suiteChecked is the clean path: errors observed, algorithm string free.
+func suiteChecked(s dsig.Suite, pub any, msg, sig []byte) (string, error) {
+	if err := s.Verify(pub, msg, sig); err != nil {
+		return "", err
+	}
+	return s.Alg(), nil
+}

@@ -1,6 +1,7 @@
 package pki
 
 import (
+	"crypto/ed25519"
 	"crypto/rsa"
 	"crypto/x509"
 	"encoding/json"
@@ -18,8 +19,9 @@ import (
 // pemType is the PEM block type for private keys.
 const pemType = "PRIVATE KEY"
 
-// EncodePrivateKeyPEM serializes a key pair to PKCS#8 PEM. The owner ID
-// travels in a PEM header.
+// EncodePrivateKeyPEM serializes a key pair to PKCS#8 PEM: one block for
+// the RSA key and, when present, a second for the Ed25519 key. The owner
+// ID travels in a PEM header on each block.
 func EncodePrivateKeyPEM(kp *KeyPair) ([]byte, error) {
 	der, err := x509.MarshalPKCS8PrivateKey(kp.Private)
 	if err != nil {
@@ -30,28 +32,60 @@ func EncodePrivateKeyPEM(kp *KeyPair) ([]byte, error) {
 		Headers: map[string]string{"Owner": kp.Owner},
 		Bytes:   der,
 	}
-	return pem.EncodeToMemory(block), nil
+	out := pem.EncodeToMemory(block)
+	if kp.Ed != nil {
+		edDER, err := x509.MarshalPKCS8PrivateKey(kp.Ed)
+		if err != nil {
+			return nil, fmt.Errorf("pki: encoding ed25519 private key: %w", err)
+		}
+		out = append(out, pem.EncodeToMemory(&pem.Block{
+			Type:    pemType,
+			Headers: map[string]string{"Owner": kp.Owner},
+			Bytes:   edDER,
+		})...)
+	}
+	return out, nil
 }
 
-// DecodePrivateKeyPEM reverses EncodePrivateKeyPEM.
+// DecodePrivateKeyPEM reverses EncodePrivateKeyPEM. Legacy single-block
+// RSA files load with a nil Ed25519 half.
 func DecodePrivateKeyPEM(data []byte) (*KeyPair, error) {
-	block, _ := pem.Decode(data)
-	if block == nil || block.Type != pemType {
+	kp := &KeyPair{}
+	for {
+		block, rest := pem.Decode(data)
+		if block == nil {
+			break
+		}
+		data = rest
+		if block.Type != pemType {
+			continue
+		}
+		key, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+		if err != nil {
+			return nil, fmt.Errorf("pki: parsing private key: %w", err)
+		}
+		owner := block.Headers["Owner"]
+		if owner == "" {
+			return nil, errors.New("pki: private-key PEM lacks an Owner header")
+		}
+		if kp.Owner == "" {
+			kp.Owner = owner
+		} else if kp.Owner != owner {
+			return nil, fmt.Errorf("pki: private-key PEM mixes owners %q and %q", kp.Owner, owner)
+		}
+		switch k := key.(type) {
+		case *rsa.PrivateKey:
+			kp.Private = k
+		case ed25519.PrivateKey:
+			kp.Ed = k
+		default:
+			return nil, fmt.Errorf("pki: unsupported private key type %T", key)
+		}
+	}
+	if kp.Private == nil {
 		return nil, errors.New("pki: no private-key PEM block")
 	}
-	key, err := x509.ParsePKCS8PrivateKey(block.Bytes)
-	if err != nil {
-		return nil, fmt.Errorf("pki: parsing private key: %w", err)
-	}
-	rsaKey, ok := key.(*rsa.PrivateKey)
-	if !ok {
-		return nil, errors.New("pki: not an RSA private key")
-	}
-	owner := block.Headers["Owner"]
-	if owner == "" {
-		return nil, errors.New("pki: private-key PEM lacks an Owner header")
-	}
-	return &KeyPair{Owner: owner, Private: rsaKey}, nil
+	return kp, nil
 }
 
 // TrustBundle is the portable trust configuration of a deployment: who the

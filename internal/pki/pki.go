@@ -14,6 +14,7 @@ package pki
 
 import (
 	"crypto"
+	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
@@ -32,16 +33,31 @@ import (
 // this size class.
 const DefaultKeyBits = 2048
 
-// KeyPair couples a participant's RSA private key with its identifier.
+// Key type names used by signature suites and certificate resolution.
+const (
+	// KeyRSA selects the RSA half of a principal's key material.
+	KeyRSA = "rsa"
+	// KeyEd25519 selects the Ed25519 half of a principal's key material.
+	KeyEd25519 = "ed25519"
+)
+
+// KeyPair couples a participant's private keys with its identifier. Every
+// principal holds an RSA key (document encryption is RSA-OAEP, and the
+// default signature suite is RSA/SHA-256) plus an Ed25519 key so cascades
+// can be signed under either registered suite. Ed25519 generation costs
+// microseconds next to RSA's seconds, so pairs always carry both.
 type KeyPair struct {
 	// Owner is the participant identifier this key belongs to.
 	Owner string
 	// Private is the RSA private key; its Public() half is published.
 	Private *rsa.PrivateKey
+	// Ed is the Ed25519 private key; nil for key pairs loaded from
+	// RSA-only PEM files written before Ed25519 support existed.
+	Ed ed25519.PrivateKey
 }
 
-// GenerateKeyPair creates a fresh RSA key pair of the given size for owner.
-// bits <= 0 selects DefaultKeyBits.
+// GenerateKeyPair creates a fresh key pair (RSA of the given size plus an
+// Ed25519 key) for owner. bits <= 0 selects DefaultKeyBits.
 func GenerateKeyPair(owner string, bits int) (*KeyPair, error) {
 	if bits <= 0 {
 		bits = DefaultKeyBits
@@ -50,11 +66,24 @@ func GenerateKeyPair(owner string, bits int) (*KeyPair, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pki: generating key for %s: %w", owner, err)
 	}
-	return &KeyPair{Owner: owner, Private: priv}, nil
+	_, ed, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generating ed25519 key for %s: %w", owner, err)
+	}
+	return &KeyPair{Owner: owner, Private: priv, Ed: ed}, nil
 }
 
 // Public returns the public half of the key pair.
 func (k *KeyPair) Public() *rsa.PublicKey { return &k.Private.PublicKey }
+
+// EdPublic returns the Ed25519 public key, or nil when the pair carries no
+// Ed25519 half (legacy PEM files).
+func (k *KeyPair) EdPublic() ed25519.PublicKey {
+	if k.Ed == nil {
+		return nil
+	}
+	return k.Ed.Public().(ed25519.PublicKey)
+}
 
 // Sign produces an RSASSA-PKCS1-v1_5 signature over the SHA-256 digest of
 // msg. It is the primitive beneath the XML signatures in package dsig.
@@ -67,11 +96,28 @@ func (k *KeyPair) Sign(msg []byte) ([]byte, error) {
 	return sig, nil
 }
 
+// SignEd produces an Ed25519 signature over msg. Unlike RSA signing there
+// is no separate digest step: Ed25519 hashes internally.
+func (k *KeyPair) SignEd(msg []byte) ([]byte, error) {
+	if k.Ed == nil {
+		return nil, fmt.Errorf("pki: no ed25519 key for %s", k.Owner)
+	}
+	return ed25519.Sign(k.Ed, msg), nil
+}
+
 // Verify checks an RSASSA-PKCS1-v1_5/SHA-256 signature over msg against pub.
 func Verify(pub *rsa.PublicKey, msg, sig []byte) error {
 	digest := sha256.Sum256(msg)
 	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], sig); err != nil {
 		return fmt.Errorf("pki: signature verification failed: %w", err)
+	}
+	return nil
+}
+
+// VerifyEd checks an Ed25519 signature over msg against pub.
+func VerifyEd(pub ed25519.PublicKey, msg, sig []byte) error {
+	if !ed25519.Verify(pub, msg, sig) {
+		return errors.New("pki: ed25519 signature verification failed")
 	}
 	return nil
 }
@@ -86,19 +132,54 @@ func EncodePublicKey(pub *rsa.PublicKey) (string, error) {
 	return base64.StdEncoding.EncodeToString(der), nil
 }
 
-// DecodePublicKey reverses EncodePublicKey.
+// ErrMalformedKey is returned when registered key material cannot be
+// decoded or has the wrong type. Callers use it to distinguish a client
+// addressing an unknown principal (ErrUnknownPrincipal) from corrupt or
+// mismatched key material in the trust fabric — both are request-level
+// failures, not server faults.
+var ErrMalformedKey = errors.New("pki: malformed public key")
+
+// DecodePublicKey reverses EncodePublicKey. Decoding failures wrap
+// ErrMalformedKey.
 func DecodePublicKey(s string) (*rsa.PublicKey, error) {
 	der, err := base64.StdEncoding.DecodeString(s)
 	if err != nil {
-		return nil, fmt.Errorf("pki: decoding public key: %w", err)
+		return nil, fmt.Errorf("%w: decoding: %v", ErrMalformedKey, err)
 	}
 	k, err := x509.ParsePKIXPublicKey(der)
 	if err != nil {
-		return nil, fmt.Errorf("pki: parsing public key: %w", err)
+		return nil, fmt.Errorf("%w: parsing: %v", ErrMalformedKey, err)
 	}
 	pub, ok := k.(*rsa.PublicKey)
 	if !ok {
-		return nil, errors.New("pki: not an RSA public key")
+		return nil, fmt.Errorf("%w: not an RSA public key", ErrMalformedKey)
+	}
+	return pub, nil
+}
+
+// EncodeEdPublicKey serializes an Ed25519 public key to base64 PKIX form.
+func EncodeEdPublicKey(pub ed25519.PublicKey) (string, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return "", fmt.Errorf("pki: encoding ed25519 public key: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(der), nil
+}
+
+// DecodeEdPublicKey reverses EncodeEdPublicKey. Decoding failures wrap
+// ErrMalformedKey.
+func DecodeEdPublicKey(s string) (ed25519.PublicKey, error) {
+	der, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: decoding: %v", ErrMalformedKey, err)
+	}
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("%w: parsing: %v", ErrMalformedKey, err)
+	}
+	pub, ok := k.(ed25519.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: not an ed25519 public key", ErrMalformedKey)
 	}
 	return pub, nil
 }
@@ -133,31 +214,38 @@ func (id *Identity) HasRole(role string) bool {
 // tbsCertificate.
 type Certificate struct {
 	Subject   Identity
-	PublicKey string // base64 PKIX
-	Issuer    string // CA identifier
-	NotBefore time.Time
-	NotAfter  time.Time
-	Serial    uint64
-	Signature []byte
+	PublicKey string // base64 PKIX (RSA)
+	// EdPublicKey is the subject's base64 PKIX Ed25519 key, empty for
+	// RSA-only certificates issued before Ed25519 support. omitempty keeps
+	// the signed JSON of legacy certificates byte-identical, so bundles
+	// written by older deployments still verify.
+	EdPublicKey string `json:",omitempty"`
+	Issuer      string // CA identifier
+	NotBefore   time.Time
+	NotAfter    time.Time
+	Serial      uint64
+	Signature   []byte
 }
 
 type tbsCertificate struct {
-	Subject   Identity
-	PublicKey string
-	Issuer    string
-	NotBefore time.Time
-	NotAfter  time.Time
-	Serial    uint64
+	Subject     Identity
+	PublicKey   string
+	EdPublicKey string `json:",omitempty"`
+	Issuer      string
+	NotBefore   time.Time
+	NotAfter    time.Time
+	Serial      uint64
 }
 
 func (c *Certificate) tbsBytes() ([]byte, error) {
 	tbs := tbsCertificate{
-		Subject:   c.Subject,
-		PublicKey: c.PublicKey,
-		Issuer:    c.Issuer,
-		NotBefore: c.NotBefore.UTC(),
-		NotAfter:  c.NotAfter.UTC(),
-		Serial:    c.Serial,
+		Subject:     c.Subject,
+		PublicKey:   c.PublicKey,
+		EdPublicKey: c.EdPublicKey,
+		Issuer:      c.Issuer,
+		NotBefore:   c.NotBefore.UTC(),
+		NotAfter:    c.NotAfter.UTC(),
+		Serial:      c.Serial,
 	}
 	// Roles order must not affect the signature.
 	sort.Strings(tbs.Subject.Roles)
@@ -171,6 +259,15 @@ func (c *Certificate) tbsBytes() ([]byte, error) {
 // RSAPublicKey decodes the certificate's embedded public key.
 func (c *Certificate) RSAPublicKey() (*rsa.PublicKey, error) {
 	return DecodePublicKey(c.PublicKey)
+}
+
+// Ed25519PublicKey decodes the certificate's embedded Ed25519 key, or nil
+// when the certificate is RSA-only.
+func (c *Certificate) Ed25519PublicKey() (ed25519.PublicKey, error) {
+	if c.EdPublicKey == "" {
+		return nil, nil
+	}
+	return DecodeEdPublicKey(c.EdPublicKey)
 }
 
 // ValidAt reports whether t falls inside the certificate validity window.
@@ -199,24 +296,42 @@ func NewCA(id string, bits int) (*CA, error) {
 	return &CA{Identity: Identity{ID: id, DisplayName: id}, Keys: kp}, nil
 }
 
-// Issue signs a certificate for subject's public key valid for the given
-// duration starting at now.
+// Issue signs an RSA-only certificate for subject's public key valid for
+// the given duration starting at now.
 func (ca *CA) Issue(subject Identity, pub *rsa.PublicKey, now time.Time, validity time.Duration) (*Certificate, error) {
+	return ca.issue(subject, pub, nil, now, validity)
+}
+
+// IssueKeys signs a certificate covering all public halves of kp — RSA
+// always, Ed25519 when the pair carries one — so the subject can sign
+// under any registered signature suite.
+func (ca *CA) IssueKeys(subject Identity, kp *KeyPair, now time.Time, validity time.Duration) (*Certificate, error) {
+	return ca.issue(subject, kp.Public(), kp.EdPublic(), now, validity)
+}
+
+func (ca *CA) issue(subject Identity, pub *rsa.PublicKey, edPub ed25519.PublicKey, now time.Time, validity time.Duration) (*Certificate, error) {
 	enc, err := EncodePublicKey(pub)
 	if err != nil {
 		return nil, err
+	}
+	var edEnc string
+	if edPub != nil {
+		if edEnc, err = EncodeEdPublicKey(edPub); err != nil {
+			return nil, err
+		}
 	}
 	ca.mu.Lock()
 	ca.serial++
 	serial := ca.serial
 	ca.mu.Unlock()
 	cert := &Certificate{
-		Subject:   subject,
-		PublicKey: enc,
-		Issuer:    ca.Identity.ID,
-		NotBefore: now,
-		NotAfter:  now.Add(validity),
-		Serial:    serial,
+		Subject:     subject,
+		PublicKey:   enc,
+		EdPublicKey: edEnc,
+		Issuer:      ca.Identity.ID,
+		NotBefore:   now,
+		NotAfter:    now.Add(validity),
+		Serial:      serial,
 	}
 	tbs, err := cert.tbsBytes()
 	if err != nil {
@@ -264,15 +379,19 @@ type Registry struct {
 	issuers map[string]*rsa.PublicKey
 	entries map[string]*Certificate
 	revoked map[string]bool
+	// resolved caches parsed key material per principal (see resolved.go);
+	// entries are dropped whenever the underlying certificate changes.
+	resolved map[string]*ResolvedKey
 }
 
 // NewRegistry creates an empty registry trusting the given CAs.
 func NewRegistry(cas ...*CA) *Registry {
 	r := &Registry{
-		cas:     make(map[string]*CA),
-		issuers: make(map[string]*rsa.PublicKey),
-		entries: make(map[string]*Certificate),
-		revoked: make(map[string]bool),
+		cas:      make(map[string]*CA),
+		issuers:  make(map[string]*rsa.PublicKey),
+		entries:  make(map[string]*Certificate),
+		revoked:  make(map[string]bool),
+		resolved: make(map[string]*ResolvedKey),
 	}
 	for _, ca := range cas {
 		r.cas[ca.Identity.ID] = ca
@@ -319,6 +438,9 @@ func (r *Registry) Register(cert *Certificate, at time.Time) error {
 	}
 	r.entries[cert.Subject.ID] = cert
 	delete(r.revoked, cert.Subject.ID)
+	// Re-registration replaces key material: drop any resolved-key cache
+	// entry so stale parsed keys cannot outlive the certificate swap.
+	delete(r.resolved, cert.Subject.ID)
 	return nil
 }
 
@@ -328,6 +450,7 @@ func (r *Registry) Revoke(id string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.revoked[id] = true
+	delete(r.resolved, id)
 }
 
 // Certificate returns the registered certificate for id.
@@ -344,13 +467,15 @@ func (r *Registry) Certificate(id string) (*Certificate, error) {
 	return cert, nil
 }
 
-// PublicKey resolves a participant ID to its verified RSA public key.
+// PublicKey resolves a participant ID to its verified RSA public key. The
+// parsed key comes from the per-principal resolved cache, so repeated
+// resolution on the verify hot path costs a map lookup, not a PKIX parse.
 func (r *Registry) PublicKey(id string) (*rsa.PublicKey, error) {
-	cert, err := r.Certificate(id)
+	rk, err := r.ResolvedKey(id)
 	if err != nil {
 		return nil, err
 	}
-	return cert.RSAPublicKey()
+	return rk.RSA, nil
 }
 
 // Identity returns the registered identity metadata for id.

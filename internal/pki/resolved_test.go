@@ -1,0 +1,189 @@
+package pki
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// registryWith issues and registers dual-key certificates for the given
+// owners against a fresh CA, returning the registry and CA.
+func registryWith(t *testing.T, owners ...string) (*Registry, *CA) {
+	t.Helper()
+	ca, err := NewCA("ca@test", testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(ca)
+	now := time.Now()
+	for _, o := range owners {
+		cert, err := ca.IssueKeys(Identity{ID: o, DisplayName: o}, cache.MustGet(o), now, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(cert, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg, ca
+}
+
+func TestResolvedKeyMemoized(t *testing.T) {
+	reg, _ := registryWith(t, "alice")
+	rk1, err := reg.ResolvedKey("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk2, err := reg.ResolvedKey("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk1 != rk2 {
+		t.Fatal("second resolution did not return the cached ResolvedKey")
+	}
+	if rk1.RSA == nil || rk1.Ed == nil {
+		t.Fatal("resolved material missing a key half")
+	}
+	if rk1.RSAFingerprint == rk1.EdFingerprint {
+		t.Fatal("RSA and Ed25519 fingerprints collide")
+	}
+	if string(rk1.OAEPLabel) != "alice" {
+		t.Fatalf("OAEP label = %q, want principal ID", rk1.OAEPLabel)
+	}
+}
+
+func TestResolvedKeyInvalidatedOnReRegister(t *testing.T) {
+	reg, ca := registryWith(t, "alice")
+	rk1, err := reg.ResolvedKey("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotate alice's key: re-register with fresh material.
+	fresh, err := GenerateKeyPair("alice", testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	cert, err := ca.IssueKeys(Identity{ID: "alice"}, fresh, now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(cert, now); err != nil {
+		t.Fatal(err)
+	}
+	rk2, err := reg.ResolvedKey("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk1 == rk2 {
+		t.Fatal("re-registration did not invalidate the resolved cache")
+	}
+	if rk2.RSA.N.Cmp(fresh.Public().N) != 0 {
+		t.Fatal("resolved key is not the rotated key")
+	}
+	if rk1.RSAFingerprint == rk2.RSAFingerprint {
+		t.Fatal("key rotation did not change the fingerprint")
+	}
+}
+
+func TestResolvedKeyInvalidatedOnRevoke(t *testing.T) {
+	reg, _ := registryWith(t, "alice")
+	if _, err := reg.ResolvedKey("alice"); err != nil {
+		t.Fatal(err)
+	}
+	reg.Revoke("alice")
+	if _, err := reg.ResolvedKey("alice"); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Fatalf("revoked principal resolved: err=%v", err)
+	}
+}
+
+// TestSuiteKeyClassification is the table-driven classification contract:
+// lookups of unregistered principals are ErrUnknownPrincipal, while broken
+// or absent key material is ErrMalformedKey. HTTP front ends lean on this
+// split to return 4xx instead of 500.
+func TestSuiteKeyClassification(t *testing.T) {
+	reg, ca := registryWith(t, "alice")
+
+	// An RSA-only certificate (legacy Issue path): no Ed25519 half.
+	now := time.Now()
+	legacy, err := ca.Issue(Identity{ID: "legacy"}, cache.MustGet("legacy").Public(), now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(legacy, now); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		id      string
+		keyType string
+		wantErr error
+	}{
+		{"known principal rsa", "alice", KeyRSA, nil},
+		{"known principal ed25519", "alice", KeyEd25519, nil},
+		{"unknown principal", "mallory", KeyRSA, ErrUnknownPrincipal},
+		{"unknown principal ed", "mallory", KeyEd25519, ErrUnknownPrincipal},
+		{"legacy cert lacks ed key", "legacy", KeyEd25519, ErrMalformedKey},
+		{"unknown key type", "alice", "dsa", ErrMalformedKey},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pub, fp, err := reg.SuiteKey(tc.id, tc.keyType)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("SuiteKey(%s,%s) = %v", tc.id, tc.keyType, err)
+				}
+				if pub == nil {
+					t.Fatal("nil public key without error")
+				}
+				var zero [32]byte
+				if fp == zero {
+					t.Fatal("zero fingerprint without error")
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("SuiteKey(%s,%s) err = %v, want %v", tc.id, tc.keyType, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodePublicKeyClassifiesMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not base64", "!!!"},
+		{"not PKIX", "aGVsbG8="},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodePublicKey(tc.in); !errors.Is(err, ErrMalformedKey) {
+				t.Fatalf("DecodePublicKey(%q) err = %v, want ErrMalformedKey", tc.in, err)
+			}
+			if _, err := DecodeEdPublicKey(tc.in); !errors.Is(err, ErrMalformedKey) {
+				t.Fatalf("DecodeEdPublicKey(%q) err = %v, want ErrMalformedKey", tc.in, err)
+			}
+		})
+	}
+}
+
+func TestEdSignVerify(t *testing.T) {
+	kp := cache.MustGet("alice")
+	msg := []byte("signed-info canonical bytes")
+	sig, err := kp.SignEd(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEd(kp.EdPublic(), msg, sig); err != nil {
+		t.Fatalf("valid ed25519 signature rejected: %v", err)
+	}
+	if err := VerifyEd(kp.EdPublic(), append(msg, 'x'), sig); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	if err := VerifyEd(cache.MustGet("bob").EdPublic(), msg, sig); err == nil {
+		t.Fatal("signature accepted under wrong key")
+	}
+}

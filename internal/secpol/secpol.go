@@ -35,11 +35,11 @@ func Recipients(def *wfdef.Definition, reg *pki.Registry, variable string) ([]xm
 	}
 	var out []xmlenc.Recipient
 	for _, id := range readers {
-		pub, err := reg.PublicKey(id)
+		rk, err := reg.ResolvedKey(id)
 		if err != nil {
 			return nil, fmt.Errorf("secpol: reader %q of variable %q: %w", id, variable, err)
 		}
-		out = append(out, xmlenc.Recipient{ID: id, Key: pub})
+		out = append(out, xmlenc.Recipient{ID: id, Key: rk.RSA, Label: rk.OAEPLabel})
 	}
 	return out, nil
 }

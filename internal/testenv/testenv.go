@@ -82,8 +82,8 @@ func (e *Env) Register(ids ...string) error {
 				break
 			}
 		}
-		cert, err := e.CA.Issue(pki.Identity{ID: id, DisplayName: id, Org: org},
-			e.KeyOf(id).Public(), e.Now, 24*365*time.Hour)
+		cert, err := e.CA.IssueKeys(pki.Identity{ID: id, DisplayName: id, Org: org},
+			e.KeyOf(id), e.Now, 24*365*time.Hour)
 		if err != nil {
 			return fmt.Errorf("testenv: issuing for %s: %w", id, err)
 		}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dra4wfms/internal/document"
+	"dra4wfms/internal/dsig"
 	"dra4wfms/internal/pki"
 	"dra4wfms/internal/secpol"
 	"dra4wfms/internal/telemetry"
@@ -81,6 +82,9 @@ type Server struct {
 	Keys *pki.KeyPair
 	// Registry resolves participant keys.
 	Registry *pki.Registry
+	// Suite selects the signature suite for final CERs the server signs;
+	// nil uses the process-wide default (dsig.DefaultSuite).
+	Suite dsig.Suite
 	// Clock supplies timestamps; it defaults to time.Now and is injectable
 	// for deterministic tests.
 	Clock func() time.Time
@@ -257,6 +261,7 @@ func (s *Server) ProcessCtx(ctx context.Context, doc *document.Document) (*Outco
 		Next:           next,
 		PredSigIDs:     []string{pending.SignatureID()},
 		Signer:         s.Keys,
+		Suite:          s.Suite,
 	})
 	if err != nil {
 		return nil, err

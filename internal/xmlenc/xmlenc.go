@@ -72,6 +72,18 @@ type Recipient struct {
 	ID string
 	// Key is the principal's RSA public key used to wrap the CEK.
 	Key *rsa.PublicKey
+	// Label optionally carries the precomputed OAEP label bytes (the
+	// recipient ID); nil derives them from ID. pki.ResolvedKey supplies
+	// this so hot-path encryption avoids the per-wrap conversion.
+	Label []byte
+}
+
+// label returns the OAEP label bytes for the recipient.
+func (r Recipient) label() []byte {
+	if r.Label != nil {
+		return r.Label
+	}
+	return []byte(r.ID)
 }
 
 // ErrNotRecipient is returned by Decrypt when the supplied key pair's owner
@@ -133,7 +145,7 @@ func Encrypt(el *xmltree.Node, id string, recipients ...Recipient) (*xmltree.Nod
 		if r.Key == nil {
 			return nil, fmt.Errorf("xmlenc: recipient %q has no public key", r.ID)
 		}
-		wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, r.Key, cek, []byte(r.ID))
+		wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, r.Key, cek, r.label())
 		if err != nil {
 			return nil, fmt.Errorf("xmlenc: wrapping CEK for %s: %w", r.ID, err)
 		}

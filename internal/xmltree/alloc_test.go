@@ -1,0 +1,127 @@
+package xmltree
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Allocation regression tests for the canonicalization hot path. The
+// verify loop canonicalizes subtrees constantly; these tests pin the three
+// properties the pooled-buffer pass bought: memo hits allocate nothing,
+// rebuilds allocate O(1) (memo copy) rather than O(bytes) of buffer
+// doubling, and serialization scratch is actually reused across calls.
+
+func allocTree(entries int) *Node {
+	root := NewElement("Doc")
+	for i := 0; i < entries; i++ {
+		e := root.Elem("Entry", strings.Repeat("x", 64))
+		e.SetAttr("Id", fmt.Sprintf("id-%d", i))
+		e.SetAttr("Kind", "payload")
+	}
+	return root
+}
+
+func TestCanonicalMemoHitZeroAllocs(t *testing.T) {
+	root := allocTree(100)
+	_ = root.Canonical() // prime
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = root.Canonical()
+	})
+	if allocs != 0 {
+		t.Fatalf("memo-hit Canonical allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestCanonicalRebuildAllocsBounded(t *testing.T) {
+	root := allocTree(100)
+	for _, c := range root.Children {
+		_ = c.Canonical() // prime child memos
+	}
+	// Each run invalidates only the root: the rebuild splices 100 child
+	// memos into a pooled scratch buffer sized by the lastLen hint. The
+	// allocations left are the memo struct, its exact-size data copy, and
+	// at worst one scratch(re)allocation when GC flushed the pool — far
+	// from the O(doublings + per-node garbage) of the unpooled path.
+	allocs := testing.AllocsPerRun(100, func() {
+		root.Invalidate()
+		_ = root.Canonical()
+	})
+	if allocs > 8 {
+		t.Fatalf("root-invalidated Canonical allocates %.1f objects/op, want <= 8", allocs)
+	}
+}
+
+// TestScratchBufferReuse proves pooled buffers are actually reused: with
+// the GC paused (so the pool cannot be flushed mid-test), a long
+// mutate-and-serialize loop may only draw a bounded number of fresh
+// buffers, no matter how many serializations run. Run with -race: the
+// concurrent arm exercises pool handoff between goroutines.
+func TestScratchBufferReuse(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	// The race detector makes sync.Pool drop a random ~25% of Puts on
+	// purpose, so under -race reuse is probabilistic: the bound loosens to
+	// "well below one fresh buffer per call" instead of near-zero.
+	serialBound, concurrentBound := int64(4), int64(8)
+	if raceEnabled {
+		serialBound, concurrentBound = 200, 200
+	}
+
+	root := allocTree(40)
+	target := root.Children[0]
+	before := scratchNews()
+	const iters = 400
+	for i := 0; i < iters; i++ {
+		target.SetText(fmt.Sprintf("v%d", i))
+		_ = root.Canonical()
+	}
+	if grew := scratchNews() - before; grew > serialBound {
+		t.Fatalf("serial loop drew %d fresh scratch buffers over %d serializations — pool not reused", grew, iters)
+	}
+
+	// Concurrent serializations on independent trees share the pool.
+	const workers = 8
+	trees := make([]*Node, workers)
+	for i := range trees {
+		trees[i] = allocTree(20)
+	}
+	before = scratchNews()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				trees[w].Children[i%20].SetText(fmt.Sprintf("w%d-%d", w, i))
+				_ = trees[w].Canonical()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// At most one live scratch per concurrent serialization, so the pool
+	// may grow to the worker count but must not scale with iterations.
+	if grew := scratchNews() - before; grew > concurrentBound {
+		t.Fatalf("concurrent loop drew %d fresh scratch buffers for %d workers — per-call growth", grew, workers)
+	}
+}
+
+// TestCanonicalSizeHintSurvivesInvalidation checks the lastLen fast path:
+// after one serialization, a rebuild of a same-sized tree grows its
+// scratch buffer once instead of doubling up to the canonical length.
+func TestCanonicalSizeHintSurvivesInvalidation(t *testing.T) {
+	root := allocTree(200)
+	first := root.Canonical()
+	if root.lastLen.Load() != uint32(len(first)) {
+		t.Fatalf("lastLen = %d, want %d", root.lastLen.Load(), len(first))
+	}
+	root.Invalidate()
+	if root.memo.Load() != nil {
+		t.Fatal("Invalidate left a memo")
+	}
+	if root.lastLen.Load() != uint32(len(first)) {
+		t.Fatal("Invalidate cleared the size hint — it must survive memo invalidation")
+	}
+}

@@ -132,6 +132,7 @@ func BenchmarkCanonical(b *testing.B) {
 		e.SetAttr("Kind", "payload")
 	}
 	b.Run("memo-hit", func(b *testing.B) {
+		b.ReportAllocs()
 		_ = root.Canonical()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -142,6 +143,7 @@ func BenchmarkCanonical(b *testing.B) {
 		for _, c := range root.Children {
 			_ = c.Canonical() // prime child memos
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			root.Invalidate()
@@ -149,6 +151,7 @@ func BenchmarkCanonical(b *testing.B) {
 		}
 	})
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = root.Clone().Canonical()
 		}

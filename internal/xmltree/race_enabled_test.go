@@ -1,0 +1,8 @@
+//go:build race
+
+package xmltree
+
+// raceEnabled loosens pool-reuse bounds: with the race detector on,
+// sync.Pool deliberately drops a random fraction of Puts, so reuse is
+// probabilistic rather than exact.
+const raceEnabled = true

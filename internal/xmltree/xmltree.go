@@ -33,6 +33,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"dra4wfms/internal/telemetry"
@@ -44,7 +45,25 @@ var (
 	mMemoHits          = telemetry.Default().Counter("xmltree_canon_memo_hits_total")
 	mMemoMisses        = telemetry.Default().Counter("xmltree_canon_memo_misses_total")
 	mMemoInvalidations = telemetry.Default().Counter("xmltree_canon_memo_invalidations_total")
+	mScratchNews       = telemetry.Default().Counter("xmltree_canon_scratch_news_total")
 )
+
+// scratchPool recycles the serialization buffers behind Canonical. The
+// memo used to keep each serialization's entire bytes.Buffer backing array
+// alive (and every call that missed the memo allocated a fresh one);
+// with the pool, serialization scratch is reused across calls and the
+// memo holds an exact-size copy. The New counter feeds the allocation
+// regression test: steady-state canonicalization must reuse, not grow.
+var scratchPool = sync.Pool{
+	New: func() any {
+		mScratchNews.Inc()
+		return new(bytes.Buffer)
+	},
+}
+
+// scratchNews reports how many fresh scratch buffers have been allocated
+// process-wide (test hook for pooled-buffer reuse).
+func scratchNews() int64 { return mScratchNews.Value() }
 
 // Kind discriminates the two node kinds in a tree.
 type Kind int
@@ -82,6 +101,10 @@ type Node struct {
 
 	gen  uint64                    // bumped by every method mutation
 	memo atomic.Pointer[canonMemo] // cached canonical bytes + accumulator
+	// lastLen remembers the most recent canonical length. Unlike the memo
+	// it survives invalidation, so a re-serialization after a mutation can
+	// size its scratch buffer in one Grow instead of doubling up to it.
+	lastLen atomic.Uint32
 }
 
 // canonMemo is a cached canonical serialization, valid while the subtree
@@ -480,13 +503,24 @@ func (n *Node) Canonical() []byte {
 		return m.data
 	}
 	mMemoMisses.Inc()
-	var b bytes.Buffer
-	if n.IsText() {
-		escapeText(&b, n.Text)
-	} else {
-		writeCanonicalElem(&b, n)
+	b := scratchPool.Get().(*bytes.Buffer)
+	b.Reset()
+	if hint := n.lastLen.Load(); hint > 0 {
+		b.Grow(int(hint))
 	}
-	data := b.Bytes()
+	if n.IsText() {
+		escapeText(b, n.Text)
+	} else {
+		writeCanonicalElem(b, n)
+	}
+	// Copy out at exact size: the memo must not pin the (possibly much
+	// larger) scratch backing array, and the scratch goes back to the pool.
+	data := make([]byte, b.Len())
+	copy(data, b.Bytes())
+	scratchPool.Put(b)
+	if len(data) <= int(^uint32(0)) {
+		n.lastLen.Store(uint32(len(data)))
+	}
 	n.memo.Store(&canonMemo{acc: acc, data: data})
 	return data
 }
@@ -554,6 +588,19 @@ func sortedAttrs(attrs []Attr) []Attr {
 	if len(attrs) < 2 {
 		return attrs
 	}
+	// Attributes are usually inserted in sorted order already (SetAttr in
+	// builder code tends to follow the canonical order); detect that and
+	// skip the per-serialization copy.
+	sorted := true
+	for i := 1; i < len(attrs); i++ {
+		if attrs[i-1].Name > attrs[i].Name {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return attrs
+	}
 	s := make([]Attr, len(attrs))
 	copy(s, attrs)
 	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
@@ -597,42 +644,58 @@ func writeCanonicalElem(b *bytes.Buffer, n *Node) {
 	b.WriteByte('>')
 }
 
+// escapeText and escapeAttr write clean spans in one WriteString call and
+// only switch per-byte at an actual escape — most text has none, making
+// the common case a single bulk copy instead of len(s) WriteByte calls.
+
 func escapeText(b *bytes.Buffer, s string) {
+	start := 0
 	for i := 0; i < len(s); i++ {
-		switch c := s[i]; c {
+		var repl string
+		switch s[i] {
 		case '&':
-			b.WriteString("&amp;")
+			repl = "&amp;"
 		case '<':
-			b.WriteString("&lt;")
+			repl = "&lt;"
 		case '>':
-			b.WriteString("&gt;")
+			repl = "&gt;"
 		case '\r':
-			b.WriteString("&#xD;")
+			repl = "&#xD;"
 		default:
-			b.WriteByte(c)
+			continue
 		}
+		b.WriteString(s[start:i])
+		b.WriteString(repl)
+		start = i + 1
 	}
+	b.WriteString(s[start:])
 }
 
 func escapeAttr(b *bytes.Buffer, s string) {
+	start := 0
 	for i := 0; i < len(s); i++ {
-		switch c := s[i]; c {
+		var repl string
+		switch s[i] {
 		case '&':
-			b.WriteString("&amp;")
+			repl = "&amp;"
 		case '<':
-			b.WriteString("&lt;")
+			repl = "&lt;"
 		case '"':
-			b.WriteString("&quot;")
+			repl = "&quot;"
 		case '\t':
-			b.WriteString("&#x9;")
+			repl = "&#x9;"
 		case '\n':
-			b.WriteString("&#xA;")
+			repl = "&#xA;"
 		case '\r':
-			b.WriteString("&#xD;")
+			repl = "&#xD;"
 		default:
-			b.WriteByte(c)
+			continue
 		}
+		b.WriteString(s[start:i])
+		b.WriteString(repl)
+		start = i + 1
 	}
+	b.WriteString(s[start:])
 }
 
 // ErrNamespace is returned by Parse when the input declares or uses XML
