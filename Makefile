@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check fmt vet lint lintdefs build test race bench benchsmoke faults crash smoke clustersmoke ratchet
+.PHONY: check fmt vet lint lintdefs build test race bench benchsmoke faults crash smoke clustersmoke chaossmoke ratchet
 
 # check is the CI gate: formatting, static analysis (go vet plus the
 # repo's own dralint rules and the workflow-definition lint over every
 # shipped definition), build, the benchmark smoke run for the
 # verification fast path, the relay reliability gate, the pool
-# crash-recovery gate, the daemon lifecycle smokes (single-node and
-# clustered failover), and the full test suite under the race detector.
-check: fmt vet lint build lintdefs benchsmoke faults crash smoke clustersmoke race
+# crash-recovery gate, the daemon lifecycle smokes (single-node,
+# clustered failover, and chaos partition), and the full test suite
+# under the race detector.
+check: fmt vet lint build lintdefs benchsmoke faults crash smoke clustersmoke chaossmoke race
 
 # crash is the pool durability gate: kill-mid-write recovery (torn and
 # bit-flipped WAL tails), checkpoint fallback, and concurrent
@@ -30,6 +31,14 @@ smoke:
 # converges back to ready-or-degraded, and shutdown stays clean.
 clustersmoke:
 	./scripts/cluster_smoke.sh
+
+# chaossmoke is the partition drill: three drapool nodes in -chaos mode
+# behind a clustered draportal with -max-inflight admission (race
+# builds), the region leader isolated through its /v1/chaos control
+# plane mid-load, and assertions that no acknowledged write is lost and
+# the coordinator auto-rejoins the node after heal_node.
+chaossmoke:
+	./scripts/chaos_smoke.sh
 
 # ratchet compares the two newest BENCH_<n>.json trajectories in the
 # repo root and fails on >10% regressions in the recorded α/β/γ timings

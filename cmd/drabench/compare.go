@@ -79,6 +79,21 @@ func metricsOf(traj *trajectory) []benchMetric {
 		add("poolfailover/max_stall", f.MaxStall)
 		add("poolfailover/mean_write", f.MeanWrite)
 	}
+	for _, r := range traj.Chaos {
+		base := "chaos/" + r.Scenario
+		if r.FailoverLatency > 0 {
+			add(base+"/failover", r.FailoverLatency)
+		}
+		if r.Recovery > 0 {
+			add(base+"/recovery", r.Recovery)
+		}
+		if r.MeanWrite > 0 {
+			add(base+"/mean_write", r.MeanWrite)
+		}
+		if r.MaxStall > 0 {
+			add(base+"/max_stall", r.MaxStall)
+		}
+	}
 	return out
 }
 

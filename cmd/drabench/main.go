@@ -46,6 +46,7 @@ func main() {
 	benchDir := flag.String("bench-dir", ".", "directory holding the BENCH_<n>.json trajectories (-compare)")
 	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression (-compare; 0.10 = 10%)")
 	floor := flag.Duration("floor", 5*time.Millisecond, "ignore regressions whose absolute times are both below this (-compare noise damping)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "PRNG seed for the chaos experiment's fault schedule")
 	flag.Parse()
 	if *faultsOnly {
 		*experiment = "faults"
@@ -305,6 +306,32 @@ func main() {
 		return nil
 	})
 
+	run("chaos", func() error {
+		fmt.Println("Robustness — deterministic chaos scenarios on the clustered pool and the")
+		fmt.Printf("admission gate (seed %d; partition, slow backup, flapping membership, 2x overload)\n", *chaosSeed)
+		rows, err := bench.RunChaos(*chaosSeed, 400)
+		if err != nil {
+			return err
+		}
+		traj.Chaos = rows
+		fmt.Printf("%-18s %8s %6s %12s %12s %12s %12s %8s %8s %8s\n",
+			"scenario", "acked", "lost", "failover", "recovery", "mean", "max", "served", "shed", "goodput")
+		for _, r := range rows {
+			goodput := ""
+			if r.GoodputRatio > 0 {
+				goodput = fmt.Sprintf("%.0f%%", r.GoodputRatio*100)
+			}
+			fmt.Printf("%-18s %8d %6d %12v %12v %12v %12v %8d %8d %8s\n",
+				r.Scenario, r.AckedWrites, r.LostWrites,
+				r.FailoverLatency.Round(time.Microsecond), r.Recovery.Round(time.Millisecond),
+				r.MeanWrite.Round(time.Microsecond), r.MaxStall.Round(time.Microsecond),
+				r.Served, r.Shed, goodput)
+		}
+		fmt.Println("expected shape: zero lost acknowledged writes everywhere; exactly one write")
+		fmt.Println("pays each partition's failover; overload sheds with 429 while goodput holds.")
+		return nil
+	})
+
 	run("faults", func() error {
 		fmt.Println("Reliability — relay retry policy on lossy hops (discrete-event sim of the")
 		fmt.Println("Figure 9A hop chain; duplicates absorbed by receiver-side idempotency keys)")
@@ -376,6 +403,9 @@ type trajectory struct {
 	// Crypto records the signature-suite throughput ablation: per suite,
 	// the seed/cold/warm hop cost on the Figure 9A cascade.
 	Crypto []bench.CryptoRow `json:"crypto,omitempty"`
+	// Chaos records the deterministic fault-injection scenarios: per
+	// scenario, the zero-loss verdict and its failover/recovery costs.
+	Chaos []bench.ChaosRow `json:"chaos,omitempty"`
 }
 
 // writeTrajectory writes traj to BENCH_<n>.json in the current directory,

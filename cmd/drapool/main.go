@@ -28,11 +28,14 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dra4wfms/internal/chaos"
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/pool"
 	"dra4wfms/internal/poolcluster"
@@ -51,6 +54,8 @@ func main() {
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* on the listen address")
 	slowOps := flag.Duration("slowops", 0, "log spans slower than this duration (0 disables)")
+	chaosOn := flag.Bool("chaos", false, "serve the "+chaos.AdminPath+" fault-injection control plane (TEST ONLY: unauthenticated)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "deterministic seed for the chaos fault PRNG (requires -chaos)")
 	flag.Parse()
 
 	if *nodeID == "" {
@@ -98,8 +103,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	handler := http.Handler(srv.Handler())
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *listen, err)
+	}
+	if *chaosOn {
+		// Chaos mode: the node's own traffic passes through the fault
+		// model (crash/slow at the listener, partitions at the handler
+		// gate), and the control plane that drives it is served on
+		// AdminPath — exempt from the gate so drills can heal what they
+		// injected. Test-only: the control plane is unauthenticated.
+		cnet := chaos.NewNetwork(*chaosSeed)
+		mux := http.NewServeMux()
+		mux.Handle(chaos.AdminPath, cnet.Handler())
+		mux.Handle("/", handler)
+		handler = cnet.Gate(*nodeID, mux)
+		ln = cnet.WrapListener(*nodeID, ln)
+		log.Printf("CHAOS MODE: fault injection enabled (seed %d, control plane on %s)", *chaosSeed, chaos.AdminPath)
+	}
+
 	log.Printf("pool node %s serving on %s", *nodeID, *listen)
-	if err := httpapi.Serve(ctx, *listen, srv.Handler(), *grace, func() {
+	if err := httpapi.ServeListener(ctx, ln, handler, *grace, func() {
 		log.Printf("shutdown requested, draining in-flight requests (grace %s)", *grace)
 		probes.StartDraining()
 	}); err != nil {

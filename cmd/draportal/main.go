@@ -32,11 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dra4wfms/internal/chaos"
 	"dra4wfms/internal/dsig"
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/monitor"
@@ -81,6 +84,9 @@ func main() {
 	suite := flag.String("suite", dsig.SignatureAlg, "signature suite for locally produced signatures; verification always honors each signature's recorded algorithm")
 	traceOut := flag.String("trace-out", "", "append finished trace spans to this file as JSONL (empty disables the export; GET /v1/traces always serves the in-memory ring)")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of locally rooted traces to record, 0..1; hops continuing an inbound traceparent honor its sampled flag instead")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: shed requests beyond this many in flight with 429 (0 disables; probes always pass, writes shed before reads)")
+	chaosOn := flag.Bool("chaos", false, "serve the "+chaos.AdminPath+" fault-injection control plane (TEST ONLY: unauthenticated)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "deterministic seed for the chaos fault PRNG (requires -chaos)")
 	flag.Parse()
 
 	dsig.Configure(*verifyWorkers, *verifyCache)
@@ -210,14 +216,53 @@ func main() {
 		log.Fatal("-webhook-wal requires -key")
 	}
 
+	// Admission control: bound the in-flight request count and shed the
+	// excess with 429 before any RSA work is bought. Pressure signals —
+	// verify-pool depth and webhook-relay backlog — shed writes early so
+	// reads and probes stay responsive under overload.
+	if *maxInflight > 0 {
+		cfg := httpapi.AdmissionConfig{
+			MaxInFlight: *maxInflight,
+			VerifyDepth: dsig.PoolDepth,
+		}
+		if srv.Webhooks != nil {
+			cfg.RelayPending = func() int {
+				if r := srv.Webhooks.Relay(); r != nil {
+					return int(r.Stats().Pending)
+				}
+				return 0
+			}
+		}
+		srv.Admission = httpapi.NewAdmission(cfg)
+		log.Printf("admission control: max %d in-flight requests", *maxInflight)
+	}
+
 	// Recovery is complete and all subsystems are wired: advertise ready.
 	probes.SetReady(true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	handler := http.Handler(srv.Handler())
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *listen, err)
+	}
+	if *chaosOn {
+		// Chaos mode: partitions gate the handler, crash/slow wrap the
+		// listener, and the control plane on AdminPath stays reachable so
+		// drills can heal what they injected. Test-only.
+		cnet := chaos.NewNetwork(*chaosSeed)
+		mux := http.NewServeMux()
+		mux.Handle(chaos.AdminPath, cnet.Handler())
+		mux.Handle("/", handler)
+		handler = cnet.Gate("portal", mux)
+		ln = cnet.WrapListener("portal", ln)
+		log.Printf("CHAOS MODE: fault injection enabled (seed %d, control plane on %s)", *chaosSeed, chaos.AdminPath)
+	}
+
 	log.Printf("serving %d principals on %s", len(reg.Principals()), *listen)
-	if err := httpapi.Serve(ctx, *listen, srv.Handler(), *grace, func() {
+	if err := httpapi.ServeListener(ctx, ln, handler, *grace, func() {
 		log.Printf("shutdown requested, draining in-flight requests (grace %s)", *grace)
 		probes.StartDraining()
 	}); err != nil {

@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -31,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"dra4wfms/internal/chaos"
 	"dra4wfms/internal/dsig"
 	"dra4wfms/internal/httpapi"
 	"dra4wfms/internal/pki"
@@ -85,6 +88,9 @@ func main() {
 	suite := flag.String("suite", dsig.SignatureAlg, "signature suite for locally produced signatures; verification always honors each signature's recorded algorithm")
 	traceOut := flag.String("trace-out", "", "append finished trace spans to this file as JSONL (empty disables the export; GET /v1/traces always serves the in-memory ring)")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of locally rooted traces to record, 0..1; hops continuing an inbound traceparent honor its sampled flag instead")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: shed requests beyond this many in flight with 429 (0 disables; probes always pass, writes shed before reads)")
+	chaosOn := flag.Bool("chaos", false, "serve the "+chaos.AdminPath+" fault-injection control plane (TEST ONLY: unauthenticated)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "deterministic seed for the chaos fault PRNG (requires -chaos)")
 	flag.Parse()
 
 	dsig.Configure(*verifyWorkers, *verifyCache)
@@ -235,13 +241,37 @@ func main() {
 		probes.AddCheck("cluster", pc.HealthCheck)
 		probes.AddDegradedCheck("replication-lag", pc.LagCheck(1_000))
 	}
+	if *maxInflight > 0 {
+		// The TFC's work is verify-bound: shed notarizations (writes) early
+		// when the shared verify pool saturates, before the RSA is bought.
+		srv.Admission = httpapi.NewAdmission(httpapi.AdmissionConfig{
+			MaxInFlight: *maxInflight,
+			VerifyDepth: dsig.PoolDepth,
+		})
+		log.Printf("admission control: max %d in-flight requests", *maxInflight)
+	}
 	probes.SetReady(true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	handler := http.Handler(srv.Handler())
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *listen, err)
+	}
+	if *chaosOn {
+		cnet := chaos.NewNetwork(*chaosSeed)
+		mux := http.NewServeMux()
+		mux.Handle(chaos.AdminPath, cnet.Handler())
+		mux.Handle("/", handler)
+		handler = cnet.Gate("tfc", mux)
+		ln = cnet.WrapListener("tfc", ln)
+		log.Printf("CHAOS MODE: fault injection enabled (seed %d, control plane on %s)", *chaosSeed, chaos.AdminPath)
+	}
+
 	log.Printf("TFC %s serving on %s", keys.Owner, *listen)
-	if err := httpapi.Serve(ctx, *listen, srv.Handler(), *grace, func() {
+	if err := httpapi.ServeListener(ctx, ln, handler, *grace, func() {
 		log.Printf("shutdown requested, draining in-flight requests (grace %s)", *grace)
 		probes.StartDraining()
 	}); err != nil {

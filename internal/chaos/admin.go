@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// AdminPath is the route prefix the chaos control plane is served on.
+// Requests under this prefix are exempt from Gate, so a drill can always
+// heal the partition it injected.
+const AdminPath = "/v1/chaos"
+
+// Directive is one control-plane command, POSTed as JSON to AdminPath.
+type Directive struct {
+	// Action selects the operation: isolate, heal_node, heal_all, cut,
+	// cut_both, heal, heal_both, crash, restart, slow, link, default,
+	// reset.
+	Action string `json:"action"`
+	// Node names the target for node-scoped actions (isolate, heal_node,
+	// crash, restart, slow).
+	Node string `json:"node,omitempty"`
+	// Src/Dst name the directed link for link-scoped actions.
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+	// Faults carries the profile for link/default actions.
+	Faults LinkFaults `json:"faults,omitempty"`
+	// DelayMS is the slowness for the slow action, in milliseconds
+	// (0 clears it).
+	DelayMS int `json:"delay_ms,omitempty"`
+}
+
+// Apply executes one directive against the network.
+func (n *Network) Apply(d Directive) error {
+	switch d.Action {
+	case "isolate":
+		n.Isolate(d.Node)
+	case "heal_node":
+		n.HealNode(d.Node)
+	case "heal_all":
+		n.HealAll()
+	case "cut":
+		n.Cut(d.Src, d.Dst)
+	case "cut_both":
+		n.CutBoth(d.Src, d.Dst)
+	case "heal":
+		n.Heal(d.Src, d.Dst)
+	case "heal_both":
+		n.HealBoth(d.Src, d.Dst)
+	case "crash":
+		n.Crash(d.Node)
+	case "restart":
+		n.Restart(d.Node)
+	case "slow":
+		n.SlowNode(d.Node, time.Duration(d.DelayMS)*time.Millisecond)
+	case "link":
+		n.SetLink(d.Src, d.Dst, d.Faults)
+	case "default":
+		n.SetDefault(d.Faults)
+	case "reset":
+		n.Reset()
+	default:
+		return fmt.Errorf("chaos: unknown action %q", d.Action)
+	}
+	return nil
+}
+
+// Reset restores a fault-free network (the PRNG stream continues — only
+// the fault model is cleared, determinism of the seed is preserved).
+func (n *Network) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = LinkFaults{}
+	n.links = make(map[linkKey]LinkFaults)
+	n.cut = make(map[linkKey]bool)
+	n.down = make(map[string]bool)
+	n.slow = make(map[string]time.Duration)
+}
+
+// Handler serves the chaos control plane: GET returns the Snapshot,
+// POST applies a Directive. It is intentionally unauthenticated — it
+// only exists behind the -chaos daemon flag, which is a test-only mode.
+func (n *Network) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(n.Snapshot())
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+			if err != nil {
+				http.Error(w, "chaos: read: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			var d Directive
+			if err := json.Unmarshal(body, &d); err != nil {
+				http.Error(w, "chaos: decode: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := n.Apply(d); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(n.Snapshot())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	}
+}
+
+// InboundCut reports whether the node should refuse inbound traffic:
+// crashed, or isolated by a wildcard cut in either direction.
+func (n *Network) InboundCut(node string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[node] {
+		return true
+	}
+	return n.cut[linkKey{Wildcard, node}] || n.cut[linkKey{node, Wildcard}]
+}
+
+// Gate enforces inbound partitions at the handler layer: while the node
+// is isolated or crashed, every request outside AdminPath is refused
+// with 503. A refused hop is indistinguishable from a dead node to the
+// coordinator (httpapi.RemoteNode maps 5xx to poolcluster.ErrNodeDown),
+// which is exactly how a partition should look. The control plane stays
+// reachable so the drill can heal what it injected.
+func (n *Network) Gate(node string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, AdminPath) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if n.InboundCut(node) {
+			http.Error(w, "chaos: partitioned", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"net"
+	"time"
+)
+
+// WrapListener imposes the node's crash and slow-node state on a real
+// net.Listener. While the node is crashed, accepted connections are
+// closed immediately — to clients this is indistinguishable from a dead
+// process (connection reset), and unlike closing the listener the
+// crash is reversible with Restart. While the node is slow, each
+// accepted connection delays its first read by the configured amount.
+//
+// Partitions are deliberately NOT enforced here: the same listener also
+// serves the /v1/chaos admin endpoint, and a listener-level cut would
+// sever the control plane that heals it. Inbound partitions are
+// enforced by Gate at the handler layer instead.
+func (n *Network) WrapListener(node string, ln net.Listener) net.Listener {
+	return &listener{Listener: ln, net: n, node: node}
+}
+
+type listener struct {
+	net.Listener
+	net  *Network
+	node string
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.net.Down(l.node) {
+			c.Close()
+			continue
+		}
+		if d := l.net.NodeDelay(l.node); d > 0 {
+			return &slowConn{Conn: c, delay: d}, nil
+		}
+		return c, nil
+	}
+}
+
+// slowConn delays the first Read on the connection, modelling a node
+// whose accept queue drains but whose service loop is starved.
+type slowConn struct {
+	net.Conn
+	delay   time.Duration
+	delayed bool
+}
+
+func (c *slowConn) Read(p []byte) (int, error) {
+	if !c.delayed {
+		c.delayed = true
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Read(p)
+}

@@ -1,0 +1,50 @@
+package dsig
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// An expired caller deadline must abandon the batch before any RSA work
+// and surface context.DeadlineExceeded — never a panic from attributing
+// the error to a signature that did not fail.
+func TestVerifyBatchAbandonedOnExpiredDeadline(t *testing.T) {
+	root, resolver := buildCascade(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, v := range []*Verifier{
+		{Workers: 1},
+		{Workers: 4},
+	} {
+		sigs := root.FindAll(SignatureElem)
+		n, idx, err := v.VerifyBatchCtx(ctx, root, sigs, resolver)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Workers=%d: VerifyBatchCtx err = %v, want context.Canceled", v.Workers, err)
+		}
+		if n != 0 {
+			t.Fatalf("Workers=%d: claimed %d verified on an abandoned batch", v.Workers, n)
+		}
+		if idx != -1 {
+			t.Fatalf("Workers=%d: failing index %d, want -1 (no signature failed)", v.Workers, idx)
+		}
+
+		// VerifyAllCtx on the same abandoned batch must not panic trying
+		// to label signature -1.
+		if _, err := v.VerifyAllCtx(ctx, root, root, resolver); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Workers=%d: VerifyAllCtx err = %v, want context.Canceled", v.Workers, err)
+		}
+	}
+}
+
+// A live deadline must not disturb a healthy batch.
+func TestVerifyBatchWithLiveDeadline(t *testing.T) {
+	root, resolver := buildCascade(t, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 30e9)
+	defer cancel()
+	v := &Verifier{Workers: 4}
+	if n, err := v.VerifyAllCtx(ctx, root, root, resolver); err != nil || n != 6 {
+		t.Fatalf("VerifyAllCtx = %d, %v", n, err)
+	}
+}

@@ -3,6 +3,7 @@ package dsig
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dra4wfms/internal/telemetry"
@@ -40,6 +41,7 @@ type VerifyPool struct {
 	tasks chan queuedTask
 	quit  chan struct{}
 	wg    sync.WaitGroup
+	depth atomic.Int64 // queued-but-unstarted tasks, mirrors mPoolDepth
 
 	mu     sync.RWMutex
 	closed bool
@@ -86,6 +88,7 @@ func (p *VerifyPool) worker() {
 }
 
 func (p *VerifyPool) execute(t queuedTask) {
+	p.depth.Add(-1)
 	mPoolDepth.Add(-1)
 	//lint:ignore nondeterminism queue-wait telemetry only; the verification outcome does not depend on the clock
 	mPoolWait.Observe(time.Since(t.at).Seconds())
@@ -106,12 +109,27 @@ func (p *VerifyPool) TrySubmit(t verifyTask) bool {
 	select {
 	//lint:ignore nondeterminism admission timestamp feeds the queue-wait histogram, not the verification result
 	case p.tasks <- queuedTask{run: t, at: time.Now()}:
+		p.depth.Add(1)
 		mPoolDepth.Add(1)
 		mPoolSubmitted.Inc()
 		return true
 	default:
 		return false
 	}
+}
+
+// Depth reports the number of admitted-but-unstarted tasks — how far
+// behind the workers are. Admission control (httpapi) reads it as a
+// saturation signal to shed writes before they join the queue.
+func (p *VerifyPool) Depth() int { return int(p.depth.Load()) }
+
+// PoolDepth reports the Depth of the process-wide verifier's pool, or 0
+// when the default verifier runs without one (Configure with workers=1).
+func PoolDepth() int {
+	if v := DefaultVerifier(); v != nil && v.Pool != nil {
+		return v.Pool.Depth()
+	}
+	return 0
 }
 
 // Close stops the workers and runs any still-queued tasks to completion

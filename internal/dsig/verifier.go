@@ -265,6 +265,11 @@ func (v *Verifier) VerifyAllCtx(ctx context.Context, root, container *xmltree.No
 	sigs := container.FindAll(SignatureElem)
 	n, idx, err := v.VerifyBatchCtx(ctx, root, sigs, resolver)
 	if err != nil {
+		if idx < 0 || idx >= len(sigs) {
+			// No single signature failed — the batch itself was abandoned
+			// (context deadline/cancellation).
+			return n, err
+		}
 		return n, fmt.Errorf("signature %s: %w", sigLabel(sigs[idx], idx), err)
 	}
 	return n, nil
@@ -294,7 +299,13 @@ func (v *Verifier) VerifyBatchCtx(tctx context.Context, root *xmltree.Node, sigs
 	if len(sigs) == 0 {
 		return 0, -1, nil
 	}
-	_, span := telemetry.Default().StartSpanCtx(tctx, "dsig_verify_all_seconds")
+	// Deadline abandonment: an expired caller budget (the propagated
+	// X-DRA-Deadline) means nobody is waiting for the answer — refuse
+	// before building the digest index or spending a single RSA verify.
+	if cerr := tctx.Err(); cerr != nil {
+		return 0, -1, cerr
+	}
+	tctx, span := telemetry.Default().StartSpanCtx(tctx, "dsig_verify_all_seconds")
 	defer span.End()
 	span.Trace().SetAttr("sigs", strconv.Itoa(len(sigs)))
 
@@ -309,6 +320,9 @@ func (v *Verifier) VerifyBatchCtx(tctx context.Context, root *xmltree.Node, sigs
 
 	if workers <= 1 {
 		for i, s := range sigs {
+			if cerr := tctx.Err(); cerr != nil {
+				return i, -1, cerr
+			}
 			if err := verifyWith(ix, s, resolver, v.Cache); err != nil {
 				return i, i, err
 			}
@@ -318,8 +332,10 @@ func (v *Verifier) VerifyBatchCtx(tctx context.Context, root *xmltree.Node, sigs
 
 	// Parallel path. Each signature becomes one task; the first failure
 	// cancels the rest, and when several signatures fail in the same batch
-	// the lowest index wins so error attribution is stable.
-	ctx, cancel := context.WithCancel(context.Background())
+	// the lowest index wins so error attribution is stable. The cancel
+	// context derives from tctx so an expiring propagated deadline
+	// abandons the remainder of the batch mid-flight.
+	ctx, cancel := context.WithCancel(tctx)
 	defer cancel()
 	var (
 		okCount atomic.Int64
@@ -397,6 +413,12 @@ func (v *Verifier) VerifyBatchCtx(tctx context.Context, root *xmltree.Node, sigs
 	}
 	if err != nil {
 		return int(okCount.Load()), failedIdx, err
+	}
+	// The batch may have been cancelled by the caller's deadline rather
+	// than a bad signature: tasks skipped after cancellation verified
+	// nothing, so success may only be claimed when every signature ran.
+	if cerr := tctx.Err(); cerr != nil && int(okCount.Load()) != len(sigs) {
+		return int(okCount.Load()), -1, cerr
 	}
 	return len(sigs), -1, nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"dra4wfms/internal/document"
@@ -54,6 +55,15 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, []byte, e
 	return c.doCtx(context.Background(), method, path, body)
 }
 
+// maxShedRetries bounds how often one call re-attempts after a shed
+// (429/503 with Retry-After); the budget below usually stops it first.
+const maxShedRetries = 2
+
+// retryHeadroom is the minimum remaining-deadline slack a retry must
+// leave for the attempt itself: waiting out a Retry-After only to have
+// the next attempt expire mid-flight helps nobody.
+const retryHeadroom = 100 * time.Millisecond
+
 func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) (*http.Response, []byte, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
@@ -64,6 +74,72 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) (*
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	clock := c.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	for attempt := 0; ; attempt++ {
+		resp, respBody, err := c.attemptOnce(ctx, method, path, body, clock)
+		if resp == nil {
+			return resp, respBody, err
+		}
+		// Honor an explicit shed: 429/503 with Retry-After is the
+		// server asking us to come back, not a failure to escalate. The
+		// retry is skipped when the context deadline cannot accommodate
+		// the wait plus another attempt — an expired retry only adds to
+		// the very overload the server is shedding.
+		if attempt >= maxShedRetries {
+			return resp, respBody, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, respBody, err
+		}
+		wait, ok := parseRetryAfter(resp.Header.Get("Retry-After"), clock())
+		if !ok {
+			return resp, respBody, err
+		}
+		if dl, hasDL := ctx.Deadline(); hasDL && clock().Add(wait+retryHeadroom).After(dl) {
+			return resp, respBody, err
+		}
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return resp, respBody, err
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// parseRetryAfter decodes a Retry-After value: delta-seconds or an HTTP
+// date. A missing or malformed value reports ok=false — without the
+// server's guidance the client does not invent a retry schedule.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// attemptOnce performs one signed request. Each attempt re-signs with a
+// fresh date and nonce, so a retried request never replays a signature,
+// and carries the context deadline downstream via DeadlineHeader.
+func (c *Client) attemptOnce(ctx context.Context, method, path string, body []byte, clock func() time.Time) (*http.Response, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, err
@@ -76,10 +152,7 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) (*
 	if tp := trace.TraceparentFromContext(ctx); tp != "" {
 		req.Header.Set(TraceparentHeader, tp)
 	}
-	clock := c.Clock
-	if clock == nil {
-		clock = time.Now
-	}
+	AttachDeadline(ctx, req.Header)
 	if err := SignRequest(req, body, c.Keys, clock()); err != nil {
 		return nil, nil, err
 	}

@@ -368,6 +368,7 @@ func (n *RemoteNode) call(ctx context.Context, method, path string, in, out inte
 	if tp := trace.TraceparentFromContext(ctx); tp != "" {
 		req.Header.Set(TraceparentHeader, tp)
 	}
+	AttachDeadline(ctx, req.Header)
 	client := n.Client
 	if client == nil {
 		client = http.DefaultClient

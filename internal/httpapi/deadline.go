@@ -1,0 +1,45 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// DeadlineHeader carries the request's absolute deadline across HTTP
+// hops as an RFC 3339 timestamp with nanoseconds. Like TraceparentHeader
+// it is deliberately excluded from request signatures (auth.go signs
+// method, path, date, nonce, and body only), so every tier — portal,
+// TFC, pool node — can thread the caller's remaining budget downstream
+// without re-signing, and an expired request is abandoned *before* the
+// RSA work of signature verification is spent on it.
+const DeadlineHeader = "X-DRA-Deadline"
+
+// mDeadlineExpired counts requests refused because their propagated
+// deadline had already passed on arrival — work shed before any
+// signature verification.
+var mDeadlineExpired = tel.Counter("http_requests_deadline_expired_total")
+
+// AttachDeadline copies ctx's deadline, if any, onto the outgoing
+// request headers so the receiving tier inherits the remaining budget.
+func AttachDeadline(ctx context.Context, h http.Header) {
+	if dl, ok := ctx.Deadline(); ok {
+		h.Set(DeadlineHeader, dl.UTC().Format(time.RFC3339Nano))
+	}
+}
+
+// ParseDeadline extracts the propagated deadline from request headers.
+// A missing or malformed header reports ok=false: deadlines are a
+// cooperative optimization, never an authentication surface, so garbage
+// is ignored rather than rejected.
+func ParseDeadline(h http.Header) (time.Time, bool) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return time.Time{}, false
+	}
+	t, err := time.Parse(time.RFC3339Nano, v)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return t, true
+}

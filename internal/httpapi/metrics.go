@@ -1,10 +1,12 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/trace"
@@ -53,10 +55,29 @@ func instrument(route string, next http.HandlerFunc) http.HandlerFunc {
 	bodyBytes := tel.Counter("http_request_body_bytes_total", "route", route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ctx := r.Context()
+		// A propagated deadline bounds everything downstream of this
+		// route — auth, verification, pool writes. An already-expired
+		// request is answered 504 without spending a single RSA verify
+		// on it; a live one becomes the request context's deadline so
+		// long-running stages (verify pool, cluster writes) abandon the
+		// work the moment the caller stops waiting for it.
+		h := next
+		if dl, ok := ParseDeadline(r.Header); ok {
+			if !dl.After(time.Now()) {
+				mDeadlineExpired.Inc()
+				h = func(w http.ResponseWriter, r *http.Request) {
+					http.Error(w, "propagated deadline expired before processing", http.StatusGatewayTimeout)
+				}
+			} else {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, dl)
+				defer cancel()
+			}
+		}
 		// A valid inbound traceparent makes this request a mid-trace hop:
 		// continue that trace, honoring its sampled flag. Otherwise this
 		// server is the trace root and samples exactly once, here.
-		ctx := r.Context()
 		var tspan *trace.Span
 		if sc, ok := trace.ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
 			ctx = trace.ContextWith(ctx, sc)
@@ -66,7 +87,7 @@ func instrument(route string, next http.HandlerFunc) http.HandlerFunc {
 		}
 		tspan.SetAttr("route", route)
 		span := tel.StartSpan("http_request_seconds", "route", route)
-		next(sw, r.WithContext(ctx))
+		h(sw, r.WithContext(ctx))
 		span.End()
 		if sw.status >= 400 {
 			tspan.SetStatus(fmt.Sprintf("http %d", sw.status))

@@ -60,6 +60,11 @@ type PortalServer struct {
 	// `dractl cluster status`) and POST /v1/cluster/rebalance. Both are
 	// unauthenticated observability-plane routes like /v1/metrics.
 	Cluster *poolcluster.Cluster
+	// Admission, when non-nil, gates every business route (admission.go):
+	// reads shed at saturation, writes earlier. Observability and cluster
+	// control-plane routes stay ungated — a drowning server must still be
+	// inspectable and repairable.
+	Admission *Admission
 
 	// dedup caches the responses of applied idempotency keys so a
 	// redelivered store is answered, not re-applied.
@@ -95,7 +100,9 @@ func (s *PortalServer) EnableWebhooksAt(keys *pki.KeyPair, walPath string) *Webh
 func (s *PortalServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern string, h handlerFunc) {
-		mux.HandleFunc(pattern, instrument(pattern, s.auth(h)))
+		// Admission sits inside instrument (sheds are observable as 429s)
+		// but ahead of auth, so a shed request never buys RSA work.
+		mux.HandleFunc(pattern, instrument(pattern, s.Admission.Middleware(ClassOf(pattern), s.auth(h))))
 	}
 	route("POST /v1/documents/initial", idempotent(&s.dedup, s.handleStoreInitial))
 	route("POST /v1/documents", idempotent(&s.dedup, s.handleStore))
@@ -358,6 +365,10 @@ func httpStatusError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	msg := err.Error()
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// The propagated deadline expired mid-request; the work was
+		// abandoned, not failed.
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, pki.ErrUnknownPrincipal):
 		status = http.StatusUnauthorized
 	case errors.Is(err, pki.ErrMalformedKey):
@@ -379,6 +390,12 @@ func httpStatusError(w http.ResponseWriter, err error) {
 // 4xx instead of a blanket 409 — and never as 500.
 func verifyFailureStatus(err error) int {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// The propagated deadline expired while the store/process was in
+		// flight: the request was abandoned (504), not refused — the
+		// caller should retry with a fresh budget, not treat the
+		// document as rejected.
+		return http.StatusGatewayTimeout
 	case errors.Is(err, pki.ErrUnknownPrincipal):
 		return http.StatusUnauthorized
 	case errors.Is(err, pki.ErrMalformedKey):
@@ -401,6 +418,8 @@ type TFCServer struct {
 	EnablePprof bool
 	// Probes gates GET /v1/readyz (see PortalServer.Probes).
 	Probes *Probes
+	// Admission gates the business routes (see PortalServer.Admission).
+	Admission *Admission
 
 	// dedup replays responses of already-applied process submissions
 	// (see PortalServer.dedup).
@@ -429,8 +448,8 @@ type ProcessResponse struct {
 // portal's and likewise serving GET /v1/metrics.
 func (s *TFCServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/process", instrument("POST /v1/process", authWrap(s.Auth, idempotent(&s.dedup, s.handleProcess))))
-	mux.HandleFunc("GET /v1/records", instrument("GET /v1/records", authWrap(s.Auth, s.handleRecords)))
+	mux.HandleFunc("POST /v1/process", instrument("POST /v1/process", s.Admission.Middleware(ClassWrite, authWrap(s.Auth, idempotent(&s.dedup, s.handleProcess)))))
+	mux.HandleFunc("GET /v1/records", instrument("GET /v1/records", s.Admission.Middleware(ClassRead, authWrap(s.Auth, s.handleRecords))))
 	registerObservability(mux, s.EnablePprof, s.Probes)
 	return mux
 }

@@ -92,6 +92,10 @@ func (t *HTTPTransport) Deliver(ctx context.Context, e relay.Entry) error {
 	if tp := trace.TraceparentFromContext(ctx); tp != "" {
 		req.Header.Set(TraceparentHeader, tp)
 	}
+	// The attempt context's deadline (relay AttemptTimeout) rides along
+	// so the receiver abandons the work when this attempt gives up —
+	// the relay will re-deliver with a fresh budget.
+	AttachDeadline(ctx, req.Header)
 	clock := t.Clock
 	if clock == nil {
 		clock = time.Now

@@ -1,0 +1,24 @@
+// Package chaos is a fixture stub mirroring the fault-injection
+// harness's surface for analyzer tests. It is deliberately NOT an
+// ackorder durability package: healing a partition or restarting a
+// crashed node promises nothing durable — the durability points stay
+// in pool/poolcluster/relay, and drill code that acknowledges around a
+// chaos directive is held to the same journal-first ordering as any
+// other caller.
+package chaos
+
+import "context"
+
+// Network mirrors the seeded fault model.
+type Network struct{}
+
+// Isolate mirrors cutting every link to and from node.
+func (n *Network) Isolate(node string) {}
+
+// HealNode mirrors lifting a node's isolation.
+func (n *Network) HealNode(node string) {}
+
+// Deliver mirrors a context-carrying hop through the fault model (the
+// chaos RoundTripper / NodeRef path): it must receive the innermost
+// span context like any other downstream call.
+func (n *Network) Deliver(ctx context.Context, src, dst string) error { return nil }

@@ -8,6 +8,7 @@ package ackorder
 import (
 	"errors"
 
+	"dra4wfms/internal/chaos"
 	"dra4wfms/internal/pool"
 	"dra4wfms/internal/poolcluster"
 	"dra4wfms/internal/relay"
@@ -130,6 +131,31 @@ func goodReplicationJournalFirst(c *poolcluster.Coordinator, frame []byte, backu
 		}
 	}
 	return resp.replyRecorded(7)
+}
+
+// badHealAckBeforeCatchupJournal freezes the chaos-drill shape: the
+// drill heals a partition and acknowledges "healed and converged"
+// before the coordinator journals the catch-up replication intent the
+// partition accumulated. Healing the network is not a durability
+// point — a coordinator crash in the gap still strands the rejoined
+// backup behind an acknowledged write.
+func badHealAckBeforeCatchupJournal(n *chaos.Network, c *poolcluster.Coordinator, frame []byte) error {
+	n.HealNode("n2")
+	resp.respond(200, "healed") // want "acknowledges success before (poolcluster.Coordinator).JournalReplication"
+	return c.JournalReplication("region-0002", "n2", frame)
+}
+
+// goodHealJournalFirst is the drill order: heal, journal the catch-up
+// intent, then acknowledge. The chaos directive itself needs no
+// journaling — only the write it unblocks does.
+func goodHealJournalFirst(n *chaos.Network, c *poolcluster.Coordinator, frame []byte) error {
+	n.HealNode("n2")
+	if err := c.JournalReplication("region-0002", "n2", frame); err != nil {
+		resp.respond(500, "catch-up journal failed")
+		return err
+	}
+	resp.respond(200, "healed")
+	return nil
 }
 
 // notifyFirstByDesign sends a progress notification before the append:

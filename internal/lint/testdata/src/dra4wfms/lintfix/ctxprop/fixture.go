@@ -7,6 +7,7 @@ package ctxprop
 import (
 	"context"
 
+	"dra4wfms/internal/chaos"
 	"dra4wfms/internal/telemetry"
 	"dra4wfms/internal/trace"
 )
@@ -85,6 +86,27 @@ func badNestedStart(ctx context.Context) {
 	_, inner := col.StartSpan(ctx, "inner") // want "receives the parent context ctx"
 	work()
 	inner.End()
+}
+
+// badChaosHopStaleParent spans a fault-injected hop but hands the
+// chaos transport the stale parent context: the injected latency and
+// the real delivery attach outside the hop's span, and a drill replay
+// cannot line its faults up against the trace. Deadline propagation
+// breaks the same way — the hop escapes the span context's budget.
+func badChaosHopStaleParent(ctx context.Context, n *chaos.Network) error {
+	tctx, span := col.StartSpan(ctx, "chaos_hop")
+	defer span.End()
+	_ = tctx
+	return n.Deliver(ctx, "coord", "n2") // want "receives the parent context ctx"
+}
+
+// goodChaosHopThreaded threads the span context through the fault
+// model, so injected faults and the deadline budget stay inside the
+// hop's subtree.
+func goodChaosHopThreaded(ctx context.Context, n *chaos.Network) error {
+	tctx, span := col.StartSpan(ctx, "chaos_hop")
+	defer span.End()
+	return n.Deliver(tctx, "coord", "n2")
 }
 
 // fanOutByDesign hands the parent to a goroutine that outlives the span

@@ -20,6 +20,7 @@ var (
 	mWrites     = tel.Counter("poolcluster_writes_total")
 	mReplicated = tel.Counter("poolcluster_replicated_records_total")
 	mFailovers  = tel.Counter("poolcluster_failovers_total")
+	mRejoins    = tel.Counter("poolcluster_rejoins_total")
 	mMigrations = tel.Counter("poolcluster_migrations_total")
 	gMaxLag     = tel.Gauge("poolcluster_max_replica_lag")
 )
@@ -90,10 +91,15 @@ func (c Config) withDefaults(nodes int) Config {
 }
 
 // member is one node's membership record. alive is the coordinator's
-// failure-detector verdict, not the node's own opinion.
+// failure-detector verdict, not the node's own opinion. quarantined
+// marks an *administrative* removal (FailNode/RemoveNode): the repair
+// loop auto-rejoins dead members whose probes heal, but never
+// quarantined ones — an operator took them out, only an operator
+// (Rejoin) puts them back.
 type member struct {
-	ref   NodeRef
-	alive bool
+	ref         NodeRef
+	alive       bool
+	quarantined bool
 }
 
 // Cluster is the coordinator for a clustered document pool: it owns the
@@ -257,6 +263,12 @@ func (c *Cluster) write(ctx context.Context, row, family, qualifier string, valu
 	e := c.entryFor(row)
 	deadline := time.Now().Add(c.cfg.WriteTimeout)
 	for {
+		// A propagated caller deadline bounds the retry loop tighter than
+		// the cluster's own WriteTimeout: once the caller stops waiting,
+		// burning further attempts (and primary applies) is pure waste.
+		if cerr := ctx.Err(); cerr != nil {
+			return "", 0, fmt.Errorf("poolcluster: write to %s abandoned: %w", e.id, cerr)
+		}
 		e.mu.Lock()
 		primary := c.aliveRef(e.primary)
 		if primary == nil {

@@ -35,11 +35,18 @@ func (c *Cluster) suspect(id string) {
 }
 
 // FailNode administratively declares a node dead and fails its regions
-// over. Idempotent.
+// over. Idempotent. Unlike a failure-detector verdict, an administrative
+// fail quarantines the node: the repair loop will not auto-rejoin it
+// even if it answers probes again.
 func (c *Cluster) FailNode(id string) error {
-	if c.anyRef(id) == nil {
+	c.mu.Lock()
+	m := c.members[id]
+	if m == nil {
+		c.mu.Unlock()
 		return fmt.Errorf("poolcluster: unknown node %s", id)
 	}
+	m.quarantined = true
+	c.mu.Unlock()
 	c.suspect(id)
 	return nil
 }
@@ -57,6 +64,7 @@ func (c *Cluster) Rejoin(id string) error {
 		return fmt.Errorf("poolcluster: unknown node %s", id)
 	}
 	m.alive = true
+	m.quarantined = false
 	c.mu.Unlock()
 	// Top up any region running below its replica target now that a
 	// candidate is available again.
@@ -112,6 +120,9 @@ func (c *Cluster) RemoveNode(id string) error {
 			return err
 		}
 	}
+	c.mu.Lock()
+	c.members[id].quarantined = true
+	c.mu.Unlock()
 	c.suspect(id)
 	return nil
 }
@@ -249,6 +260,36 @@ func (c *Cluster) primaryCounts() map[string]int {
 	return counts
 }
 
+// rejoinHealed probes every detector-suspected member and readmits the
+// ones answering again — the automatic half of recovery from a transient
+// partition or a restarted daemon. The probe is the node's own Status
+// call, so a downed (Node.Down) or still-unreachable node keeps failing
+// its probe and stays out, and quarantined members (administratively
+// failed or drained) are never probed at all. Readmission goes through
+// Rejoin: the node returns holding no regions and is never trusted for
+// its stale state.
+func (c *Cluster) rejoinHealed() {
+	type probe struct {
+		id  string
+		ref NodeRef
+	}
+	var dead []probe
+	c.mu.Lock()
+	for id, m := range c.members {
+		if !m.alive && !m.quarantined {
+			dead = append(dead, probe{id: id, ref: m.ref})
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range dead {
+		if _, err := p.ref.Status(); err == nil {
+			if c.Rejoin(p.id) == nil {
+				mRejoins.Inc()
+			}
+		}
+	}
+}
+
 // repairLoop is the anti-entropy pacemaker.
 func (c *Cluster) repairLoop(interval time.Duration) {
 	defer c.wg.Done()
@@ -273,6 +314,7 @@ func (c *Cluster) repairLoop(interval time.Duration) {
 // write. Convergence deliberately does not depend on the relay alone:
 // redelivery handles the common case, repair guarantees the bound.
 func (c *Cluster) repairOnce() uint64 {
+	c.rejoinHealed()
 	var total, maxLag uint64
 	for _, e := range c.entries {
 		e.mu.Lock()

@@ -1,0 +1,150 @@
+package poolcluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// aliveIn reports whether id is alive in the cluster's status view.
+func aliveIn(c *Cluster, id string) bool {
+	for _, n := range c.Status().Nodes {
+		if n.ID == id {
+			return n.Alive
+		}
+	}
+	return false
+}
+
+// A detector-suspected node whose probe heals must be readmitted by the
+// repair loop on its own; an administratively failed node must not.
+func TestRepairAutoRejoinsHealedNode(t *testing.T) {
+	c, nodes := testCluster(t, 3, Config{
+		Replicas:       2,
+		Boundaries:     testBoundaries,
+		RepairInterval: -1, // drive repairOnce by hand
+	})
+	s := c.NewSession()
+	for i := 0; i < 40; i++ {
+		if err := s.Put(spreadRow(i), "doc", "content", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce(t, c)
+
+	// The failure detector declares n2 dead while it is unreachable.
+	nodes["n2"].Down()
+	c.suspect("n2")
+	if aliveIn(c, "n2") {
+		t.Fatal("suspected node still alive in status")
+	}
+	// Still unreachable: repair must not readmit it.
+	c.repairOnce()
+	if aliveIn(c, "n2") {
+		t.Fatal("repair rejoined a node whose probe still fails")
+	}
+	// Healed: the next repair pass readmits it automatically.
+	nodes["n2"].Up()
+	c.repairOnce()
+	if !aliveIn(c, "n2") {
+		t.Fatal("repair did not rejoin a healed node")
+	}
+	quiesce(t, c)
+	assertReplicasConverged(t, c, nodes)
+
+	// An administrative FailNode quarantines: the node answers probes
+	// (it was never actually down) but must stay out until an operator
+	// rejoins it.
+	if err := c.FailNode("n3"); err != nil {
+		t.Fatal(err)
+	}
+	c.repairOnce()
+	if aliveIn(c, "n3") {
+		t.Fatal("repair rejoined an administratively failed node")
+	}
+	if err := c.Rejoin("n3"); err != nil {
+		t.Fatal(err)
+	}
+	if !aliveIn(c, "n3") {
+		t.Fatal("explicit rejoin did not readmit the quarantined node")
+	}
+}
+
+// TestRejoinRacingRebalance flaps one node's membership while regions
+// are actively rebalanced and writers keep writing: the coordinator must
+// neither deadlock nor lose an acknowledged write, and the final
+// membership must converge with the flapped node readmitted.
+func TestRejoinRacingRebalance(t *testing.T) {
+	c, nodes := testCluster(t, 3, Config{Replicas: 2, Boundaries: testBoundaries})
+	s := c.NewSession()
+	for i := 0; i < 40; i++ {
+		if err := s.Put(spreadRow(i), "doc", "content", []byte(fmt.Sprintf("seed%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce(t, c)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Membership flapper: n3 crashes, is detected, heals, rejoins — in a
+	// tight loop, so rejoins land in the middle of migrations.
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				// Leave n3 healthy and readmitted.
+				nodes["n3"].Up()
+				_ = c.Rejoin("n3")
+				return
+			default:
+			}
+			nodes["n3"].Down()
+			c.suspect("n3")
+			nodes["n3"].Up()
+			_ = c.Rejoin("n3")
+		}
+	}()
+	// Rebalance churn: every pass migrates regions onto whichever nodes
+	// currently lead the fewest — including the freshly rejoined one.
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = c.Rebalance() // expected to fail mid-flap sometimes
+		}
+	}()
+
+	// Writers drive the data plane throughout the churn. A Put may fail
+	// while ownership is in flux; only acknowledged writes must survive.
+	acked := make(map[string]string)
+	for i := 0; i < 200; i++ {
+		row := fmt.Sprintf("race-%05d", i)
+		val := fmt.Sprintf("v%d", i)
+		if err := s.Put(row, "doc", "content", []byte(val)); err == nil {
+			acked[row] = val
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	quiesce(t, c)
+	if !aliveIn(c, "n3") {
+		t.Fatal("flapped node did not end up readmitted")
+	}
+	if len(acked) == 0 {
+		t.Fatal("no write was acknowledged during the churn")
+	}
+	for row, val := range acked {
+		got, ok := s.Get(row, "doc", "content")
+		if !ok || string(got) != val {
+			t.Fatalf("acknowledged write lost across rejoin/rebalance race: %s (got %q ok=%v)", row, got, ok)
+		}
+	}
+	assertReplicasConverged(t, c, nodes)
+}

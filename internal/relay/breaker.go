@@ -27,6 +27,11 @@ type BreakerPolicy struct {
 	// Cooldown is how long an open circuit rejects attempts before
 	// half-opening (default 5s).
 	Cooldown time.Duration
+	// Jitter stretches each cooldown by up to Jitter×Cooldown, drawn
+	// per opening. Senders that tripped on the same outage then half-open
+	// at different times instead of probing the recovering destination in
+	// lockstep (default 0 — no jitter).
+	Jitter float64
 }
 
 func (p BreakerPolicy) withDefaults() BreakerPolicy {
@@ -44,20 +49,30 @@ func (p BreakerPolicy) withDefaults() BreakerPolicy {
 type breaker struct {
 	state    float64
 	failures int
-	openedAt time.Time
-	probing  bool // a half-open probe is in flight
+	reopenAt time.Time // when an open circuit half-opens (cooldown + jitter)
+	probing  bool      // a half-open probe is in flight
 }
 
 // breakerSet tracks breakers per destination.
 type breakerSet struct {
 	policy BreakerPolicy
+	jitter func() float64 // draws in [0,1); nil means no jitter
 
 	mu sync.Mutex
 	m  map[string]*breaker
 }
 
-func newBreakerSet(p BreakerPolicy) *breakerSet {
-	return &breakerSet{policy: p.withDefaults(), m: map[string]*breaker{}}
+func newBreakerSet(p BreakerPolicy, jitter func() float64) *breakerSet {
+	return &breakerSet{policy: p.withDefaults(), jitter: jitter, m: map[string]*breaker{}}
+}
+
+// jitteredCooldown draws one cooldown, stretched by up to Jitter×Cooldown.
+func (s *breakerSet) jitteredCooldown() time.Duration {
+	cd := s.policy.Cooldown
+	if s.policy.Jitter > 0 && s.jitter != nil {
+		cd += time.Duration(s.jitter() * s.policy.Jitter * float64(cd))
+	}
+	return cd
 }
 
 func (s *breakerSet) get(dest string) *breaker {
@@ -80,8 +95,8 @@ func (s *breakerSet) allow(dest string, now time.Time) (ok bool, retryAt time.Ti
 	b := s.get(dest)
 	switch b.state {
 	case BreakerOpen:
-		if now.Sub(b.openedAt) < s.policy.Cooldown {
-			return false, b.openedAt.Add(s.policy.Cooldown)
+		if now.Before(b.reopenAt) {
+			return false, b.reopenAt
 		}
 		b.state = BreakerHalfOpen
 		b.probing = false
@@ -89,8 +104,8 @@ func (s *breakerSet) allow(dest string, now time.Time) (ok bool, retryAt time.Ti
 		fallthrough
 	case BreakerHalfOpen:
 		if b.probing {
-			// One probe at a time; others wait out the cooldown again.
-			return false, now.Add(s.policy.Cooldown)
+			// One probe at a time; others wait out a (jittered) cooldown.
+			return false, now.Add(s.jitteredCooldown())
 		}
 		b.probing = true
 		return true, time.Time{}
@@ -130,7 +145,9 @@ func (s *breakerSet) failure(dest string, now time.Time) {
 			mBreakerOpens.Inc()
 		}
 		b.state = BreakerOpen
-		b.openedAt = now
+		// The jitter draw happens once per opening, so the reopen time is
+		// fixed at open time and every parked delivery sees the same one.
+		b.reopenAt = now.Add(s.jitteredCooldown())
 		mBreakerState.Set(BreakerOpen)
 	}
 }

@@ -1,0 +1,108 @@
+package relay
+
+import (
+	"sync"
+	"time"
+)
+
+// Retry budgets bound retry *amplification* per destination: a breaker
+// reacts to consecutive failures, but a destination that is merely slow
+// or flapping under partition can still soak up a retry storm — every
+// sender retrying every delivery multiplies offered load exactly when
+// the destination can least afford it. The budget is a token bucket
+// refilled by successes: each acknowledged delivery to a destination
+// earns Ratio tokens (capped at Burst) and each retry spends one, so
+// sustained retries cannot exceed Ratio × the recent success rate. An
+// exhausted budget still admits one timed probe per ProbeInterval — the
+// trickle that discovers recovery even under a total partition, at a
+// bounded, storm-proof rate.
+
+// BudgetPolicy configures per-destination retry budgets.
+type BudgetPolicy struct {
+	// Ratio is how many retry tokens one acknowledged delivery earns
+	// (default 0.2 — retries bounded to ~20% of recent successes;
+	// <0 disables budgeting entirely).
+	Ratio float64
+	// Burst is the token balance a fresh destination starts with and the
+	// cap successes refill to (default 10).
+	Burst float64
+	// ProbeInterval paces the trickle probe an exhausted destination
+	// still gets, so recovery is discovered without a storm (default 1s).
+	ProbeInterval time.Duration
+}
+
+func (p BudgetPolicy) withDefaults() BudgetPolicy {
+	if p.Ratio == 0 {
+		p.Ratio = 0.2
+	}
+	if p.Burst <= 0 {
+		p.Burst = 10
+	}
+	if p.ProbeInterval <= 0 {
+		p.ProbeInterval = time.Second
+	}
+	return p
+}
+
+// budget is one destination's retry balance.
+type budget struct {
+	tokens    float64
+	lastProbe time.Time
+}
+
+// budgetSet tracks retry budgets per destination.
+type budgetSet struct {
+	policy BudgetPolicy
+
+	mu sync.Mutex
+	m  map[string]*budget
+}
+
+func newBudgetSet(p BudgetPolicy) *budgetSet {
+	return &budgetSet{policy: p.withDefaults(), m: map[string]*budget{}}
+}
+
+func (s *budgetSet) get(dest string) *budget {
+	b, ok := s.m[dest]
+	if !ok {
+		b = &budget{tokens: s.policy.Burst}
+		s.m[dest] = b
+	}
+	return b
+}
+
+// allowRetry reports whether a retry to dest may proceed now, spending a
+// token (or the timed probe) when it may. When it may not, retryAt is
+// when the next probe becomes available.
+func (s *budgetSet) allowRetry(dest string, now time.Time) (ok bool, retryAt time.Time) {
+	if s.policy.Ratio < 0 {
+		return true, time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(dest)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, time.Time{}
+	}
+	if b.lastProbe.IsZero() || now.Sub(b.lastProbe) >= s.policy.ProbeInterval {
+		b.lastProbe = now
+		return true, time.Time{}
+	}
+	return false, b.lastProbe.Add(s.policy.ProbeInterval)
+}
+
+// success records an acknowledged delivery, earning Ratio tokens toward
+// future retries (capped at Burst).
+func (s *budgetSet) success(dest string) {
+	if s.policy.Ratio < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(dest)
+	b.tokens += s.policy.Ratio
+	if b.tokens > s.policy.Burst {
+		b.tokens = s.policy.Burst
+	}
+}

@@ -1,0 +1,136 @@
+package relay
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBudgetTokensProbeAndEarnback(t *testing.T) {
+	s := newBudgetSet(BudgetPolicy{Ratio: 0.5, Burst: 2, ProbeInterval: time.Minute})
+	now := time.Unix(1000, 0)
+	dest := "http://peer"
+
+	// The initial burst covers the first Burst retries.
+	for i := 0; i < 2; i++ {
+		if ok, _ := s.allowRetry(dest, now); !ok {
+			t.Fatalf("retry %d should be covered by the burst", i+1)
+		}
+	}
+	// Exhausted: the first probe is free, then one per ProbeInterval.
+	if ok, _ := s.allowRetry(dest, now); !ok {
+		t.Fatal("first trickle probe should be admitted")
+	}
+	ok, retryAt := s.allowRetry(dest, now.Add(10*time.Second))
+	if ok {
+		t.Fatal("probe inside the interval should be denied")
+	}
+	if want := now.Add(time.Minute); !retryAt.Equal(want) {
+		t.Fatalf("retryAt = %v, want %v", retryAt, want)
+	}
+	if ok, _ := s.allowRetry(dest, now.Add(time.Minute)); !ok {
+		t.Fatal("probe after the interval should be admitted")
+	}
+
+	// Successes earn Ratio tokens each, capped at Burst.
+	for i := 0; i < 10; i++ {
+		s.success(dest)
+	}
+	for i := 0; i < 2; i++ {
+		if ok, _ := s.allowRetry(dest, now); !ok {
+			t.Fatalf("earned retry %d should be admitted", i+1)
+		}
+	}
+	// (still within the probe interval of the last probe, so admission
+	// here could only come from a token balance above Burst)
+	if ok, _ := s.allowRetry(dest, now.Add(90*time.Second)); ok {
+		t.Fatal("earnback must cap at Burst, not accumulate 5 tokens")
+	}
+
+	// Budgets are per destination.
+	if ok, _ := s.allowRetry("http://other", now); !ok {
+		t.Fatal("fresh destination should have its own burst")
+	}
+
+	// Ratio < 0 disables budgeting.
+	off := newBudgetSet(BudgetPolicy{Ratio: -1, Burst: 1})
+	for i := 0; i < 50; i++ {
+		if ok, _ := off.allowRetry(dest, now); !ok {
+			t.Fatal("disabled budget should always allow")
+		}
+	}
+}
+
+// An always-failing destination gets the burst plus the free first probe,
+// then retries are parked until the probe interval — the retry storm a
+// partition would otherwise sustain is capped.
+func TestRetryBudgetParksRetryStorm(t *testing.T) {
+	ob, _ := OpenOutbox("")
+	tr := TransportFunc(func(ctx context.Context, e Entry) error {
+		return errors.New("down")
+	})
+	cfg := testConfig()
+	cfg.MaxAttempts = 100
+	cfg.Budget = BudgetPolicy{Ratio: 0.2, Burst: 2, ProbeInterval: 10 * time.Minute}
+	r := New(ob, tr, cfg)
+	defer r.Close()
+	r.Enqueue("d", "store", "k", []byte("p"))
+
+	// 1 first attempt + 2 budgeted retries + 1 free probe = 4 attempts,
+	// then nothing until the 10-minute probe interval elapses.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().Attempts < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("attempts = %d, want 4", r.Stats().Attempts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	st := r.Stats()
+	if st.Attempts != 4 {
+		t.Fatalf("attempts = %d, want exactly 4 (budget exhausted)", st.Attempts)
+	}
+	if st.BudgetDenied < 1 {
+		t.Fatalf("BudgetDenied = %d, want >= 1", st.BudgetDenied)
+	}
+	if st.Pending != 1 || st.Dead != 0 {
+		t.Fatalf("parked delivery should stay pending, got %+v", st)
+	}
+}
+
+// Breaker cooldowns stretch by up to Jitter×Cooldown so senders that
+// tripped together do not re-probe in lockstep. The draw happens once
+// per opening.
+func TestBreakerCooldownJitter(t *testing.T) {
+	now := time.Unix(1000, 0)
+	dest := "http://peer"
+	pol := BreakerPolicy{Threshold: 1, Cooldown: time.Hour, Jitter: 0.5}
+
+	early := newBreakerSet(pol, func() float64 { return 0.0 })
+	late := newBreakerSet(pol, func() float64 { return 1.0 })
+	early.failure(dest, now)
+	late.failure(dest, now)
+
+	// Zero draw: plain cooldown.
+	if ok, retryAt := early.allow(dest, now); ok {
+		t.Fatal("open breaker should park")
+	} else if want := now.Add(time.Hour); !retryAt.Equal(want) {
+		t.Fatalf("unjittered retryAt = %v, want %v", retryAt, want)
+	}
+	// Full draw: cooldown stretched by Jitter×Cooldown.
+	if ok, retryAt := late.allow(dest, now); ok {
+		t.Fatal("open breaker should park")
+	} else if want := now.Add(90 * time.Minute); !retryAt.Equal(want) {
+		t.Fatalf("jittered retryAt = %v, want %v", retryAt, want)
+	}
+
+	// The jittered breaker is still parked at the plain cooldown mark and
+	// half-opens only once its stretched cooldown elapses.
+	if ok, _ := late.allow(dest, now.Add(time.Hour)); ok {
+		t.Fatal("jittered breaker half-opened at the unjittered cooldown")
+	}
+	if ok, _ := late.allow(dest, now.Add(90*time.Minute)); !ok {
+		t.Fatal("jittered breaker should admit a probe after cooldown+jitter")
+	}
+}

@@ -25,4 +25,7 @@ var (
 	mDeadletters  = tel.Counter("relay_deadletters_total")
 	mDedup        = tel.Counter("relay_dedup_total")
 	mBreakerOpens = tel.Counter("relay_breaker_open_total")
+	// mBudgetDenied counts retries deferred because the destination's
+	// retry budget was exhausted (budget.go).
+	mBudgetDenied = tel.Counter("relay_budget_denied_total")
 )

@@ -81,6 +81,8 @@ type Config struct {
 	Backoff BackoffPolicy
 	// Breaker shapes per-destination circuit breaking.
 	Breaker BreakerPolicy
+	// Budget bounds per-destination retry amplification (budget.go).
+	Budget BudgetPolicy
 	// Rand supplies jitter draws in [0,1); nil seeds a private PRNG.
 	// Tests pass a deterministic source.
 	Rand func() float64
@@ -144,6 +146,8 @@ type Stats struct {
 	// Deduped counts enqueues refused as duplicates of a live or
 	// recently acknowledged idempotency key.
 	Deduped int64
+	// BudgetDenied counts retries deferred by an exhausted retry budget.
+	BudgetDenied int64
 	// Pending and Dead are the current outbox queue sizes.
 	Pending, Dead int
 }
@@ -155,6 +159,7 @@ type Relay struct {
 	ob  *Outbox
 	tr  Transport
 	br  *breakerSet
+	bud *budgetSet
 
 	rngMu sync.Mutex
 	rng   func() float64
@@ -170,7 +175,7 @@ type Relay struct {
 	workCh chan Entry
 	wg     sync.WaitGroup
 
-	delivered, deadLettered, retries, attempts, deduped atomic.Int64
+	delivered, deadLettered, retries, attempts, deduped, budgetDenied atomic.Int64
 }
 
 // New starts a relay draining ob through tr. Deliveries already pending
@@ -181,7 +186,7 @@ func New(ob *Outbox, tr Transport, cfg Config) *Relay {
 		cfg:    cfg,
 		ob:     ob,
 		tr:     tr,
-		br:     newBreakerSet(cfg.Breaker),
+		bud:    newBudgetSet(cfg.Budget),
 		wake:   make(chan struct{}, 1),
 		stopCh: make(chan struct{}),
 		workCh: make(chan Entry),
@@ -192,6 +197,9 @@ func New(ob *Outbox, tr Transport, cfg Config) *Relay {
 	} else {
 		r.rng = rand.New(rand.NewSource(time.Now().UnixNano())).Float64
 	}
+	// The breaker set shares the relay's jitter source, so r.rng must be
+	// wired before it is built.
+	r.br = newBreakerSet(cfg.Breaker, r.jitter)
 	now := r.now()
 	for _, e := range ob.Pending() {
 		heap.Push(&r.q, item{e: e, readyAt: now})
@@ -352,6 +360,7 @@ func (r *Relay) process(e Entry) {
 	err := r.attempt(e)
 	if err == nil {
 		r.br.success(e.Dest)
+		r.bud.success(e.Dest)
 		// An ack that fails to journal leaves the entry pending in the
 		// WAL; the redelivery after restart is absorbed by receiver-side
 		// idempotency.
@@ -384,6 +393,15 @@ func (r *Relay) process(e Entry) {
 		if r.cfg.OnSettle != nil {
 			r.cfg.OnSettle(e, err)
 		}
+		return
+	}
+	if ok, retryAt := r.bud.allowRetry(e.Dest, r.now()); !ok {
+		// Retry budget exhausted: park until the next trickle probe.
+		// Like a breaker park, no retry is counted — the delivery is
+		// deferred, not attempted.
+		r.budgetDenied.Add(1)
+		mBudgetDenied.Inc()
+		r.reschedule(e, retryAt)
 		return
 	}
 	r.retries.Add(1)
@@ -474,6 +492,7 @@ func (r *Relay) Stats() Stats {
 		Retries:      r.retries.Load(),
 		Attempts:     r.attempts.Load(),
 		Deduped:      r.deduped.Load(),
+		BudgetDenied: r.budgetDenied.Load(),
 		Pending:      p,
 		Dead:         d,
 	}

@@ -50,7 +50,7 @@ func TestBackoffDelayGrowsAndCaps(t *testing.T) {
 }
 
 func TestBreakerLifecycle(t *testing.T) {
-	s := newBreakerSet(BreakerPolicy{Threshold: 2, Cooldown: time.Hour})
+	s := newBreakerSet(BreakerPolicy{Threshold: 2, Cooldown: time.Hour}, nil)
 	now := time.Unix(1000, 0)
 	dest := "http://peer"
 

@@ -1,0 +1,192 @@
+#!/bin/sh
+# chaos_smoke.sh — partition drill through the chaos control plane:
+#
+#   1. provision a throwaway trust bundle (drakeys)
+#   2. start three drapool nodes in -chaos mode and a draportal
+#      coordinating them with -cluster-nodes (2 replicas per region) and
+#      -max-inflight admission control, all race-detector builds
+#   3. poll GET /v1/readyz until the whole fleet reports ready
+#   4. drive Figure 9A workflows through the clustered portal
+#   5. ask `dractl cluster status -row` which node leads the region of an
+#      upcoming row, then POST {"action":"isolate"} to that node's
+#      /v1/chaos control plane — an asymmetric partition, not a kill:
+#      the process stays up but refuses every non-chaos request with 503
+#   6. keep driving: every mid-partition run must succeed — acknowledged
+#      writes keep flowing through the promoted backup and each drive
+#      re-reads its own documents, so a lost acked write fails the run
+#   7. POST {"action":"heal_node"} and assert the coordinator's repair
+#      loop auto-rejoins the healed node (alive in /v1/cluster/status)
+#      without any operator rejoin call
+#   8. SIGTERM everything; all must exit 0
+#
+# Run from the repository root: ./scripts/chaos_smoke.sh
+set -eu
+
+WORK="$(mktemp -d)"
+PORT="${CHAOS_PORT:-19090}"
+P1="${CHAOS_POOL1_PORT:-19311}"
+P2="${CHAOS_POOL2_PORT:-19312}"
+P3="${CHAOS_POOL3_PORT:-19313}"
+SEED="${CHAOS_SEED:-7}"
+trap 'kill "$PORTAL_PID" "$N1_PID" "$N2_PID" "$N3_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PORTAL_PID=""; N1_PID=""; N2_PID=""; N3_PID=""
+
+# Race-detector builds: the drill doubles as a concurrency gate for the
+# failover, auto-rejoin, and admission paths under injected faults.
+go build -race -o "$WORK/drapool" ./cmd/drapool
+go build -race -o "$WORK/draportal" ./cmd/draportal
+go build -o "$WORK/drakeys" ./cmd/drakeys
+go build -o "$WORK/dractl" ./cmd/dractl
+
+"$WORK/drakeys" -out "$WORK/deploy" \
+	-principals designer@acme,alice@acme,bob@acme,betty@bolt,carol@bolt,dave@acme,tfc@cloud \
+	-bits 2048 >/dev/null
+
+"$WORK/drapool" -listen "127.0.0.1:$P1" -node-id n1 -chaos -chaos-seed "$SEED" -grace 5s &
+N1_PID=$!
+"$WORK/drapool" -listen "127.0.0.1:$P2" -node-id n2 -chaos -chaos-seed "$SEED" -grace 5s &
+N2_PID=$!
+"$WORK/drapool" -listen "127.0.0.1:$P3" -node-id n3 -chaos -chaos-seed "$SEED" -grace 5s &
+N3_PID=$!
+
+wait_ready() {
+	_port=$1
+	_pid=$2
+	_name=$3
+	echo "chaos_smoke: waiting for $_name readiness on port $_port (pid $_pid)"
+	for _ in $(seq 1 50); do
+		if curl -fsS "http://127.0.0.1:$_port/v1/readyz" >/dev/null 2>&1; then
+			return 0
+		fi
+		if ! kill -0 "$_pid" 2>/dev/null; then
+			echo "chaos_smoke: FAIL: $_name died before becoming ready" >&2
+			exit 1
+		fi
+		sleep 0.2
+	done
+	echo "chaos_smoke: FAIL: $_name /v1/readyz never reported ready" >&2
+	exit 1
+}
+
+wait_ready "$P1" "$N1_PID" "drapool n1"
+wait_ready "$P2" "$N2_PID" "drapool n2"
+wait_ready "$P3" "$N3_PID" "drapool n3"
+
+# -max-inflight exercises the admission wiring end to end: the drill's
+# drives must pass untouched (well under the bound), and the flag proves
+# the daemon accepts and installs the gate.
+"$WORK/draportal" \
+	-listen "127.0.0.1:$PORT" \
+	-trust "$WORK/deploy/trust.json" \
+	-cluster-nodes "n1=http://127.0.0.1:$P1,n2=http://127.0.0.1:$P2,n3=http://127.0.0.1:$P3" \
+	-replicas 2 \
+	-cluster-wal "$WORK/replication-outbox.wal" \
+	-max-inflight 128 \
+	-grace 10s &
+PORTAL_PID=$!
+wait_ready "$PORT" "$PORTAL_PID" draportal
+
+drive() {
+	"$WORK/dractl" remote \
+		-portal "http://127.0.0.1:$PORT" \
+		-deploy "$WORK/deploy" \
+		-workflow fig9a >/dev/null
+}
+
+echo "chaos_smoke: fleet ready; driving pre-partition load"
+drive
+drive
+
+# Partition the node an adversarial operator would: the one leading the
+# region that upcoming documents land in.
+TARGET="$("$WORK/dractl" cluster status -url "http://127.0.0.1:$PORT" -row "proc-upcoming" | awk '{print $2}')"
+case "$TARGET" in
+n1) TARGET_PORT=$P1 ;;
+n2) TARGET_PORT=$P2 ;;
+n3) TARGET_PORT=$P3 ;;
+*)
+	echo "chaos_smoke: FAIL: could not resolve partition target (got '$TARGET')" >&2
+	exit 1
+	;;
+esac
+
+echo "chaos_smoke: isolating pool node $TARGET via its chaos control plane"
+curl -fsS -X POST "http://127.0.0.1:$TARGET_PORT/v1/chaos" \
+	-d "{\"action\":\"isolate\",\"node\":\"$TARGET\"}" >/dev/null
+
+# The partitioned node must refuse data-plane traffic (503) while its
+# chaos control plane stays reachable — that is the whole point of
+# enforcing partitions above the listener.
+if curl -fsS "http://127.0.0.1:$TARGET_PORT/v1/readyz" >/dev/null 2>&1; then
+	echo "chaos_smoke: FAIL: isolated node $TARGET still answers readyz" >&2
+	exit 1
+fi
+curl -fsS "http://127.0.0.1:$TARGET_PORT/v1/chaos" >/dev/null
+
+# Acknowledged writes must keep flowing across the partition: each drive
+# stores documents and re-reads them through the portal, so a lost acked
+# write or a stalled region fails the run.
+drive
+drive
+drive
+echo "chaos_smoke: mid-partition drives succeeded (no acknowledged write lost)"
+
+echo "chaos_smoke: healing $TARGET"
+curl -fsS -X POST "http://127.0.0.1:$TARGET_PORT/v1/chaos" \
+	-d "{\"action\":\"heal_node\",\"node\":\"$TARGET\"}" >/dev/null
+
+# The coordinator's repair loop probes suspected members and must
+# readmit the healed node on its own — no operator rejoin call.
+REJOINED=""
+for _ in $(seq 1 100); do
+	if curl -fsS "http://127.0.0.1:$PORT/v1/cluster/status" >"$WORK/status.json" 2>/dev/null &&
+		python3 - "$WORK/status.json" "$TARGET" <<'PYEOF'
+import json, sys
+
+st = json.load(open(sys.argv[1]))
+node = {n["id"]: n for n in st["nodes"]}.get(sys.argv[2], {})
+sys.exit(0 if node.get("alive") else 1)
+PYEOF
+	then
+		REJOINED=yes
+		break
+	fi
+	sleep 0.2
+done
+if [ -z "$REJOINED" ]; then
+	echo "chaos_smoke: FAIL: healed node $TARGET was not auto-rejoined" >&2
+	exit 1
+fi
+echo "chaos_smoke: repair loop auto-rejoined $TARGET"
+
+# Post-heal, the fleet serves and every region has a live primary.
+drive
+curl -fsS "http://127.0.0.1:$PORT/v1/cluster/status" >"$WORK/status.json"
+python3 - "$WORK/status.json" <<'PYEOF'
+import json, sys
+
+st = json.load(open(sys.argv[1]))
+for n in st["nodes"]:
+    if not n.get("alive"):
+        sys.exit(f"chaos_smoke: FAIL: node {n['id']} still dead after heal")
+for r in st["regions"]:
+    if not [v for v in r["replicas"] if v.get("primary")]:
+        sys.exit(f"chaos_smoke: FAIL: region {r['id']} has no primary after heal")
+print("chaos_smoke: directory converged — all nodes alive, every region led")
+PYEOF
+
+echo "chaos_smoke: sending SIGTERM to the portal and pool nodes"
+kill -TERM "$PORTAL_PID"
+if ! wait "$PORTAL_PID"; then
+	echo "chaos_smoke: FAIL: draportal exited with nonzero status after SIGTERM" >&2
+	exit 1
+fi
+for NODE_PID in "$N1_PID" "$N2_PID" "$N3_PID"; do
+	kill -TERM "$NODE_PID"
+	if ! wait "$NODE_PID"; then
+		echo "chaos_smoke: FAIL: a drapool exited with nonzero status after SIGTERM" >&2
+		exit 1
+	fi
+done
+
+echo "chaos_smoke: PASS (partition of $TARGET lost no acknowledged write; heal auto-rejoined it; fleet shut down cleanly)"
